@@ -1,0 +1,111 @@
+//! **E1 — HBASE-3136 / HBASE-3137 (§4.2.1)**: the staleness/performance
+//! trade-off. The 3136 fix (sync before every CAS) eliminates stale-CAS
+//! aborts — and 3137 was filed immediately after, reporting the throughput
+//! cost of that sync. Both sides measured here.
+//!
+//! Expected shape: the buggy (serializable-read) manager completes more
+//! transitions per simulated second at zero lag but aborts regions once the
+//! follower lags; the fixed (sync-first) manager never aborts at any lag,
+//! at a lower transition rate.
+//!
+//! Run with `cargo bench -p ph-bench --bench e1_hbase_tradeoff`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ph_core::perturb::{StalenessInjector, Strategy, Targets};
+use ph_scenarios::hbase_3136::RegionManager;
+use ph_sim::{Duration, SimTime, World, WorldConfig};
+use ph_store::node::StoreNodeConfig;
+use ph_store::{spawn_store_cluster, StoreClient, StoreClientConfig};
+
+struct Outcome {
+    transitions: u64,
+    broken: usize,
+}
+
+/// Runs 4 regions for 4 simulated seconds at the given follower lag.
+fn run_manager(seed: u64, fixed: bool, lag: Duration) -> Outcome {
+    let mut world = World::new(WorldConfig::default(), seed);
+    let cluster = spawn_store_cluster(&mut world, 3, StoreNodeConfig::default());
+    let leader = cluster
+        .wait_for_leader(&mut world, SimTime(Duration::secs(1).as_nanos()))
+        .expect("leader");
+    world.run_until(SimTime(Duration::secs(1).as_nanos()));
+    let follower = *cluster.nodes.iter().find(|&&n| n != leader).unwrap();
+    let follower_idx = cluster.nodes.iter().position(|&n| n == follower).unwrap();
+
+    let mut scc = StoreClientConfig::new(cluster.nodes.clone());
+    scc.affinity = Some(follower_idx);
+    let manager = world.spawn(
+        "region-manager",
+        RegionManager::new(StoreClient::new(scc), 4, Duration::millis(50), fixed),
+    );
+
+    let targets = Targets {
+        store_nodes: cluster.nodes.clone(),
+        caches: vec![follower],
+        components: vec![manager],
+        notify_kinds: vec!["RaftWire".into()],
+        horizon: Duration::secs(5),
+    };
+    let mut strategy = StalenessInjector {
+        cache: 0,
+        delay: lag,
+        after: Duration::millis(1500),
+    };
+    strategy.setup(&mut world, &targets);
+    world.run_until(SimTime(Duration::secs(5).as_nanos()));
+    strategy.teardown(&mut world);
+
+    let m = world.actor_ref::<RegionManager>(manager).expect("manager");
+    Outcome {
+        transitions: m.total_transitions(),
+        broken: m.broken_regions(),
+    }
+}
+
+fn print_table() {
+    println!("\n=== E1 (HBASE-3136/3137): stale-CAS aborts vs sync cost ===\n");
+    println!(
+        "{:<12} {:<22} {:>14} {:>16}",
+        "lag", "variant", "transitions/4s", "broken regions"
+    );
+    for lag_ms in [0u64, 30, 90] {
+        for fixed in [false, true] {
+            let o = run_manager(921, fixed, Duration::millis(lag_ms));
+            println!(
+                "{:<12} {:<22} {:>14} {:>16}",
+                format!("{lag_ms}ms"),
+                if fixed {
+                    "fixed (sync-first)"
+                } else {
+                    "buggy (follower read)"
+                },
+                o.transitions,
+                o.broken
+            );
+        }
+    }
+    println!(
+        "\n(shape check: buggy leads on transitions at 0ms lag but breaks \
+         regions at 90ms;\n fixed never breaks a region at any lag — the \
+         HBASE-3137 price is the lower rate)\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_function("buggy_no_lag", |b| {
+        b.iter(|| run_manager(922, false, Duration::ZERO).transitions)
+    });
+    group.bench_function("fixed_no_lag", |b| {
+        b.iter(|| run_manager(922, true, Duration::ZERO).transitions)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! **E2 — §6.2**: the epoch-bounded programming model's granularity knob.
+//!
+//! "The granularity of an epoch can be adjusted to balance performance and
+//! coordination costs." For a fixed notification feed, sweep the epoch
+//! size and measure: the staleness bound the consumer enjoys, the peak
+//! buffering (coordination cost), and — under a lossy feed — how many gaps
+//! are *detected* (never silent) per size.
+//!
+//! Expected shape: staleness bound and peak buffer grow with epoch size;
+//! detected-gap count shrinks (coarser loss granularity); silent gaps are
+//! zero at every size.
+//!
+//! Run with `cargo bench -p ph-bench --bench e2_epochs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ph_core::epoch::{EpochBuffer, EpochError, EpochPartition};
+use ph_core::history::{Change, ChangeOp, History};
+use ph_sim::SimRng;
+
+fn synthetic_feed(n: u64, loss: f64, seed: u64) -> (History, Vec<Change>) {
+    let mut h = History::new();
+    let mut rng = SimRng::from_seed(seed);
+    let mut alive = [false; 10];
+    for _ in 0..n {
+        let e = rng.below(10) as usize;
+        let entity = format!("obj{e}");
+        if !alive[e] {
+            h.append(entity, ChangeOp::Create);
+            alive[e] = true;
+        } else if rng.chance(0.3) {
+            h.append(entity, ChangeOp::Delete);
+            alive[e] = false;
+        } else {
+            h.append(entity, ChangeOp::Update(rng.below(1000)));
+        }
+    }
+    let delivered = h
+        .changes()
+        .iter()
+        .filter(|_| !rng.chance(loss))
+        .cloned()
+        .collect();
+    (h, delivered)
+}
+
+struct EpochOutcome {
+    complete: u64,
+    detected_gaps: u64,
+    delivered_events: u64,
+    peak_buffer: usize,
+    /// Max staleness (events) the consumer's released view trailed H by,
+    /// sampled after each push.
+    max_staleness: u64,
+}
+
+fn run_epochs(size: u64, h: &History, feed: &[Change]) -> EpochOutcome {
+    let mut buf = EpochBuffer::new(EpochPartition::new(size));
+    let mut complete = 0;
+    let mut detected = 0;
+    let mut delivered = 0;
+    let mut max_staleness = 0;
+    for c in feed {
+        let committed = c.seq; // feed arrives in commit order
+        buf.push(c.clone());
+        loop {
+            match buf.release_next(committed) {
+                Ok(epoch) => {
+                    complete += 1;
+                    delivered += epoch.len() as u64;
+                }
+                Err(EpochError::Incomplete { .. }) => {
+                    detected += 1;
+                    buf.skip_epoch();
+                }
+                Err(EpochError::NotSealed { .. }) => break,
+            }
+        }
+        max_staleness = max_staleness.max(buf.staleness_bound(committed));
+    }
+    // Drain what the end of the run seals.
+    loop {
+        match buf.release_next(h.len()) {
+            Ok(epoch) => {
+                complete += 1;
+                delivered += epoch.len() as u64;
+            }
+            Err(EpochError::Incomplete { .. }) => {
+                detected += 1;
+                buf.skip_epoch();
+            }
+            Err(EpochError::NotSealed { .. }) => break,
+        }
+    }
+    EpochOutcome {
+        complete,
+        detected_gaps: detected,
+        delivered_events: delivered,
+        peak_buffer: buf.peak_buffered(),
+        max_staleness,
+    }
+}
+
+fn print_table() {
+    let (h, feed) = synthetic_feed(512, 0.05, 44);
+    let lost = h.len() as usize - feed.len();
+    println!("\n=== E2 (§6.2): epoch granularity sweep (512 events, {lost} lost) ===\n");
+    println!(
+        "{:<12} {:>10} {:>15} {:>16} {:>12} {:>14}",
+        "epoch size", "complete", "detected gaps", "events delivered", "peak buffer", "max staleness"
+    );
+    for size in [1u64, 2, 4, 8, 16, 32, 64] {
+        let o = run_epochs(size, &h, &feed);
+        println!(
+            "{:<12} {:>10} {:>15} {:>16} {:>12} {:>14}",
+            size, o.complete, o.detected_gaps, o.delivered_events, o.peak_buffer, o.max_staleness
+        );
+        // The §6.2 guarantee: everything either arrives in a complete epoch
+        // or falls in a *detected* (skipped) one — nothing silently partial.
+        assert_eq!(
+            o.delivered_events % size,
+            0,
+            "released epochs must be whole"
+        );
+    }
+    println!(
+        "\n(shape check: staleness bound and peak buffer grow with epoch size; \
+         detected gaps shrink; no silent gaps at any size)\n"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (h, feed) = synthetic_feed(4096, 0.02, 45);
+    let mut group = c.benchmark_group("e2");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for size in [4u64, 32] {
+        group.bench_function(format!("epoch_pipeline_size_{size}"), |b| {
+            b.iter(|| run_epochs(size, &h, &feed).delivered_events)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! **F3 — Figure 3 (a, b, c)**: the three partial-history challenge
+//! patterns, made measurable.
+//!
+//! * **3a — staleness**: a view's lag behind `(H, S)` as a function of the
+//!   injected notification delay;
+//! * **3b — time traveling**: the depth of a component's frontier
+//!   regression when it restarts against a stale vs a fresh upstream;
+//! * **3c — observability gaps**: the fraction of `H` that sparse reads of
+//!   `S′` cannot reconstruct, as a function of read sparsity.
+//!
+//! Run with `cargo bench -p ph-bench --bench fig3_patterns`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ph_cluster::apiserver::ApiServer;
+use ph_cluster::objects::{Body, Object};
+use ph_cluster::topology::{spawn_cluster, ClusterConfig};
+use ph_core::history::{ChangeOp, FrontierLog, History};
+use ph_core::observe::observability_report;
+use ph_core::perturb::{StalenessInjector, Strategy, TimeTravelInjector};
+use ph_scenarios::common::targets_for;
+use ph_sim::{Duration, SimRng, SimTime, TraceEventKind, World, WorldConfig};
+use ph_store::{Revision, StoreNode};
+
+fn cluster_world(seed: u64) -> (World, ph_cluster::topology::ClusterHandle) {
+    let cfg = ClusterConfig {
+        scheduler: Some(false),
+        rs_controller: Some(false),
+        ..ClusterConfig::default()
+    };
+    let mut world = World::new(WorldConfig::default(), seed);
+    let cluster = spawn_cluster(&mut world, &cfg);
+    assert!(cluster.wait_ready(&mut world, SimTime(Duration::secs(1).as_nanos())));
+    world.run_until(SimTime(Duration::secs(1).as_nanos()));
+    let dl = SimTime(world.now().0 + Duration::secs(10).as_nanos());
+    for n in ["node-1", "node-2"] {
+        cluster.create_object(&mut world, &Object::node(n), dl);
+    }
+    (world, cluster)
+}
+
+fn truth_rev(world: &World, cluster: &ph_cluster::topology::ClusterHandle) -> Revision {
+    cluster
+        .store
+        .leader(world)
+        .and_then(|n| world.actor_ref::<StoreNode>(n))
+        .map(|s| s.mvcc().revision())
+        .unwrap_or(Revision::ZERO)
+}
+
+/// 3a: run a steady churn workload with a delayed apiserver feed; sample
+/// the view lag. Returns (mean lag, max lag) in events.
+fn staleness_lag(seed: u64, delay: Duration) -> (f64, u64) {
+    let (mut world, cluster) = cluster_world(seed);
+    let targets = targets_for(&cluster, Duration::secs(4));
+    let mut injector = StalenessInjector {
+        cache: 1,
+        delay,
+        after: Duration::ZERO,
+    };
+    injector.setup(&mut world, &targets);
+    let dl = SimTime(world.now().0 + Duration::secs(20).as_nanos());
+    let mut lags = Vec::new();
+    for i in 0..40 {
+        cluster.create_object(
+            &mut world,
+            &Object::pod(format!("churn-{i}"), Some("node-1".into()), None),
+            dl,
+        );
+        world.run_for(Duration::millis(50));
+        let truth = truth_rev(&world, &cluster);
+        let view = world
+            .actor_ref::<ApiServer>(cluster.apiservers[1])
+            .expect("api2")
+            .cache_revision();
+        lags.push(truth.0.saturating_sub(view.0));
+    }
+    injector.teardown(&mut world);
+    let max = *lags.iter().max().unwrap_or(&0);
+    let mean = lags.iter().sum::<u64>() as f64 / lags.len() as f64;
+    (mean, max)
+}
+
+/// 3b: crash a kubelet and restart it against a stale (frozen) or fresh
+/// upstream; return the measured frontier regression depth.
+fn time_travel_depth(seed: u64, stale_upstream: bool) -> u64 {
+    let (mut world, cluster) = cluster_world(seed);
+    let targets = targets_for(&cluster, Duration::secs(5));
+    let dl = SimTime(world.now().0 + Duration::secs(20).as_nanos());
+    cluster.create_object(&mut world, &Object::new("web", Body::ReplicaSet { replicas: 2 }), dl);
+
+    let mut injector = TimeTravelInjector::new(
+        1,
+        0,
+        if stale_upstream {
+            Duration::millis(1500)
+        } else {
+            Duration::secs(30) // never freezes within the run
+        },
+        Duration::millis(2500),
+        Duration::millis(2700),
+        Some(Duration::millis(4200)),
+    );
+    injector.setup(&mut world, &targets);
+    let end = SimTime(Duration::millis(4500).as_nanos());
+    let mut churned = false;
+    while world.now() < end {
+        world.run_for(Duration::millis(20));
+        if !churned && world.now() >= SimTime(Duration::millis(1800).as_nanos()) {
+            churned = true;
+            for i in 0..4 {
+                cluster.create_object(
+                    &mut world,
+                    &Object::pod(format!("extra-{i}"), Some("node-1".into()), None),
+                    dl,
+                );
+            }
+        }
+        injector.tick(&mut world, &targets);
+    }
+    injector.teardown(&mut world);
+
+    let kubelet = cluster.kubelets[0];
+    let mut log = FrontierLog::new();
+    for e in world.trace().iter() {
+        if let TraceEventKind::Annotation { actor, label, data } = &e.kind {
+            if *actor == kubelet && label == "view.frontier" {
+                if let Ok(rev) = data.parse() {
+                    log.record(e.at.nanos(), rev);
+                }
+            }
+        }
+    }
+    log.max_travel_depth()
+}
+
+/// 3c: fraction of a churny history invisible to sparse state reads.
+fn obs_gap_series() -> Vec<(u64, f64)> {
+    let mut h = History::new();
+    let mut rng = SimRng::from_seed(33);
+    let mut alive = [false; 6];
+    for _ in 0..240 {
+        let e = rng.below(6) as usize;
+        let entity = format!("obj{e}");
+        if !alive[e] {
+            h.append(entity, ChangeOp::Create);
+            alive[e] = true;
+        } else if rng.chance(0.4) {
+            h.append(entity, ChangeOp::Delete);
+            alive[e] = false;
+        } else {
+            h.append(entity, ChangeOp::Update(rng.below(1000)));
+        }
+    }
+    [1u64, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&interval| {
+            let points: Vec<u64> = (1..=h.len()).filter(|s| s % interval == 0).collect();
+            (interval, observability_report(&h, &points).gap_fraction())
+        })
+        .collect()
+}
+
+fn print_figures() {
+    println!("\n=== F3a (staleness): view lag vs injected notification delay ===");
+    println!("{:<12} {:>12} {:>10}", "delay", "mean lag", "max lag");
+    for ms in [0u64, 20, 50, 100, 200] {
+        let (mean, max) = staleness_lag(911, Duration::millis(ms));
+        println!("{:<12} {:>12.1} {:>10}", format!("{ms}ms"), mean, max);
+    }
+
+    println!("\n=== F3b (time traveling): frontier regression depth on restart ===");
+    let fresh = time_travel_depth(912, false);
+    let stale = time_travel_depth(912, true);
+    println!("restart against fresh upstream: depth {fresh}");
+    println!("restart against stale upstream: depth {stale}");
+    assert!(stale > fresh, "stale restart must regress further");
+
+    println!("\n=== F3c (observability gaps): unobservable fraction vs read sparsity ===");
+    println!("{:<20} {:>14}", "read interval (events)", "gap fraction");
+    for (interval, frac) in obs_gap_series() {
+        println!("{:<20} {:>13.1}%", interval, frac * 100.0);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_figures();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("staleness_lag_run", |b| {
+        b.iter(|| staleness_lag(913, Duration::millis(100)))
+    });
+    group.bench_function("obs_gap_analysis", |b| b.iter(obs_gap_series));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate: every figure and result of the paper regenerates
+//! from a Criterion bench under `benches/`. See EXPERIMENTS.md for the
+//! mapping and recorded outputs.

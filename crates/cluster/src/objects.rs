@@ -1,0 +1,502 @@
+//! The typed cluster object model and its store codec.
+//!
+//! Objects are the units of the cluster state `S`: pods, nodes, persistent
+//! volume claims, replica sets and Cassandra datacenters. They are stored
+//! under `"{plural}/{name}"` keys; the store's `mod_revision` becomes the
+//! object's `resourceVersion` on read, and writes carry it back as an
+//! optimistic-concurrency precondition — exactly Kubernetes' scheme.
+//!
+//! The codec is a deliberately simple line-oriented text format (one
+//! `field=value` per line); both encoder and decoder live here and are
+//! round-trip tested, avoiding any serialization dependency.
+
+use ph_store::{Key, KeyValue, Revision, Value};
+
+/// The kinds of cluster objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObjectKind {
+    /// A schedulable workload unit.
+    Pod,
+    /// A worker machine.
+    Node,
+    /// A persistent volume claim (storage attached to a pod).
+    Pvc,
+    /// A replica-count controller resource.
+    ReplicaSet,
+    /// A Cassandra datacenter custom resource (operator-managed).
+    CassandraDatacenter,
+    /// A node heartbeat lease (coordination.k8s.io-style): the kubelet
+    /// renews it; the node-lifecycle controller judges node health by its
+    /// age.
+    Lease,
+}
+
+impl ObjectKind {
+    /// The key-space prefix for this kind (with trailing slash).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            ObjectKind::Pod => "pods/",
+            ObjectKind::Node => "nodes/",
+            ObjectKind::Pvc => "pvcs/",
+            ObjectKind::ReplicaSet => "replicasets/",
+            ObjectKind::CassandraDatacenter => "cassdcs/",
+            ObjectKind::Lease => "leases/",
+        }
+    }
+
+    /// The store key for an object of this kind.
+    pub fn key(self, name: &str) -> Key {
+        Key::new(format!("{}{}", self.prefix(), name))
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            ObjectKind::Pod => "Pod",
+            ObjectKind::Node => "Node",
+            ObjectKind::Pvc => "Pvc",
+            ObjectKind::ReplicaSet => "ReplicaSet",
+            ObjectKind::CassandraDatacenter => "CassandraDatacenter",
+            ObjectKind::Lease => "Lease",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<ObjectKind> {
+        Some(match s {
+            "Pod" => ObjectKind::Pod,
+            "Node" => ObjectKind::Node,
+            "Pvc" => ObjectKind::Pvc,
+            "ReplicaSet" => ObjectKind::ReplicaSet,
+            "CassandraDatacenter" => ObjectKind::CassandraDatacenter,
+            "Lease" => ObjectKind::Lease,
+            _ => return None,
+        })
+    }
+
+    /// The kind implied by a store key, if it lies in a known key space.
+    pub fn of_key(key: &str) -> Option<ObjectKind> {
+        [
+            ObjectKind::Pod,
+            ObjectKind::Node,
+            ObjectKind::Pvc,
+            ObjectKind::ReplicaSet,
+            ObjectKind::CassandraDatacenter,
+            ObjectKind::Lease,
+        ]
+        .into_iter()
+        .find(|k| key.starts_with(k.prefix()))
+    }
+}
+
+/// A pod's lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PodPhase {
+    /// Created, not yet bound to a node.
+    #[default]
+    Pending,
+    /// Running on its bound node.
+    Running,
+    /// Finished successfully.
+    Succeeded,
+    /// Finished with failure.
+    Failed,
+}
+
+impl PodPhase {
+    fn tag(self) -> &'static str {
+        match self {
+            PodPhase::Pending => "Pending",
+            PodPhase::Running => "Running",
+            PodPhase::Succeeded => "Succeeded",
+            PodPhase::Failed => "Failed",
+        }
+    }
+    fn from_tag(s: &str) -> Option<PodPhase> {
+        Some(match s {
+            "Pending" => PodPhase::Pending,
+            "Running" => PodPhase::Running,
+            "Succeeded" => PodPhase::Succeeded,
+            "Failed" => PodPhase::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// Metadata common to all objects.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObjectMeta {
+    /// Object name (unique within its kind).
+    pub name: String,
+    /// The store revision of the last write to this object; 0 when the
+    /// object has not been read back from the store yet. Filled by
+    /// [`Object::from_kv`], used as a CAS precondition on updates.
+    pub resource_version: Revision,
+    /// Graceful-deletion mark, in logical nanoseconds ("deletionTimestamp");
+    /// `None` for live objects. Set by the apiserver's `MarkDeleted` verb.
+    pub deletion_timestamp: Option<u64>,
+    /// Owning object's name (e.g. a PVC's pod, a pod's replica set), if any.
+    pub owner: Option<String>,
+}
+
+/// Kind-specific payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// Pod spec/status.
+    Pod {
+        /// Node the pod is bound to (`None` = unscheduled).
+        node: Option<String>,
+        /// Lifecycle phase.
+        phase: PodPhase,
+        /// PVC attached to this pod, if any.
+        pvc: Option<String>,
+    },
+    /// Node status.
+    Node {
+        /// Whether the node is accepting pods.
+        ready: bool,
+    },
+    /// Persistent volume claim.
+    Pvc {
+        /// Whether storage is currently bound.
+        bound: bool,
+    },
+    /// Replica set spec.
+    ReplicaSet {
+        /// Desired replica count.
+        replicas: u32,
+    },
+    /// Cassandra datacenter spec.
+    CassandraDatacenter {
+        /// Desired Cassandra node (pod) count.
+        desired: u32,
+    },
+    /// Node heartbeat lease.
+    Lease {
+        /// The renewing node.
+        holder: String,
+        /// Logical time of the last renewal, in nanoseconds.
+        renewed_at_ns: u64,
+    },
+}
+
+impl Body {
+    /// The kind this body belongs to.
+    pub fn kind(&self) -> ObjectKind {
+        match self {
+            Body::Pod { .. } => ObjectKind::Pod,
+            Body::Node { .. } => ObjectKind::Node,
+            Body::Pvc { .. } => ObjectKind::Pvc,
+            Body::ReplicaSet { .. } => ObjectKind::ReplicaSet,
+            Body::CassandraDatacenter { .. } => ObjectKind::CassandraDatacenter,
+            Body::Lease { .. } => ObjectKind::Lease,
+        }
+    }
+}
+
+/// A cluster object: metadata plus kind-specific body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Common metadata.
+    pub meta: ObjectMeta,
+    /// Kind-specific payload.
+    pub body: Body,
+}
+
+/// Codec failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "object codec: {}", self.0)
+    }
+}
+impl std::error::Error for CodecError {}
+
+impl Object {
+    /// Creates a fresh (never-stored) object.
+    pub fn new(name: impl Into<String>, body: Body) -> Object {
+        Object {
+            meta: ObjectMeta {
+                name: name.into(),
+                ..ObjectMeta::default()
+            },
+            body,
+        }
+    }
+
+    /// A pending pod, optionally pre-bound and with an attached PVC.
+    pub fn pod(name: impl Into<String>, node: Option<String>, pvc: Option<String>) -> Object {
+        Object::new(name, Body::Pod {
+            node,
+            phase: PodPhase::Pending,
+            pvc,
+        })
+    }
+
+    /// A ready node.
+    pub fn node(name: impl Into<String>) -> Object {
+        Object::new(name, Body::Node { ready: true })
+    }
+
+    /// A node heartbeat lease renewed at `renewed_at_ns`.
+    pub fn lease(node: impl Into<String>, renewed_at_ns: u64) -> Object {
+        let node = node.into();
+        Object::new(node.clone(), Body::Lease {
+            holder: node,
+            renewed_at_ns,
+        })
+    }
+
+    /// A bound PVC owned by `owner` (a pod name).
+    pub fn pvc(name: impl Into<String>, owner: impl Into<String>) -> Object {
+        let mut o = Object::new(name, Body::Pvc { bound: true });
+        o.meta.owner = Some(owner.into());
+        o
+    }
+
+    /// The object's kind.
+    pub fn kind(&self) -> ObjectKind {
+        self.body.kind()
+    }
+
+    /// The object's store key.
+    pub fn key(&self) -> Key {
+        self.kind().key(&self.meta.name)
+    }
+
+    /// `true` once the object has been marked for graceful deletion.
+    pub fn is_terminating(&self) -> bool {
+        self.meta.deletion_timestamp.is_some()
+    }
+
+    /// Pod helper: the bound node, if this is a bound pod.
+    pub fn pod_node(&self) -> Option<&str> {
+        match &self.body {
+            Body::Pod { node, .. } => node.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Pod helper: the attached PVC name.
+    pub fn pod_pvc(&self) -> Option<&str> {
+        match &self.body {
+            Body::Pod { pvc, .. } => pvc.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Encodes the object for storage (resource version is *not* encoded —
+    /// the store's `mod_revision` is the source of truth).
+    pub fn encode(&self) -> Value {
+        let mut s = String::new();
+        s.push_str("kind=");
+        s.push_str(self.kind().tag());
+        s.push('\n');
+        s.push_str("name=");
+        s.push_str(&self.meta.name);
+        s.push('\n');
+        if let Some(dt) = self.meta.deletion_timestamp {
+            s.push_str(&format!("deletion_timestamp={dt}\n"));
+        }
+        if let Some(o) = &self.meta.owner {
+            s.push_str(&format!("owner={o}\n"));
+        }
+        match &self.body {
+            Body::Pod { node, phase, pvc } => {
+                if let Some(n) = node {
+                    s.push_str(&format!("node={n}\n"));
+                }
+                s.push_str(&format!("phase={}\n", phase.tag()));
+                if let Some(v) = pvc {
+                    s.push_str(&format!("pvc={v}\n"));
+                }
+            }
+            Body::Node { ready } => s.push_str(&format!("ready={ready}\n")),
+            Body::Pvc { bound } => s.push_str(&format!("bound={bound}\n")),
+            Body::ReplicaSet { replicas } => s.push_str(&format!("replicas={replicas}\n")),
+            Body::CassandraDatacenter { desired } => s.push_str(&format!("desired={desired}\n")),
+            Body::Lease {
+                holder,
+                renewed_at_ns,
+            } => {
+                s.push_str(&format!("holder={holder}\n"));
+                s.push_str(&format!("renewed_at={renewed_at_ns}\n"));
+            }
+        }
+        Value::copy_from_slice(s.as_bytes())
+    }
+
+    /// Decodes an object from stored bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed input.
+    pub fn decode(value: &Value) -> Result<Object, CodecError> {
+        let text = std::str::from_utf8(value).map_err(|e| CodecError(e.to_string()))?;
+        let mut fields = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| CodecError(format!("bad line {line:?}")))?;
+            fields.insert(k, v);
+        }
+        let kind = fields
+            .get("kind")
+            .and_then(|t| ObjectKind::from_tag(t))
+            .ok_or_else(|| CodecError("missing/unknown kind".into()))?;
+        let name = fields
+            .get("name")
+            .ok_or_else(|| CodecError("missing name".into()))?
+            .to_string();
+        let deletion_timestamp = match fields.get("deletion_timestamp") {
+            Some(v) => Some(v.parse().map_err(|_| CodecError("bad timestamp".into()))?),
+            None => None,
+        };
+        let owner = fields.get("owner").map(|s| s.to_string());
+        let parse_bool = |k: &str| -> Result<bool, CodecError> {
+            fields
+                .get(k)
+                .ok_or_else(|| CodecError(format!("missing {k}")))?
+                .parse()
+                .map_err(|_| CodecError(format!("bad bool {k}")))
+        };
+        let parse_u32 = |k: &str| -> Result<u32, CodecError> {
+            fields
+                .get(k)
+                .ok_or_else(|| CodecError(format!("missing {k}")))?
+                .parse()
+                .map_err(|_| CodecError(format!("bad u32 {k}")))
+        };
+        let body = match kind {
+            ObjectKind::Pod => Body::Pod {
+                node: fields.get("node").map(|s| s.to_string()),
+                phase: fields
+                    .get("phase")
+                    .and_then(|t| PodPhase::from_tag(t))
+                    .ok_or_else(|| CodecError("missing/unknown phase".into()))?,
+                pvc: fields.get("pvc").map(|s| s.to_string()),
+            },
+            ObjectKind::Node => Body::Node {
+                ready: parse_bool("ready")?,
+            },
+            ObjectKind::Pvc => Body::Pvc {
+                bound: parse_bool("bound")?,
+            },
+            ObjectKind::ReplicaSet => Body::ReplicaSet {
+                replicas: parse_u32("replicas")?,
+            },
+            ObjectKind::CassandraDatacenter => Body::CassandraDatacenter {
+                desired: parse_u32("desired")?,
+            },
+            ObjectKind::Lease => Body::Lease {
+                holder: fields
+                    .get("holder")
+                    .ok_or_else(|| CodecError("missing holder".into()))?
+                    .to_string(),
+                renewed_at_ns: fields
+                    .get("renewed_at")
+                    .ok_or_else(|| CodecError("missing renewed_at".into()))?
+                    .parse()
+                    .map_err(|_| CodecError("bad renewed_at".into()))?,
+            },
+        };
+        Ok(Object {
+            meta: ObjectMeta {
+                name,
+                resource_version: Revision::ZERO,
+                deletion_timestamp,
+                owner,
+            },
+            body,
+        })
+    }
+
+    /// Decodes a stored [`KeyValue`], filling in the resource version from
+    /// the store's `mod_revision`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed stored bytes.
+    pub fn from_kv(kv: &KeyValue) -> Result<Object, CodecError> {
+        let mut o = Object::decode(&kv.value)?;
+        o.meta.resource_version = kv.mod_revision;
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(o: &Object) {
+        let enc = o.encode();
+        let dec = Object::decode(&enc).expect("decode");
+        assert_eq!(&dec, o);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        round_trip(&Object::pod("p1", Some("n1".into()), Some("v1".into())));
+        round_trip(&Object::pod("p2", None, None));
+        round_trip(&Object::node("n1"));
+        round_trip(&Object::pvc("v1", "p1"));
+        round_trip(&Object::new("rs1", Body::ReplicaSet { replicas: 3 }));
+        round_trip(&Object::new("dc1", Body::CassandraDatacenter { desired: 5 }));
+        round_trip(&Object::lease("node-1", 123_456_789));
+    }
+
+    #[test]
+    fn deletion_timestamp_round_trips() {
+        let mut o = Object::pod("p1", None, None);
+        o.meta.deletion_timestamp = Some(123_456);
+        round_trip(&o);
+        assert!(o.is_terminating());
+    }
+
+    #[test]
+    fn keys_follow_the_kind_layout() {
+        let p = Object::pod("p1", None, None);
+        assert_eq!(p.key(), Key::new("pods/p1"));
+        assert_eq!(ObjectKind::of_key("pods/p1"), Some(ObjectKind::Pod));
+        assert_eq!(ObjectKind::of_key("pvcs/x"), Some(ObjectKind::Pvc));
+        assert_eq!(ObjectKind::of_key("garbage/x"), None);
+    }
+
+    #[test]
+    fn from_kv_fills_resource_version() {
+        let o = Object::node("n1");
+        let kv = KeyValue {
+            key: o.key(),
+            value: o.encode(),
+            create_revision: Revision(3),
+            mod_revision: Revision(9),
+            version: 2,
+            lease: None,
+        };
+        let got = Object::from_kv(&kv).expect("decode");
+        assert_eq!(got.meta.resource_version, Revision(9));
+        assert_eq!(got.meta.name, "n1");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Object::decode(&Value::from_static(b"kind=Wat\nname=x\n")).is_err());
+        assert!(Object::decode(&Value::from_static(b"name=x\n")).is_err());
+        assert!(Object::decode(&Value::from_static(b"kind=Node\nname=x\nready=maybe\n")).is_err());
+        assert!(Object::decode(&Value::from_static(b"kind=Node\nname=x\n")).is_err());
+        assert!(Object::decode(&Value::from_static(b"noequals")).is_err());
+        assert!(Object::decode(&Value::from_static(&[0xff, 0xfe])).is_err());
+    }
+
+    #[test]
+    fn pod_helpers() {
+        let p = Object::pod("p1", Some("n1".into()), Some("v1".into()));
+        assert_eq!(p.pod_node(), Some("n1"));
+        assert_eq!(p.pod_pvc(), Some("v1"));
+        assert_eq!(Object::node("n").pod_node(), None);
+        assert!(!p.is_terminating());
+    }
+}

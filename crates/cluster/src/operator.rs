@@ -1,0 +1,408 @@
+//! The Cassandra operator — the §7 case study.
+//!
+//! A reconcile-loop operator managing `CassandraDatacenter` resources: it
+//! keeps `desired` Cassandra pods (each with a PVC) per datacenter, scales
+//! up by creating `{dc}-pvc-{i}` then `{dc}-{i}`, and scales down by
+//! decommissioning the highest-index pod (graceful delete → kubelet stops
+//! and finalizes → PVC cleanup). All decisions read the operator's informer
+//! caches — its `(H′, S′)`.
+//!
+//! The three real defects the paper's tool found (instaclustr
+//! cassandra-operator issues 398, 400, 402) are individually switchable via
+//! [`OperatorFlags`]:
+//!
+//! * **398** (`pvc_requires_observed_terminating = true`): `Reconcile()`
+//!   deletes a PVC only if it *observed* the pod with a deletion timestamp;
+//!   if the pod's mark+delete fell into an observability gap, the PVC is
+//!   orphaned forever.
+//! * **400** (`handle_decommission_notfound = false`): decommission
+//!   decisions trust the cached pod list; when the target is already gone
+//!   (stale cache), the mark-delete returns NotFound and the buggy operator
+//!   pins itself on the same target, blocking scale-down.
+//! * **402** (`fresh_confirm_orphan = false`): orphaned-PVC cleanup trusts
+//!   the cached pod list; a stale cache makes it delete the PVC of a live
+//!   pod.
+
+use std::collections::BTreeSet;
+
+use ph_sim::{Actor, ActorId, AnyMsg, Ctx, Duration, TimerId};
+
+use crate::api::{ApiError, ApiOk};
+use crate::apiclient::{ApiClient, ApiClientConfig, ApiCompletion};
+use crate::informer::{Informer, InformerConfig, InformerEvent};
+use crate::objects::{Body, Object};
+
+const TAG_TICK: u64 = 1;
+
+/// Defect switches (see module docs). [`OperatorFlags::buggy`] reproduces
+/// all three upstream defects; [`OperatorFlags::fixed`] none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorFlags {
+    /// Bug 398 when `true`.
+    pub pvc_requires_observed_terminating: bool,
+    /// Bug 400 when `false`.
+    pub handle_decommission_notfound: bool,
+    /// Bug 402 when `false`.
+    pub fresh_confirm_orphan: bool,
+}
+
+impl OperatorFlags {
+    /// The shipped (defective) behaviour.
+    pub fn buggy() -> OperatorFlags {
+        OperatorFlags {
+            pvc_requires_observed_terminating: true,
+            handle_decommission_notfound: false,
+            fresh_confirm_orphan: false,
+        }
+    }
+
+    /// All three defects repaired.
+    pub fn fixed() -> OperatorFlags {
+        OperatorFlags {
+            pvc_requires_observed_terminating: false,
+            handle_decommission_notfound: true,
+            fresh_confirm_orphan: true,
+        }
+    }
+}
+
+/// Operator tuning.
+#[derive(Debug, Clone)]
+pub struct OperatorConfig {
+    /// How to reach the apiservers (use `ByInstance` to model the operator
+    /// re-connecting elsewhere after a restart).
+    pub api: ApiClientConfig,
+    /// Reconcile interval.
+    pub sync_interval: Duration,
+    /// Defect switches.
+    pub flags: OperatorFlags,
+}
+
+#[derive(Debug)]
+enum PendingOp {
+    /// A decommission mark in flight: the pod key.
+    Decommission(String),
+    /// A fresh owner-existence check guarding PVC deletion:
+    /// (pvc key, owner pod key).
+    ConfirmOrphan(String, String),
+}
+
+/// The Cassandra operator actor.
+#[derive(Debug)]
+pub struct CassandraOperator {
+    cfg: OperatorConfig,
+    instance: u64,
+    client: ApiClient,
+    dcs: Informer,
+    pods: Informer,
+    pvcs: Informer,
+    /// Pod names we have *observed* carrying a deletion timestamp (the
+    /// evidence bug 398 insists on).
+    observed_terminating: BTreeSet<String>,
+    /// PVC keys already deleted.
+    released: BTreeSet<String>,
+    /// Decommission target the buggy-400 path is stuck on, if any.
+    stuck_on: Option<String>,
+    pending: std::collections::BTreeMap<u64, PendingOp>,
+    /// Pod/PVC creates already issued (dedup until visible).
+    creating: BTreeSet<String>,
+}
+
+impl CassandraOperator {
+    /// Creates an operator (spawn it into a world).
+    pub fn new(cfg: OperatorConfig) -> CassandraOperator {
+        let client = ApiClient::new(cfg.api.clone(), 0);
+        CassandraOperator {
+            cfg,
+            instance: 0,
+            client,
+            dcs: Informer::new(InformerConfig::new("cassdcs/")),
+            pods: Informer::new(InformerConfig::new("pods/")),
+            pvcs: Informer::new(InformerConfig::new("pvcs/")),
+            observed_terminating: BTreeSet::new(),
+            released: BTreeSet::new(),
+            stuck_on: None,
+            pending: std::collections::BTreeMap::new(),
+            creating: BTreeSet::new(),
+        }
+    }
+
+    /// PVC keys the operator has deleted.
+    pub fn released(&self) -> &BTreeSet<String> {
+        &self.released
+    }
+
+    /// The decommission target the operator is wedged on (bug 400), if any.
+    pub fn stuck_on(&self) -> Option<&str> {
+        self.stuck_on.as_deref()
+    }
+
+    fn delete_pvc(&mut self, pvc_key: String, why: &str, ctx: &mut Ctx) {
+        if !self.released.insert(pvc_key.clone()) {
+            return;
+        }
+        ctx.annotate("operator.delete_pvc", format!("{pvc_key} ({why})"));
+        self.client.delete(pvc_key, None, ctx);
+    }
+
+    fn reconcile(&mut self, ctx: &mut Ctx) {
+        if !self.dcs.is_synced() || !self.pods.is_synced() || !self.pvcs.is_synced() {
+            return;
+        }
+        // Record deletion-timestamp observations (evidence for bug 398).
+        for pod in self.pods.objects() {
+            if pod.is_terminating() {
+                self.observed_terminating.insert(pod.meta.name.clone());
+            }
+        }
+        let dcs: Vec<(String, u32)> = self
+            .dcs
+            .objects()
+            .filter_map(|o| match &o.body {
+                Body::CassandraDatacenter { desired } => {
+                    Some((o.meta.name.clone(), *desired))
+                }
+                _ => None,
+            })
+            .collect();
+        for (dc, desired) in dcs {
+            self.reconcile_dc(&dc, desired, ctx);
+        }
+        self.cleanup_pvcs(ctx);
+        let visible: BTreeSet<String> = self
+            .pods
+            .objects()
+            .chain(self.pvcs.objects())
+            .map(|o| o.key().as_str().to_string())
+            .collect();
+        self.creating.retain(|k| !visible.contains(k));
+    }
+
+    fn reconcile_dc(&mut self, dc: &str, desired: u32, ctx: &mut Ctx) {
+        // Cassandra pods of this dc, from the cached view.
+        let mine: Vec<Object> = self
+            .pods
+            .objects()
+            .filter(|o| o.meta.owner.as_deref() == Some(dc))
+            .cloned()
+            .collect();
+        let live: Vec<&Object> = mine.iter().filter(|o| !o.is_terminating()).collect();
+
+        if (live.len() as u32) < desired {
+            // Scale up: create PVC before pod (the real operator's order —
+            // and the window bug 402's staleness exploits).
+            for i in 0..desired {
+                let pod_name = format!("{dc}-{i}");
+                let pod_key = format!("pods/{pod_name}");
+                if mine.iter().any(|o| o.meta.name == pod_name)
+                    || self.creating.contains(&pod_key)
+                {
+                    continue;
+                }
+                let pvc_name = format!("{dc}-pvc-{i}");
+                let pvc_key = format!("pvcs/{pvc_name}");
+                if self.pvcs.get(&pvc_key).is_none() && !self.creating.contains(&pvc_key) {
+                    self.client
+                        .create(&Object::pvc(pvc_name.clone(), pod_name.clone()), ctx);
+                    self.creating.insert(pvc_key);
+                }
+                let mut pod = Object::pod(pod_name.clone(), None, Some(pvc_name));
+                pod.meta.owner = Some(dc.to_string());
+                ctx.annotate("operator.create_pod", pod_name);
+                self.client.create(&pod, ctx);
+                self.creating.insert(pod_key);
+            }
+        } else if (live.len() as u32) > desired {
+            // Scale down: decommission the highest-index live pod.
+            // Cassandra decommissions are serial: wait for any draining pod
+            // to fully leave before picking the next target.
+            if mine.iter().any(|o| o.is_terminating()) {
+                return;
+            }
+            if self.pending.values().any(|p| matches!(p, PendingOp::Decommission(_))) {
+                return; // one decommission at a time
+            }
+            let target = if let Some(stuck) = &self.stuck_on {
+                // Buggy 400: wedged on a target the cache said existed.
+                stuck.clone()
+            } else {
+                let mut names: Vec<String> =
+                    live.iter().map(|o| o.meta.name.clone()).collect();
+                names.sort();
+                match names.pop() {
+                    Some(n) => format!("pods/{n}"),
+                    None => return,
+                }
+            };
+            ctx.annotate("operator.decommission", target.clone());
+            let req = self.client.mark_deleted(target.clone(), ctx);
+            self.pending.insert(req, PendingOp::Decommission(target));
+        }
+    }
+
+    fn cleanup_pvcs(&mut self, ctx: &mut Ctx) {
+        let candidates: Vec<(String, String, String)> = self
+            .pvcs
+            .objects()
+            .filter_map(|pvc| {
+                let key = pvc.key().as_str().to_string();
+                if self.released.contains(&key) {
+                    return None;
+                }
+                let owner = pvc.meta.owner.clone()?;
+                Some((key, format!("pods/{owner}"), owner))
+            })
+            .collect();
+        for (pvc_key, owner_key, owner) in candidates {
+            if self.pods.get(&owner_key).is_some() {
+                continue; // owner visible: nothing to clean
+            }
+            if self.cfg.flags.pvc_requires_observed_terminating {
+                // Bug 398: without the observed deletion timestamp, the
+                // reconcile loop refuses to clean up — the PVC leaks.
+                if !self.observed_terminating.contains(&owner) {
+                    continue;
+                }
+                self.delete_pvc(pvc_key, "observed-terminating", ctx);
+            } else if self.cfg.flags.fresh_confirm_orphan {
+                // Fixed path: also skip anything we are mid-creating — the
+                // quorum read would race our own uncommitted create.
+                if self.creating.contains(&owner_key) {
+                    continue;
+                }
+                if self
+                    .pending
+                    .values()
+                    .any(|p| matches!(p, PendingOp::ConfirmOrphan(k, _) if *k == pvc_key))
+                {
+                    continue;
+                }
+                let req = self.client.get(owner_key.clone(), true, ctx);
+                self.pending
+                    .insert(req, PendingOp::ConfirmOrphan(pvc_key, owner_key));
+            } else {
+                // Bug 402: trust the cache — deliberately no in-flight-create
+                // guard either: the shipped operator judged orphanhood purely
+                // from its (possibly stale) listed snapshot.
+                self.delete_pvc(pvc_key, "orphan-in-cache", ctx);
+            }
+        }
+    }
+
+    fn on_done(&mut self, op: PendingOp, result: &Result<ApiOk, ApiError>, ctx: &mut Ctx) {
+        match op {
+            PendingOp::Decommission(target) => match result {
+                Err(ApiError::NotFound) => {
+                    if self.cfg.flags.handle_decommission_notfound {
+                        // Fixed: the cache was stale; drop the target and
+                        // let the next reconcile re-derive it.
+                        self.stuck_on = None;
+                        ctx.annotate("operator.decommission_skipped", target);
+                    } else {
+                        // Bug 400: wedge on the phantom target forever.
+                        ctx.annotate("operator.decommission_stuck", target.clone());
+                        self.stuck_on = Some(target);
+                    }
+                }
+                _ => {
+                    self.stuck_on = None;
+                }
+            },
+            PendingOp::ConfirmOrphan(pvc_key, _owner_key) => {
+                if let Ok(ApiOk::Obj(None)) = result {
+                    self.delete_pvc(pvc_key, "orphan-confirmed", ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for CassandraOperator {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.cfg.sync_interval, TAG_TICK);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        let instance = self.instance + 1;
+        let cfg = self.cfg.clone();
+        *self = CassandraOperator::new(cfg);
+        self.instance = instance;
+        self.client = ApiClient::new(self.cfg.api.clone(), instance);
+        ctx.annotate("operator.restart", instance.to_string());
+        self.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: AnyMsg, ctx: &mut Ctx) {
+        let mut completions = Vec::new();
+        if !self.client.on_message(from, &msg, ctx, &mut completions) {
+            return;
+        }
+        let mut events: Vec<InformerEvent> = Vec::new();
+        for c in &completions {
+            if self.dcs.on_completion(c, &mut self.client, ctx, &mut events) {
+                continue;
+            }
+            if self.pods.on_completion(c, &mut self.client, ctx, &mut events) {
+                continue;
+            }
+            if self.pvcs.on_completion(c, &mut self.client, ctx, &mut events) {
+                continue;
+            }
+            if let ApiCompletion::Done { req, result } = c {
+                if let Some(op) = self.pending.remove(req) {
+                    self.on_done(op, result, ctx);
+                }
+            }
+        }
+        // Reconciliation happens on the timer only (the real operator's
+        // level-triggered loop) — except terminating-pod observations,
+        // which must be recorded as seen.
+        for e in &events {
+            if let InformerEvent::Updated { new, .. } | InformerEvent::Added(new) = e {
+                if new.kind() == crate::objects::ObjectKind::Pod && new.is_terminating() {
+                    self.observed_terminating.insert(new.meta.name.clone());
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerId, tag: u64, ctx: &mut Ctx) {
+        if tag == TAG_TICK {
+            self.client.tick(ctx);
+            self.dcs.poll(&mut self.client, ctx);
+            self.pods.poll(&mut self.client, ctx);
+            self.pvcs.poll(&mut self.client, ctx);
+            self.reconcile(ctx);
+            ctx.set_timer(self.cfg.sync_interval, TAG_TICK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_presets() {
+        let b = OperatorFlags::buggy();
+        assert!(b.pvc_requires_observed_terminating);
+        assert!(!b.handle_decommission_notfound);
+        assert!(!b.fresh_confirm_orphan);
+        let f = OperatorFlags::fixed();
+        assert!(!f.pvc_requires_observed_terminating);
+        assert!(f.handle_decommission_notfound);
+        assert!(f.fresh_confirm_orphan);
+        assert_ne!(b, f);
+    }
+
+    #[test]
+    fn construction() {
+        let op = CassandraOperator::new(OperatorConfig {
+            api: ApiClientConfig::new(vec![ActorId(0)]),
+            sync_interval: Duration::millis(100),
+            flags: OperatorFlags::buggy(),
+        });
+        assert!(op.released().is_empty());
+        assert!(op.stuck_on().is_none());
+    }
+}

@@ -1,0 +1,395 @@
+//! Cluster assembly: spawn a whole Figure-1 stack in one call.
+//!
+//! [`spawn_cluster`] builds, in order: the replicated store, the
+//! apiservers (each pinned to a different store member, like production
+//! deployments), the kubelets (one per node name), and the optional
+//! control-plane components. It also spawns an *admin* client used to seed
+//! and mutate objects from scenarios, and exposes the ground-truth state
+//! `S` for oracles.
+
+use std::collections::BTreeMap;
+
+use ph_sim::{ActorId, Duration, SimTime, World};
+use ph_store::client::BasicClient;
+use ph_store::msgs::Expect;
+use ph_store::node::StoreNodeConfig;
+use ph_store::{
+    spawn_store_cluster, OpResult, Revision, StoreClient, StoreClientConfig, StoreCluster,
+    StoreNode,
+};
+
+use crate::apiclient::{ApiClientConfig, PickPolicy};
+use crate::apiserver::{ApiServer, ApiServerConfig};
+use crate::controllers::{
+    NodeLifecycleConfig, NodeLifecycleController, ReplicaSetController,
+    ReplicaSetControllerConfig, VcMode, VolumeController, VolumeControllerConfig,
+};
+use crate::kubelet::{Kubelet, KubeletConfig};
+use crate::objects::Object;
+use crate::operator::{CassandraOperator, OperatorConfig, OperatorFlags};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+
+/// What to build.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Store cluster size (1–9 in the systems the paper surveys).
+    pub store_nodes: usize,
+    /// Number of apiservers.
+    pub apiservers: usize,
+    /// Kubelet node names (a kubelet and a `Node` object are created for
+    /// each — seed the `Node` objects with [`ClusterHandle::create_object`]).
+    pub nodes: Vec<String>,
+    /// How kubelets pick their apiserver.
+    pub kubelet_pick: PickPolicy,
+    /// Under `ByInstance`, stagger kubelets' *initial* apiservers across the
+    /// fleet (kubelet i starts on apiserver i). Disable to have every
+    /// kubelet start on apiserver 1 and only diverge on restarts — the
+    /// Kubernetes-59848 topology.
+    pub kubelet_stagger: bool,
+    /// Kubelet variant (`true` = quorum-read lists, the 59848 fix).
+    pub kubelet_fixed: bool,
+    /// Spawn a scheduler? (`Some(fixed)`)
+    pub scheduler: Option<bool>,
+    /// Spawn a volume controller with this release policy?
+    pub volume_controller: Option<VcMode>,
+    /// Spawn a replica-set controller? (`Some(with_pvcs)`)
+    pub rs_controller: Option<bool>,
+    /// Spawn a Cassandra operator with these defect switches?
+    pub operator: Option<OperatorFlags>,
+    /// Spawn a node-lifecycle controller? (`Some(force_evict)`; also turns
+    /// on kubelet heartbeat leases.)
+    pub node_lifecycle: Option<bool>,
+    /// Store node tuning.
+    pub store: StoreNodeConfig,
+    /// Component reconcile interval.
+    pub sync_interval: Duration,
+    /// Kubelet termination grace period.
+    pub termination_grace: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            store_nodes: 3,
+            apiservers: 2,
+            nodes: vec!["node-1".into(), "node-2".into()],
+            kubelet_pick: PickPolicy::ByInstance,
+            kubelet_stagger: true,
+            kubelet_fixed: false,
+            scheduler: None,
+            volume_controller: None,
+            rs_controller: None,
+            operator: None,
+            node_lifecycle: None,
+            store: StoreNodeConfig::default(),
+            sync_interval: Duration::millis(50),
+            termination_grace: Duration::millis(200),
+        }
+    }
+}
+
+/// Handle to a spawned cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterHandle {
+    /// The store cluster.
+    pub store: StoreCluster,
+    /// Apiserver actor ids, in index order.
+    pub apiservers: Vec<ActorId>,
+    /// Kubelet actor ids, in `nodes` order.
+    pub kubelets: Vec<ActorId>,
+    /// The scheduler, if configured.
+    pub scheduler: Option<ActorId>,
+    /// The volume controller, if configured.
+    pub volume_controller: Option<ActorId>,
+    /// The replica-set controller, if configured.
+    pub rs_controller: Option<ActorId>,
+    /// The Cassandra operator, if configured.
+    pub operator: Option<ActorId>,
+    /// The node-lifecycle controller, if configured.
+    pub node_lifecycle: Option<ActorId>,
+    /// The admin client (store-level) used by scenarios to seed/mutate.
+    pub admin: ActorId,
+}
+
+/// Spawns the full stack described by `cfg`.
+pub fn spawn_cluster(world: &mut World, cfg: &ClusterConfig) -> ClusterHandle {
+    let store = spawn_store_cluster(world, cfg.store_nodes, cfg.store);
+
+    let mut apiservers = Vec::with_capacity(cfg.apiservers);
+    for i in 0..cfg.apiservers {
+        let mut scc = StoreClientConfig::new(store.nodes.clone());
+        scc.affinity = Some(i % cfg.store_nodes);
+        let id = world.spawn(
+            &format!("apiserver-{}", i + 1),
+            ApiServer::new(ApiServerConfig::new(scc)),
+        );
+        apiservers.push(id);
+    }
+
+    let api_cfg = |pick: PickPolicy| {
+        let mut c = ApiClientConfig::new(apiservers.clone());
+        c.pick = pick;
+        c
+    };
+
+    let mut kubelets = Vec::with_capacity(cfg.nodes.len());
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        let mut api = api_cfg(cfg.kubelet_pick);
+        if cfg.kubelet_pick == PickPolicy::ByInstance && cfg.kubelet_stagger {
+            // Stagger initial upstreams: kubelet i starts on apiserver i.
+            api.apiservers.rotate_left(i % apiservers.len());
+        }
+        let id = world.spawn(
+            &format!("kubelet-{node}"),
+            Kubelet::new(KubeletConfig {
+                node: node.clone(),
+                api,
+                sync_interval: cfg.sync_interval,
+                termination_grace: cfg.termination_grace,
+                fixed: cfg.kubelet_fixed,
+                lease_interval: cfg.node_lifecycle.map(|_| Duration::millis(200)),
+            }),
+        );
+        kubelets.push(id);
+    }
+
+    let scheduler = cfg.scheduler.map(|fixed| {
+        world.spawn(
+            "scheduler",
+            Scheduler::new(SchedulerConfig {
+                api: api_cfg(PickPolicy::Pinned(0)),
+                sync_interval: cfg.sync_interval,
+                fixed,
+                resync_interval: Duration::millis(500),
+            }),
+        )
+    });
+
+    let volume_controller = cfg.volume_controller.map(|mode| {
+        world.spawn(
+            "volume-controller",
+            VolumeController::new(VolumeControllerConfig {
+                api: api_cfg(PickPolicy::Pinned(apiservers.len().saturating_sub(1))),
+                read_interval: cfg.sync_interval.times(2),
+                mode,
+            }),
+        )
+    });
+
+    let rs_controller = cfg.rs_controller.map(|with_pvcs| {
+        world.spawn(
+            "rs-controller",
+            ReplicaSetController::new(ReplicaSetControllerConfig {
+                api: api_cfg(PickPolicy::Pinned(0)),
+                sync_interval: cfg.sync_interval,
+                with_pvcs,
+            }),
+        )
+    });
+
+    let operator = cfg.operator.map(|flags| {
+        let mut api = api_cfg(PickPolicy::ByInstance);
+        api.pick = PickPolicy::ByInstance;
+        world.spawn(
+            "cassandra-operator",
+            CassandraOperator::new(OperatorConfig {
+                api,
+                sync_interval: cfg.sync_interval,
+                flags,
+            }),
+        )
+    });
+
+    let node_lifecycle = cfg.node_lifecycle.map(|force_evict| {
+        world.spawn(
+            "node-lifecycle",
+            NodeLifecycleController::new(NodeLifecycleConfig {
+                api: api_cfg(PickPolicy::Pinned(0)),
+                sync_interval: cfg.sync_interval.times(2),
+                lease_grace: Duration::millis(800),
+                force_evict,
+            }),
+        )
+    });
+
+    let admin = world.spawn(
+        "admin",
+        BasicClient::new(
+            StoreClient::new(StoreClientConfig::new(store.nodes.clone())),
+            Duration::millis(20),
+        ),
+    );
+
+    ClusterHandle {
+        store,
+        apiservers,
+        kubelets,
+        scheduler,
+        volume_controller,
+        rs_controller,
+        operator,
+        node_lifecycle,
+        admin,
+    }
+}
+
+impl ClusterHandle {
+    /// Runs the world until the store has a leader and every apiserver is
+    /// serving. Returns `false` on timeout.
+    pub fn wait_ready(&self, world: &mut World, deadline: SimTime) -> bool {
+        loop {
+            let leader = self.store.leader(world).is_some();
+            let ready = self.apiservers.iter().all(|&a| {
+                world
+                    .actor_ref::<ApiServer>(a)
+                    .is_some_and(|s| s.is_ready())
+            });
+            if leader && ready {
+                return true;
+            }
+            match world.peek_next() {
+                Some(at) if at <= deadline => {
+                    world.step();
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Creates (or overwrites) an object directly in the store, waiting for
+    /// the commit. Returns the commit revision, or `None` on timeout.
+    pub fn create_object(
+        &self,
+        world: &mut World,
+        obj: &Object,
+        deadline: SimTime,
+    ) -> Option<Revision> {
+        let key = obj.key().as_str().to_string();
+        let value = obj.encode();
+        let req = world.invoke::<BasicClient, _>(self.admin, move |bc, ctx| {
+            bc.client.put(key, value, ctx)
+        });
+        self.await_admin(world, req, deadline).and_then(|r| match r {
+            OpResult::Put { revision } => Some(revision),
+            _ => None,
+        })
+    }
+
+    /// Deletes a key directly in the store, waiting for the commit.
+    pub fn delete_key(&self, world: &mut World, key: &str, deadline: SimTime) -> bool {
+        let key = key.to_string();
+        let req = world.invoke::<BasicClient, _>(self.admin, move |bc, ctx| {
+            bc.client.delete(key, Expect::Any, ctx)
+        });
+        self.await_admin(world, req, deadline).is_some()
+    }
+
+    fn await_admin(
+        &self,
+        world: &mut World,
+        req: u64,
+        deadline: SimTime,
+    ) -> Option<OpResult> {
+        loop {
+            if let Some(result) = world
+                .actor_ref::<BasicClient>(self.admin)
+                .expect("admin client")
+                .result_of(req)
+            {
+                return result.clone().ok();
+            }
+            match world.peek_next() {
+                Some(at) if at <= deadline => {
+                    world.step();
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The ground-truth state `S`: every object in the store, decoded, as
+    /// seen by the most caught-up live store node. Oracles compare views
+    /// against this.
+    pub fn ground_truth(&self, world: &World) -> BTreeMap<String, Object> {
+        let node = self
+            .store
+            .leader(world)
+            .or_else(|| {
+                self.store
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| !world.is_crashed(n))
+                    .max_by_key(|&n| {
+                        world
+                            .actor_ref::<StoreNode>(n)
+                            .map(|s| s.mvcc().revision())
+                            .unwrap_or(Revision::ZERO)
+                    })
+            });
+        let mut out = BTreeMap::new();
+        if let Some(n) = node {
+            if let Some(store) = world.actor_ref::<StoreNode>(n) {
+                for kv in store.mvcc().range("").0 {
+                    if let Ok(obj) = Object::from_kv(&kv) {
+                        out.insert(kv.key.as_str().to_string(), obj);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The retained ground-truth history `H` (KV events) from the same
+    /// node as [`ClusterHandle::ground_truth`].
+    pub fn ground_history(&self, world: &World) -> Vec<ph_store::KvEvent> {
+        let node = self.store.leader(world).or_else(|| {
+            self.store
+                .nodes
+                .iter()
+                .copied()
+                .find(|&n| !world.is_crashed(n))
+        });
+        node.and_then(|n| world.actor_ref::<StoreNode>(n))
+            .map(|s| s.mvcc().events_since(s.mvcc().compacted()).unwrap_or_default())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sim::WorldConfig;
+
+    #[test]
+    fn full_stack_becomes_ready() {
+        let mut world = World::new(WorldConfig::default(), 31);
+        let cfg = ClusterConfig::default();
+        let cluster = spawn_cluster(&mut world, &cfg);
+        assert!(
+            cluster.wait_ready(&mut world, SimTime(Duration::secs(3).as_nanos())),
+            "stack did not become ready"
+        );
+        assert_eq!(cluster.apiservers.len(), 2);
+        assert_eq!(cluster.kubelets.len(), 2);
+    }
+
+    #[test]
+    fn seeding_and_ground_truth() {
+        let mut world = World::new(WorldConfig::default(), 32);
+        let cfg = ClusterConfig::default();
+        let cluster = spawn_cluster(&mut world, &cfg);
+        let deadline = SimTime(Duration::secs(5).as_nanos());
+        assert!(cluster.wait_ready(&mut world, deadline));
+        let rev = cluster
+            .create_object(&mut world, &Object::node("node-1"), deadline)
+            .expect("seed node");
+        assert!(rev.0 >= 1);
+        let s = cluster.ground_truth(&world);
+        assert!(s.contains_key("nodes/node-1"));
+        assert!(cluster.delete_key(&mut world, "nodes/node-1", deadline));
+        let s = cluster.ground_truth(&world);
+        assert!(!s.contains_key("nodes/node-1"));
+        assert!(!cluster.ground_history(&world).is_empty());
+    }
+}

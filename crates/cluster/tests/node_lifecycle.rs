@@ -1,0 +1,103 @@
+//! Node-lifecycle controller behaviour: lease-driven readiness flips and
+//! the eviction policy split.
+
+use ph_cluster::objects::{Body, Object};
+use ph_cluster::topology::{spawn_cluster, ClusterConfig};
+use ph_sim::{Duration, SimTime, World, WorldConfig};
+
+fn build(seed: u64, force_evict: bool) -> (World, ph_cluster::topology::ClusterHandle) {
+    let cfg = ClusterConfig {
+        scheduler: Some(true),
+        rs_controller: Some(false),
+        node_lifecycle: Some(force_evict),
+        ..ClusterConfig::default()
+    };
+    let mut world = World::new(WorldConfig::default(), seed);
+    let cluster = spawn_cluster(&mut world, &cfg);
+    assert!(cluster.wait_ready(&mut world, SimTime(Duration::secs(1).as_nanos())));
+    world.run_until(SimTime(Duration::secs(1).as_nanos()));
+    let dl = SimTime(world.now().0 + Duration::secs(30).as_nanos());
+    for n in ["node-1", "node-2"] {
+        cluster.create_object(&mut world, &Object::node(n), dl);
+    }
+    (world, cluster)
+}
+
+fn node_ready(world: &World, cluster: &ph_cluster::topology::ClusterHandle, name: &str) -> bool {
+    match cluster.ground_truth(world).get(&format!("nodes/{name}")) {
+        Some(o) => matches!(o.body, Body::Node { ready: true }),
+        None => false,
+    }
+}
+
+#[test]
+fn heartbeats_keep_nodes_ready() {
+    let (mut world, cluster) = build(91, false);
+    world.run_for(Duration::secs(3));
+    // Leases are being renewed; both nodes stay ready.
+    assert!(node_ready(&world, &cluster, "node-1"));
+    assert!(node_ready(&world, &cluster, "node-2"));
+    let s = cluster.ground_truth(&world);
+    assert!(s.contains_key("leases/node-1"));
+    assert!(s.contains_key("leases/node-2"));
+}
+
+#[test]
+fn partition_marks_node_not_ready_and_heal_restores() {
+    let (mut world, cluster) = build(92, false);
+    world.run_for(Duration::secs(2));
+    // Cut kubelet-2 off from the apiservers: renewals stop flowing.
+    let k2 = cluster.kubelets[1];
+    let p = world.partition(&[k2], &cluster.apiservers.clone());
+    world.run_for(Duration::secs(2));
+    assert!(!node_ready(&world, &cluster, "node-2"), "lease expired");
+    assert!(node_ready(&world, &cluster, "node-1"));
+    // Heal: renewals resume, the controller flips the node back.
+    world.heal(p);
+    world.run_for(Duration::secs(2));
+    assert!(node_ready(&world, &cluster, "node-2"), "recovered");
+}
+
+#[test]
+fn conservative_controller_keeps_pods_bound_through_a_partition() {
+    let (mut world, cluster) = build(93, false);
+    let dl = SimTime(world.now().0 + Duration::secs(30).as_nanos());
+    cluster.create_object(&mut world, &Object::new("web", Body::ReplicaSet { replicas: 2 }), dl);
+    // No RS controller in this build: create the pods directly, one per node.
+    cluster.create_object(&mut world, &Object::pod("web-0", Some("node-1".into()), None), dl);
+    cluster.create_object(&mut world, &Object::pod("web-1", Some("node-2".into()), None), dl);
+    world.run_for(Duration::secs(1));
+
+    let k2 = cluster.kubelets[1];
+    let p = world.partition(&[k2], &cluster.apiservers.clone());
+    world.run_for(Duration::secs(3));
+    // Node not ready, but the pod object is untouched and still bound.
+    assert!(!node_ready(&world, &cluster, "node-2"));
+    let s = cluster.ground_truth(&world);
+    assert_eq!(
+        s.get("pods/web-1").and_then(|o| o.pod_node().map(String::from)),
+        Some("node-2".to_string()),
+        "conservative controller must not move the pod"
+    );
+    world.heal(p);
+}
+
+#[test]
+fn aggressive_controller_evicts_pods_from_unreachable_nodes() {
+    let (mut world, cluster) = build(94, true);
+    let dl = SimTime(world.now().0 + Duration::secs(30).as_nanos());
+    cluster.create_object(&mut world, &Object::pod("web-1", Some("node-2".into()), None), dl);
+    world.run_for(Duration::secs(1));
+
+    let k2 = cluster.kubelets[1];
+    let p = world.partition(&[k2], &cluster.apiservers.clone());
+    world.run_for(Duration::secs(3));
+    let s = cluster.ground_truth(&world);
+    assert!(
+        !s.contains_key("pods/web-1"),
+        "aggressive controller force-deletes pods from unreachable nodes"
+    );
+    let evictions = world.trace().annotations("nlc.force_evict").count();
+    assert!(evictions >= 1);
+    world.heal(p);
+}

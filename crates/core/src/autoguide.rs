@@ -1,0 +1,459 @@
+//! Causality-guided candidate generation — §7's automation loop.
+//!
+//! "The key challenge is to perturb events and trigger failures in a way
+//! that efficiently covers the large state space. To do so, recording
+//! causal relationships between events can be useful. For example,
+//! perturbing events that are causally related to a component's action are
+//! likely to trigger bugs."
+//!
+//! The loop implemented here:
+//!
+//! 1. run the workload once with no faults and record the trace;
+//! 2. find the *decisions* — the annotations components advertise
+//!    (pod starts, PVC releases, binds, decommissions);
+//! 3. for each decision, use the [`crate::CausalGraph`] to find the
+//!    view-update notifications that causally precede it;
+//! 4. turn each such notification into concrete, replayable
+//!    [`Candidate`] perturbations (drop it; crash the decider right after
+//!    deciding), deduplicate, and order nearest-cause-first;
+//! 5. re-run the workload once per candidate; oracles judge each run.
+//!
+//! Candidates are expressed *positionally* ("the nth view-update sent to
+//! actor A"), which is replayable because the simulation is deterministic:
+//! the prefix of the run before the perturbation point is identical to the
+//! reference run.
+
+use std::collections::BTreeSet;
+
+use ph_sim::{ActorId, Duration, Envelope, SimTime, Trace, TraceEventKind, Verdict, World};
+
+use crate::causality::CausalGraph;
+use crate::perturb::{Strategy, Targets};
+
+/// A concrete, replayable perturbation derived from a reference trace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Candidate {
+    /// Drop the `n`th view-update notification sent to `dst` and the
+    /// `burst - 1` matching sends after it (0-based, counted over sends
+    /// matching [`Targets::notify_kinds`]). The burst matters: watch
+    /// streams are loss-detecting, so a single drop is healed by a replay —
+    /// a *persistent* observability gap needs the replays dropped too.
+    DropNth {
+        /// The receiving component/cache.
+        dst: ActorId,
+        /// Position in `dst`'s notification stream.
+        n: u64,
+        /// How many consecutive matching sends to drop.
+        burst: u64,
+    },
+    /// Crash `actor` right after its `n`th `label` decision; restart after
+    /// `down_ms`.
+    CrashAfterDecision {
+        /// The deciding component.
+        actor: ActorId,
+        /// Decision annotation label.
+        label: String,
+        /// Which occurrence (0-based).
+        n: u64,
+        /// Downtime in milliseconds.
+        down_ms: u64,
+    },
+}
+
+impl std::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Candidate::DropNth { dst, n, burst } => {
+                if *burst == u64::MAX {
+                    write!(f, "black out notifications to {dst} from #{n}")
+                } else {
+                    write!(f, "drop notifications #{n}..#{} to {dst}", n + burst)
+                }
+            }
+            Candidate::CrashAfterDecision { actor, label, n, .. } => {
+                write!(f, "crash {actor} after its {label:?} decision #{n}")
+            }
+        }
+    }
+}
+
+/// Enumerates candidates from a reference (fault-free) trace.
+///
+/// `decision_labels` selects which annotations count as decisions. For each
+/// decision, the `depth` nearest causally-preceding view-update sends are
+/// turned into [`Candidate::DropNth`] candidates (with a burst of 4, so
+/// loss-detection replays are suppressed too), and the decision itself
+/// into a [`Candidate::CrashAfterDecision`]. Candidates are deduplicated
+/// and returned in discovery order (earliest decisions first, nearest
+/// causes first).
+pub fn candidates(
+    trace: &Trace,
+    targets: &Targets,
+    decision_labels: &[&str],
+    depth: usize,
+    down_ms: u64,
+) -> Vec<Candidate> {
+    const BURST: u64 = 4;
+    let graph = CausalGraph::from_trace(trace);
+
+    // Index every view-update send: trace seq → (dst, ordinal at dst).
+    let mut ordinal_at: std::collections::BTreeMap<u64, (ActorId, u64)> =
+        std::collections::BTreeMap::new();
+    let mut per_dst: std::collections::BTreeMap<ActorId, u64> =
+        std::collections::BTreeMap::new();
+    let interesting: BTreeSet<ActorId> = targets
+        .caches
+        .iter()
+        .chain(&targets.components)
+        .copied()
+        .collect();
+    for e in trace.iter() {
+        if let TraceEventKind::MessageSent { dst, kind, .. } = &e.kind {
+            if targets.notify_kinds.iter().any(|k| k == kind) && interesting.contains(dst) {
+                let n = per_dst.entry(*dst).or_insert(0);
+                ordinal_at.insert(e.seq, (*dst, *n));
+                *n += 1;
+            }
+        }
+    }
+
+    // Decisions, with per-(actor, label) occurrence counters.
+    let mut decision_counter: std::collections::BTreeMap<(ActorId, String), u64> =
+        std::collections::BTreeMap::new();
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for e in trace.iter() {
+        let TraceEventKind::Annotation { actor, label, .. } = &e.kind else {
+            continue;
+        };
+        if !decision_labels.contains(&label.as_str()) {
+            continue;
+        }
+        let occurrence = {
+            let c = decision_counter
+                .entry((*actor, label.clone()))
+                .or_insert(0);
+            let o = *c;
+            *c += 1;
+            o
+        };
+        // Crash the decider right after this decision.
+        let crash = Candidate::CrashAfterDecision {
+            actor: *actor,
+            label: label.clone(),
+            n: occurrence,
+            down_ms,
+        };
+        if seen.insert(crash.clone()) {
+            out.push(crash);
+        }
+        // Drop the nearest causally-preceding view updates.
+        let mut causes: Vec<u64> = graph
+            .causes_of(e.seq)
+            .into_iter()
+            .filter(|s| ordinal_at.contains_key(s))
+            .collect();
+        causes.sort_unstable_by(|a, b| b.cmp(a)); // nearest (latest) first
+        for s in causes.into_iter().take(depth) {
+            let (dst, n) = ordinal_at[&s];
+            // Two gap shapes per cause: a short burst (a transient loss,
+            // replays suppressed) and a blackout (a persistent link fault
+            // from this notification onward).
+            for burst in [BURST, u64::MAX] {
+                let c = Candidate::DropNth { dst, n, burst };
+                if seen.insert(c.clone()) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Executes one [`Candidate`] as a perturbation strategy.
+#[derive(Debug, Clone)]
+pub struct CandidateStrategy {
+    /// The candidate being exercised.
+    pub candidate: Candidate,
+    cursor: usize,
+    fired: bool,
+}
+
+impl CandidateStrategy {
+    /// Wraps a candidate.
+    pub fn new(candidate: Candidate) -> CandidateStrategy {
+        CandidateStrategy {
+            candidate,
+            cursor: 0,
+            fired: false,
+        }
+    }
+}
+
+impl Strategy for CandidateStrategy {
+    fn name(&self) -> String {
+        format!("auto[{}]", self.candidate)
+    }
+
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        if let Candidate::DropNth { dst, n, burst } = self.candidate {
+            let kinds = targets.notify_kinds.clone();
+            // Ordinals are counted from the start of the run (that is how
+            // the reference trace numbered them), but the interceptor only
+            // sees sends from now on — pre-load the counter with matching
+            // sends that already happened (workload seeding precedes
+            // strategy setup).
+            let mut count = world
+                .trace()
+                .iter()
+                .filter(|e| {
+                    matches!(&e.kind, TraceEventKind::MessageSent { dst: d, kind, .. }
+                        if *d == dst && kinds.iter().any(|k| k == kind))
+                })
+                .count() as u64;
+            world.set_interceptor(move |env: &Envelope, _now: SimTime| {
+                if env.dst == dst && kinds.iter().any(|k| k == env.kind_short()) {
+                    let mine = count;
+                    count += 1;
+                    if mine >= n && mine - n < burst {
+                        return Verdict::Drop;
+                    }
+                }
+                Verdict::Pass
+            });
+        }
+    }
+
+    fn tick(&mut self, world: &mut World, _targets: &Targets) {
+        let Candidate::CrashAfterDecision {
+            actor,
+            ref label,
+            n,
+            down_ms,
+        } = self.candidate
+        else {
+            return;
+        };
+        if self.fired {
+            return;
+        }
+        let mut occurrence = 0u64;
+        let mut hit = false;
+        {
+            let events = world.trace().events();
+            // Count occurrences from the start (cheap enough at scenario
+            // scale, and immune to cursor drift across restarts).
+            let _ = self.cursor;
+            for e in events {
+                if let TraceEventKind::Annotation {
+                    actor: a,
+                    label: l,
+                    ..
+                } = &e.kind
+                {
+                    if *a == actor && l == label {
+                        if occurrence == n {
+                            hit = true;
+                            break;
+                        }
+                        occurrence += 1;
+                    }
+                }
+            }
+        }
+        if hit {
+            self.fired = true;
+            let now = world.now();
+            if !world.is_crashed(actor) {
+                world.crash(actor);
+            }
+            world.schedule_restart(actor, now + Duration::millis(down_ms));
+        }
+    }
+}
+
+/// The result of exploring one candidate.
+#[derive(Debug, Clone)]
+pub struct AutoFinding {
+    /// The candidate that was exercised.
+    pub candidate: Candidate,
+    /// Whether it triggered a violation.
+    pub violated: bool,
+    /// The violations' descriptions, if any.
+    pub violations: Vec<String>,
+}
+
+/// Runs the full §7 loop: reference run → candidates → one run per
+/// candidate (up to `budget`), collecting what each found.
+///
+/// `run` executes the scenario under a strategy and returns
+/// `(violations, trace)`; the first call uses [`crate::perturb::NoFault`]
+/// to obtain the reference trace.
+pub fn explore<R>(
+    run: R,
+    targets_of: impl Fn(&Trace) -> Targets,
+    decision_labels: &[&str],
+    depth: usize,
+    budget: usize,
+) -> (Vec<AutoFinding>, usize)
+where
+    R: Fn(&mut dyn Strategy) -> (Vec<String>, Trace),
+{
+    let mut nofault = crate::perturb::NoFault;
+    let (_, reference) = run(&mut nofault);
+    let targets = targets_of(&reference);
+    let all = candidates(&reference, &targets, decision_labels, depth, 300);
+    let total = all.len();
+    let mut findings = Vec::new();
+    for candidate in all.into_iter().take(budget) {
+        let mut strategy = CandidateStrategy::new(candidate.clone());
+        let (violations, _) = run(&mut strategy);
+        findings.push(AutoFinding {
+            candidate,
+            violated: !violations.is_empty(),
+            violations,
+        });
+    }
+    (findings, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sim::{Actor, AnyMsg, Ctx, TimerId, WorldConfig};
+
+    /// Feeder sends View(i) every 10ms; Decider annotates "acted" upon
+    /// receiving View(3).
+    struct Feeder {
+        peer: ActorId,
+        i: u64,
+    }
+    #[derive(Debug)]
+    struct View(u64);
+    struct Decider;
+
+    impl Actor for Feeder {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(Duration::millis(10), 0);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: AnyMsg, _c: &mut Ctx) {}
+        fn on_timer(&mut self, _t: TimerId, _tag: u64, ctx: &mut Ctx) {
+            ctx.send(self.peer, View(self.i));
+            self.i += 1;
+            ctx.set_timer(Duration::millis(10), 0);
+        }
+    }
+    impl Actor for Decider {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_message(&mut self, _f: ActorId, m: AnyMsg, ctx: &mut Ctx) {
+            if let Some(View(3)) = m.downcast_ref::<View>() {
+                ctx.annotate("acted", "on view 3");
+            }
+        }
+    }
+
+    fn build() -> (World, Targets, ActorId) {
+        let mut w = World::new(WorldConfig::default(), 5);
+        let d = w.spawn("decider", Decider);
+        let _f = w.spawn("feeder", Feeder { peer: d, i: 0 });
+        let targets = Targets {
+            store_nodes: vec![],
+            caches: vec![],
+            components: vec![d],
+            notify_kinds: vec!["View".into()],
+            horizon: Duration::millis(200),
+        };
+        (w, targets, d)
+    }
+
+    #[test]
+    fn candidates_cover_the_causal_notifications() {
+        let (mut w, targets, d) = build();
+        w.run_for(Duration::millis(100));
+        let cands = candidates(w.trace(), &targets, &["acted"], 3, 100);
+        // One crash candidate + up to 3 nearest drops.
+        assert!(cands.iter().any(|c| matches!(
+            c,
+            Candidate::CrashAfterDecision { actor, n: 0, .. } if *actor == d
+        )));
+        let drops: Vec<&Candidate> = cands
+            .iter()
+            .filter(|c| matches!(c, Candidate::DropNth { .. }))
+            .collect();
+        assert_eq!(drops.len(), 6, "two gap shapes per cause: {cands:?}");
+        // The nearest cause is the delivery of View(3) itself = ordinal 3.
+        assert!(drops.iter().any(|c| matches!(c, Candidate::DropNth { n: 3, burst: 4, .. })));
+        assert!(drops
+            .iter()
+            .any(|c| matches!(c, Candidate::DropNth { burst: u64::MAX, .. })));
+    }
+
+    #[test]
+    fn drop_candidate_suppresses_the_decision() {
+        let (mut w, targets, _d) = build();
+        w.run_for(Duration::millis(100));
+        let cands = candidates(w.trace(), &targets, &["acted"], 1, 100);
+        let drop = cands
+            .iter()
+            .find(|c| matches!(c, Candidate::DropNth { n: 3, .. }))
+            .expect("nearest drop")
+            .clone();
+
+        // Re-run with the candidate applied: the decision must vanish.
+        let (mut w2, targets2, _) = build();
+        let mut strategy = CandidateStrategy::new(drop);
+        strategy.setup(&mut w2, &targets2);
+        w2.run_for(Duration::millis(100));
+        assert_eq!(w2.trace().annotations("acted").count(), 0);
+    }
+
+    #[test]
+    fn crash_candidate_fires_once_after_the_decision() {
+        let (mut w, targets, d) = build();
+        let mut strategy = CandidateStrategy::new(Candidate::CrashAfterDecision {
+            actor: d,
+            label: "acted".into(),
+            n: 0,
+            down_ms: 20,
+        });
+        strategy.setup(&mut w, &targets);
+        for _ in 0..20 {
+            w.run_for(Duration::millis(10));
+            strategy.tick(&mut w, &targets);
+        }
+        assert_eq!(w.incarnation(d), 1, "one crash+restart");
+        assert_eq!(w.trace().annotations("acted").count(), 1);
+    }
+
+    #[test]
+    fn explore_runs_reference_plus_budgeted_candidates() {
+        let run = |strategy: &mut dyn Strategy| {
+            let (mut w, targets, _) = build();
+            strategy.setup(&mut w, &targets);
+            for _ in 0..12 {
+                w.run_for(Duration::millis(10));
+                strategy.tick(&mut w, &targets);
+            }
+            strategy.teardown(&mut w);
+            // "Oracle": the decision must happen.
+            let violated = w.trace().annotations("acted").count() == 0;
+            let violations = if violated {
+                vec!["decision suppressed".to_string()]
+            } else {
+                Vec::new()
+            };
+            (violations, w.trace().clone())
+        };
+        let targets_of = |_: &Trace| {
+            let (w, targets, _) = build();
+            drop(w);
+            targets
+        };
+        let (findings, total) = explore(run, targets_of, &["acted"], 2, 10);
+        assert!(total >= 3);
+        assert!(
+            findings.iter().any(|f| f.violated),
+            "some candidate must suppress the decision: {findings:?}"
+        );
+    }
+}

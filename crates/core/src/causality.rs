@@ -1,0 +1,355 @@
+//! Happens-before recovery from simulation traces (§7).
+//!
+//! The paper argues that "recording causal relationships between events can
+//! be useful: perturbing events that are causally related to a component's
+//! action are likely to trigger bugs". [`CausalGraph`] reconstructs the
+//! happens-before partial order of a [`ph_sim::Trace`] with vector clocks —
+//! program order within each actor, plus send→deliver edges — and answers
+//! the query the tool needs: *which message sends causally precede this
+//! component decision?* Those sends are the candidate perturbation points.
+
+use std::collections::BTreeMap;
+
+use ph_sim::{ActorId, MsgId, Trace, TraceEventKind};
+
+/// A vector clock (indexed by dense actor id).
+type Clock = Vec<u64>;
+
+fn join(a: &mut Clock, b: &Clock) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        if a[i] < v {
+            a[i] = v;
+        }
+    }
+}
+
+fn leq(a: &Clock, b: &Clock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+/// Metadata retained per clocked trace event.
+#[derive(Debug, Clone)]
+struct Node {
+    actor: ActorId,
+    clock: Clock,
+    msg: Option<MsgId>,
+    is_send: bool,
+    label: Option<String>,
+}
+
+/// The happens-before partial order of one run.
+#[derive(Debug, Clone)]
+pub struct CausalGraph {
+    /// Keyed by trace sequence number; only events attributable to an actor
+    /// (sends, deliveries, timers, annotations, crashes, restarts) appear.
+    nodes: BTreeMap<u64, Node>,
+}
+
+impl CausalGraph {
+    /// Builds the graph from a trace.
+    pub fn from_trace(trace: &Trace) -> CausalGraph {
+        let mut actor_clock: Vec<Clock> = Vec::new();
+        let mut send_clock: BTreeMap<MsgId, Clock> = BTreeMap::new();
+        let mut nodes = BTreeMap::new();
+
+        let ensure = |clocks: &mut Vec<Clock>, a: ActorId| {
+            if clocks.len() <= a.index() {
+                clocks.resize(a.index() + 1, Clock::new());
+            }
+        };
+        let tick = |clocks: &mut Vec<Clock>, a: ActorId| {
+            let c = &mut clocks[a.index()];
+            if c.len() <= a.index() {
+                c.resize(a.index() + 1, 0);
+            }
+            c[a.index()] += 1;
+            c.clone()
+        };
+
+        for e in trace.iter() {
+            match &e.kind {
+                TraceEventKind::Spawned { actor, .. } => {
+                    ensure(&mut actor_clock, *actor);
+                }
+                TraceEventKind::MessageSent { id, src, .. } => {
+                    ensure(&mut actor_clock, *src);
+                    let clock = tick(&mut actor_clock, *src);
+                    send_clock.insert(*id, clock.clone());
+                    nodes.insert(e.seq, Node {
+                        actor: *src,
+                        clock,
+                        msg: Some(*id),
+                        is_send: true,
+                        label: None,
+                    });
+                }
+                TraceEventKind::MessageDelivered { id, dst, .. } => {
+                    ensure(&mut actor_clock, *dst);
+                    if let Some(sc) = send_clock.get(id) {
+                        let sc = sc.clone();
+                        join(&mut actor_clock[dst.index()], &sc);
+                    }
+                    let clock = tick(&mut actor_clock, *dst);
+                    nodes.insert(e.seq, Node {
+                        actor: *dst,
+                        clock,
+                        msg: Some(*id),
+                        is_send: false,
+                        label: None,
+                    });
+                }
+                TraceEventKind::TimerFired { actor, .. }
+                | TraceEventKind::Crashed { actor }
+                | TraceEventKind::Restarted { actor } => {
+                    ensure(&mut actor_clock, *actor);
+                    let clock = tick(&mut actor_clock, *actor);
+                    nodes.insert(e.seq, Node {
+                        actor: *actor,
+                        clock,
+                        msg: None,
+                        is_send: false,
+                        label: None,
+                    });
+                }
+                TraceEventKind::Annotation { actor, label, .. } => {
+                    ensure(&mut actor_clock, *actor);
+                    let clock = tick(&mut actor_clock, *actor);
+                    nodes.insert(e.seq, Node {
+                        actor: *actor,
+                        clock,
+                        msg: None,
+                        is_send: false,
+                        label: Some(label.clone()),
+                    });
+                }
+                _ => {}
+            }
+        }
+        CausalGraph { nodes }
+    }
+
+    /// Number of clocked events.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the trace contained no clocked events.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `true` if trace event `a` happens-before trace event `b`.
+    /// Returns `false` if either is unknown (not a clocked event) or equal.
+    pub fn happens_before(&self, a: u64, b: u64) -> bool {
+        match (self.nodes.get(&a), self.nodes.get(&b)) {
+            (Some(na), Some(nb)) => a != b && leq(&na.clock, &nb.clock),
+            _ => false,
+        }
+    }
+
+    /// `true` if neither event causally precedes the other.
+    pub fn concurrent(&self, a: u64, b: u64) -> bool {
+        self.nodes.contains_key(&a)
+            && self.nodes.contains_key(&b)
+            && a != b
+            && !self.happens_before(a, b)
+            && !self.happens_before(b, a)
+    }
+
+    /// Trace sequence numbers of every clocked event that happens-before
+    /// `target`.
+    pub fn causes_of(&self, target: u64) -> Vec<u64> {
+        let Some(t) = self.nodes.get(&target) else {
+            return Vec::new();
+        };
+        self.nodes
+            .iter()
+            .filter(|(&s, n)| s != target && leq(&n.clock, &t.clock))
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Message ids whose *send* causally precedes `target` — the
+    /// perturbation candidates for a given component decision: delaying,
+    /// dropping or reordering any of them can change what the component
+    /// knew when it decided.
+    pub fn message_causes_of(&self, target: u64) -> Vec<MsgId> {
+        let Some(t) = self.nodes.get(&target) else {
+            return Vec::new();
+        };
+        self.nodes
+            .values()
+            .filter(|n| n.is_send && leq(&n.clock, &t.clock))
+            .filter_map(|n| n.msg)
+            .collect()
+    }
+
+    /// Trace seqs of annotations with the given label (component decisions
+    /// are annotated by convention; see the workspace annotation glossary in
+    /// DESIGN.md).
+    pub fn decisions(&self, label: &str) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.label.as_deref() == Some(label))
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// The actor attributed to a clocked event.
+    pub fn actor_of(&self, seq: u64) -> Option<ActorId> {
+        self.nodes.get(&seq).map(|n| n.actor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sim::{Actor, AnyMsg, Ctx, Duration, TimerId, World, WorldConfig};
+
+    /// a sends to b; b annotates on receipt, then sends to c; c annotates.
+    struct Relay {
+        next: Option<ActorId>,
+        kick: bool,
+    }
+    #[derive(Debug)]
+    struct Token;
+
+    impl Actor for Relay {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if self.kick {
+                ctx.set_timer(Duration::millis(1), 0);
+            }
+        }
+        fn on_message(&mut self, _from: ActorId, _msg: AnyMsg, ctx: &mut Ctx) {
+            ctx.annotate("got", "token");
+            if let Some(n) = self.next {
+                ctx.send(n, Token);
+            }
+        }
+        fn on_timer(&mut self, _t: TimerId, _tag: u64, ctx: &mut Ctx) {
+            if let Some(n) = self.next {
+                ctx.send(n, Token);
+            }
+        }
+    }
+
+    fn chain_world() -> (World, ActorId, ActorId, ActorId) {
+        let mut w = World::new(WorldConfig::default(), 5);
+        // Spawn in reverse so `next` ids exist.
+        let c = w.spawn("c", Relay {
+            next: None,
+            kick: false,
+        });
+        let b = w.spawn("b", Relay {
+            next: Some(c),
+            kick: false,
+        });
+        let a = w.spawn("a", Relay {
+            next: Some(b),
+            kick: true,
+        });
+        w.run_until_quiescent(1_000_000_000);
+        (w, a, b, c)
+    }
+
+    #[test]
+    fn chain_transfers_causality_transitively() {
+        let (w, a, _b, c) = chain_world();
+        let g = CausalGraph::from_trace(w.trace());
+        let decisions = g.decisions("got");
+        assert_eq!(decisions.len(), 2, "b and c each annotate once");
+        let last = *decisions.iter().max().unwrap();
+        assert_eq!(g.actor_of(last), Some(c));
+        // a's send happens-before c's annotation (through b).
+        let a_send = w
+            .trace()
+            .iter()
+            .find(|e| matches!(&e.kind, TraceEventKind::MessageSent { src, .. } if *src == a))
+            .expect("a sent")
+            .seq;
+        assert!(g.happens_before(a_send, last));
+        assert!(!g.happens_before(last, a_send));
+    }
+
+    #[test]
+    fn message_causes_cover_the_whole_chain() {
+        let (w, _a, _b, _c) = chain_world();
+        let g = CausalGraph::from_trace(w.trace());
+        let last = *g.decisions("got").iter().max().unwrap();
+        let msgs = g.message_causes_of(last);
+        assert_eq!(msgs.len(), 2, "both hops precede c's decision");
+        let causes = g.causes_of(last);
+        assert!(causes.len() >= 4, "timer, sends, deliveries: {causes:?}");
+    }
+
+    #[test]
+    fn unrelated_actors_are_concurrent() {
+        let mut w = World::new(WorldConfig::default(), 6);
+        // Two independent ping pairs.
+        let c = w.spawn("c", Relay {
+            next: None,
+            kick: false,
+        });
+        let d = w.spawn("d", Relay {
+            next: Some(c),
+            kick: true,
+        });
+        let e = w.spawn("e", Relay {
+            next: None,
+            kick: false,
+        });
+        let f = w.spawn("f", Relay {
+            next: Some(e),
+            kick: true,
+        });
+        let _ = (d, f);
+        w.run_until_quiescent(1_000_000_000);
+        let g = CausalGraph::from_trace(w.trace());
+        let got = g.decisions("got");
+        assert_eq!(got.len(), 2);
+        assert!(g.concurrent(got[0], got[1]));
+    }
+
+    #[test]
+    fn queries_on_unknown_events_are_safe() {
+        let (w, ..) = chain_world();
+        let g = CausalGraph::from_trace(w.trace());
+        assert!(!g.happens_before(999_999, 0));
+        assert!(!g.concurrent(999_999, 0));
+        assert!(g.causes_of(999_999).is_empty());
+        assert!(g.message_causes_of(999_999).is_empty());
+        assert_eq!(g.actor_of(999_999), None);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn delivery_does_not_precede_its_own_send() {
+        let (w, ..) = chain_world();
+        let g = CausalGraph::from_trace(w.trace());
+        let (mut send, mut deliver) = (None, None);
+        for e in w.trace().iter() {
+            match &e.kind {
+                TraceEventKind::MessageSent { id, .. } if send.is_none() => {
+                    send = Some((e.seq, *id));
+                }
+                TraceEventKind::MessageDelivered { id, .. } => {
+                    if let Some((_, sid)) = send {
+                        if *id == sid && deliver.is_none() {
+                            deliver = Some(e.seq);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (s, _) = send.expect("send");
+        let d = deliver.expect("deliver");
+        assert!(g.happens_before(s, d));
+        assert!(!g.happens_before(d, s));
+    }
+}

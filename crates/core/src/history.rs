@@ -1,0 +1,462 @@
+//! The §3 model: histories, states, partial histories and views.
+//!
+//! The cluster state `S` is modelled as a set of named entities; the history
+//! `H` is the totally ordered sequence of [`Change`]s committed against it
+//! (one per sequence number, dense from 1). A [`PartialHistory`] `H′` is a
+//! subsequence of `H` — a subset preserving relative order. A component's
+//! [`View`] is the pair `(H′, S′)` where `S′` is materialized from `H′`.
+//!
+//! The metrics here quantify the §4.2 challenge patterns:
+//! *staleness* ([`View::lag`]), *interior gaps* ([`View::interior_gaps`],
+//! the raw material of observability gaps), and *time traveling*
+//! ([`FrontierLog::time_travels`]).
+
+use std::collections::BTreeMap;
+
+/// What a change did to its entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChangeOp {
+    /// The entity came into existence.
+    Create,
+    /// The entity's content changed. The `u64` distinguishes payload
+    /// versions (two updates with equal payloads are indistinguishable in a
+    /// state read).
+    Update(u64),
+    /// The entity was removed.
+    Delete,
+}
+
+/// One committed change — an element of `H`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Change {
+    /// Position in `H` (dense, starting at 1).
+    pub seq: u64,
+    /// The entity changed.
+    pub entity: String,
+    /// What happened to it.
+    pub op: ChangeOp,
+}
+
+/// The materialized state of one entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityState {
+    /// Sequence number of the last change applied to this entity.
+    pub last_seq: u64,
+    /// The payload version (0 for a fresh create).
+    pub version: u64,
+}
+
+/// The ground-truth history `H`.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    changes: Vec<Change>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Appends a change, assigning the next sequence number. Returns it.
+    pub fn append(&mut self, entity: impl Into<String>, op: ChangeOp) -> u64 {
+        let seq = self.changes.len() as u64 + 1;
+        self.changes.push(Change {
+            seq,
+            entity: entity.into(),
+            op,
+        });
+        seq
+    }
+
+    /// Number of committed changes (== highest sequence number).
+    pub fn len(&self) -> u64 {
+        self.changes.len() as u64
+    }
+
+    /// `true` if nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// All changes, in order.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// The change at sequence number `seq` (1-based).
+    pub fn at(&self, seq: u64) -> Option<&Change> {
+        if seq == 0 {
+            None
+        } else {
+            self.changes.get(seq as usize - 1)
+        }
+    }
+
+    /// Materializes the state `S` after applying the prefix up to and
+    /// including `upto` (pass [`History::len`] for the latest state).
+    pub fn state_at(&self, upto: u64) -> BTreeMap<String, EntityState> {
+        let mut s: BTreeMap<String, EntityState> = BTreeMap::new();
+        for c in self.changes.iter().take_while(|c| c.seq <= upto) {
+            apply(&mut s, c);
+        }
+        s
+    }
+
+    /// The latest state `S`.
+    pub fn state(&self) -> BTreeMap<String, EntityState> {
+        self.state_at(self.len())
+    }
+
+    /// The full history viewed as a (complete) partial history.
+    pub fn as_view(&self) -> PartialHistory {
+        PartialHistory {
+            changes: self.changes.clone(),
+        }
+    }
+}
+
+fn apply(s: &mut BTreeMap<String, EntityState>, c: &Change) {
+    match c.op {
+        ChangeOp::Create => {
+            s.insert(c.entity.clone(), EntityState {
+                last_seq: c.seq,
+                version: 0,
+            });
+        }
+        ChangeOp::Update(v) => {
+            if let Some(e) = s.get_mut(&c.entity) {
+                e.last_seq = c.seq;
+                e.version = v;
+            }
+        }
+        ChangeOp::Delete => {
+            s.remove(&c.entity);
+        }
+    }
+}
+
+/// A partial history `H′` — a subsequence of some `H`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PartialHistory {
+    changes: Vec<Change>,
+}
+
+impl PartialHistory {
+    /// An empty partial history.
+    pub fn new() -> PartialHistory {
+        PartialHistory::default()
+    }
+
+    /// Records observation of a change. The §3 invariant (subsequence of
+    /// `H`, order preserved) is *not* enforced here — components under test
+    /// may be fed violating sequences on purpose (replays, reorderings);
+    /// use [`PartialHistory::is_partial_of`] to check it.
+    pub fn observe(&mut self, change: Change) {
+        self.changes.push(change);
+    }
+
+    /// The observed changes, in observation order.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// Number of observed changes.
+    pub fn len(&self) -> u64 {
+        self.changes.len() as u64
+    }
+
+    /// `true` if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// The highest sequence number observed (the view's *frontier*), or 0.
+    pub fn frontier(&self) -> u64 {
+        self.changes.iter().map(|c| c.seq).max().unwrap_or(0)
+    }
+
+    /// Checks the §3 definition: every observed change appears in `h` at
+    /// its claimed position, each at most once, and observation order
+    /// preserves `H`'s order. A view that replayed or reordered events is
+    /// *not* a partial history — that is precisely what time-travel
+    /// injection creates.
+    pub fn is_partial_of(&self, h: &History) -> bool {
+        let mut prev = 0u64;
+        for c in &self.changes {
+            if c.seq <= prev {
+                return false; // reordered or duplicated
+            }
+            match h.at(c.seq) {
+                Some(truth) if truth == c => prev = c.seq,
+                _ => return false, // fabricated or corrupted
+            }
+        }
+        true
+    }
+
+    /// Materializes `S′` from this view.
+    pub fn state(&self) -> BTreeMap<String, EntityState> {
+        let mut s = BTreeMap::new();
+        for c in &self.changes {
+            apply(&mut s, c);
+        }
+        s
+    }
+}
+
+/// A component's view `(H′, S′)` with divergence metrics against `(H, S)`.
+#[derive(Debug, Clone, Default)]
+pub struct View {
+    /// The observed partial history.
+    pub history: PartialHistory,
+}
+
+impl View {
+    /// An empty view.
+    pub fn new() -> View {
+        View::default()
+    }
+
+    /// Observes one change.
+    pub fn observe(&mut self, change: Change) {
+        self.history.observe(change);
+    }
+
+    /// `S′`.
+    pub fn state(&self) -> BTreeMap<String, EntityState> {
+        self.history.state()
+    }
+
+    /// Staleness in events: how far the view's frontier trails `H`
+    /// (Figure 3a). 0 means fully caught up.
+    pub fn lag(&self, h: &History) -> u64 {
+        h.len().saturating_sub(self.history.frontier())
+    }
+
+    /// Changes of `H` *behind the frontier* that this view never observed —
+    /// interior gaps. Unlike tail lag, these can never be healed by waiting:
+    /// the stream skipped them (Figure 3c's raw material).
+    pub fn interior_gaps<'h>(&self, h: &'h History) -> Vec<&'h Change> {
+        let frontier = self.history.frontier();
+        let mut seen = vec![false; frontier as usize + 1];
+        for c in self.history.changes() {
+            if c.seq <= frontier {
+                seen[c.seq as usize] = true;
+            }
+        }
+        h.changes()
+            .iter()
+            .filter(|c| c.seq <= frontier && !seen[c.seq as usize])
+            .collect()
+    }
+
+    /// Entities whose `S′` disagrees with `S` (missing, phantom, or at a
+    /// different version) — the divergence developers must tolerate (§4.2).
+    pub fn divergent_entities(&self, h: &History) -> Vec<String> {
+        let s = h.state();
+        let sp = self.state();
+        let mut out = Vec::new();
+        for (k, v) in &s {
+            match sp.get(k) {
+                Some(vp) if vp.version == v.version => {}
+                _ => out.push(k.clone()),
+            }
+        }
+        for k in sp.keys() {
+            if !s.contains_key(k) {
+                out.push(k.clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// A log of a component's view frontier over (logical) time, used to detect
+/// *time traveling* (§4.2.2, Figure 3b): the frontier must be monotone; a
+/// regression means the component re-synchronized with a staler upstream
+/// and is re-observing its own past.
+#[derive(Debug, Default, Clone)]
+pub struct FrontierLog {
+    samples: Vec<(u64, u64)>, // (timestamp_ns, frontier)
+}
+
+impl FrontierLog {
+    /// An empty log.
+    pub fn new() -> FrontierLog {
+        FrontierLog::default()
+    }
+
+    /// Records the component's frontier at a point in time. Timestamps must
+    /// be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ns` precedes the previous sample's timestamp.
+    pub fn record(&mut self, at_ns: u64, frontier: u64) {
+        if let Some(&(t, _)) = self.samples.last() {
+            assert!(at_ns >= t, "frontier samples must be in time order");
+        }
+        self.samples.push((at_ns, frontier));
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(u64, u64)] {
+        &self.samples
+    }
+
+    /// Every regression of the frontier: `(at_ns, from, to)` with
+    /// `to < from`. An empty result means the component never time-traveled.
+    pub fn time_travels(&self) -> Vec<(u64, u64, u64)> {
+        self.samples
+            .windows(2)
+            .filter(|w| w[1].1 < w[0].1)
+            .map(|w| (w[1].0, w[0].1, w[1].1))
+            .collect()
+    }
+
+    /// The deepest regression in events, or 0.
+    pub fn max_travel_depth(&self) -> u64 {
+        self.time_travels()
+            .iter()
+            .map(|(_, from, to)| from - to)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// H: create(a), create(b), update(a,v1), delete(b), create(c)
+    fn sample_history() -> History {
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create);
+        h.append("b", ChangeOp::Create);
+        h.append("a", ChangeOp::Update(1));
+        h.append("b", ChangeOp::Delete);
+        h.append("c", ChangeOp::Create);
+        h
+    }
+
+    #[test]
+    fn history_assigns_dense_seqs_and_materializes() {
+        let h = sample_history();
+        assert_eq!(h.len(), 5);
+        let s = h.state();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s["a"].version, 1);
+        assert_eq!(s["a"].last_seq, 3);
+        assert!(s.contains_key("c"));
+        assert!(!s.contains_key("b"));
+        // Intermediate state still has b.
+        let s2 = h.state_at(3);
+        assert!(s2.contains_key("b"));
+    }
+
+    #[test]
+    fn full_view_is_partial_history_with_zero_lag() {
+        let h = sample_history();
+        let v = View {
+            history: h.as_view(),
+        };
+        assert!(v.history.is_partial_of(&h));
+        assert_eq!(v.lag(&h), 0);
+        assert!(v.interior_gaps(&h).is_empty());
+        assert!(v.divergent_entities(&h).is_empty());
+    }
+
+    #[test]
+    fn subsequence_is_partial_history() {
+        let h = sample_history();
+        let mut v = View::new();
+        v.observe(h.at(1).unwrap().clone());
+        v.observe(h.at(4).unwrap().clone());
+        assert!(v.history.is_partial_of(&h));
+        assert_eq!(v.lag(&h), 1); // frontier 4, H at 5
+        let gaps: Vec<u64> = v.interior_gaps(&h).iter().map(|c| c.seq).collect();
+        assert_eq!(gaps, vec![2, 3]);
+    }
+
+    #[test]
+    fn reordered_or_replayed_views_are_not_partial_histories() {
+        let h = sample_history();
+        // Reordered.
+        let mut v = PartialHistory::new();
+        v.observe(h.at(3).unwrap().clone());
+        v.observe(h.at(1).unwrap().clone());
+        assert!(!v.is_partial_of(&h));
+        // Replayed (duplicate).
+        let mut v = PartialHistory::new();
+        v.observe(h.at(2).unwrap().clone());
+        v.observe(h.at(2).unwrap().clone());
+        assert!(!v.is_partial_of(&h));
+        // Fabricated.
+        let mut v = PartialHistory::new();
+        v.observe(Change {
+            seq: 2,
+            entity: "zz".into(),
+            op: ChangeOp::Create,
+        });
+        assert!(!v.is_partial_of(&h));
+    }
+
+    #[test]
+    fn divergence_detects_stale_phantom_and_missing() {
+        let h = sample_history();
+        // View saw only the first three events: a@v1, b alive (phantom), no c.
+        let mut v = View::new();
+        for s in 1..=3 {
+            v.observe(h.at(s).unwrap().clone());
+        }
+        let div = v.divergent_entities(&h);
+        assert_eq!(div, vec!["b", "c"]);
+        // A view that missed the update diverges on version.
+        let mut v = View::new();
+        v.observe(h.at(1).unwrap().clone());
+        v.observe(h.at(2).unwrap().clone());
+        v.observe(h.at(4).unwrap().clone());
+        v.observe(h.at(5).unwrap().clone());
+        let div = v.divergent_entities(&h);
+        assert_eq!(div, vec!["a"]);
+    }
+
+    #[test]
+    fn frontier_log_detects_time_travel() {
+        let mut log = FrontierLog::new();
+        log.record(10, 3);
+        log.record(20, 7);
+        log.record(30, 7);
+        assert!(log.time_travels().is_empty());
+        // Restart against a stale upstream: frontier regresses to 4.
+        log.record(40, 4);
+        log.record(50, 9);
+        let t = log.time_travels();
+        assert_eq!(t, vec![(40, 7, 4)]);
+        assert_eq!(log.max_travel_depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn frontier_log_rejects_unordered_samples() {
+        let mut log = FrontierLog::new();
+        log.record(10, 1);
+        log.record(5, 2);
+    }
+
+    #[test]
+    fn state_of_partial_view_applies_in_observation_order() {
+        let h = sample_history();
+        let mut v = View::new();
+        v.observe(h.at(2).unwrap().clone()); // create b
+        v.observe(h.at(4).unwrap().clone()); // delete b
+        assert!(v.state().is_empty());
+        // Update without create is a no-op on S′ (the entity is unknown).
+        let mut v = View::new();
+        v.observe(h.at(3).unwrap().clone());
+        assert!(v.state().is_empty());
+    }
+}

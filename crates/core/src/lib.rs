@@ -1,0 +1,78 @@
+//! # ph-core — partial histories: the model and the testing tool
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (*"Reasoning about modern datacenter infrastructures using partial
+//! histories"*, HotOS '21):
+//!
+//! * [`history`] — the formal model of §3: the history `H` of committed
+//!   changes, the materialized state `S`, partial histories `H′ ⊆ H` that
+//!   preserve relative order, per-component views `(H′, S′)`, and the
+//!   divergence/staleness/time-travel metrics of §4.2;
+//! * [`observe`] — the observability model: which events of `H` a component
+//!   can reconstruct from *sparse reads* of `S′` (it cannot, in general —
+//!   §3), and the gap analysis behind Figure 3c;
+//! * [`epoch`] — the epoch-bounded delivery model sketched in §6.2:
+//!   partition `H` into epochs and guarantee all-or-nothing visibility per
+//!   epoch, trading coordination for bounded divergence;
+//! * [`causality`] — happens-before recovery from simulation traces,
+//!   used to pick perturbation points causally related to component
+//!   decisions (§7);
+//! * [`autoguide`] — the §7 automation loop: derive replayable
+//!   perturbation candidates from a reference trace's causality and run
+//!   them, no hand-tuning required;
+//! * [`perturb`] — the §7 testing tool's perturbation strategies:
+//!   staleness injection (delay cache updates), time-travel injection
+//!   (crash, restart against a stale upstream, replay held events),
+//!   observability-gap injection (drop notifications), plus the baseline
+//!   fault injectors the paper compares against in §5/§6.1 (uniform random
+//!   crashes, CrashTuner-style crash-after-view-update, CoFI-style
+//!   partitions);
+//! * [`oracle`] — test oracles over simulation traces and world state,
+//!   with violation reports carrying the evidence;
+//! * [`harness`] — the explorer: run a scenario under a strategy across
+//!   seeds, count trials-to-first-violation, and build the detection
+//!   matrices reported in EXPERIMENTS.md.
+//!
+//! The crate deliberately depends only on [`ph_sim`]: the model and tool are
+//! substrate-agnostic, and `ph-scenarios` wires them to the Kubernetes-like
+//! stack in `ph-cluster`.
+//!
+//! ## The model in five lines
+//!
+//! ```
+//! use ph_core::history::{ChangeOp, History, View};
+//!
+//! let mut h = History::new();                    // the ground truth H
+//! h.append("pod", ChangeOp::Create);             // seq 1
+//! h.append("pod", ChangeOp::Delete);             // seq 2
+//! let mut view = View::new();                    // a component's (H′, S′)
+//! view.observe(h.at(1).unwrap().clone());        // it saw the create…
+//! assert!(view.history.is_partial_of(&h));       // …a valid partial history
+//! assert_eq!(view.lag(&h), 1);                   // one event behind (stale)
+//! assert!(view.state().contains_key("pod"));     // S′ disagrees with S:
+//! assert!(h.state().is_empty());                 // the pod is long gone
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoguide;
+pub mod causality;
+pub mod epoch;
+pub mod harness;
+pub mod history;
+pub mod observe;
+pub mod oracle;
+pub mod perturb;
+
+pub use autoguide::{candidates, explore, AutoFinding, Candidate, CandidateStrategy};
+pub use causality::CausalGraph;
+pub use epoch::{EpochBuffer, EpochPartition};
+pub use harness::{DetectionMatrix, Explorer, RunReport, TrialOutcome};
+pub use history::{Change, ChangeOp, FrontierLog, History, PartialHistory, View};
+pub use observe::{observability_report, ObservabilityReport};
+pub use oracle::{FnOracle, Oracle, UniqueExecutionOracle, Violation};
+pub use perturb::{
+    CoFiPartitions, CrashTunerCrashes, NoFault, NotificationDropper, RandomCrashes,
+    StalenessInjector, Strategy, Targets, TimeTravelInjector,
+};

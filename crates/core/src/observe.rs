@@ -1,0 +1,250 @@
+//! Observability of history through sparse state reads (§3, Figure 3c).
+//!
+//! A component that only issues reads of `S′` at discrete points sees, per
+//! entity and per read interval, only the *net* effect of the interval's
+//! changes. Everything an intervening change did that a later change undid
+//! is invisible: "the impact of e1 is cancelled by e2 in S′, which makes e1
+//! unobservable" (§4.2.3). This module computes exactly which events of a
+//! history are reconstructible from a given read schedule.
+
+use std::collections::BTreeMap;
+
+use crate::history::{Change, ChangeOp, History};
+
+/// The outcome of the sparse-read observability analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservabilityReport {
+    /// Sequence numbers of changes whose occurrence a sparse reader can
+    /// infer (it sees the entity appear, disappear, or change version
+    /// across some pair of consecutive reads).
+    pub observable: Vec<u64>,
+    /// Sequence numbers of changes invisible to the reader: their effect
+    /// was cancelled or superseded within a read interval, or they lie
+    /// beyond the last read.
+    pub unobservable: Vec<u64>,
+}
+
+impl ObservabilityReport {
+    /// Fraction of the history that is unobservable, in `[0, 1]`.
+    pub fn gap_fraction(&self) -> f64 {
+        let total = self.observable.len() + self.unobservable.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.unobservable.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Analyzes which changes of `h` a reader observing the state only at the
+/// given history positions can reconstruct.
+///
+/// `read_points` are positions in `H` (a read at position `p` sees
+/// `state_at(p)`); they are sorted and deduplicated internally, and an
+/// implicit initial read at position 0 (empty state) is assumed.
+///
+/// Within one read interval `(p, q]`, for each entity, the reader compares
+/// the entity's state at `p` and `q`:
+///
+/// * state differs → the *last* change to that entity in the interval is
+///   observable (the reader sees its net effect); all earlier ones are not;
+/// * state equal (e.g. create then delete, or delete then re-create at the
+///   same version) → *every* change to that entity in the interval is
+///   unobservable.
+///
+/// Changes after the final read point are unobservable (the reader has not
+/// looked yet).
+pub fn observability_report(h: &History, read_points: &[u64]) -> ObservabilityReport {
+    let mut points: Vec<u64> = read_points.iter().copied().filter(|&p| p > 0).collect();
+    points.sort_unstable();
+    points.dedup();
+
+    let mut observable = Vec::new();
+    let mut unobservable = Vec::new();
+
+    let mut prev = 0u64;
+    for &q in &points {
+        let q = q.min(h.len());
+        if q <= prev {
+            continue;
+        }
+        analyze_interval(h, prev, q, &mut observable, &mut unobservable);
+        prev = q;
+    }
+    // Tail: never read.
+    for c in h.changes().iter().filter(|c| c.seq > prev) {
+        unobservable.push(c.seq);
+    }
+
+    observable.sort_unstable();
+    unobservable.sort_unstable();
+    ObservabilityReport {
+        observable,
+        unobservable,
+    }
+}
+
+fn analyze_interval(
+    h: &History,
+    p: u64,
+    q: u64,
+    observable: &mut Vec<u64>,
+    unobservable: &mut Vec<u64>,
+) {
+    // Group the interval's changes by entity, preserving order.
+    let mut per_entity: BTreeMap<&str, Vec<&Change>> = BTreeMap::new();
+    for c in h.changes().iter().filter(|c| c.seq > p && c.seq <= q) {
+        per_entity.entry(c.entity.as_str()).or_default().push(c);
+    }
+    if per_entity.is_empty() {
+        return;
+    }
+    let before = h.state_at(p);
+    let after = h.state_at(q);
+    for (entity, changes) in per_entity {
+        let b = before.get(entity).map(|e| e.version);
+        let a = after.get(entity).map(|e| e.version);
+        let net_visible = match (b, a) {
+            (None, None) => false,                       // never seen alive
+            (Some(vb), Some(va)) => vb != va,            // version must differ
+            _ => true,                                   // appeared or vanished
+        };
+        if net_visible {
+            let (last, earlier) = changes.split_last().expect("non-empty");
+            observable.push(last.seq);
+            for c in earlier {
+                unobservable.push(c.seq);
+            }
+        } else {
+            for c in changes {
+                unobservable.push(c.seq);
+            }
+        }
+    }
+    let _ = ChangeOp::Create; // (ops are folded into versions by state_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ChangeOp;
+
+    #[test]
+    fn figure_3c_create_then_delete_between_reads_is_invisible() {
+        // The paper's volume-controller bug [17]: pod marked for deletion
+        // (e1) and deleted (e2) between two sparse reads — the controller
+        // sees neither.
+        let mut h = History::new();
+        h.append("pod", ChangeOp::Create); // 1
+        h.append("pod", ChangeOp::Delete); // 2
+        let r = observability_report(&h, &[2]);
+        assert!(r.observable.is_empty());
+        assert_eq!(r.unobservable, vec![1, 2]);
+        assert!((r.gap_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn reads_between_events_see_everything() {
+        let mut h = History::new();
+        h.append("pod", ChangeOp::Create); // 1
+        h.append("pod", ChangeOp::Delete); // 2
+        let r = observability_report(&h, &[1, 2]);
+        assert_eq!(r.observable, vec![1, 2]);
+        assert!(r.unobservable.is_empty());
+        assert_eq!(r.gap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn intermediate_updates_are_masked_by_the_last_one() {
+        let mut h = History::new();
+        h.append("cfg", ChangeOp::Create); // 1
+        h.append("cfg", ChangeOp::Update(1)); // 2
+        h.append("cfg", ChangeOp::Update(2)); // 3
+        let r = observability_report(&h, &[3]);
+        assert_eq!(r.observable, vec![3]);
+        assert_eq!(r.unobservable, vec![1, 2]);
+    }
+
+    #[test]
+    fn delete_and_recreate_at_same_version_is_invisible() {
+        let mut h = History::new();
+        h.append("n", ChangeOp::Create); // 1
+        let r0 = observability_report(&h, &[1]);
+        assert_eq!(r0.observable, vec![1]);
+        h.append("n", ChangeOp::Delete); // 2
+        h.append("n", ChangeOp::Create); // 3 (same version 0)
+        let r = observability_report(&h, &[1, 3]);
+        // Interval (1,3]: n existed at v0 before and after → both invisible.
+        assert_eq!(r.observable, vec![1]);
+        assert_eq!(r.unobservable, vec![2, 3]);
+    }
+
+    #[test]
+    fn events_after_last_read_are_unobservable() {
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create); // 1
+        h.append("b", ChangeOp::Create); // 2
+        let r = observability_report(&h, &[1]);
+        assert_eq!(r.observable, vec![1]);
+        assert_eq!(r.unobservable, vec![2]);
+    }
+
+    #[test]
+    fn independent_entities_are_analyzed_separately() {
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create); // 1
+        h.append("b", ChangeOp::Create); // 2
+        h.append("a", ChangeOp::Delete); // 3
+        let r = observability_report(&h, &[3]);
+        // a: created+deleted in one interval → both invisible. b: visible.
+        assert_eq!(r.observable, vec![2]);
+        assert_eq!(r.unobservable, vec![1, 3]);
+    }
+
+    #[test]
+    fn denser_reads_monotonically_reduce_gaps() {
+        let mut h = History::new();
+        // Three entities, each: create → update(1) → update(2) → delete,
+        // interleaved round-robin (12 events total).
+        for round in 0..4 {
+            for e in 0..3 {
+                let entity = format!("e{e}");
+                match round {
+                    0 => h.append(entity, ChangeOp::Create),
+                    3 => h.append(entity, ChangeOp::Delete),
+                    k => h.append(entity, ChangeOp::Update(k as u64)),
+                };
+            }
+        }
+        let sparse = observability_report(&h, &[12]);
+        let medium = observability_report(&h, &[4, 8, 12]);
+        let dense: Vec<u64> = (1..=12).collect();
+        let full = observability_report(&h, &dense);
+        assert!(sparse.gap_fraction() >= medium.gap_fraction());
+        assert!(medium.gap_fraction() >= full.gap_fraction());
+        assert_eq!(full.gap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn read_points_are_normalized() {
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create);
+        // Duplicates, zeros and beyond-end points are tolerated.
+        let r = observability_report(&h, &[0, 1, 1, 99]);
+        assert_eq!(r.observable, vec![1]);
+        assert!(r.unobservable.is_empty());
+    }
+
+    #[test]
+    fn empty_history_or_no_reads() {
+        let h = History::new();
+        let r = observability_report(&h, &[1, 2]);
+        assert!(r.observable.is_empty() && r.unobservable.is_empty());
+        assert_eq!(r.gap_fraction(), 0.0);
+
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create);
+        let r = observability_report(&h, &[]);
+        assert_eq!(r.unobservable, vec![1]);
+    }
+}

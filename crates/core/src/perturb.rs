@@ -1,0 +1,634 @@
+//! Perturbation strategies — the §7 testing tool.
+//!
+//! Each [`Strategy`] regulates how a component's view `(H′, S′)` advances
+//! relative to `(H, S)` by manipulating the messages and processes of a
+//! running [`ph_sim::World`]:
+//!
+//! * [`StalenessInjector`] — delays view-update notifications to a target
+//!   cache ("creates staleness in H′ by delaying updates to H′ against H");
+//! * [`TimeTravelInjector`] — freezes one upstream's feed, crashes the
+//!   victim and restarts it so it re-synchronizes against the now-stale
+//!   upstream ("injects node crashes and forces the restarted component to
+//!   synchronize with a stale H′ and receive replayed events");
+//! * [`NotificationDropper`] — silently drops selected notifications,
+//!   creating interior gaps in H′ ("we force the component to miss
+//!   important events in its view H′ by dropping event notifications");
+//!
+//! plus the baselines the paper positions itself against (§5, §6.1):
+//!
+//! * [`RandomCrashes`] — uniformly random crash/restart injection;
+//! * [`CrashTunerCrashes`] — the CrashTuner heuristic: crash a node right
+//!   after it updates its view of the cluster state;
+//! * [`CoFiPartitions`] — the CoFI heuristic: partition a component from
+//!   its upstream around view updates;
+//! * [`NoFault`] — the control.
+//!
+//! Scenarios hand strategies a [`Targets`] map describing which actors hold
+//! caches, which are crash-eligible components, and which message kinds
+//! carry view updates. Strategies refer to targets by index so they can be
+//! constructed before the world exists (the harness builds them per trial).
+
+use ph_sim::{
+    ActorId, Duration, Envelope, Partition, SimRng, SimTime, TraceEventKind, Verdict, World,
+};
+
+/// The scenario-provided map of interesting actors and message kinds.
+#[derive(Debug, Clone, Default)]
+pub struct Targets {
+    /// Members of the central store.
+    pub store_nodes: Vec<ActorId>,
+    /// Actors that maintain a cached view `(H′, S′)` (apiservers, informers).
+    pub caches: Vec<ActorId>,
+    /// Crash-eligible service components (kubelets, controllers, schedulers).
+    pub components: Vec<ActorId>,
+    /// Short message-kind names that carry view updates (e.g. `WatchNotify`).
+    pub notify_kinds: Vec<String>,
+    /// Nominal scenario length; random strategies scatter faults within it.
+    pub horizon: Duration,
+}
+
+impl Targets {
+    /// `true` if the envelope carries a view update.
+    pub fn is_notify(&self, env: &Envelope) -> bool {
+        let k = env.kind_short();
+        self.notify_kinds.iter().any(|n| n == k)
+    }
+}
+
+/// A perturbation strategy's lifecycle.
+///
+/// The embedding contract (scenarios uphold it):
+/// 1. `setup` once, after the world is built but before the workload;
+/// 2. `tick` between workload steps (strategies with trace-triggered or
+///    time-phased behaviour act here);
+/// 3. `teardown` after the workload (default clears the interceptor).
+pub trait Strategy {
+    /// Human-readable name (appears in reports and EXPERIMENTS.md tables).
+    fn name(&self) -> String;
+
+    /// Install interceptors / schedule faults.
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        let _ = (world, targets);
+    }
+
+    /// Phase transitions and trace-triggered actions.
+    fn tick(&mut self, world: &mut World, targets: &Targets) {
+        let _ = (world, targets);
+    }
+
+    /// Remove interceptors; release or drop anything still held.
+    fn teardown(&mut self, world: &mut World) {
+        world.clear_interceptor();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control
+// ---------------------------------------------------------------------
+
+/// The no-fault control strategy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFault;
+
+impl Strategy for NoFault {
+    fn name(&self) -> String {
+        "no-fault".into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guided strategies (the paper's tool)
+// ---------------------------------------------------------------------
+
+/// Delays view-update notifications to one cache, creating staleness
+/// (§4.2.1, Figure 3a).
+///
+/// Delays preserve per-link FIFO ordering (the notification stream models
+/// a TCP connection), so every later message on the same link queues
+/// behind a delayed one. Use bounded delays for lag; for an indefinite
+/// freeze use [`TimeTravelInjector`]'s hold phase (or a `Hold`-verdict
+/// interceptor), which parks messages outside the link entirely and
+/// replays them on release.
+#[derive(Debug, Clone)]
+pub struct StalenessInjector {
+    /// Index into [`Targets::caches`] of the victim.
+    pub cache: usize,
+    /// Extra delay applied to each matching notification.
+    pub delay: Duration,
+    /// Start injecting at this sim time (0 = from the beginning).
+    pub after: Duration,
+}
+
+impl Strategy for StalenessInjector {
+    fn name(&self) -> String {
+        format!("staleness(+{})", self.delay)
+    }
+
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        let victim = targets.caches[self.cache];
+        let kinds = targets.notify_kinds.clone();
+        let delay = self.delay;
+        let after = SimTime(self.after.as_nanos());
+        world.set_interceptor(move |env: &Envelope, now: SimTime| {
+            if now >= after
+                && env.dst == victim
+                && kinds.iter().any(|k| k == env.kind_short())
+            {
+                Verdict::Delay(delay)
+            } else {
+                Verdict::Pass
+            }
+        });
+    }
+}
+
+/// Drops a window of view-update notifications to one cache, creating an
+/// interior gap in its `H′` (§4.2.3, Figure 3c).
+#[derive(Debug, Clone)]
+pub struct NotificationDropper {
+    /// Index into [`Targets::caches`] of the victim.
+    pub cache: usize,
+    /// Matching notifications to let through before dropping starts.
+    pub skip: u64,
+    /// How many matching notifications to drop (then pass everything).
+    pub count: u64,
+}
+
+impl Strategy for NotificationDropper {
+    fn name(&self) -> String {
+        format!("obs-gap(skip {}, drop {})", self.skip, self.count)
+    }
+
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        let victim = targets.caches[self.cache];
+        let kinds = targets.notify_kinds.clone();
+        let (skip, count) = (self.skip, self.count);
+        let mut seen = 0u64;
+        world.set_interceptor(move |env: &Envelope, _now: SimTime| {
+            if env.dst == victim && kinds.iter().any(|k| k == env.kind_short()) {
+                seen += 1;
+                if seen > skip && seen <= skip + count {
+                    return Verdict::Drop;
+                }
+            }
+            Verdict::Pass
+        });
+    }
+}
+
+/// Creates the §4.2.2 time-travel pattern: one upstream's view feed is
+/// frozen (held) so it goes stale; the victim component is crashed and
+/// restarted, re-synchronizing — by scenario construction — against the
+/// stale upstream and thereby re-observing its own past.
+#[derive(Debug, Clone)]
+pub struct TimeTravelInjector {
+    /// Index into [`Targets::caches`] of the upstream to freeze.
+    pub stale_upstream: usize,
+    /// Index into [`Targets::components`] of the component to crash.
+    pub victim: usize,
+    /// When to start holding the upstream's feed.
+    pub hold_at: Duration,
+    /// When to crash the victim.
+    pub crash_at: Duration,
+    /// When to restart it.
+    pub restart_at: Duration,
+    /// When (if ever) to release the held feed, letting the stale upstream
+    /// catch up after the damage is done.
+    pub release_at: Option<Duration>,
+    released: bool,
+}
+
+impl TimeTravelInjector {
+    /// Convenience constructor with `released` initialized.
+    pub fn new(
+        stale_upstream: usize,
+        victim: usize,
+        hold_at: Duration,
+        crash_at: Duration,
+        restart_at: Duration,
+        release_at: Option<Duration>,
+    ) -> TimeTravelInjector {
+        TimeTravelInjector {
+            stale_upstream,
+            victim,
+            hold_at,
+            crash_at,
+            restart_at,
+            release_at,
+            released: false,
+        }
+    }
+}
+
+impl Strategy for TimeTravelInjector {
+    fn name(&self) -> String {
+        "time-travel".into()
+    }
+
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        let upstream = targets.caches[self.stale_upstream];
+        let kinds = targets.notify_kinds.clone();
+        let hold_at = SimTime(self.hold_at.as_nanos());
+        world.set_interceptor(move |env: &Envelope, now: SimTime| {
+            if now >= hold_at
+                && env.dst == upstream
+                && kinds.iter().any(|k| k == env.kind_short())
+            {
+                Verdict::Hold
+            } else {
+                Verdict::Pass
+            }
+        });
+        let victim = targets.components[self.victim];
+        world.schedule_crash(victim, SimTime(self.crash_at.as_nanos()));
+        world.schedule_restart(victim, SimTime(self.restart_at.as_nanos()));
+    }
+
+    fn tick(&mut self, world: &mut World, _targets: &Targets) {
+        if let Some(rel) = self.release_at {
+            if !self.released && world.now() >= SimTime(rel.as_nanos()) {
+                world.clear_interceptor();
+                world.release_all_held();
+                self.released = true;
+            }
+        }
+    }
+
+    fn teardown(&mut self, world: &mut World) {
+        world.clear_interceptor();
+        if !self.released {
+            world.release_all_held();
+            self.released = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baselines (§5 / §6.1 comparators)
+// ---------------------------------------------------------------------
+
+/// Uniformly random crash/restart injection — the "randomly generate
+/// faults" baseline of §1.
+#[derive(Debug, Clone)]
+pub struct RandomCrashes {
+    /// Strategy-local seed (vary per trial).
+    pub seed: u64,
+    /// Number of crash/restart pairs to scatter over the horizon.
+    pub count: u32,
+    /// Downtime per crash.
+    pub down: Duration,
+}
+
+impl Strategy for RandomCrashes {
+    fn name(&self) -> String {
+        format!("random-crash(x{})", self.count)
+    }
+
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        if targets.components.is_empty() {
+            return;
+        }
+        let mut rng = SimRng::derive(self.seed, 0x0C4A_54E5);
+        for _ in 0..self.count {
+            let at = SimTime(rng.below(targets.horizon.as_nanos().max(1)));
+            let victim = *rng.pick(&targets.components).expect("non-empty");
+            world.schedule_crash(victim, at);
+            world.schedule_restart(victim, at + self.down);
+        }
+    }
+}
+
+/// The CrashTuner heuristic: crash a component *immediately after it
+/// updates its view of the cluster state* (delivery of a notify-kind
+/// message), restart it after `down`. Triggers are sampled per matching
+/// delivery with probability `p`.
+#[derive(Debug, Clone)]
+pub struct CrashTunerCrashes {
+    /// Strategy-local seed (vary per trial).
+    pub seed: u64,
+    /// Per-view-update trigger probability.
+    pub p: f64,
+    /// Maximum number of crashes to perform.
+    pub max_crashes: u32,
+    /// Downtime per crash.
+    pub down: Duration,
+    cursor: usize,
+    fired: u32,
+}
+
+impl CrashTunerCrashes {
+    /// Convenience constructor with internal cursors initialized.
+    pub fn new(seed: u64, p: f64, max_crashes: u32, down: Duration) -> CrashTunerCrashes {
+        CrashTunerCrashes {
+            seed,
+            p,
+            max_crashes,
+            down,
+            cursor: 0,
+            fired: 0,
+        }
+    }
+}
+
+impl Strategy for CrashTunerCrashes {
+    fn name(&self) -> String {
+        format!("crashtuner(p={})", self.p)
+    }
+
+    fn tick(&mut self, world: &mut World, targets: &Targets) {
+        if self.fired >= self.max_crashes {
+            return;
+        }
+        let mut to_crash = Vec::new();
+        {
+            let events = world.trace().events();
+            while self.cursor < events.len() {
+                let e = &events[self.cursor];
+                self.cursor += 1;
+                if let TraceEventKind::MessageDelivered { dst, kind, .. } = &e.kind {
+                    let is_view_update = targets.notify_kinds.iter().any(|k| k == kind);
+                    let is_service = targets.components.contains(dst) || targets.caches.contains(dst);
+                    if is_view_update && is_service && self.fired < self.max_crashes {
+                        // Deterministic per-delivery draw.
+                        let mut rng = SimRng::derive(self.seed, 0xC7 ^ e.seq);
+                        if rng.chance(self.p) {
+                            to_crash.push(*dst);
+                            self.fired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let now = world.now();
+        for victim in to_crash {
+            if !world.is_crashed(victim) {
+                world.crash(victim);
+                world.schedule_restart(victim, now + self.down);
+            }
+        }
+    }
+}
+
+/// The CoFI heuristic: around a view update, partition the receiving
+/// component from the sender (its upstream) for a fixed duration.
+#[derive(Debug, Clone)]
+pub struct CoFiPartitions {
+    /// Strategy-local seed (vary per trial).
+    pub seed: u64,
+    /// Per-view-update trigger probability.
+    pub p: f64,
+    /// Maximum number of partitions to create.
+    pub max_partitions: u32,
+    /// How long each partition lasts.
+    pub duration: Duration,
+    cursor: usize,
+    fired: u32,
+    healing: Vec<(SimTime, Partition)>,
+}
+
+impl CoFiPartitions {
+    /// Convenience constructor with internal cursors initialized.
+    pub fn new(seed: u64, p: f64, max_partitions: u32, duration: Duration) -> CoFiPartitions {
+        CoFiPartitions {
+            seed,
+            p,
+            max_partitions,
+            duration,
+            cursor: 0,
+            fired: 0,
+            healing: Vec::new(),
+        }
+    }
+}
+
+impl Strategy for CoFiPartitions {
+    fn name(&self) -> String {
+        format!("cofi(p={})", self.p)
+    }
+
+    fn tick(&mut self, world: &mut World, targets: &Targets) {
+        // Heal expired partitions first.
+        let now = world.now();
+        let mut still = Vec::new();
+        for (heal_at, p) in self.healing.drain(..) {
+            if now >= heal_at {
+                world.heal(p);
+            } else {
+                still.push((heal_at, p));
+            }
+        }
+        self.healing = still;
+
+        if self.fired >= self.max_partitions {
+            return;
+        }
+        let mut to_cut: Vec<(ActorId, ActorId)> = Vec::new();
+        {
+            let events = world.trace().events();
+            while self.cursor < events.len() {
+                let e = &events[self.cursor];
+                self.cursor += 1;
+                if let TraceEventKind::MessageDelivered { src, dst, kind, .. } = &e.kind {
+                    let is_view_update = targets.notify_kinds.iter().any(|k| k == kind);
+                    let is_service = targets.components.contains(dst) || targets.caches.contains(dst);
+                    if is_view_update && is_service && self.fired < self.max_partitions {
+                        let mut rng = SimRng::derive(self.seed, 0xF1 ^ e.seq);
+                        if rng.chance(self.p) {
+                            to_cut.push((*dst, *src));
+                            self.fired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (a, b) in to_cut {
+            let p = world.partition(&[a], &[b]);
+            self.healing.push((world.now() + self.duration, p));
+        }
+    }
+
+    fn teardown(&mut self, world: &mut World) {
+        for (_, p) in self.healing.drain(..) {
+            world.heal(p);
+        }
+        world.clear_interceptor();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sim::{Actor, AnyMsg, Ctx, TimerId, WorldConfig};
+
+    /// Emits a "ViewUpdate" message to its peer every 10ms.
+    struct Feeder {
+        peer: ActorId,
+    }
+    #[derive(Debug)]
+    struct ViewUpdate(u64);
+    struct Cache {
+        seen: Vec<u64>,
+    }
+
+    impl Actor for Feeder {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(Duration::millis(10), 0);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: AnyMsg, _c: &mut Ctx) {}
+        fn on_timer(&mut self, _t: TimerId, tag: u64, ctx: &mut Ctx) {
+            ctx.send(self.peer, ViewUpdate(tag));
+            ctx.set_timer(Duration::millis(10), tag + 1);
+        }
+    }
+    impl Actor for Cache {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_message(&mut self, _f: ActorId, m: AnyMsg, _c: &mut Ctx) {
+            if let Some(ViewUpdate(n)) = m.downcast_ref::<ViewUpdate>() {
+                self.seen.push(*n);
+            }
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx) {
+            self.seen.clear();
+            self.on_start(ctx);
+        }
+    }
+
+    fn feed_world(seed: u64) -> (World, Targets, ActorId) {
+        let mut w = World::new(WorldConfig::default(), seed);
+        let cache = w.spawn("cache", Cache { seen: vec![] });
+        let _feeder = w.spawn("feeder", Feeder { peer: cache });
+        let targets = Targets {
+            store_nodes: vec![],
+            caches: vec![cache],
+            components: vec![cache],
+            notify_kinds: vec!["ViewUpdate".into()],
+            horizon: Duration::millis(500),
+        };
+        (w, targets, cache)
+    }
+
+    #[test]
+    fn staleness_injector_delays_updates() {
+        let (mut w, t, cache) = feed_world(1);
+        let mut s = StalenessInjector {
+            cache: 0,
+            delay: Duration::millis(100),
+            after: Duration::ZERO,
+        };
+        s.setup(&mut w, &t);
+        w.run_for(Duration::millis(105));
+        // Without delay ~10 updates would have arrived; with +100ms, ~1.
+        let seen = w.actor_ref::<Cache>(cache).unwrap().seen.len();
+        assert!(seen <= 2, "saw {seen} updates despite delay");
+        s.teardown(&mut w);
+        w.run_for(Duration::millis(200));
+        let seen = w.actor_ref::<Cache>(cache).unwrap().seen.len();
+        assert!(seen >= 15, "updates must flow after teardown, saw {seen}");
+    }
+
+    #[test]
+    fn dropper_creates_an_interior_gap() {
+        let (mut w, t, cache) = feed_world(2);
+        let mut s = NotificationDropper {
+            cache: 0,
+            skip: 3,
+            count: 2,
+        };
+        s.setup(&mut w, &t);
+        w.run_for(Duration::millis(120));
+        s.teardown(&mut w);
+        let seen = &w.actor_ref::<Cache>(cache).unwrap().seen;
+        // Tags 0,1,2 pass; 3,4 dropped; 5.. pass.
+        assert!(seen.contains(&0) && seen.contains(&2));
+        assert!(!seen.contains(&3) && !seen.contains(&4), "seen {seen:?}");
+        assert!(seen.contains(&5));
+    }
+
+    #[test]
+    fn time_travel_holds_then_replays() {
+        let (mut w, t, cache) = feed_world(3);
+        let mut s = TimeTravelInjector::new(
+            0,
+            0,
+            Duration::millis(30), // hold feed from 30ms
+            Duration::millis(60), // crash cache at 60ms
+            Duration::millis(80), // restart at 80ms
+            Some(Duration::millis(120)),
+        );
+        s.setup(&mut w, &t);
+        for _ in 0..20 {
+            w.run_for(Duration::millis(10));
+            s.tick(&mut w, &t);
+        }
+        s.teardown(&mut w);
+        let seen = &w.actor_ref::<Cache>(cache).unwrap().seen;
+        // Restarted at 80ms (volatile state cleared), held updates (tags
+        // 2..) replayed after 120ms: the cache re-observes its past.
+        assert!(seen.contains(&2), "replayed past event missing: {seen:?}");
+        assert_eq!(w.incarnation(cache), 1);
+    }
+
+    #[test]
+    fn random_crashes_schedule_within_horizon() {
+        let (mut w, t, cache) = feed_world(4);
+        let mut s = RandomCrashes {
+            seed: 9,
+            count: 3,
+            down: Duration::millis(20),
+        };
+        s.setup(&mut w, &t);
+        w.run_for(Duration::millis(600));
+        s.teardown(&mut w);
+        // Overlapping crash windows coalesce, so incarnations ∈ [1, count].
+        let inc = w.incarnation(cache);
+        assert!((1..=3).contains(&inc), "incarnations {inc}");
+        assert!(!w.is_crashed(cache), "every crash has a later restart");
+    }
+
+    #[test]
+    fn crashtuner_crashes_after_view_updates_only() {
+        let (mut w, t, cache) = feed_world(5);
+        let mut s = CrashTunerCrashes::new(7, 1.0, 1, Duration::millis(10));
+        s.setup(&mut w, &t);
+        for _ in 0..10 {
+            w.run_for(Duration::millis(10));
+            s.tick(&mut w, &t);
+        }
+        s.teardown(&mut w);
+        assert_eq!(w.incarnation(cache), 1, "exactly one triggered crash");
+    }
+
+    #[test]
+    fn cofi_partitions_and_heals() {
+        let (mut w, t, cache) = feed_world(6);
+        let mut s = CoFiPartitions::new(8, 1.0, 1, Duration::millis(50));
+        s.setup(&mut w, &t);
+        for _ in 0..30 {
+            w.run_for(Duration::millis(10));
+            s.tick(&mut w, &t);
+        }
+        s.teardown(&mut w);
+        // After healing, updates flow again: the cache keeps receiving.
+        let seen = w.actor_ref::<Cache>(cache).unwrap().seen.clone();
+        let max = *seen.iter().max().expect("some updates");
+        assert!(max >= 25, "stream must resume after heal, max tag {max}");
+        // And there must be a gap from the partition window.
+        let missing = (0..max).filter(|n| !seen.contains(n)).count();
+        assert!(missing >= 3, "partition should have cost messages");
+    }
+
+    #[test]
+    fn no_fault_changes_nothing() {
+        let (mut w1, t, cache) = feed_world(7);
+        let mut s = NoFault;
+        s.setup(&mut w1, &t);
+        w1.run_for(Duration::millis(200));
+        s.teardown(&mut w1);
+        let with = w1.actor_ref::<Cache>(cache).unwrap().seen.clone();
+
+        let (mut w2, _t, cache2) = feed_world(7);
+        w2.run_for(Duration::millis(200));
+        let without = w2.actor_ref::<Cache>(cache2).unwrap().seen.clone();
+        assert_eq!(with, without);
+    }
+}

@@ -1,0 +1,342 @@
+//! `phtool` — the partial-histories testing tool, as a command line.
+//!
+//! ```text
+//! phtool list                         enumerate scenarios and strategies
+//! phtool run --scenario <name>        one trial (prints the report)
+//!        [--strategy <name>] [--variant buggy|fixed] [--seed N]
+//!        [--trace <file.json>]        dump the full trace as JSON
+//! phtool matrix [--trials N] [--seed N]
+//!                                     the §7 detection matrix
+//! phtool hunt --scenario <name> [--budget N] [--depth N] [--seed N]
+//!                                     causality-guided auto-discovery
+//! ```
+//!
+//! Everything is deterministic: `--seed` fully determines a run.
+
+use std::collections::BTreeMap;
+
+use ph_core::autoguide;
+use ph_core::harness::{DetectionMatrix, Explorer, RunReport};
+use ph_core::perturb::{
+    CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy, Targets,
+};
+use ph_scenarios::{
+    cass_398, cass_400, cass_402, hbase_3136, k8s_56261, k8s_59848, node_fencing, volume_17,
+    Variant,
+};
+use ph_sim::{Duration, Trace};
+
+type RunFn = fn(u64, &mut dyn Strategy, Variant) -> RunReport;
+type TraceRunFn = fn(u64, &mut dyn Strategy, Variant) -> (RunReport, Trace);
+type GuidedFn = fn(u64) -> Box<dyn Strategy>;
+
+/// Trace-returning runner + decision labels + targets builder, for
+/// scenarios wired into the auto-explorer.
+type HuntSpec = (TraceRunFn, &'static [&'static str], fn() -> Targets);
+
+/// Everything the CLI knows about one scenario.
+struct Entry {
+    run: RunFn,
+    guided: GuidedFn,
+    hunt: Option<HuntSpec>,
+}
+
+fn volume_targets() -> Targets {
+    let cfg = ph_cluster::topology::ClusterConfig {
+        volume_controller: Some(ph_cluster::controllers::VcMode::MarkOnly),
+        ..ph_cluster::topology::ClusterConfig::default()
+    };
+    let mut world = ph_sim::World::new(ph_sim::WorldConfig::default(), 1);
+    let cluster = ph_cluster::topology::spawn_cluster(&mut world, &cfg);
+    ph_scenarios::common::targets_for(&cluster, Duration::secs(5))
+}
+
+fn scheduler_targets() -> Targets {
+    let cfg = ph_cluster::topology::ClusterConfig {
+        scheduler: Some(false),
+        rs_controller: Some(false),
+        ..ph_cluster::topology::ClusterConfig::default()
+    };
+    let mut world = ph_sim::World::new(ph_sim::WorldConfig::default(), 1);
+    let cluster = ph_cluster::topology::spawn_cluster(&mut world, &cfg);
+    ph_scenarios::common::targets_for(&cluster, Duration::secs(6))
+}
+
+fn registry() -> BTreeMap<&'static str, Entry> {
+    let mut m: BTreeMap<&'static str, Entry> = BTreeMap::new();
+    m.insert(k8s_59848::NAME, Entry {
+        run: k8s_59848::run,
+        guided: k8s_59848::guided,
+        hunt: None,
+    });
+    m.insert(k8s_56261::NAME, Entry {
+        run: k8s_56261::run,
+        guided: k8s_56261::guided,
+        hunt: Some((
+            k8s_56261::run_with_trace,
+            &["scheduler.bind"],
+            scheduler_targets,
+        )),
+    });
+    m.insert(volume_17::NAME, Entry {
+        run: volume_17::run,
+        guided: volume_17::guided,
+        hunt: Some((
+            volume_17::run_with_trace,
+            &["vc.release_pvc"],
+            volume_targets,
+        )),
+    });
+    m.insert(cass_398::NAME, Entry {
+        run: cass_398::run,
+        guided: cass_398::guided,
+        hunt: None,
+    });
+    m.insert(cass_400::NAME, Entry {
+        run: cass_400::run,
+        guided: cass_400::guided,
+        hunt: None,
+    });
+    m.insert(cass_402::NAME, Entry {
+        run: cass_402::run,
+        guided: cass_402::guided,
+        hunt: None,
+    });
+    m.insert(hbase_3136::NAME, Entry {
+        run: hbase_3136::run,
+        guided: hbase_3136::guided,
+        hunt: None,
+    });
+    m.insert(node_fencing::NAME, Entry {
+        run: node_fencing::run,
+        guided: node_fencing::guided,
+        hunt: None,
+    });
+    m
+}
+
+const STRATEGIES: &[&str] = &["guided", "random-crash", "crashtuner", "cofi", "no-fault"];
+
+fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Result<Box<dyn Strategy>, String> {
+    Ok(match name {
+        "guided" => guided(seed),
+        "random-crash" => Box::new(RandomCrashes {
+            seed,
+            count: 3,
+            down: Duration::millis(300),
+        }),
+        "crashtuner" => Box::new(CrashTunerCrashes::new(seed, 0.02, 3, Duration::millis(300))),
+        "cofi" => Box::new(CoFiPartitions::new(seed, 0.02, 3, Duration::millis(500))),
+        "no-fault" => Box::new(NoFault),
+        other => return Err(format!("unknown strategy {other:?} (try: {STRATEGIES:?})")),
+    })
+}
+
+/// Minimal `--key value` flag parser.
+struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants a number")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  phtool list\n  phtool run --scenario <name> [--strategy <name>] \
+     [--variant buggy|fixed] [--seed N] [--trace out.json]\n  phtool matrix \
+     [--trials N] [--seed N]\n  phtool hunt --scenario <name> [--budget N] \
+     [--depth N] [--seed N]"
+}
+
+fn cmd_list() {
+    let reg = registry();
+    println!("scenarios:");
+    for (name, e) in &reg {
+        println!(
+            "  {name}{}",
+            if e.hunt.is_some() { "  (huntable)" } else { "" }
+        );
+    }
+    println!("strategies: {}", STRATEGIES.join(", "));
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let reg = registry();
+    let scenario = args.get("scenario").ok_or("--scenario is required")?;
+    let entry = reg
+        .get(scenario)
+        .ok_or_else(|| format!("unknown scenario {scenario:?} (phtool list)"))?;
+    let seed = args.get_u64("seed", 1)?;
+    let variant = match args.get("variant").unwrap_or("buggy") {
+        "buggy" => Variant::Buggy,
+        "fixed" => Variant::Fixed,
+        other => return Err(format!("unknown variant {other:?}")),
+    };
+    let strategy_name = args.get("strategy").unwrap_or("guided");
+    let mut strategy = make_strategy(strategy_name, entry.guided, seed)?;
+
+    let report = if let Some(path) = args.get("trace") {
+        // Only trace-capable scenarios can dump (the rest run normally).
+        if let Some((run_with_trace, ..)) = entry.hunt {
+            let (report, trace) = run_with_trace(seed, strategy.as_mut(), variant);
+            std::fs::write(path, trace.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("trace written to {path} ({} events)", trace.len());
+            report
+        } else if scenario == k8s_59848::NAME {
+            let (report, trace) = k8s_59848::run_with_trace(seed, strategy.as_mut(), variant);
+            std::fs::write(path, trace.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("trace written to {path} ({} events)", trace.len());
+            report
+        } else {
+            return Err(format!("scenario {scenario:?} cannot dump traces"));
+        }
+    } else {
+        (entry.run)(seed, strategy.as_mut(), variant)
+    };
+
+    println!("scenario : {}", report.scenario);
+    println!("strategy : {}", report.strategy);
+    println!("variant  : {variant}");
+    println!("seed     : {}", report.seed);
+    println!("events   : {}", report.trace_events);
+    println!("digest   : {:#018x}", report.trace_digest);
+    if report.failed() {
+        println!("VERDICT  : VIOLATED");
+        for v in &report.violations {
+            println!("  {v}");
+        }
+    } else {
+        println!("VERDICT  : clean");
+    }
+    Ok(())
+}
+
+fn cmd_matrix(args: &Args) -> Result<(), String> {
+    let trials = args.get_u64("trials", 5)? as u32;
+    let base_seed = args.get_u64("seed", 1000)?;
+    let explorer = Explorer {
+        max_trials: trials,
+        base_seed,
+    };
+    let reg = registry();
+    let mut matrix = DetectionMatrix::new();
+    for (name, entry) in &reg {
+        for strategy_name in STRATEGIES {
+            let run = entry.run;
+            let guided = entry.guided;
+            let mut outcome = explorer.explore(
+                name,
+                &|seed, s| run(seed, s, Variant::Buggy),
+                &|seed| make_strategy(strategy_name, guided, seed).expect("known strategy"),
+            );
+            if *strategy_name == "guided" {
+                outcome.strategy = "guided".into();
+            }
+            matrix.add(outcome);
+        }
+    }
+    println!("{}", matrix.render());
+    Ok(())
+}
+
+fn cmd_hunt(args: &Args) -> Result<(), String> {
+    let reg = registry();
+    let scenario = args.get("scenario").ok_or("--scenario is required")?;
+    let entry = reg
+        .get(scenario)
+        .ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+    let Some((run_with_trace, labels, targets_fn)) = entry.hunt else {
+        let huntable: Vec<&str> = reg
+            .iter()
+            .filter(|(_, e)| e.hunt.is_some())
+            .map(|(n, _)| *n)
+            .collect();
+        return Err(format!(
+            "scenario {scenario:?} is not wired for hunting (huntable: {huntable:?})"
+        ));
+    };
+    let seed = args.get_u64("seed", 1)?;
+    let budget = args.get_u64("budget", 20)? as usize;
+    let depth = args.get_u64("depth", 8)? as usize;
+
+    let run = |strategy: &mut dyn Strategy| {
+        let (report, trace) = run_with_trace(seed, strategy, Variant::Buggy);
+        (
+            report
+                .violations
+                .iter()
+                .map(|v| v.details.clone())
+                .collect::<Vec<_>>(),
+            trace,
+        )
+    };
+    println!("hunting {scenario} (decisions {labels:?}, depth {depth}, budget {budget})…");
+    let (findings, total) = autoguide::explore(run, |_| targets_fn(), labels, depth, budget);
+    println!("{total} candidates derived; {} tried", findings.len());
+    let mut found = 0;
+    for f in &findings {
+        if f.violated {
+            found += 1;
+            println!("✗ {}", f.candidate);
+            for v in &f.violations {
+                println!("    → {v}");
+            }
+        }
+    }
+    println!(
+        "{found} violating candidate(s); re-run any with the same seed to replay"
+    );
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    };
+    let result = match cmd.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
+        "matrix" => Args::parse(rest).and_then(|a| cmd_matrix(&a)),
+        "hunt" => Args::parse(rest).and_then(|a| cmd_hunt(&a)),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,122 @@
+//! cassandra-operator-398 — "Reconcile() fails to delete the corresponding
+//! PVC if missing deletionTimestamp of Cassandra pod" (§7, \[17\]-shaped).
+//!
+//! The shipped operator deletes a decommissioned node's PVC only when its
+//! reconcile loop has *observed* the pod carrying a deletion timestamp.
+//! That observation lives in volatile memory: crash the operator between
+//! marking the pod and the pod's finalization, and the restarted operator —
+//! whose view jumps straight from "pod alive" to "pod gone" — never deletes
+//! the PVC. An observability gap created by a restart.
+//!
+//! Guided injection: [`CrashOnAnnotation`] on the operator's own
+//! `operator.decommission` decision — crash it 100 ms after the mark (the
+//! pod is still draining), restart it 400 ms later (the pod is gone).
+//!
+//! Schedule: `1.0s` seed + dc1 desired 3 → converge → `3.0s` scale to 2 →
+//! `7.0s` end.
+
+use ph_cluster::objects::{Body, Object};
+use ph_cluster::operator::OperatorFlags;
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::Strategy;
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+use crate::strategies::CrashOnAnnotation;
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "cass-op-398";
+
+/// Defect switches for this scenario's buggy variant: only bug 398.
+fn flags(variant: Variant) -> OperatorFlags {
+    if variant.is_buggy() {
+        OperatorFlags {
+            pvc_requires_observed_terminating: true,
+            handle_decommission_notfound: true,
+            fresh_confirm_orphan: false,
+        }
+    } else {
+        OperatorFlags::fixed()
+    }
+}
+
+/// The tuned §7 injection: crash the operator right after its decommission
+/// decision; restart it after the pod has been finalized.
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(CrashOnAnnotation::new(
+        "operator.decommission",
+        None,
+        Duration::millis(100),
+        Duration::millis(400),
+        1,
+    ))
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    let cfg = ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        scheduler: Some(true),
+        operator: Some(flags(variant)),
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(7));
+    runner.seed(&Object::node("node-1"));
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 3 }));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::secs(3), Duration::millis(10));
+
+    // Scale down: the operator decommissions dc1-2 and must then clean up
+    // its PVC.
+    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 2 }));
+
+    runner.drive(strategy, Duration::secs(7), Duration::millis(10));
+    let cluster = runner.cluster.clone();
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> = vec![
+        oracles::no_orphan_pvcs(cluster.clone()),
+        oracles::no_wrongful_pvc_delete(cluster.clone()),
+        oracles::cassdc_converged(cluster, "dc1", 2),
+    ];
+    runner.finish(strategy, Duration::millis(500), &mut oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn restart_during_decommission_leaks_the_pvc() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected dc1-pvc-2 to leak");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.details.contains("dc1-pvc-2")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn fixed_operator_cleans_up_despite_the_restart() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,132 @@
+//! cassandra-operator-400 — "Cassandra node can be decommissioned wrongly
+//! which blocks scale down" (§7).
+//!
+//! The operator's decommission target comes from its cached pod list. A
+//! restarted operator that re-synchronizes against a stale apiserver picks
+//! a pod that is *already gone*; the mark-delete comes back NotFound, and
+//! the shipped operator wedges on that phantom target forever — the
+//! datacenter never reaches its desired size (a time-traveling view turned
+//! into a liveness failure).
+//!
+//! Guided injection: the generic time-travel recipe — freeze apiserver-2's
+//! feed just after the scale-down intent commits (so api-2 knows
+//! `desired = 1` but still believes all three pods are alive), crash the
+//! operator after it has decommissioned `dc1-2`, restart it (ByInstance: it
+//! reconnects to the frozen api-2), and release the backlog later. The
+//! restarted operator re-targets `dc1-2` → NotFound:
+//!
+//! * **buggy** (`handle_decommission_notfound = false`): wedges on `dc1-2`;
+//!   even after api-2 catches up, the stuck target blocks `dc1-1`'s
+//!   decommission — scale-down never completes;
+//! * **fixed**: skips the phantom, re-derives the target after the view
+//!   heals, converges.
+//!
+//! Schedule: `1.0s` seed + dc1 desired 3 → converge → `3.0s` desired 1 →
+//! freeze api-2 at `3.05s` → crash operator `3.3s`, restart `3.6s` →
+//! release backlog `5.0s` → `8.0s` end.
+
+use ph_cluster::objects::{Body, Object};
+use ph_cluster::operator::OperatorFlags;
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::{Strategy, TimeTravelInjector};
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "cass-op-400";
+
+/// Defect switches for this scenario's buggy variant: only bug 400.
+fn flags(variant: Variant) -> OperatorFlags {
+    if variant.is_buggy() {
+        OperatorFlags {
+            pvc_requires_observed_terminating: false,
+            handle_decommission_notfound: false,
+            fresh_confirm_orphan: true,
+        }
+    } else {
+        OperatorFlags::fixed()
+    }
+}
+
+/// The tuned §7 time-travel injection. Components are kubelet-1, kubelet-2,
+/// scheduler, operator → the operator is component 3; apiserver-2 is
+/// cache 1.
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(TimeTravelInjector::new(
+        1,
+        3,
+        Duration::millis(3050),
+        Duration::millis(3300),
+        Duration::millis(3600),
+        Some(Duration::millis(5000)),
+    ))
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    let cfg = ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        scheduler: Some(true),
+        operator: Some(flags(variant)),
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(8));
+    runner.seed(&Object::node("node-1"));
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 3 }));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::secs(3), Duration::millis(10));
+
+    // Scale down by two: dc1-2 then dc1-1 must be decommissioned, one at a
+    // time.
+    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 1 }));
+
+    runner.drive(strategy, Duration::secs(8), Duration::millis(10));
+    let cluster = runner.cluster.clone();
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> = vec![
+        oracles::cassdc_converged(cluster.clone(), "dc1", 1),
+        oracles::no_wrongful_pvc_delete(cluster),
+    ];
+    runner.finish(strategy, Duration::millis(500), &mut oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn stale_decommission_target_blocks_scale_down() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected the scale-down to wedge");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.details.contains("scale blocked")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn fixed_operator_converges_despite_the_same_injection() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

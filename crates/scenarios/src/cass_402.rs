@@ -1,0 +1,136 @@
+//! cassandra-operator-402 — "PVC can be accidentally deleted when the
+//! controller reads stale data from apiserver" (§7).
+//!
+//! The operator's orphaned-PVC sweep trusts its cached pod list. Freeze the
+//! pod's events (but not the PVC's) on their way to apiserver-2, restart
+//! the operator so it re-synchronizes there, and its view shows the PVC
+//! with no owning pod — so it deletes the storage of a **live** Cassandra
+//! node. Data loss from a stale read.
+//!
+//! Guided injection: a composition of the selective staleness injector
+//! ([`HoldMatching`] on `pods/dc1-2` toward apiserver-2) and the
+//! trace-triggered restart ([`CrashOnAnnotation`] on the operator's
+//! `operator.create_pod` decision).
+//!
+//! * **buggy** (`fresh_confirm_orphan = false`): deletes `dc1-pvc-2` while
+//!   `dc1-2` runs — the wrongful-delete oracle fires;
+//! * **fixed**: confirms the owner's absence with a quorum read, finds the
+//!   pod alive, and leaves the PVC alone.
+//!
+//! Schedule: `1.0s` seed + dc1 desired 2 → converge → hold `pods/dc1-2`
+//! events to api-2 from `2.4s` → `2.5s` desired 3 (operator creates
+//! `dc1-pvc-2` then `dc1-2`) → crash operator 300 ms after the create,
+//! restart 300 ms later on api-2 → release backlog at teardown → `6.5s` end.
+
+use ph_cluster::objects::{Body, Object};
+use ph_cluster::operator::OperatorFlags;
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::Strategy;
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+use crate::strategies::{Compose, CrashOnAnnotation, EventSelector, HoldMatching, TargetRef};
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "cass-op-402";
+
+/// Defect switches for this scenario's buggy variant: only bug 402.
+fn flags(variant: Variant) -> OperatorFlags {
+    if variant.is_buggy() {
+        OperatorFlags {
+            pvc_requires_observed_terminating: false,
+            handle_decommission_notfound: true,
+            fresh_confirm_orphan: false,
+        }
+    } else {
+        OperatorFlags::fixed()
+    }
+}
+
+/// The tuned §7 injection (see module docs). The operator is component 3;
+/// apiserver-2 is cache 1.
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(Compose::new(
+        "staleness+time-travel",
+        vec![
+            Box::new(HoldMatching::new(
+                TargetRef::Cache(1),
+                EventSelector::key("pods/dc1-2"),
+                Duration::millis(2400),
+                None,
+            )),
+            Box::new(CrashOnAnnotation::new(
+                "operator.create_pod",
+                None,
+                Duration::millis(300),
+                Duration::millis(300),
+                1,
+            )),
+        ],
+    ))
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    let cfg = ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        scheduler: Some(true),
+        operator: Some(flags(variant)),
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::millis(6500));
+    runner.seed(&Object::node("node-1"));
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 2 }));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::millis(2500), Duration::millis(10));
+
+    // Scale up: the operator creates dc1-pvc-2, then pod dc1-2.
+    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 3 }));
+
+    runner.drive(strategy, Duration::millis(6500), Duration::millis(10));
+    let cluster = runner.cluster.clone();
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> =
+        vec![oracles::no_wrongful_pvc_delete(cluster)];
+    runner.finish(strategy, Duration::millis(500), &mut oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn stale_view_deletes_a_live_pods_storage() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected a wrongful PVC deletion");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.details.contains("dc1-pvc-2") && v.details.contains("alive")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn fresh_confirmation_protects_the_pvc() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

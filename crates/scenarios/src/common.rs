@@ -1,0 +1,195 @@
+//! The shared scenario runner.
+//!
+//! A scenario builds a cluster, derives the [`Targets`] map the strategies
+//! act on, runs a fixed workload schedule while ticking the strategy, and
+//! assembles a [`RunReport`] from its oracles. Driving is quantized
+//! ([`Runner::drive`]) so trace-triggered strategies act promptly.
+
+use ph_cluster::topology::{ClusterConfig, ClusterHandle};
+use ph_core::harness::RunReport;
+use ph_core::oracle::{check_all, Oracle};
+use ph_core::perturb::{Strategy, Targets};
+use ph_sim::{Duration, SimTime, World, WorldConfig};
+
+/// Which implementation variant a trial runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The defective (as-shipped) component.
+    Buggy,
+    /// The repaired component (regression check: oracles must stay green
+    /// even under the guided injection).
+    Fixed,
+}
+
+impl Variant {
+    /// `true` for the buggy variant.
+    pub fn is_buggy(self) -> bool {
+        self == Variant::Buggy
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::Buggy => f.write_str("buggy"),
+            Variant::Fixed => f.write_str("fixed"),
+        }
+    }
+}
+
+/// One scenario execution in progress.
+pub struct Runner {
+    /// The simulated world.
+    pub world: World,
+    /// The cluster under test.
+    pub cluster: ClusterHandle,
+    /// The strategy-facing target map.
+    pub targets: Targets,
+    /// Scenario name (for the report).
+    pub name: String,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Runner {
+    /// Builds a cluster and waits for it to be ready, then advances the
+    /// clock to exactly `t0` so workload schedules are seed-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is not ready by `t0` (raise `t0` if you build
+    /// bigger clusters).
+    pub fn new(name: &str, seed: u64, cfg: &ClusterConfig, t0: Duration, horizon: Duration) -> Runner {
+        let mut world = World::new(WorldConfig::default(), seed);
+        let cluster = ph_cluster::topology::spawn_cluster(&mut world, cfg);
+        let t0 = SimTime(t0.as_nanos());
+        assert!(
+            cluster.wait_ready(&mut world, t0),
+            "cluster not ready by {t0} (seed {seed})"
+        );
+        world.run_until(t0);
+        let targets = targets_for(&cluster, horizon);
+        Runner {
+            world,
+            cluster,
+            targets,
+            name: name.to_string(),
+            seed,
+        }
+    }
+
+    /// The deadline used for admin (seeding) operations.
+    pub fn admin_deadline(&self) -> SimTime {
+        SimTime(self.world.now().0 + Duration::secs(10).as_nanos())
+    }
+
+    /// Seeds one object through the admin client (panics on timeout —
+    /// seeding precedes fault injection and must succeed).
+    pub fn seed(&mut self, obj: &ph_cluster::objects::Object) {
+        let dl = self.admin_deadline();
+        self.cluster
+            .create_object(&mut self.world, obj, dl)
+            .unwrap_or_else(|| panic!("seeding {} timed out", obj.key()));
+    }
+
+    /// Runs the world up to absolute time `until`, ticking `strategy`
+    /// every `quantum` so trace-triggered strategies stay responsive.
+    pub fn drive(&mut self, strategy: &mut dyn Strategy, until: Duration, quantum: Duration) {
+        let until = SimTime(until.as_nanos());
+        while self.world.now() < until {
+            let step = SimTime((self.world.now() + quantum).0.min(until.0));
+            self.world.run_until(step);
+            strategy.tick(&mut self.world, &self.targets);
+        }
+    }
+
+    /// Finishes the run: tears the strategy down, lets the system settle
+    /// for `settle`, evaluates the oracles, and produces the report.
+    pub fn finish(
+        self,
+        strategy: &mut dyn Strategy,
+        settle: Duration,
+        oracles: &mut [Box<dyn Oracle>],
+    ) -> RunReport {
+        self.finish_with_trace(strategy, settle, oracles).0
+    }
+
+    /// Like [`Runner::finish`], but also hands back the full run trace
+    /// (for narration, causality analysis, or archiving).
+    pub fn finish_with_trace(
+        mut self,
+        strategy: &mut dyn Strategy,
+        settle: Duration,
+        oracles: &mut [Box<dyn Oracle>],
+    ) -> (RunReport, ph_sim::Trace) {
+        strategy.teardown(&mut self.world);
+        self.world.run_for(settle);
+        let violations = check_all(oracles, &self.world);
+        let report = RunReport {
+            scenario: self.name,
+            strategy: strategy.name(),
+            seed: self.seed,
+            violations,
+            sim_time: self.world.now(),
+            trace_events: self.world.trace().len(),
+            trace_digest: self.world.trace().digest(),
+        };
+        (report, self.world.trace().clone())
+    }
+}
+
+/// Derives the strategy-facing [`Targets`] for a cluster:
+/// * `caches` — the apiservers (index-stable: `caches[i]` = apiserver i+1);
+/// * `components` — kubelets (in node order), then scheduler, volume
+///   controller, replica-set controller, operator (those configured);
+/// * `notify_kinds` — both view-update message layers: the store→apiserver
+///   feed (`WatchNotify`) and the apiserver→component feed (`ApiWatchEvent`).
+pub fn targets_for(cluster: &ClusterHandle, horizon: Duration) -> Targets {
+    let mut components = cluster.kubelets.clone();
+    components.extend(cluster.scheduler);
+    components.extend(cluster.volume_controller);
+    components.extend(cluster.rs_controller);
+    components.extend(cluster.operator);
+    components.extend(cluster.node_lifecycle);
+    Targets {
+        store_nodes: cluster.store.nodes.clone(),
+        caches: cluster.apiservers.clone(),
+        components,
+        notify_kinds: vec!["WatchNotify".into(), "ApiWatchEvent".into()],
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn runner_builds_and_reports() {
+        let cfg = ClusterConfig::default();
+        let mut runner = Runner::new("smoke", 3, &cfg, Duration::secs(1), Duration::secs(3));
+        assert_eq!(runner.world.now(), SimTime(Duration::secs(1).as_nanos()));
+        runner.seed(&ph_cluster::objects::Object::node("node-1"));
+        let mut strategy = NoFault;
+        runner.drive(&mut strategy, Duration::secs(2), Duration::millis(20));
+        let report = runner.finish(&mut strategy, Duration::millis(100), &mut []);
+        assert_eq!(report.scenario, "smoke");
+        assert!(!report.failed());
+        assert!(report.trace_events > 0);
+    }
+
+    #[test]
+    fn targets_cover_all_components() {
+        let cfg = ClusterConfig {
+            scheduler: Some(false),
+            rs_controller: Some(false),
+            ..ClusterConfig::default()
+        };
+        let runner = Runner::new("t", 4, &cfg, Duration::secs(1), Duration::secs(2));
+        assert_eq!(runner.targets.caches.len(), 2);
+        // 2 kubelets + scheduler + rs controller.
+        assert_eq!(runner.targets.components.len(), 4);
+        assert_eq!(runner.targets.store_nodes.len(), 3);
+    }
+}

@@ -1,0 +1,297 @@
+//! HBASE-3136 / HBASE-3137 — stale reads from a ZooKeeper-like follower
+//! break atomic compare-and-set region transitions (§4.2.1).
+//!
+//! "HBase runs region transitions using atomic compare-and-set operations
+//! which read cached states at a ZooKeeper server, and staleness in the
+//! cached states fails atomic region changes."
+//!
+//! A [`RegionManager`] drives each region through a state cycle: read the
+//! region znode, then CAS it forward using the read's version. The
+//! **buggy** manager reads *serializably from its local follower* (fast,
+//! possibly stale — the pre-fix HBase behaviour); under replication lag the
+//! CAS version is stale, the CAS fails, and the transition aborts. The
+//! **fixed** manager forces a sync (linearizable read) before every CAS —
+//! HBASE-3136's fix — which eliminates the aborts but pays a quorum
+//! round-trip per transition: the HBASE-3137 regression measured by the
+//! `e1_hbase_tradeoff` bench.
+//!
+//! The guided staleness injection delays the Raft replication stream to the
+//! manager's follower by 90 ms (just under the election timeout, so
+//! leadership is undisturbed), giving the follower a steady ~90 ms lag —
+//! longer than the 50 ms transition interval.
+
+use ph_core::harness::RunReport;
+use ph_core::oracle::check_all;
+use ph_core::perturb::{StalenessInjector, Strategy, Targets};
+use ph_sim::{Actor, ActorId, AnyMsg, Ctx, Duration, SimTime, TimerId, World, WorldConfig};
+use ph_store::msgs::Expect;
+use ph_store::node::StoreNodeConfig;
+use ph_store::{
+    spawn_store_cluster, Completion, OpError, OpResult, ReadLevel, StoreClient,
+    StoreClientConfig, Value,
+};
+
+use crate::common::Variant;
+use crate::oracles;
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "hbase-3136";
+
+const TAG_TICK: u64 = 1;
+const TAG_NEXT: u64 = 2;
+
+/// Drives region state transitions with read-then-CAS cycles against the
+/// store — the ZKAssign analog.
+#[derive(Debug)]
+pub struct RegionManager {
+    client: StoreClient,
+    regions: Vec<String>,
+    interval: Duration,
+    /// `true` = sync (linearizable read) before every CAS — the fix.
+    fixed: bool,
+    /// req → region, for reads awaiting a response.
+    pending_read: std::collections::BTreeMap<u64, String>,
+    /// req → region, for CAS writes awaiting a response.
+    pending_cas: std::collections::BTreeMap<u64, String>,
+    /// Regions whose transition aborted (the buggy manager gives up on
+    /// them, as ZKAssign gave up on broken assignments).
+    broken: std::collections::BTreeSet<String>,
+    /// Completed transitions per region.
+    pub transitions: std::collections::BTreeMap<String, u64>,
+    seeded: bool,
+}
+
+impl RegionManager {
+    /// Creates a manager for `n` regions, reading through `client`
+    /// (configure the client's affinity to pick the follower it trusts).
+    pub fn new(client: StoreClient, n: usize, interval: Duration, fixed: bool) -> RegionManager {
+        RegionManager {
+            client,
+            regions: (0..n).map(|i| format!("regions/r{i}")).collect(),
+            interval,
+            fixed,
+            pending_read: std::collections::BTreeMap::new(),
+            pending_cas: std::collections::BTreeMap::new(),
+            broken: std::collections::BTreeSet::new(),
+            transitions: std::collections::BTreeMap::new(),
+            seeded: false,
+        }
+    }
+
+    /// Total completed transitions.
+    pub fn total_transitions(&self) -> u64 {
+        self.transitions.values().sum()
+    }
+
+    /// Regions whose assignment broke on a stale CAS.
+    pub fn broken_regions(&self) -> usize {
+        self.broken.len()
+    }
+
+    fn busy(&self, region: &str) -> bool {
+        self.pending_read.values().any(|r| r == region)
+            || self.pending_cas.values().any(|r| r == region)
+    }
+
+    fn start_transitions(&mut self, ctx: &mut Ctx) {
+        let level = if self.fixed {
+            ReadLevel::Linearizable
+        } else {
+            ReadLevel::Serializable
+        };
+        let todo: Vec<String> = self
+            .regions
+            .iter()
+            .filter(|r| !self.broken.contains(*r) && !self.busy(r))
+            .cloned()
+            .collect();
+        for region in todo {
+            let req = self.client.read(region.clone(), level, ctx);
+            self.pending_read.insert(req, region);
+        }
+    }
+
+    fn on_completion(&mut self, c: Completion, ctx: &mut Ctx) {
+        let Completion::OpDone { req, result } = c else {
+            return;
+        };
+        if let Some(region) = self.pending_read.remove(&req) {
+            if let Ok(OpResult::Read { kvs, .. }) = result {
+                let Some(kv) = kvs.into_iter().next() else {
+                    return; // region missing (not yet replicated) — retry next tick
+                };
+                let state: u64 = std::str::from_utf8(&kv.value)
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                let next = Value::copy_from_slice((state + 1).to_string().as_bytes());
+                let req = self
+                    .client
+                    .cas_put(kv.key.clone(), next, Expect::ModRev(kv.mod_revision), ctx);
+                self.pending_cas.insert(req, region);
+            }
+            return;
+        }
+        if let Some(region) = self.pending_cas.remove(&req) {
+            match result {
+                Ok(_) => {
+                    *self.transitions.entry(region.clone()).or_insert(0) += 1;
+                    ctx.annotate("hbase.transition", region);
+                    // Closed loop with a short think time: throughput then
+                    // reflects the read path's latency (the HBASE-3137
+                    // measurement) without racing the replication stream.
+                    ctx.set_timer(Duration::millis(5), TAG_NEXT);
+                }
+                Err(OpError::CasFailed { .. }) => {
+                    // The atomic region change broke on a stale version —
+                    // HBASE-3136. The manager gives the region up.
+                    ctx.annotate("hbase.aborted", region.clone());
+                    self.broken.insert(region);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+impl Actor for RegionManager {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if !self.seeded {
+            self.seeded = true;
+            for region in self.regions.clone() {
+                self.client
+                    .put(region, Value::from_static(b"0"), ctx);
+            }
+        }
+        ctx.set_timer(self.interval, TAG_TICK);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: AnyMsg, ctx: &mut Ctx) {
+        let mut completions = Vec::new();
+        if self.client.on_message(from, &msg, ctx, &mut completions) {
+            for c in completions {
+                self.on_completion(c, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerId, tag: u64, ctx: &mut Ctx) {
+        match tag {
+            TAG_TICK => {
+                self.client.tick(ctx);
+                self.start_transitions(ctx);
+                ctx.set_timer(self.interval, TAG_TICK);
+            }
+            TAG_NEXT => self.start_transitions(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// The tuned §4.2.1 staleness injection: delay the Raft stream to the
+/// manager's follower by 90 ms (`caches[0]` in this scenario's targets).
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(StalenessInjector {
+        cache: 0,
+        delay: Duration::millis(90),
+        after: Duration::millis(1500),
+    })
+}
+
+/// Runs one trial under `strategy`.
+///
+/// Targets: `caches[0]` = the follower the manager reads from;
+/// `notify_kinds` = the Raft replication stream (`RaftWire`) — at the store
+/// layer, replication *is* the view-update feed.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    let mut world = World::new(WorldConfig::default(), seed);
+    let cluster = spawn_store_cluster(&mut world, 3, StoreNodeConfig::default());
+    let leader = cluster
+        .wait_for_leader(&mut world, SimTime(Duration::secs(1).as_nanos()))
+        .expect("leader");
+    world.run_until(SimTime(Duration::secs(1).as_nanos()));
+    let follower = *cluster
+        .nodes
+        .iter()
+        .find(|&&n| n != leader)
+        .expect("follower");
+    let follower_idx = cluster.nodes.iter().position(|&n| n == follower).unwrap();
+
+    let mut scc = StoreClientConfig::new(cluster.nodes.clone());
+    scc.affinity = Some(follower_idx);
+    let manager = world.spawn(
+        "region-manager",
+        RegionManager::new(
+            StoreClient::new(scc),
+            4,
+            Duration::millis(50),
+            !variant.is_buggy(),
+        ),
+    );
+
+    let targets = Targets {
+        store_nodes: cluster.nodes.clone(),
+        caches: vec![follower],
+        components: vec![manager],
+        notify_kinds: vec!["RaftWire".into()],
+        horizon: Duration::secs(5),
+    };
+
+    strategy.setup(&mut world, &targets);
+    let end = SimTime(Duration::secs(5).as_nanos());
+    while world.now() < end {
+        let step = SimTime((world.now() + Duration::millis(10)).0.min(end.0));
+        world.run_until(step);
+        strategy.tick(&mut world, &targets);
+    }
+    strategy.teardown(&mut world);
+    world.run_for(Duration::millis(500));
+
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> =
+        vec![oracles::no_aborted_transitions()];
+    let violations = check_all(&mut oracles, &world);
+    RunReport {
+        scenario: NAME.into(),
+        strategy: strategy.name(),
+        seed,
+        violations,
+        sim_time: world.now(),
+        trace_events: world.trace().len(),
+        trace_digest: world.trace().digest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn follower_lag_breaks_buggy_cas_transitions() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected stale-CAS aborts");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.details.contains("regions/")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sync_before_cas_survives_the_same_lag() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,126 @@
+//! Kubernetes-56261 — the scheduler misses a node deletion (§4.2.3).
+//!
+//! "The scheduler falls into a cycle of failing pod placement attempts
+//! after missing a node deletion event. It keeps scheduling pods to the
+//! deleted node without synchronizing S′ with S."
+//!
+//! Setup: two nodes, a scheduler, a replica-set controller. `node-2` is
+//! deleted (its kubelet crashes with it); the guided injection drops the
+//! deletion notification on its way to the scheduler, leaving a ghost node
+//! in the scheduler's cache. A subsequent scale-up then binds fresh pods to
+//! the ghost; they can never run.
+//!
+//! * **buggy** scheduler: purely event-driven node cache, no recovery —
+//!   the pods stay wedged (liveness violation);
+//! * **fixed** scheduler: periodically re-lists its node cache and rebinds
+//!   pods stuck on nonexistent nodes — converges despite the same drop.
+//!
+//! Schedule: `1.0s` seed nodes + `web` rs (replicas 0) → `2.0s` delete
+//! `node-2` (+ crash its kubelet) → `2.5s` scale `web` to 3 → `6.0s` end.
+
+use ph_cluster::objects::{Body, Object};
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::Strategy;
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+use crate::strategies::{DropMatching, EventSelector, TargetRef};
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "k8s-56261";
+
+/// The tuned §7 observability-gap injection: drop the `nodes/node-2`
+/// deletion notification to the scheduler (components: kubelet-1, kubelet-2,
+/// scheduler, rs-controller → index 2).
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(DropMatching {
+        dst: TargetRef::Component(2),
+        selector: EventSelector::deletes_of("nodes/node-2"),
+        from: Duration::millis(1500),
+        max: 4,
+    })
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace (consumed by the
+/// causality-guided auto-explorer).
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
+    let cfg = ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        scheduler: Some(!variant.is_buggy()),
+        rs_controller: Some(false),
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(6));
+    runner.seed(&Object::node("node-1"));
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&Object::new("web", Body::ReplicaSet { replicas: 0 }));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::secs(2), Duration::millis(10));
+
+    // node-2 dies: its kubelet crashes and the node object is removed.
+    let k2 = runner.cluster.kubelets[1];
+    runner.world.crash(k2);
+    let dl = runner.admin_deadline();
+    runner
+        .cluster
+        .delete_key(&mut runner.world, "nodes/node-2", dl);
+
+    runner.drive(strategy, Duration::millis(2500), Duration::millis(10));
+    // Scale up: the scheduler must place 3 new pods.
+    runner.seed(&Object::new("web", Body::ReplicaSet { replicas: 3 }));
+
+    runner.drive(strategy, Duration::secs(6), Duration::millis(10));
+    let cluster = runner.cluster.clone();
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> =
+        vec![oracles::all_pods_running(cluster)];
+    runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn dropped_deletion_wedges_the_buggy_scheduler() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected pods wedged on the ghost node");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.details.contains("node-2") || v.details.contains("stuck")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn fixed_scheduler_recovers_from_the_same_drop() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,141 @@
+//! Kubernetes-59848 — the paper's Figure 2 walkthrough.
+//!
+//! "The most severe possible known vulnerability in Kubernetes safety
+//! guarantees": two apiservers (api-1, api-2), two kubelets (k1, k2).
+//!
+//! 1. pod `p1` is created bound to node-1; k1 runs it (api-2 also learns of
+//!    it — *before* the freeze);
+//! 2. a rolling upgrade migrates `p1` to node-2: the global history grows
+//!    by a deletion and a re-creation; k1 (fed by api-1) stops `p1`, k2
+//!    starts it;
+//! 3. api-2's feed from the store is frozen (network trouble): api-2 still
+//!    believes `p1` runs on node-1;
+//! 4. k1 restarts and — switching upstreams on restart — synchronizes with
+//!    the stale api-2, re-learns its own past (`p1` is yours), and runs
+//!    `p1` again: **two nodes run the same pod**.
+//!
+//! The guided strategy is the generic `ph-core`
+//! [`TimeTravelInjector`]: freeze one upstream, crash the victim, restart
+//! it against the frozen upstream, then release the backlog. The **fixed**
+//! kubelet (quorum-read lists — the upstream remedy) stays safe under the
+//! identical injection.
+//!
+//! Workload schedule (absolute sim time):
+//! `1.0s` seed + create `p1@node-1` → `1.5s` freeze api-2 →
+//! `1.7s` delete `p1` → `1.9s` recreate `p1@node-2` → `2.2s` crash k1 →
+//! `2.4s` restart k1 → `3.5s` release backlog → `4.0s` end (+0.5s settle).
+
+use ph_cluster::objects::Object;
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::{Strategy, TimeTravelInjector};
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "k8s-59848";
+
+/// The tuned §7 time-travel injection for this scenario's schedule.
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(TimeTravelInjector::new(
+        1, // stale upstream: apiserver-2
+        0, // victim: kubelet-node-1
+        Duration::millis(1500),
+        Duration::millis(2200),
+        Duration::millis(2400),
+        Some(Duration::millis(3500)),
+    ))
+}
+
+/// Runs one trial under `strategy`. `variant` selects the buggy or fixed
+/// kubelet.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace (used by the
+/// `rolling_upgrade` example to narrate the execution).
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
+    let cfg = ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        kubelet_stagger: false, // both kubelets start on api-1; restarts move them
+        kubelet_fixed: !variant.is_buggy(),
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(4));
+    runner.seed(&Object::node("node-1"));
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&Object::pod("p1", Some("node-1".into()), None));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::millis(1700), Duration::millis(10));
+
+    // Rolling upgrade: migrate p1 from node-1 to node-2 (delete, then
+    // re-create after the old instance has been stopped).
+    let dl = runner.admin_deadline();
+    runner.cluster.delete_key(&mut runner.world, "pods/p1", dl);
+    runner.drive(strategy, Duration::millis(1900), Duration::millis(10));
+    runner.seed(&Object::pod("p1", Some("node-2".into()), None));
+
+    runner.drive(strategy, Duration::secs(4), Duration::millis(10));
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> = vec![oracles::unique_pod_execution()];
+    runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn guided_injection_reproduces_the_bug() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(
+            report.failed(),
+            "expected duplicate-pod violation; got none ({} events)",
+            report.trace_events
+        );
+        let v = &report.violations[0];
+        assert!(v.details.contains("p1"), "{v}");
+        assert!(
+            v.details.contains("kubelet-node-1") && v.details.contains("kubelet-node-2"),
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn fixed_kubelet_survives_the_same_injection() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn reproduction_is_deterministic() {
+        let d1 = {
+            let mut s = guided(7);
+            run(7, s.as_mut(), Variant::Buggy).trace_digest
+        };
+        let d2 = {
+            let mut s = guided(7);
+            run(7, s.as_mut(), Variant::Buggy).trace_digest
+        };
+        assert_eq!(d1, d2);
+    }
+}

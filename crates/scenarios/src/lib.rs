@@ -1,0 +1,43 @@
+//! # ph-scenarios — every bug the paper discusses, as a runnable scenario
+//!
+//! Each module encodes one real-world partial-history bug on the
+//! `ph-cluster` stack, with a fixed deterministic workload schedule, the
+//! oracles that detect it, the *guided* perturbation (the paper's §7 tool)
+//! that triggers it, and the fixed-variant regression check:
+//!
+//! | Module | Real bug | Pattern (§4.2) |
+//! |---|---|---|
+//! | [`k8s_59848`] | Kubernetes-59848 | time traveling |
+//! | [`k8s_56261`] | Kubernetes-56261 | missed event / staleness |
+//! | [`volume_17`] | controller bug \[17\] | observability gap |
+//! | [`cass_398`] | cassandra-operator-398 | observability gap across restart |
+//! | [`cass_400`] | cassandra-operator-400 | stale view blocks scale-down |
+//! | [`cass_402`] | cassandra-operator-402 | stale view deletes live data |
+//! | [`hbase_3136`] | HBASE-3136 / 3137 | stale follower CAS |
+//! | [`node_fencing`] | the class behind \[5\] (pod safety vs HA) | unobservable liveness |
+//!
+//! [`common`] holds the shared runner; [`strategies`] holds the
+//! payload-aware injectors scenarios tune (they extend the generic
+//! `ph-core` strategies with cluster-level knowledge); [`oracles`] holds
+//! the ground-truth safety/liveness checks.
+//!
+//! Every scenario exposes:
+//! * `run(seed, &mut dyn Strategy, Variant) -> RunReport` — one trial;
+//! * `guided(seed) -> Box<dyn Strategy>` — the tuned §7 injector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cass_398;
+pub mod cass_400;
+pub mod cass_402;
+pub mod common;
+pub mod hbase_3136;
+pub mod k8s_56261;
+pub mod k8s_59848;
+pub mod node_fencing;
+pub mod oracles;
+pub mod strategies;
+pub mod volume_17;
+
+pub use common::{Runner, Variant};

@@ -1,0 +1,255 @@
+//! Ground-truth oracles for the cluster scenarios.
+//!
+//! These read the store's authoritative `(H, S)` through the
+//! [`ClusterHandle`] and the run trace, so they judge what *actually*
+//! happened, not what any component believed.
+
+use ph_cluster::objects::{Body, Object, PodPhase};
+use ph_cluster::topology::ClusterHandle;
+use ph_core::oracle::{FnOracle, Oracle, UniqueExecutionOracle};
+use ph_sim::World;
+use ph_store::kv::KvEvent;
+
+/// No pod may run on two nodes at once (the Kubernetes-59848 guarantee).
+/// Consumes the kubelets' `kubelet.pod_start` / `kubelet.pod_stop`
+/// annotations.
+pub fn unique_pod_execution() -> Box<dyn Oracle> {
+    Box::new(UniqueExecutionOracle::new(
+        "kubelet.pod_start",
+        "kubelet.pod_stop",
+    ))
+}
+
+/// Every PVC in the final ground truth must have a live owner pod —
+/// a PVC without one was leaked (bugs \[17\] and 398).
+pub fn no_orphan_pvcs(cluster: ClusterHandle) -> Box<dyn Oracle> {
+    Box::new(FnOracle::new("no-orphan-pvcs", move |world: &World| {
+        let s = cluster.ground_truth(world);
+        s.values()
+            .filter(|o| o.kind() == ph_cluster::ObjectKind::Pvc)
+            .filter_map(|pvc| {
+                let owner = pvc.meta.owner.as_deref()?;
+                if s.contains_key(&format!("pods/{owner}")) {
+                    None
+                } else {
+                    Some(format!(
+                        "pvc {} leaked: owner pod {owner} is gone",
+                        pvc.meta.name
+                    ))
+                }
+            })
+            .collect()
+    }))
+}
+
+/// No PVC may ever be deleted while its owner pod is alive and *not*
+/// terminating (bug 402; releasing the storage of a pod that has been
+/// marked for deletion is the controller's job, not a violation).
+/// Replays the ground-truth history `H` and checks, at each PVC deletion
+/// revision, the owner pod's state at that instant.
+pub fn no_wrongful_pvc_delete(cluster: ClusterHandle) -> Box<dyn Oracle> {
+    Box::new(FnOracle::new(
+        "no-wrongful-pvc-delete",
+        move |world: &World| {
+            let history = cluster.ground_history(world);
+            // pod key → currently terminating?
+            let mut pods: std::collections::BTreeMap<String, bool> =
+                std::collections::BTreeMap::new();
+            let mut out = Vec::new();
+            for ev in &history {
+                match ev {
+                    KvEvent::Put { kv, .. } => {
+                        if kv.key.as_str().starts_with("pods/") {
+                            let terminating = Object::from_kv(kv)
+                                .map(|o| o.is_terminating())
+                                .unwrap_or(false);
+                            pods.insert(kv.key.as_str().to_string(), terminating);
+                        }
+                    }
+                    KvEvent::Delete { key, revision, prev } => {
+                        if key.as_str().starts_with("pods/") {
+                            pods.remove(key.as_str());
+                        } else if key.as_str().starts_with("pvcs/") {
+                            let owner = prev
+                                .as_ref()
+                                .and_then(|kv| Object::from_kv(kv).ok())
+                                .and_then(|o| o.meta.owner);
+                            if let Some(owner) = owner {
+                                if pods.get(&format!("pods/{owner}")) == Some(&false) {
+                                    out.push(format!(
+                                        "pvc {key} deleted at {revision} while owner pod \
+                                         {owner} was alive"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        },
+    ))
+}
+
+/// Every live, non-terminating pod must end the run `Running` and bound to
+/// a node that exists (Kubernetes-56261's liveness: no pod stuck pending on
+/// a ghost node).
+pub fn all_pods_running(cluster: ClusterHandle) -> Box<dyn Oracle> {
+    Box::new(FnOracle::new("all-pods-running", move |world: &World| {
+        let s = cluster.ground_truth(world);
+        s.values()
+            .filter_map(|o| {
+                if o.is_terminating() {
+                    return None;
+                }
+                let Body::Pod { node, phase, .. } = &o.body else {
+                    return None;
+                };
+                match node {
+                    None => Some(format!("pod {} never scheduled", o.meta.name)),
+                    Some(n) if !s.contains_key(&format!("nodes/{n}")) => Some(format!(
+                        "pod {} bound to nonexistent node {n}",
+                        o.meta.name
+                    )),
+                    Some(_) if *phase != PodPhase::Running => {
+                        Some(format!("pod {} stuck in {:?}", o.meta.name, phase))
+                    }
+                    Some(_) => None,
+                }
+            })
+            .collect()
+    }))
+}
+
+/// A Cassandra datacenter must converge to its desired size (bug 400's
+/// liveness: scale-down must not wedge).
+pub fn cassdc_converged(cluster: ClusterHandle, dc: &str, desired: u32) -> Box<dyn Oracle> {
+    let dc = dc.to_string();
+    Box::new(FnOracle::new("cassdc-converged", move |world: &World| {
+        let s = cluster.ground_truth(world);
+        let live = s
+            .values()
+            .filter(|o| {
+                o.kind() == ph_cluster::ObjectKind::Pod
+                    && o.meta.owner.as_deref() == Some(dc.as_str())
+                    && !o.is_terminating()
+            })
+            .count() as u32;
+        if live == desired {
+            Vec::new()
+        } else {
+            vec![format!(
+                "datacenter {dc} has {live} pods, wants {desired} — scale blocked"
+            )]
+        }
+    }))
+}
+
+/// No region transition may abort on a stale CAS (HBASE-3136: the region
+/// manager annotates `hbase.aborted` when it gives up on a transition).
+pub fn no_aborted_transitions() -> Box<dyn Oracle> {
+    Box::new(FnOracle::new(
+        "no-aborted-transitions",
+        move |world: &World| {
+            world
+                .trace()
+                .annotations("hbase.aborted")
+                .map(|(actor, data)| {
+                    format!("{} aborted transition: {data}", world.name_of(actor))
+                })
+                .collect()
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_cluster::topology::{spawn_cluster, ClusterConfig};
+    use ph_sim::{Duration, SimTime, WorldConfig};
+
+    fn ready_cluster(seed: u64) -> (World, ClusterHandle) {
+        let mut world = World::new(WorldConfig::default(), seed);
+        let cluster = spawn_cluster(&mut world, &ClusterConfig::default());
+        assert!(cluster.wait_ready(&mut world, SimTime(Duration::secs(2).as_nanos())));
+        (world, cluster)
+    }
+
+    fn seed_obj(world: &mut World, cluster: &ClusterHandle, obj: &Object) {
+        let dl = SimTime(world.now().0 + Duration::secs(5).as_nanos());
+        cluster.create_object(world, obj, dl).expect("seed");
+    }
+
+    #[test]
+    fn orphan_pvc_is_flagged_only_without_owner() {
+        let (mut world, cluster) = ready_cluster(51);
+        seed_obj(&mut world, &cluster, &Object::pvc("v1", "p1"));
+        let mut oracle = no_orphan_pvcs(cluster.clone());
+        let v = oracle.check(&world);
+        assert_eq!(v.len(), 1, "no owner yet: leaked");
+        assert!(v[0].details.contains("v1"));
+        seed_obj(
+            &mut world,
+            &cluster,
+            &Object::pod("p1", Some("node-1".into()), Some("v1".into())),
+        );
+        assert!(oracle.check(&world).is_empty(), "owner exists now");
+    }
+
+    #[test]
+    fn wrongful_delete_needs_live_owner_at_delete_time() {
+        let (mut world, cluster) = ready_cluster(52);
+        seed_obj(&mut world, &cluster, &Object::pvc("v1", "p1"));
+        seed_obj(&mut world, &cluster, &Object::pod("p1", None, Some("v1".into())));
+        // Delete the PVC while p1 is alive: wrongful.
+        let dl = SimTime(world.now().0 + Duration::secs(5).as_nanos());
+        assert!(cluster.delete_key(&mut world, "pvcs/v1", dl));
+        let mut oracle = no_wrongful_pvc_delete(cluster.clone());
+        let v = oracle.check(&world);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].details.contains("while owner pod p1 was alive"));
+
+        // Counter-case: delete pod first, then pvc → fine.
+        let (mut world, cluster) = ready_cluster(53);
+        seed_obj(&mut world, &cluster, &Object::pvc("v1", "p1"));
+        seed_obj(&mut world, &cluster, &Object::pod("p1", None, Some("v1".into())));
+        let dl = SimTime(world.now().0 + Duration::secs(5).as_nanos());
+        assert!(cluster.delete_key(&mut world, "pods/p1", dl));
+        assert!(cluster.delete_key(&mut world, "pvcs/v1", dl));
+        let mut oracle = no_wrongful_pvc_delete(cluster);
+        assert!(oracle.check(&world).is_empty());
+    }
+
+    #[test]
+    fn pods_running_oracle_catches_ghost_bindings() {
+        let (mut world, cluster) = ready_cluster(54);
+        seed_obj(&mut world, &cluster, &Object::node("node-1"));
+        // Unscheduled pod.
+        seed_obj(&mut world, &cluster, &Object::pod("p1", None, None));
+        // Pod on a ghost node.
+        seed_obj(
+            &mut world,
+            &cluster,
+            &Object::pod("p2", Some("ghost".into()), None),
+        );
+        let mut oracle = all_pods_running(cluster.clone());
+        let v = oracle.check(&world);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|x| x.details.contains("never scheduled")));
+        assert!(v.iter().any(|x| x.details.contains("nonexistent node")));
+    }
+
+    #[test]
+    fn cassdc_convergence_counts_live_pods() {
+        let (mut world, cluster) = ready_cluster(55);
+        let mut pod = Object::pod("dc1-0", None, None);
+        pod.meta.owner = Some("dc1".into());
+        seed_obj(&mut world, &cluster, &pod);
+        let mut oracle = cassdc_converged(cluster.clone(), "dc1", 2);
+        assert_eq!(oracle.check(&world).len(), 1, "1 != 2");
+        let mut pod = Object::pod("dc1-1", None, None);
+        pod.meta.owner = Some("dc1".into());
+        seed_obj(&mut world, &cluster, &pod);
+        assert!(oracle.check(&world).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! The volume-controller bug — reference \[17\] of the paper (§4.2.3's
+//! worked example, and the template for cassandra-operator-398).
+//!
+//! "The controller only learns of the state of the system via sparse reads
+//! of its local view S′. The bug happens when the pod is marked for
+//! deletion (e1) and subsequently deleted (e2) between two sparse reads of
+//! S′ by the controller. The controller therefore does not learn of the pod
+//! deletion (as the logic expects to see e1) and does not release the
+//! storage volumes of the deleted pod."
+//!
+//! The guided injection drops exactly e1 (the termination-mark update) on
+//! its way to the volume controller: its view `S′` goes straight from
+//! "p1 alive" to "p1 gone" — e1 became unobservable — and the MarkOnly
+//! controller leaks the PVC.
+//!
+//! * **buggy** — `VcMode::MarkOnly` (release only on an observed mark);
+//! * **fixed** — `VcMode::FreshOrphan` (orphan sweep confirmed by quorum
+//!   reads).
+//!
+//! Schedule: `1.0s` seed node + pvc `v1` + pod `p1` → `2.0s` graceful
+//! delete of `p1` (kubelet stops, waits grace, finalizes) → `5.0s` end.
+
+use ph_cluster::controllers::VcMode;
+use ph_cluster::objects::Object;
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::Strategy;
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+use crate::strategies::{DropMatching, EventSelector, TargetRef};
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "volume-ctrl-17";
+
+/// The tuned §7 observability-gap injection: drop pod `p1`'s
+/// termination-mark notification to the volume controller (components:
+/// kubelet-1, kubelet-2, volume-controller → index 2).
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    Box::new(DropMatching {
+        dst: TargetRef::Component(2),
+        selector: EventSelector::termination_mark_of("pods/p1"),
+        from: Duration::millis(1500),
+        max: 4,
+    })
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace (consumed by the
+/// causality-guided auto-explorer).
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
+    let mode = if variant.is_buggy() {
+        VcMode::MarkOnly
+    } else {
+        VcMode::FreshOrphan
+    };
+    let cfg = ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        volume_controller: Some(mode),
+        ..ClusterConfig::default()
+    };
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(5));
+    runner.seed(&Object::node("node-1"));
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&Object::pvc("v1", "p1"));
+    runner.seed(&Object::pod("p1", Some("node-1".into()), Some("v1".into())));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::secs(2), Duration::millis(10));
+
+    // Graceful deletion: e1 = the termination mark; the kubelet stops the
+    // containers, waits the grace period, then finalizes (e2 = deletion).
+    let mut marked = Object::pod("p1", Some("node-1".into()), Some("v1".into()));
+    marked.meta.deletion_timestamp = Some(runner.world.now().nanos());
+    runner.seed(&marked);
+
+    runner.drive(strategy, Duration::secs(5), Duration::millis(10));
+    let cluster = runner.cluster.clone();
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> = vec![
+        oracles::no_orphan_pvcs(cluster.clone()),
+        oracles::no_wrongful_pvc_delete(cluster),
+    ];
+    runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_core::perturb::NoFault;
+
+    #[test]
+    fn unobservable_mark_leaks_the_pvc() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected the PVC to leak");
+        assert!(
+            report.violations.iter().any(|v| v.details.contains("v1")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn fresh_orphan_sweep_survives_the_same_drop() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,227 @@
+//! The actor model: simulated processes and their execution context.
+//!
+//! An [`Actor`] is a deterministic state machine driven by the [`crate::World`]
+//! event loop. Actors never block and never touch wall-clock time or global
+//! randomness: every external effect goes through the [`Ctx`] handed to each
+//! callback, which is what keeps runs replayable.
+//!
+//! ## Crashes and restarts
+//!
+//! A crashed actor receives no messages or timers (in-flight messages to it
+//! are dropped, pending timers are cancelled). On restart the world calls
+//! [`Actor::on_restart`]; the actor itself decides which of its fields
+//! survive — fields it resets model volatile (in-memory) state, fields it
+//! keeps model durable (on-disk) state. This mirrors how real components lose
+//! their caches (their *partial history*) across a crash while keeping their
+//! write-ahead logs.
+
+use std::any::Any;
+
+use crate::ids::{ActorId, TimerId};
+use crate::msg::AnyMsg;
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+
+/// A simulated process.
+///
+/// All callbacks receive a [`Ctx`] through which the actor sends messages,
+/// sets timers, draws randomness and annotates the trace. Callbacks must be
+/// deterministic functions of `(actor state, input, ctx.rng())`.
+pub trait Actor: Any {
+    /// Called once when the actor is spawned (and, by default, again on every
+    /// restart via [`Actor::on_restart`]).
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// Called for every message delivered to this actor.
+    fn on_message(&mut self, from: ActorId, msg: AnyMsg, ctx: &mut Ctx);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires. `tag` is the
+    /// caller-chosen discriminator passed at arm time.
+    fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut Ctx) {
+        let _ = (timer, tag, ctx);
+    }
+
+    /// Called when the actor restarts after a crash.
+    ///
+    /// The default implementation resets nothing and simply re-runs
+    /// [`Actor::on_start`]; actors with volatile state override this to clear
+    /// it first (modelling the loss of in-memory caches on a crash).
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        self.on_start(ctx);
+    }
+}
+
+/// Object-safe wrapper that adds downcasting to boxed actors.
+pub(crate) trait ActorObj: Actor {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Actor> ActorObj for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Deferred side effects produced by an actor callback.
+///
+/// The world applies these after the callback returns; deferring them keeps
+/// the actor borrowed mutably for the whole callback without aliasing the
+/// world.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    Send {
+        to: ActorId,
+        kind: &'static str,
+        msg: AnyMsg,
+    },
+    SetTimer {
+        id: TimerId,
+        after: Duration,
+        tag: u64,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+    Annotate {
+        label: &'static str,
+        data: String,
+    },
+}
+
+/// The execution context handed to every actor callback.
+pub struct Ctx<'a> {
+    pub(crate) me: ActorId,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) effects: &'a mut Vec<Effect>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// The id of the actor currently executing.
+    #[inline]
+    pub fn id(&self) -> ActorId {
+        self.me
+    }
+
+    /// Current logical time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's deterministic random number generator.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `payload` to `to`. Delivery time (or loss) is decided by the
+    /// network model and any installed interceptor.
+    pub fn send<T: Any + std::fmt::Debug>(&mut self, to: ActorId, payload: T) {
+        self.effects.push(Effect::Send {
+            to,
+            kind: std::any::type_name::<T>(),
+            msg: AnyMsg::new(payload),
+        });
+    }
+
+    /// Arms a one-shot timer that fires after `after`, invoking
+    /// [`Actor::on_timer`] with the returned id and `tag`.
+    pub fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.push(Effect::SetTimer { id, after, tag });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Records a structured annotation in the trace, attributed to this actor
+    /// at the current time. Oracles and causality analysis read these.
+    pub fn annotate(&mut self, label: &'static str, data: impl Into<String>) {
+        self.effects.push(Effect::Annotate {
+            label,
+            data: data.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+    impl Actor for Noop {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_message(&mut self, _from: ActorId, _msg: AnyMsg, _ctx: &mut Ctx) {}
+    }
+
+    fn with_ctx<R>(f: impl FnOnce(&mut Ctx) -> R) -> (R, Vec<Effect>) {
+        let mut rng = SimRng::from_seed(1);
+        let mut effects = Vec::new();
+        let mut next_timer = 0;
+        let mut ctx = Ctx {
+            me: ActorId(0),
+            now: SimTime(123),
+            rng: &mut rng,
+            effects: &mut effects,
+            next_timer_id: &mut next_timer,
+        };
+        let r = f(&mut ctx);
+        (r, effects)
+    }
+
+    #[test]
+    fn send_records_type_name_as_kind() {
+        let ((), effects) = with_ctx(|ctx| ctx.send(ActorId(1), 42u32));
+        match &effects[0] {
+            Effect::Send { to, kind, .. } => {
+                assert_eq!(*to, ActorId(1));
+                assert_eq!(*kind, "u32");
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timers_get_fresh_ids() {
+        let ((a, b), effects) = with_ctx(|ctx| {
+            (
+                ctx.set_timer(Duration::millis(1), 7),
+                ctx.set_timer(Duration::millis(2), 8),
+            )
+        });
+        assert_ne!(a, b);
+        assert_eq!(effects.len(), 2);
+    }
+
+    #[test]
+    fn default_on_timer_and_restart_are_safe() {
+        let mut noop = Noop;
+        let ((), _) = with_ctx(|ctx| {
+            noop.on_timer(TimerId(0), 0, ctx);
+            noop.on_restart(ctx);
+        });
+    }
+
+    #[test]
+    fn annotate_captures_label_and_data() {
+        let ((), effects) = with_ctx(|ctx| ctx.annotate("decision", "bind pod"));
+        match &effects[0] {
+            Effect::Annotate { label, data } => {
+                assert_eq!(*label, "decision");
+                assert_eq!(data, "bind pod");
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+    }
+}

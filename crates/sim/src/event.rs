@@ -1,0 +1,98 @@
+//! The simulator's internal event queue entries.
+
+use crate::ids::{ActorId, TimerId};
+use crate::msg::Envelope;
+use crate::time::SimTime;
+
+/// A scheduled occurrence in the simulation.
+#[derive(Debug)]
+pub enum Event {
+    /// Deliver a message to its destination.
+    Deliver {
+        /// The message.
+        env: Envelope,
+        /// The destination's incarnation when the send was scheduled; if the
+        /// destination has restarted since, the message is dropped as stale
+        /// (its transport connection died with the old incarnation).
+        dst_incarnation: u32,
+    },
+    /// Fire a timer.
+    TimerFire {
+        /// Owning actor.
+        actor: ActorId,
+        /// Timer id.
+        timer: TimerId,
+        /// Caller-chosen tag.
+        tag: u64,
+    },
+    /// Crash an actor.
+    Crash {
+        /// The actor to crash.
+        actor: ActorId,
+    },
+    /// Restart a crashed actor.
+    Restart {
+        /// The actor to restart.
+        actor: ActorId,
+    },
+}
+
+/// Queue entry: an [`Event`] with its scheduled time and a tie-breaking
+/// sequence number (insertion order), giving the run a total order.
+#[derive(Debug)]
+pub(crate) struct Scheduled {
+    pub at: SimTime,
+    pub seq: u64,
+    pub ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(at: u64, seq: u64) -> Scheduled {
+        Scheduled {
+            at: SimTime(at),
+            seq,
+            ev: Event::Crash { actor: ActorId(0) },
+        }
+    }
+
+    #[test]
+    fn orders_by_time_then_sequence() {
+        assert!(sched(1, 5) < sched(2, 0));
+        assert!(sched(2, 0) < sched(2, 1));
+        assert_eq!(sched(3, 3), sched(3, 3));
+    }
+
+    #[test]
+    fn binary_heap_pops_earliest_first() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = BinaryHeap::new();
+        q.push(Reverse(sched(5, 0)));
+        q.push(Reverse(sched(1, 1)));
+        q.push(Reverse(sched(1, 0)));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|Reverse(s)| (s.at.0, s.seq))
+            .collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (5, 0)]);
+    }
+}

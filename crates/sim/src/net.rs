@@ -1,0 +1,364 @@
+//! The message network: latency, loss, FIFO links and partitions.
+//!
+//! Links are FIFO by default (modelling TCP-backed RPC/watch streams: a later
+//! message never overtakes an earlier one on the same link), with configurable
+//! base latency, jitter and loss. Partitions block links in both or one
+//! direction; healing restores them. Partitions and loss are how the
+//! *unintentional* part of a partial history arises — the `ph-core`
+//! interceptors add the *targeted* part on top.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ids::ActorId;
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+use crate::trace::DropReason;
+
+/// Behaviour of a single directed link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Minimum one-way delay.
+    pub latency: Duration,
+    /// Uniform extra delay in `[0, jitter]` added per message.
+    pub jitter: Duration,
+    /// Probability a message is silently lost.
+    pub loss: f64,
+    /// If `true` (the default), deliveries on this link never reorder.
+    pub fifo: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            latency: Duration::micros(200),
+            jitter: Duration::micros(100),
+            loss: 0.0,
+            fifo: true,
+        }
+    }
+}
+
+/// Network-wide defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetConfig {
+    /// Link behaviour used for every pair without an override.
+    pub default_link: LinkConfig,
+}
+
+/// A handle to an active partition, listing exactly the directed pairs it
+/// blocked, so healing removes precisely what the partition added.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub(crate) pairs: Vec<(ActorId, ActorId)>,
+}
+
+impl Partition {
+    /// The directed pairs blocked by this partition.
+    pub fn pairs(&self) -> &[(ActorId, ActorId)] {
+        &self.pairs
+    }
+}
+
+/// Outcome of offering a message to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Deliver at the given time.
+    DeliverAt(SimTime),
+    /// Lost; the reason is recorded in the trace.
+    Lost(DropReason),
+}
+
+/// The simulated network fabric.
+#[derive(Debug)]
+pub struct Network {
+    default_link: LinkConfig,
+    overrides: BTreeMap<(ActorId, ActorId), LinkConfig>,
+    blocked: BTreeSet<(ActorId, ActorId)>,
+    /// Last scheduled delivery per directed link, for FIFO clamping.
+    fifo_horizon: BTreeMap<(ActorId, ActorId), SimTime>,
+}
+
+impl Network {
+    /// Creates a network with the given defaults.
+    pub fn new(config: NetConfig) -> Network {
+        Network {
+            default_link: config.default_link,
+            overrides: BTreeMap::new(),
+            blocked: BTreeSet::new(),
+            fifo_horizon: BTreeMap::new(),
+        }
+    }
+
+    /// The link configuration in effect for `src → dst`.
+    pub fn link(&self, src: ActorId, dst: ActorId) -> LinkConfig {
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Overrides the configuration of the directed link `src → dst`.
+    pub fn set_link(&mut self, src: ActorId, dst: ActorId, cfg: LinkConfig) {
+        self.overrides.insert((src, dst), cfg);
+    }
+
+    /// Overrides both directions between `a` and `b`.
+    pub fn set_link_bidir(&mut self, a: ActorId, b: ActorId, cfg: LinkConfig) {
+        self.set_link(a, b, cfg);
+        self.set_link(b, a, cfg);
+    }
+
+    /// Blocks the directed link `src → dst` (messages are dropped as
+    /// [`DropReason::Partitioned`]).
+    pub fn block(&mut self, src: ActorId, dst: ActorId) {
+        self.blocked.insert((src, dst));
+    }
+
+    /// Unblocks the directed link `src → dst`.
+    pub fn unblock(&mut self, src: ActorId, dst: ActorId) {
+        self.blocked.remove(&(src, dst));
+    }
+
+    /// `true` if `src → dst` is currently blocked.
+    pub fn is_blocked(&self, src: ActorId, dst: ActorId) -> bool {
+        self.blocked.contains(&(src, dst))
+    }
+
+    /// Partitions `group_a` from `group_b` in both directions, returning a
+    /// handle that [`Network::heal`] accepts.
+    pub fn partition(&mut self, group_a: &[ActorId], group_b: &[ActorId]) -> Partition {
+        let mut pairs = Vec::with_capacity(group_a.len() * group_b.len() * 2);
+        for &a in group_a {
+            for &b in group_b {
+                if a == b {
+                    continue;
+                }
+                for pair in [(a, b), (b, a)] {
+                    if self.blocked.insert(pair) {
+                        pairs.push(pair);
+                    }
+                }
+            }
+        }
+        Partition { pairs }
+    }
+
+    /// Isolates one actor from everyone in `others`, both directions.
+    pub fn isolate(&mut self, actor: ActorId, others: &[ActorId]) -> Partition {
+        self.partition(&[actor], others)
+    }
+
+    /// Heals a partition created by [`Network::partition`]/[`Network::isolate`],
+    /// unblocking exactly the pairs that call blocked.
+    pub fn heal(&mut self, partition: Partition) {
+        for pair in partition.pairs {
+            self.blocked.remove(&pair);
+        }
+    }
+
+    /// Removes every block, regardless of origin.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Decides the fate of a message offered to the network at `now`.
+    ///
+    /// On delivery, advances the link's FIFO horizon so later messages on the
+    /// same link cannot overtake this one.
+    pub fn offer(
+        &mut self,
+        src: ActorId,
+        dst: ActorId,
+        now: SimTime,
+        rng: &mut SimRng,
+        extra_delay: Duration,
+    ) -> SendOutcome {
+        if self.is_blocked(src, dst) {
+            return SendOutcome::Lost(DropReason::Partitioned);
+        }
+        let link = self.link(src, dst);
+        if link.loss > 0.0 && rng.chance(link.loss) {
+            return SendOutcome::Lost(DropReason::Loss);
+        }
+        let jitter = if link.jitter.as_nanos() == 0 {
+            Duration::ZERO
+        } else {
+            Duration::nanos(rng.below(link.jitter.as_nanos() + 1))
+        };
+        let mut at = now + link.latency + jitter + extra_delay;
+        if link.fifo {
+            let horizon = self.fifo_horizon.entry((src, dst)).or_insert(SimTime::ZERO);
+            if at <= *horizon {
+                at = SimTime(horizon.0 + 1);
+            }
+            *horizon = at;
+        }
+        SendOutcome::DeliverAt(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(NetConfig::default())
+    }
+
+    fn a() -> ActorId {
+        ActorId(0)
+    }
+    fn b() -> ActorId {
+        ActorId(1)
+    }
+
+    #[test]
+    fn default_link_delivers_with_latency() {
+        let mut n = net();
+        let mut rng = SimRng::from_seed(1);
+        match n.offer(a(), b(), SimTime(0), &mut rng, Duration::ZERO) {
+            SendOutcome::DeliverAt(t) => {
+                assert!(t >= SimTime(Duration::micros(200).as_nanos()));
+                assert!(t <= SimTime(Duration::micros(300).as_nanos()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_links_never_reorder() {
+        let mut n = net();
+        let mut rng = SimRng::from_seed(2);
+        let mut last = SimTime::ZERO;
+        for i in 0..200 {
+            match n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO) {
+                SendOutcome::DeliverAt(t) => {
+                    assert!(t > last, "message {i} overtook its predecessor");
+                    last = t;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_fifo_links_can_reorder() {
+        let mut n = net();
+        n.set_link(
+            a(),
+            b(),
+            LinkConfig {
+                latency: Duration::micros(100),
+                jitter: Duration::micros(500),
+                loss: 0.0,
+                fifo: false,
+            },
+        );
+        let mut rng = SimRng::from_seed(3);
+        let mut times = Vec::new();
+        for i in 0..100 {
+            if let SendOutcome::DeliverAt(t) = n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO)
+            {
+                times.push(t);
+            }
+        }
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_ne!(times, sorted, "expected at least one reordering");
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_and_heals_exactly() {
+        let mut n = net();
+        let c = ActorId(2);
+        // Pre-existing manual block must survive healing the partition.
+        n.block(a(), c);
+        let p = n.partition(&[a()], &[b(), c]);
+        assert!(n.is_blocked(a(), b()));
+        assert!(n.is_blocked(b(), a()));
+        assert!(n.is_blocked(c, a()));
+        // (a,c) was already blocked, so the partition does not own it.
+        assert!(!p.pairs().contains(&(a(), c)));
+        n.heal(p);
+        assert!(!n.is_blocked(a(), b()));
+        assert!(!n.is_blocked(b(), a()));
+        assert!(n.is_blocked(a(), c), "manual block must survive heal");
+    }
+
+    #[test]
+    fn blocked_link_drops_as_partitioned() {
+        let mut n = net();
+        n.block(a(), b());
+        let mut rng = SimRng::from_seed(4);
+        assert_eq!(
+            n.offer(a(), b(), SimTime(0), &mut rng, Duration::ZERO),
+            SendOutcome::Lost(DropReason::Partitioned)
+        );
+        // Reverse direction unaffected.
+        assert!(matches!(
+            n.offer(b(), a(), SimTime(0), &mut rng, Duration::ZERO),
+            SendOutcome::DeliverAt(_)
+        ));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut n = net();
+        n.set_link(
+            a(),
+            b(),
+            LinkConfig {
+                loss: 0.3,
+                ..LinkConfig::default()
+            },
+        );
+        let mut rng = SimRng::from_seed(5);
+        let lost = (0..2000)
+            .filter(|&i| {
+                matches!(
+                    n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO),
+                    SendOutcome::Lost(DropReason::Loss)
+                )
+            })
+            .count();
+        assert!((450..750).contains(&lost), "lost {lost} of 2000 at p=0.3");
+    }
+
+    #[test]
+    fn extra_delay_shifts_delivery() {
+        let mut n = net();
+        n.set_link(
+            a(),
+            b(),
+            LinkConfig {
+                latency: Duration::micros(100),
+                jitter: Duration::ZERO,
+                loss: 0.0,
+                fifo: true,
+            },
+        );
+        let mut rng = SimRng::from_seed(6);
+        let base = match n.offer(a(), b(), SimTime(0), &mut rng, Duration::ZERO) {
+            SendOutcome::DeliverAt(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut n2 = net();
+        n2.set_link(a(), b(), n.link(a(), b()));
+        let mut rng2 = SimRng::from_seed(6);
+        let delayed = match n2.offer(a(), b(), SimTime(0), &mut rng2, Duration::millis(5)) {
+            SendOutcome::DeliverAt(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(delayed, base + Duration::millis(5));
+    }
+
+    #[test]
+    fn heal_all_clears_every_block() {
+        let mut n = net();
+        n.block(a(), b());
+        n.partition(&[a()], &[b()]);
+        n.heal_all();
+        assert!(!n.is_blocked(a(), b()));
+        assert!(!n.is_blocked(b(), a()));
+    }
+}

@@ -1,0 +1,399 @@
+//! Structured run traces.
+//!
+//! The trace is the ground truth of a simulation: every send, delivery, drop,
+//! timer, crash, restart and actor annotation is recorded in order. The
+//! partial-history tooling in `ph-core` consumes traces to (a) derive
+//! happens-before relations for causality-guided perturbation and (b) give
+//! oracles the evidence they report violations with.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ActorId, MsgId, TimerId};
+use crate::time::SimTime;
+
+/// Why a message failed to reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The link was partitioned at send time.
+    Partitioned,
+    /// The network loss model dropped it.
+    Loss,
+    /// An installed [`crate::Interceptor`] returned [`crate::Verdict::Drop`].
+    Interceptor,
+    /// The destination was crashed at delivery time.
+    DestCrashed,
+    /// The destination was crashed between the original delivery time and the
+    /// release of a held message.
+    Stale,
+}
+
+/// One thing that happened during the run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// An actor was created.
+    Spawned {
+        /// The new actor.
+        actor: ActorId,
+        /// Its human-readable name.
+        name: String,
+    },
+    /// An actor sent a message.
+    MessageSent {
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        src: ActorId,
+        /// Destination.
+        dst: ActorId,
+        /// Short payload type name.
+        kind: String,
+    },
+    /// A message reached its destination and was handled.
+    MessageDelivered {
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        src: ActorId,
+        /// Destination.
+        dst: ActorId,
+        /// Short payload type name.
+        kind: String,
+    },
+    /// A message was lost.
+    MessageDropped {
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        src: ActorId,
+        /// Destination.
+        dst: ActorId,
+        /// Short payload type name.
+        kind: String,
+        /// Why it was lost.
+        reason: DropReason,
+    },
+    /// An interceptor put a message on hold.
+    MessageHeld {
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        src: ActorId,
+        /// Destination.
+        dst: ActorId,
+        /// Short payload type name.
+        kind: String,
+    },
+    /// A held message was released back into the network.
+    MessageReleased {
+        /// Message id.
+        id: MsgId,
+    },
+    /// A timer was armed.
+    TimerSet {
+        /// Owning actor.
+        actor: ActorId,
+        /// Timer id.
+        timer: TimerId,
+        /// Caller-chosen tag.
+        tag: u64,
+        /// When it will fire.
+        fire_at: SimTime,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Owning actor.
+        actor: ActorId,
+        /// Timer id.
+        timer: TimerId,
+        /// Caller-chosen tag.
+        tag: u64,
+    },
+    /// An actor crashed (volatile state will be lost on restart).
+    Crashed {
+        /// The crashed actor.
+        actor: ActorId,
+    },
+    /// A crashed actor came back.
+    Restarted {
+        /// The restarted actor.
+        actor: ActorId,
+    },
+    /// A component-level annotation written via [`crate::Ctx::annotate`].
+    Annotation {
+        /// The annotating actor.
+        actor: ActorId,
+        /// Annotation label (namespaced by convention, e.g. `"kubelet.run_pod"`).
+        label: String,
+        /// Free-form payload.
+        data: String,
+    },
+}
+
+/// A trace record: what happened, when, and its position in the total order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Position in the run's total order (dense, starting at 0).
+    pub seq: u64,
+    /// Logical time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The full, ordered record of a simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceEventKind) {
+        let seq = self.events.len() as u64;
+        self.events.push(TraceEvent { seq, at, kind });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over events in order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// All annotations with the given label, in order, as `(actor, data)`.
+    pub fn annotations<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = (ActorId, &'a str)> + 'a {
+        self.events.iter().filter_map(move |e| match &e.kind {
+            TraceEventKind::Annotation {
+                actor,
+                label: l,
+                data,
+            } if l == label => Some((*actor, data.as_str())),
+            _ => None,
+        })
+    }
+
+    /// All annotations from one actor, in order, as `(label, data)`.
+    pub fn annotations_of(&self, actor: ActorId) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.events.iter().filter_map(move |e| match &e.kind {
+            TraceEventKind::Annotation {
+                actor: a,
+                label,
+                data,
+            } if *a == actor => Some((label.as_str(), data.as_str())),
+            _ => None,
+        })
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// A 64-bit order-sensitive digest of the trace; two runs with equal
+    /// digests almost certainly behaved identically. Used by determinism
+    /// tests and by the harness to deduplicate schedules.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over a stable textual rendering of each event.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for e in &self.events {
+            eat(&e.at.0.to_le_bytes());
+            eat(format!("{:?}", e.kind).as_bytes());
+        }
+        h
+    }
+
+    /// Renders the trace as a JSON array of event objects (hand-rolled to
+    /// keep the dependency set minimal).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 2);
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_ns\":{},\"event\":{}}}",
+                e.seq,
+                e.at.0,
+                json_string(&format!("{:?}", e.kind))
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(
+            SimTime(1),
+            TraceEventKind::Spawned {
+                actor: ActorId(0),
+                name: "a".into(),
+            },
+        );
+        t.push(
+            SimTime(2),
+            TraceEventKind::Annotation {
+                actor: ActorId(0),
+                label: "x".into(),
+                data: "one".into(),
+            },
+        );
+        t.push(
+            SimTime(3),
+            TraceEventKind::Annotation {
+                actor: ActorId(1),
+                label: "x".into(),
+                data: "two".into(),
+            },
+        );
+        t.push(
+            SimTime(3),
+            TraceEventKind::Annotation {
+                actor: ActorId(1),
+                label: "y".into(),
+                data: "three".into(),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn seq_is_dense_and_ordered() {
+        let t = sample();
+        for (i, e) in t.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn annotation_queries_filter_correctly() {
+        let t = sample();
+        let xs: Vec<_> = t.annotations("x").collect();
+        assert_eq!(xs, vec![(ActorId(0), "one"), (ActorId(1), "two")]);
+        let of1: Vec<_> = t.annotations_of(ActorId(1)).collect();
+        assert_eq!(of1, vec![("x", "two"), ("y", "three")]);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let a = sample();
+        let mut b = Trace::new();
+        // Same events, different order of the two annotations at t=3.
+        b.push(
+            SimTime(1),
+            TraceEventKind::Spawned {
+                actor: ActorId(0),
+                name: "a".into(),
+            },
+        );
+        b.push(
+            SimTime(2),
+            TraceEventKind::Annotation {
+                actor: ActorId(0),
+                label: "x".into(),
+                data: "one".into(),
+            },
+        );
+        b.push(
+            SimTime(3),
+            TraceEventKind::Annotation {
+                actor: ActorId(1),
+                label: "y".into(),
+                data: "three".into(),
+            },
+        );
+        b.push(
+            SimTime(3),
+            TraceEventKind::Annotation {
+                actor: ActorId(1),
+                label: "x".into(),
+                data: "two".into(),
+            },
+        );
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), sample().digest());
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn to_json_is_wellformed_array() {
+        let t = sample();
+        let j = t.to_json();
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+        assert_eq!(j.matches("\"seq\":").count(), 4);
+    }
+
+    #[test]
+    fn count_applies_predicate() {
+        let t = sample();
+        let n = t.count(|e| matches!(&e.kind, TraceEventKind::Annotation { .. }));
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,445 @@
+//! The store server actor: Raft + MVCC + watches + leases + compaction.
+//!
+//! Each [`StoreNode`] wires a [`RaftCore`] to the simulator's timers and
+//! network, applies committed commands to its local [`MvccStore`], feeds its
+//! watchers from that *applied* state, and answers clients. Followers serve
+//! serializable reads and watch streams from their own (possibly lagging)
+//! state — faithfully reproducing the observation interfaces whose partial
+//! histories the paper studies.
+
+use std::collections::BTreeMap;
+
+use ph_sim::{Actor, ActorId, AnyMsg, Ctx, Duration, SimTime, TimerId};
+
+use crate::kv::LeaseId;
+use crate::msgs::{
+    ClientRequest, ClientResponse, Op, OpResult, ReadLevel, RequestError, WatchCancelReq,
+    WatchCancelled, WatchCreate, WatchNotify, WatchProgress,
+};
+use crate::mvcc::MvccStore;
+use crate::raft::{Command, Effect, NodeIdx, Origin, RaftCore, RaftMsg};
+use crate::watch::WatchRegistry;
+
+/// A Raft message on the wire between store nodes.
+#[derive(Debug, Clone)]
+pub struct RaftWire(pub RaftMsg);
+
+/// Automatic history compaction policy (the §4.2.3 rolling window).
+#[derive(Debug, Clone, Copy)]
+pub struct AutoCompact {
+    /// Keep at least this many trailing revisions.
+    pub keep: u64,
+    /// How often the leader proposes a compaction.
+    pub interval: Duration,
+}
+
+/// Tuning for a store node.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreNodeConfig {
+    /// Leader heartbeat / replication interval.
+    pub heartbeat: Duration,
+    /// Election timeout lower bound (randomized per arm).
+    pub election_min: Duration,
+    /// Election timeout upper bound.
+    pub election_max: Duration,
+    /// How often idle watchers receive a progress notification.
+    pub progress_interval: Duration,
+    /// How often the leader scans for expired leases.
+    pub lease_check_interval: Duration,
+    /// History compaction policy (`None` retains everything).
+    pub autocompact: Option<AutoCompact>,
+    /// Service time consumed per client read served by this node (models
+    /// the store's finite capacity — the §4.1 bottleneck; zero = infinite
+    /// capacity).
+    pub read_service: Duration,
+}
+
+impl Default for StoreNodeConfig {
+    fn default() -> StoreNodeConfig {
+        StoreNodeConfig {
+            heartbeat: Duration::millis(20),
+            election_min: Duration::millis(100),
+            election_max: Duration::millis(200),
+            progress_interval: Duration::millis(250),
+            lease_check_interval: Duration::millis(50),
+            autocompact: None,
+            read_service: Duration::ZERO,
+        }
+    }
+}
+
+const TAG_ELECTION: u64 = 1;
+const TAG_HEARTBEAT: u64 = 2;
+const TAG_PROGRESS: u64 = 3;
+const TAG_LEASE: u64 = 4;
+const TAG_COMPACT: u64 = 5;
+/// Timer tags at or above this are deferred-reply slots.
+const TAG_DEFER_BASE: u64 = 1 << 16;
+
+/// One member of the replicated store.
+#[derive(Debug)]
+pub struct StoreNode {
+    cfg: StoreNodeConfig,
+    idx: NodeIdx,
+    /// Actor ids of all cluster members; `peers[idx]` is this node.
+    peers: Vec<ActorId>,
+    core: RaftCore,
+    mvcc: MvccStore,
+    watches: WatchRegistry,
+    election_timer: Option<TimerId>,
+    /// Leader-side lease expiry deadlines.
+    lease_deadlines: BTreeMap<LeaseId, SimTime>,
+    /// Capacity model: this node is busy serving reads until this instant.
+    busy_until: SimTime,
+    /// Deferred read replies awaiting their service slot, keyed by timer tag.
+    deferred: BTreeMap<u64, (ActorId, ClientResponse)>,
+    next_defer_tag: u64,
+}
+
+impl StoreNode {
+    /// Creates node `idx` of a cluster whose members (in index order) will
+    /// have the given actor ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn new(cfg: StoreNodeConfig, idx: NodeIdx, peers: Vec<ActorId>) -> StoreNode {
+        assert!(idx < peers.len(), "node index out of range");
+        let n = peers.len();
+        StoreNode {
+            cfg,
+            idx,
+            peers,
+            core: RaftCore::new(idx, n),
+            mvcc: MvccStore::new(),
+            watches: WatchRegistry::new(),
+            election_timer: None,
+            lease_deadlines: BTreeMap::new(),
+            busy_until: SimTime::ZERO,
+            deferred: BTreeMap::new(),
+            next_defer_tag: TAG_DEFER_BASE,
+        }
+    }
+
+    /// `true` if this node currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.core.is_leader()
+    }
+
+    /// This node's applied state machine (test/diagnostic access; real
+    /// clients go through messages).
+    pub fn mvcc(&self) -> &MvccStore {
+        &self.mvcc
+    }
+
+    /// The Raft core (diagnostic access).
+    pub fn raft(&self) -> &RaftCore {
+        &self.core
+    }
+
+    /// Sends a read reply, charging the configured service time against
+    /// this node's capacity (replies queue behind each other when the node
+    /// is saturated).
+    fn reply_read(&mut self, to: ActorId, resp: ClientResponse, ctx: &mut Ctx) {
+        if self.cfg.read_service == Duration::ZERO {
+            ctx.send(to, resp);
+            return;
+        }
+        let now = ctx.now();
+        let start = self.busy_until.max(now);
+        self.busy_until = start + self.cfg.read_service;
+        let tag = self.next_defer_tag;
+        self.next_defer_tag += 1;
+        self.deferred.insert(tag, (to, resp));
+        ctx.set_timer(self.busy_until - now, tag);
+    }
+
+    fn arm_election(&mut self, ctx: &mut Ctx) {
+        if let Some(t) = self.election_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let span = ctx.rng().range(
+            self.cfg.election_min.as_nanos(),
+            self.cfg.election_max.as_nanos().max(self.cfg.election_min.as_nanos() + 1),
+        );
+        self.election_timer = Some(ctx.set_timer(Duration::nanos(span), TAG_ELECTION));
+    }
+
+    fn handle_effects(&mut self, effects: Vec<Effect>, ctx: &mut Ctx) {
+        for effect in effects {
+            match effect {
+                Effect::Send(to, msg) => ctx.send(self.peers[to], RaftWire(msg)),
+                Effect::Apply { index: _, entry } => self.apply_committed(entry.cmd, ctx),
+                Effect::ResetElectionTimer => self.arm_election(ctx),
+                Effect::BecameLeader => {
+                    ctx.annotate("store.leader", format!("term={}", self.core.term()));
+                    ctx.set_timer(self.cfg.heartbeat, TAG_HEARTBEAT);
+                    // Fresh leader: every known lease gets a full TTL grace.
+                    self.lease_deadlines.clear();
+                    for id in self.mvcc.lease_ids() {
+                        let ttl = self.mvcc.lease(id).expect("listed").ttl_ms;
+                        self.lease_deadlines
+                            .insert(id, ctx.now() + Duration::millis(ttl));
+                    }
+                }
+                Effect::SteppedDown => {
+                    self.lease_deadlines.clear();
+                    self.arm_election(ctx);
+                }
+            }
+        }
+    }
+
+    fn apply_committed(&mut self, cmd: Command, ctx: &mut Ctx) {
+        let (result, events) = self.mvcc.apply(&cmd.op);
+        // Leader-side lease timing.
+        if self.core.is_leader() {
+            match (&cmd.op, &result) {
+                (Op::LeaseGrant { id, ttl_ms }, Ok(_)) => {
+                    self.lease_deadlines
+                        .insert(*id, ctx.now() + Duration::millis(*ttl_ms));
+                }
+                (Op::LeaseKeepAlive { id }, Ok(_)) => {
+                    if let Some(info) = self.mvcc.lease(*id) {
+                        let ttl = info.ttl_ms;
+                        self.lease_deadlines
+                            .insert(*id, ctx.now() + Duration::millis(ttl));
+                    }
+                }
+                (Op::LeaseRevoke { id }, _) => {
+                    self.lease_deadlines.remove(id);
+                }
+                _ => {}
+            }
+        }
+        // Feed watchers from the applied state.
+        if !events.is_empty() {
+            for (w, evs, revision) in self.watches.route(&events, self.mvcc.revision()) {
+                ctx.send(w.client, WatchNotify {
+                    watch: w.watch,
+                    stream_seq: w.next_seq,
+                    events: evs,
+                    revision,
+                });
+            }
+        }
+        // Answer the client iff this node received the request. Reads are
+        // charged against the node's service capacity; writes reply
+        // immediately (their cost is the consensus round itself).
+        if let Some(Origin { node, client, req }) = cmd.origin {
+            if node == self.idx {
+                let resp = ClientResponse {
+                    req,
+                    result: result.map_err(RequestError::Op),
+                };
+                if matches!(cmd.op, Op::Read { .. }) {
+                    self.reply_read(client, resp, ctx);
+                } else {
+                    ctx.send(client, resp);
+                }
+            }
+        }
+    }
+
+    fn propose_internal(&mut self, op: Op, ctx: &mut Ctx) {
+        let mut effects = Vec::new();
+        let _ = self.core.propose(Command::internal(op), &mut effects);
+        self.handle_effects(effects, ctx);
+    }
+
+    fn on_client_request(&mut self, from: ActorId, r: ClientRequest, ctx: &mut Ctx) {
+        // Serializable reads answer straight from local applied state —
+        // possibly stale, by design.
+        if let Op::Read { prefix } = &r.op {
+            if r.level == ReadLevel::Serializable {
+                let (kvs, revision) = self.mvcc.range(prefix);
+                self.reply_read(from, ClientResponse {
+                    req: r.req,
+                    result: Ok(OpResult::Read { kvs, revision }),
+                }, ctx);
+                return;
+            }
+        }
+        if !self.core.is_leader() {
+            let hint = self.core.leader_hint().map(|i| self.peers[i]);
+            ctx.send(from, ClientResponse {
+                req: r.req,
+                result: Err(RequestError::NotLeader { hint }),
+            });
+            return;
+        }
+        let origin = Origin {
+            node: self.idx,
+            client: from,
+            req: r.req,
+        };
+        let mut effects = Vec::new();
+        match self.core.propose(
+            Command {
+                op: r.op,
+                origin: Some(origin),
+            },
+            &mut effects,
+        ) {
+            Ok(_) => self.handle_effects(effects, ctx),
+            Err(nl) => {
+                let hint = nl.hint.map(|i| self.peers[i]);
+                ctx.send(from, ClientResponse {
+                    req: r.req,
+                    result: Err(RequestError::NotLeader { hint }),
+                });
+            }
+        }
+    }
+
+    fn on_watch_create(&mut self, from: ActorId, w: WatchCreate, ctx: &mut Ctx) {
+        // Revision 0 is a genuine resume point (the dawn of history); if
+        // that history has been compacted away the watch is refused rather
+        // than silently skipped forward.
+        match self.mvcc.events_since(w.after) {
+            Err(e) => {
+                ctx.send(from, WatchCancelled {
+                    watch: w.watch,
+                    reason: e,
+                });
+            }
+            Ok(backlog) => {
+                self.watches.register(from, w.watch, w.prefix.clone());
+                let matching: Vec<_> = backlog
+                    .into_iter()
+                    .filter(|e| e.key().has_prefix(&w.prefix))
+                    .collect();
+                if !matching.is_empty() {
+                    let seq = self
+                        .watches
+                        .next_seq(from, w.watch)
+                        .expect("just registered");
+                    ctx.send(from, WatchNotify {
+                        watch: w.watch,
+                        stream_seq: seq,
+                        events: matching,
+                        revision: self.mvcc.revision(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Actor for StoreNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.arm_election(ctx);
+        ctx.set_timer(self.cfg.progress_interval, TAG_PROGRESS);
+        ctx.set_timer(self.cfg.lease_check_interval, TAG_LEASE);
+        if let Some(ac) = self.cfg.autocompact {
+            ctx.set_timer(ac.interval, TAG_COMPACT);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        // Persistent: the Raft log/term/vote inside `core`. Volatile: the
+        // applied state machine, watch registrations and lease timing — all
+        // rebuilt (the MVCC by re-applying the log as the commit index
+        // re-advances).
+        self.core.restart();
+        self.mvcc = MvccStore::new();
+        self.watches.clear();
+        self.lease_deadlines.clear();
+        self.election_timer = None;
+        self.busy_until = SimTime::ZERO;
+        self.deferred.clear();
+        self.next_defer_tag = TAG_DEFER_BASE;
+        self.on_start(ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: AnyMsg, ctx: &mut Ctx) {
+        if let Some(RaftWire(raft_msg)) = msg.downcast_ref::<RaftWire>() {
+            let Some(from_idx) = self.peers.iter().position(|&p| p == from) else {
+                return; // not a cluster member; ignore
+            };
+            let mut effects = Vec::new();
+            self.core.on_message(from_idx, raft_msg.clone(), &mut effects);
+            self.handle_effects(effects, ctx);
+            return;
+        }
+        if let Some(req) = msg.downcast_ref::<ClientRequest>() {
+            self.on_client_request(from, req.clone(), ctx);
+            return;
+        }
+        if let Some(w) = msg.downcast_ref::<WatchCreate>() {
+            self.on_watch_create(from, w.clone(), ctx);
+            return;
+        }
+        if let Some(c) = msg.downcast_ref::<WatchCancelReq>() {
+            self.watches.cancel(from, c.watch);
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut Ctx) {
+        if tag >= TAG_DEFER_BASE {
+            if let Some((to, resp)) = self.deferred.remove(&tag) {
+                ctx.send(to, resp);
+            }
+            return;
+        }
+        match tag {
+            TAG_ELECTION if Some(timer) == self.election_timer => {
+                self.election_timer = None;
+                let mut effects = Vec::new();
+                self.core.on_election_timeout(&mut effects);
+                self.handle_effects(effects, ctx);
+            }
+            TAG_HEARTBEAT if self.core.is_leader() => {
+                let mut effects = Vec::new();
+                self.core.on_heartbeat(&mut effects);
+                self.handle_effects(effects, ctx);
+                ctx.set_timer(self.cfg.heartbeat, TAG_HEARTBEAT);
+            }
+            TAG_PROGRESS => {
+                let revision = self.mvcc.revision();
+                for w in self.watches.watchers().cloned().collect::<Vec<_>>() {
+                    let seq = self
+                        .watches
+                        .next_seq(w.client, w.watch)
+                        .expect("listed watcher");
+                    ctx.send(w.client, WatchProgress {
+                        watch: w.watch,
+                        stream_seq: seq,
+                        revision,
+                    });
+                }
+                ctx.set_timer(self.cfg.progress_interval, TAG_PROGRESS);
+            }
+            TAG_LEASE => {
+                if self.core.is_leader() {
+                    let expired: Vec<LeaseId> = self
+                        .lease_deadlines
+                        .iter()
+                        .filter(|(_, &dl)| dl <= ctx.now())
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in expired {
+                        self.lease_deadlines.remove(&id);
+                        self.propose_internal(Op::LeaseRevoke { id }, ctx);
+                    }
+                }
+                ctx.set_timer(self.cfg.lease_check_interval, TAG_LEASE);
+            }
+            TAG_COMPACT => {
+                if let Some(ac) = self.cfg.autocompact {
+                    if self.core.is_leader() {
+                        let rev = self.mvcc.revision().0;
+                        if rev > ac.keep {
+                            let at = crate::kv::Revision(rev - ac.keep);
+                            if at > self.mvcc.compacted() {
+                                self.propose_internal(Op::Compact { at }, ctx);
+                            }
+                        }
+                    }
+                    ctx.set_timer(ac.interval, TAG_COMPACT);
+                }
+            }
+            _ => {}
+        }
+    }
+}

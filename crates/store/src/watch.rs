@@ -1,0 +1,185 @@
+//! Per-node watch registries.
+//!
+//! Watches are served from each node's *applied* state machine, exactly like
+//! etcd's: a watcher attached to a lagging follower sees history late. This
+//! is the notification path through which components build their partial
+//! histories `H′` (§3), and the path the `ph-core` perturbation strategies
+//! delay and drop.
+
+use std::collections::BTreeMap;
+
+use ph_sim::ActorId;
+
+use crate::kv::{KvEvent, Revision};
+
+/// One registered watcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watcher {
+    /// The watching client actor.
+    pub client: ActorId,
+    /// The client's watch id.
+    pub watch: u64,
+    /// Key prefix filter.
+    pub prefix: String,
+    /// Next stream sequence number (dense per registration; clients detect
+    /// lost stream messages by gaps).
+    pub next_seq: u64,
+}
+
+/// All watchers registered on one store node. Volatile: cleared on crash
+/// (clients detect the dead stream via progress timeouts and re-register).
+#[derive(Debug, Default, Clone)]
+pub struct WatchRegistry {
+    watchers: BTreeMap<(ActorId, u64), Watcher>,
+}
+
+impl WatchRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> WatchRegistry {
+        WatchRegistry::default()
+    }
+
+    /// Registers (or replaces) a watcher; a replacement restarts the
+    /// stream sequence at 0.
+    pub fn register(&mut self, client: ActorId, watch: u64, prefix: String) {
+        self.watchers.insert((client, watch), Watcher {
+            client,
+            watch,
+            prefix,
+            next_seq: 0,
+        });
+    }
+
+    /// Takes the next stream sequence number for a watcher.
+    pub fn next_seq(&mut self, client: ActorId, watch: u64) -> Option<u64> {
+        self.watchers.get_mut(&(client, watch)).map(|w| {
+            let s = w.next_seq;
+            w.next_seq += 1;
+            s
+        })
+    }
+
+    /// Removes a watcher. Returns `true` if it existed.
+    pub fn cancel(&mut self, client: ActorId, watch: u64) -> bool {
+        self.watchers.remove(&(client, watch)).is_some()
+    }
+
+    /// Drops every watcher (node crash).
+    pub fn clear(&mut self) {
+        self.watchers.clear();
+    }
+
+    /// Number of registered watchers.
+    pub fn len(&self) -> usize {
+        self.watchers.len()
+    }
+
+    /// `true` if no watchers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.watchers.is_empty()
+    }
+
+    /// All watchers, in deterministic `(client, watch)` order.
+    pub fn watchers(&self) -> impl Iterator<Item = &Watcher> {
+        self.watchers.values()
+    }
+
+    /// Routes a batch of freshly applied events: returns, per interested
+    /// watcher, the subsequence matching its prefix with the watcher's next
+    /// stream sequence number. `revision` is the node's applied revision
+    /// after the batch.
+    pub fn route(
+        &mut self,
+        events: &[KvEvent],
+        revision: Revision,
+    ) -> Vec<(Watcher, Vec<KvEvent>, Revision)> {
+        let mut out = Vec::new();
+        for w in self.watchers.values_mut() {
+            let matching: Vec<KvEvent> = events
+                .iter()
+                .filter(|e| e.key().has_prefix(&w.prefix))
+                .cloned()
+                .collect();
+            if !matching.is_empty() {
+                let snapshot = w.clone();
+                w.next_seq += 1;
+                out.push((snapshot, matching, revision));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{Key, KeyValue, Value};
+
+    fn put_event(key: &str, rev: u64) -> KvEvent {
+        KvEvent::Put {
+            kv: KeyValue {
+                key: Key::new(key),
+                value: Value::from_static(b"v"),
+                create_revision: Revision(rev),
+                mod_revision: Revision(rev),
+                version: 1,
+                lease: None,
+            },
+            prev: None,
+        }
+    }
+
+    #[test]
+    fn routes_by_prefix() {
+        let mut reg = WatchRegistry::new();
+        reg.register(ActorId(10), 1, "pods/".into());
+        reg.register(ActorId(11), 1, "nodes/".into());
+        reg.register(ActorId(12), 1, "".into());
+        let events = [put_event("pods/a", 1), put_event("nodes/x", 2)];
+        let routed = reg.route(&events, Revision(2));
+        assert_eq!(routed.len(), 3);
+        let for_pods = routed
+            .iter()
+            .find(|(w, ..)| w.client == ActorId(10))
+            .expect("pods watcher");
+        assert_eq!(for_pods.1.len(), 1);
+        assert_eq!(for_pods.1[0].key().as_str(), "pods/a");
+        let for_all = routed
+            .iter()
+            .find(|(w, ..)| w.client == ActorId(12))
+            .expect("catch-all watcher");
+        assert_eq!(for_all.1.len(), 2);
+        assert_eq!(for_all.2, Revision(2));
+    }
+
+    #[test]
+    fn uninterested_watchers_get_nothing() {
+        let mut reg = WatchRegistry::new();
+        reg.register(ActorId(10), 1, "volumes/".into());
+        let routed = reg.route(&[put_event("pods/a", 1)], Revision(1));
+        assert!(routed.is_empty());
+    }
+
+    #[test]
+    fn cancel_and_clear() {
+        let mut reg = WatchRegistry::new();
+        reg.register(ActorId(1), 1, "".into());
+        reg.register(ActorId(1), 2, "".into());
+        assert_eq!(reg.len(), 2);
+        assert!(reg.cancel(ActorId(1), 1));
+        assert!(!reg.cancel(ActorId(1), 1));
+        assert_eq!(reg.len(), 1);
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces_prefix() {
+        let mut reg = WatchRegistry::new();
+        reg.register(ActorId(1), 1, "pods/".into());
+        reg.register(ActorId(1), 1, "nodes/".into());
+        assert_eq!(reg.len(), 1);
+        let routed = reg.route(&[put_event("nodes/x", 1)], Revision(1));
+        assert_eq!(routed.len(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! End-to-end store tests: client ↔ replicated store over the simulated
+//! network, exercising writes, reads at both consistency levels, watches,
+//! CAS, leases, compaction, failover and follower staleness.
+
+use ph_sim::{Duration, SimTime, World, WorldConfig};
+use ph_store::client::BasicClient;
+use ph_store::msgs::{Expect, Op, ReadLevel};
+use ph_store::node::AutoCompact;
+use ph_store::{
+    spawn_store_cluster, Completion, Key, OpError, OpResult, ReadLevel as RL, Revision,
+    StoreClient, StoreClientConfig, StoreCluster, StoreNode, StoreNodeConfig, Value,
+};
+
+fn setup(seed: u64, n: usize, cfg: StoreNodeConfig) -> (World, StoreCluster, ph_sim::ActorId) {
+    let mut world = World::new(WorldConfig::default(), seed);
+    let cluster = spawn_store_cluster(&mut world, n, cfg);
+    let client = StoreClient::new(StoreClientConfig::new(cluster.nodes.clone()));
+    let c = world.spawn("client", BasicClient::new(client, Duration::millis(50)));
+    cluster
+        .wait_for_leader(&mut world, SimTime(Duration::secs(2).as_nanos()))
+        .expect("leader");
+    (world, cluster, c)
+}
+
+fn await_op(world: &mut World, c: ph_sim::ActorId, req: u64) -> Result<OpResult, OpError> {
+    for _ in 0..200 {
+        world.run_for(Duration::millis(20));
+        if let Some(r) = world
+            .actor_ref::<BasicClient>(c)
+            .expect("client")
+            .result_of(req)
+        {
+            return r.clone();
+        }
+    }
+    panic!("request {req} did not complete within 4s");
+}
+
+#[test]
+fn put_then_linearizable_read_round_trips() {
+    let (mut world, _cluster, c) = setup(21, 3, StoreNodeConfig::default());
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.put("pods/p1", Value::from_static(b"running"), ctx)
+    });
+    let rev = match await_op(&mut world, c, req).expect("put") {
+        OpResult::Put { revision } => revision,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(rev.0 >= 1);
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.read("pods/", RL::Linearizable, ctx)
+    });
+    match await_op(&mut world, c, req).expect("read") {
+        OpResult::Read { kvs, revision } => {
+            assert_eq!(kvs.len(), 1);
+            assert_eq!(kvs[0].key, Key::new("pods/p1"));
+            assert_eq!(&kvs[0].value[..], b"running");
+            assert!(revision >= rev);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn watch_streams_events_in_order() {
+    let (mut world, _cluster, c) = setup(22, 3, StoreNodeConfig::default());
+    let watch = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.watch("pods/", Revision::ZERO, ctx)
+    });
+    world.run_for(Duration::millis(50));
+    for (k, v) in [("pods/a", "1"), ("pods/b", "2"), ("nodes/n1", "x")] {
+        let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+            bc.client.put(k, Value::copy_from_slice(v.as_bytes()), ctx)
+        });
+        await_op(&mut world, c, req).expect("put");
+    }
+    // Delete one to see a tombstone event.
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.delete("pods/a", Expect::Any, ctx)
+    });
+    await_op(&mut world, c, req).expect("delete");
+    world.run_for(Duration::millis(300));
+
+    let events = world
+        .actor_ref::<BasicClient>(c)
+        .expect("client")
+        .watch_events(watch);
+    let keys: Vec<_> = events.iter().map(|e| e.key().as_str().to_string()).collect();
+    assert_eq!(keys, vec!["pods/a", "pods/b", "pods/a"]);
+    assert!(events[2].is_delete());
+    // Revisions strictly increase.
+    let revs: Vec<u64> = events.iter().map(|e| e.revision().0).collect();
+    assert!(revs.windows(2).all(|w| w[0] < w[1]), "revisions {revs:?}");
+}
+
+#[test]
+fn cas_conflict_surfaces_as_op_error() {
+    let (mut world, _cluster, c) = setup(23, 3, StoreNodeConfig::default());
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.put("k", Value::from_static(b"v1"), ctx)
+    });
+    let rev = match await_op(&mut world, c, req).expect("put") {
+        OpResult::Put { revision } => revision,
+        other => panic!("unexpected {other:?}"),
+    };
+    // Overwrite, then CAS against the now-stale revision.
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.put("k", Value::from_static(b"v2"), ctx)
+    });
+    await_op(&mut world, c, req).expect("put2");
+    let req = world.invoke::<BasicClient, _>(c, move |bc, ctx| {
+        bc.client
+            .cas_put("k", Value::from_static(b"v3"), Expect::ModRev(rev), ctx)
+    });
+    match await_op(&mut world, c, req) {
+        Err(OpError::CasFailed { key, actual }) => {
+            assert_eq!(key, Key::new("k"));
+            assert_eq!(actual, Some(Revision(rev.0 + 1)));
+        }
+        other => panic!("expected CAS failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn writes_survive_leader_failover() {
+    let (mut world, cluster, c) = setup(24, 3, StoreNodeConfig::default());
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.put("durable", Value::from_static(b"1"), ctx)
+    });
+    await_op(&mut world, c, req).expect("put");
+    let leader = cluster.leader(&world).expect("leader");
+    world.crash(leader);
+    // The client must find the new leader and the data must still be there.
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.read("durable", RL::Linearizable, ctx)
+    });
+    match await_op(&mut world, c, req).expect("read after failover") {
+        OpResult::Read { kvs, .. } => {
+            assert_eq!(kvs.len(), 1);
+            assert_eq!(&kvs[0].value[..], b"1");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn serializable_read_from_partitioned_follower_is_stale() {
+    let (mut world, cluster, _c) = setup(25, 3, StoreNodeConfig::default());
+    let leader = cluster.leader(&world).expect("leader");
+    let follower = *cluster
+        .nodes
+        .iter()
+        .find(|&&n| n != leader)
+        .expect("follower");
+    let follower_idx = cluster.nodes.iter().position(|&n| n == follower).unwrap();
+
+    // A client pinned to the follower for serializable reads.
+    let mut cfg = StoreClientConfig::new(cluster.nodes.clone());
+    cfg.affinity = Some(follower_idx);
+    let c2 = world.spawn(
+        "stale-reader",
+        BasicClient::new(StoreClient::new(cfg), Duration::millis(50)),
+    );
+
+    // Write v1, let it replicate everywhere.
+    let req = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
+        bc.client.put("k", Value::from_static(b"v1"), ctx)
+    });
+    await_op(&mut world, c2, req).expect("put v1");
+    world.run_for(Duration::millis(200));
+
+    // Cut the follower off from the rest, then write v2.
+    let others: Vec<_> = cluster
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&n| n != follower)
+        .collect();
+    let p = world.partition(&[follower], &others);
+    let req = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
+        bc.client.put("k", Value::from_static(b"v2"), ctx)
+    });
+    await_op(&mut world, c2, req).expect("put v2");
+
+    // Serializable read hits the partitioned follower: sees stale v1.
+    let req = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
+        bc.client.read("k", RL::Serializable, ctx)
+    });
+    match await_op(&mut world, c2, req).expect("stale read") {
+        OpResult::Read { kvs, .. } => {
+            assert_eq!(&kvs[0].value[..], b"v1", "follower must serve stale data");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Linearizable read (reaches the majority side): sees v2.
+    let req = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
+        bc.client.read("k", RL::Linearizable, ctx)
+    });
+    match await_op(&mut world, c2, req).expect("fresh read") {
+        OpResult::Read { kvs, .. } => assert_eq!(&kvs[0].value[..], b"v2"),
+        other => panic!("unexpected {other:?}"),
+    }
+    world.heal(p);
+}
+
+#[test]
+fn lease_expiry_deletes_attached_keys() {
+    let (mut world, _cluster, c) = setup(26, 3, StoreNodeConfig::default());
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.submit(
+            Op::LeaseGrant {
+                id: ph_store::LeaseId(1),
+                ttl_ms: 300,
+            },
+            ReadLevel::Linearizable,
+            ctx,
+        )
+    });
+    await_op(&mut world, c, req).expect("grant");
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.submit(
+            Op::Put {
+                key: Key::new("ephemeral"),
+                value: Value::from_static(b"x"),
+                lease: Some(ph_store::LeaseId(1)),
+                expect: Expect::Any,
+            },
+            ReadLevel::Linearizable,
+            ctx,
+        )
+    });
+    await_op(&mut world, c, req).expect("leased put");
+
+    // Key exists now.
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.read("ephemeral", RL::Linearizable, ctx)
+    });
+    match await_op(&mut world, c, req).expect("read") {
+        OpResult::Read { kvs, .. } => assert_eq!(kvs.len(), 1),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Let the lease expire without keepalives.
+    world.run_for(Duration::millis(800));
+    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.read("ephemeral", RL::Linearizable, ctx)
+    });
+    match await_op(&mut world, c, req).expect("read after expiry") {
+        OpResult::Read { kvs, .. } => assert!(kvs.is_empty(), "leased key must be gone"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn compaction_cancels_stale_watch_resume() {
+    let cfg = StoreNodeConfig {
+        autocompact: Some(AutoCompact {
+            keep: 5,
+            interval: Duration::millis(100),
+        }),
+        ..StoreNodeConfig::default()
+    };
+    let (mut world, _cluster, c) = setup(27, 3, cfg);
+    // Generate plenty of history.
+    for i in 0..30 {
+        let req = world.invoke::<BasicClient, _>(c, move |bc, ctx| {
+            bc.client
+                .put(format!("k{i}"), Value::from_static(b"v"), ctx)
+        });
+        await_op(&mut world, c, req).expect("put");
+    }
+    world.run_for(Duration::millis(500)); // let autocompaction run
+
+    // A watch resuming from revision 1 must be cancelled as compacted.
+    let watch = world.invoke::<BasicClient, _>(c, |bc, ctx| {
+        bc.client.watch("k", Revision(1), ctx)
+    });
+    world.run_for(Duration::millis(300));
+    let compacted = world
+        .actor_ref::<BasicClient>(c)
+        .expect("client")
+        .completions
+        .iter()
+        .any(|x| matches!(x, Completion::WatchCompacted { watch: w } if *w == watch));
+    assert!(compacted, "resume below the compaction floor must cancel");
+}
+
+#[test]
+fn follower_restart_rebuilds_identical_state() {
+    let (mut world, cluster, c) = setup(28, 3, StoreNodeConfig::default());
+    for i in 0..10 {
+        let req = world.invoke::<BasicClient, _>(c, move |bc, ctx| {
+            bc.client
+                .put(format!("k{i}"), Value::from_static(b"v"), ctx)
+        });
+        await_op(&mut world, c, req).expect("put");
+    }
+    world.run_for(Duration::millis(200));
+    let leader = cluster.leader(&world).expect("leader");
+    let follower = *cluster.nodes.iter().find(|&&n| n != leader).unwrap();
+    let before = world
+        .actor_ref::<StoreNode>(follower)
+        .unwrap()
+        .mvcc()
+        .range("")
+        .0;
+    assert_eq!(before.len(), 10);
+
+    world.crash(follower);
+    world.run_for(Duration::millis(100));
+    world.restart(follower);
+    world.run_for(Duration::millis(500));
+
+    let after = world
+        .actor_ref::<StoreNode>(follower)
+        .unwrap()
+        .mvcc()
+        .range("")
+        .0;
+    assert_eq!(before, after, "replayed state must match exactly");
+}

@@ -1,0 +1,251 @@
+//! Property-based tests on the store's MVCC state machine and the Raft
+//! core's safety invariants.
+
+use proptest::prelude::*;
+
+use ph_store::kv::{Key, LeaseId, Revision, Value};
+use ph_store::msgs::{Expect, Op};
+use ph_store::mvcc::MvccStore;
+use ph_store::raft::{Command, Effect, RaftCore, RaftMsg};
+
+/// An arbitrary op over a small key universe.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<u8>()).prop_map(|(k, v)| Op::Put {
+            key: Key::new(format!("k{k}")),
+            value: Value::copy_from_slice(&[v]),
+            lease: None,
+            expect: Expect::Any,
+        }),
+        (0u8..8).prop_map(|k| Op::Delete {
+            key: Key::new(format!("k{k}")),
+            expect: Expect::Any,
+        }),
+        (0u8..4, 1u64..500).prop_map(|(id, ttl)| Op::LeaseGrant {
+            id: LeaseId(id as u64),
+            ttl_ms: ttl,
+        }),
+        (0u8..4).prop_map(|id| Op::LeaseRevoke { id: LeaseId(id as u64) }),
+        (0u64..20).prop_map(|at| Op::Compact { at: Revision(at) }),
+        Just(Op::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mvcc_apply_is_deterministic(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut a = MvccStore::new();
+        let mut b = MvccStore::new();
+        for op in &ops {
+            let (ra, ea) = a.apply(op);
+            let (rb, eb) = b.apply(op);
+            prop_assert_eq!(ra.is_ok(), rb.is_ok());
+            prop_assert_eq!(ra.ok(), rb.ok());
+            prop_assert_eq!(ea, eb);
+        }
+        prop_assert_eq!(a.range(""), b.range(""));
+        prop_assert_eq!(a.revision(), b.revision());
+        prop_assert_eq!(a.compacted(), b.compacted());
+    }
+
+    #[test]
+    fn mvcc_event_log_is_dense_in_revisions(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut s = MvccStore::new();
+        let mut all_events = Vec::new();
+        for op in &ops {
+            let (result, evs) = s.apply(op);
+            let _ = result.is_ok(); // both outcomes are legal here
+            all_events.extend(evs);
+        }
+        // Every revision in 1..=current appears exactly once across events.
+        let mut revs: Vec<u64> = all_events.iter().map(|e| e.revision().0).collect();
+        revs.sort_unstable();
+        let expected: Vec<u64> = (1..=s.revision().0).collect();
+        prop_assert_eq!(revs, expected);
+    }
+
+    #[test]
+    fn mvcc_retained_events_replay_to_current_state(
+        ops in prop::collection::vec(arb_op(), 0..60)
+    ) {
+        let mut s = MvccStore::new();
+        for op in &ops {
+            let _ = s.apply(op);
+        }
+        // Without compaction interference, events from 0 replay to S.
+        if s.compacted() == Revision::ZERO {
+            let events = s.events_since(Revision::ZERO).expect("retained");
+            let mut rebuilt: std::collections::BTreeMap<Key, Value> =
+                std::collections::BTreeMap::new();
+            for e in events {
+                match e {
+                    ph_store::KvEvent::Put { kv, .. } => {
+                        rebuilt.insert(kv.key, kv.value);
+                    }
+                    ph_store::KvEvent::Delete { key, .. } => {
+                        rebuilt.remove(&key);
+                    }
+                }
+            }
+            let (current, _) = s.range("");
+            let direct: std::collections::BTreeMap<Key, Value> = current
+                .into_iter()
+                .map(|kv| (kv.key, kv.value))
+                .collect();
+            prop_assert_eq!(rebuilt, direct);
+        }
+    }
+
+    #[test]
+    fn mvcc_version_counts_writes_since_create(puts in 1u8..20) {
+        let mut s = MvccStore::new();
+        for i in 0..puts {
+            let (r, _) = s.apply(&Op::Put {
+                key: Key::new("k"),
+                value: Value::copy_from_slice(&[i]),
+                lease: None,
+                expect: Expect::Any,
+            });
+            r.expect("put");
+        }
+        prop_assert_eq!(s.get(&Key::new("k")).expect("k").version, puts as u64);
+    }
+
+    #[test]
+    fn cas_never_succeeds_against_a_wrong_revision(
+        writes in 2u8..10,
+        guess in 0u64..100
+    ) {
+        let mut s = MvccStore::new();
+        for i in 0..writes {
+            let _ = s.apply(&Op::Put {
+                key: Key::new("k"),
+                value: Value::copy_from_slice(&[i]),
+                lease: None,
+                expect: Expect::Any,
+            });
+        }
+        let actual = s.get(&Key::new("k")).expect("k").mod_revision;
+        let (r, _) = s.apply(&Op::Put {
+            key: Key::new("k"),
+            value: Value::from_static(b"cas"),
+            lease: None,
+            expect: Expect::ModRev(Revision(guess)),
+        });
+        prop_assert_eq!(r.is_ok(), Revision(guess) == actual);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raft safety under arbitrary message schedules
+// ---------------------------------------------------------------------
+
+/// A scripted action against a 3-node in-memory Raft network.
+#[derive(Debug, Clone)]
+enum Action {
+    Timeout(usize),
+    Heartbeat(usize),
+    Propose(usize, u8),
+    DeliverOne,
+    DropOne,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0usize..3).prop_map(Action::Timeout),
+        (0usize..3).prop_map(Action::Heartbeat),
+        (0usize..3, any::<u8>()).prop_map(|(n, v)| Action::Propose(n, v)),
+        Just(Action::DeliverOne),
+        Just(Action::DeliverOne), // bias toward delivery
+        Just(Action::DeliverOne),
+        Just(Action::DropOne),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core Raft safety property: no two nodes ever apply different
+    /// commands at the same log index, under arbitrary interleaving,
+    /// duplication-free delivery and message loss.
+    #[test]
+    fn raft_applied_logs_never_conflict(actions in prop::collection::vec(arb_action(), 0..120)) {
+        let n = 3;
+        let mut cores: Vec<RaftCore> = (0..n).map(|i| RaftCore::new(i, n)).collect();
+        let mut inflight: std::collections::VecDeque<(usize, usize, RaftMsg)> =
+            std::collections::VecDeque::new();
+        let mut applied: Vec<Vec<(u64, Command)>> = vec![Vec::new(); n];
+
+        let absorb = |at: usize,
+                          effects: Vec<Effect>,
+                          inflight: &mut std::collections::VecDeque<(usize, usize, RaftMsg)>,
+                          applied: &mut Vec<Vec<(u64, Command)>>| {
+            for e in effects {
+                match e {
+                    Effect::Send(to, msg) => inflight.push_back((at, to, msg)),
+                    Effect::Apply { index, entry } => applied[at].push((index, entry.cmd)),
+                    _ => {}
+                }
+            }
+        };
+
+        for action in actions {
+            let mut effects = Vec::new();
+            match action {
+                Action::Timeout(i) => {
+                    cores[i].on_election_timeout(&mut effects);
+                    absorb(i, effects, &mut inflight, &mut applied);
+                }
+                Action::Heartbeat(i) => {
+                    cores[i].on_heartbeat(&mut effects);
+                    absorb(i, effects, &mut inflight, &mut applied);
+                }
+                Action::Propose(i, v) => {
+                    let _ = cores[i].propose(
+                        Command::internal(Op::Put {
+                            key: Key::new(format!("v{v}")),
+                            value: Value::copy_from_slice(&[v]),
+                            lease: None,
+                            expect: Expect::Any,
+                        }),
+                        &mut effects,
+                    );
+                    absorb(i, effects, &mut inflight, &mut applied);
+                }
+                Action::DeliverOne => {
+                    if let Some((from, to, msg)) = inflight.pop_front() {
+                        cores[to].on_message(from, msg, &mut effects);
+                        absorb(to, effects, &mut inflight, &mut applied);
+                    }
+                }
+                Action::DropOne => {
+                    inflight.pop_front();
+                }
+            }
+        }
+
+        // Safety: agreement on every commonly applied index.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let map_a: std::collections::BTreeMap<u64, &Command> =
+                    applied[a].iter().map(|(i, c)| (*i, c)).collect();
+                for (idx, cmd) in &applied[b] {
+                    if let Some(other) = map_a.get(idx) {
+                        prop_assert_eq!(*other, cmd, "index {} diverged", idx);
+                    }
+                }
+            }
+        }
+        // Each node applies each index at most once, in order.
+        for log in &applied {
+            let idxs: Vec<u64> = log.iter().map(|(i, _)| *i).collect();
+            let mut sorted = idxs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(idxs.len(), sorted.len(), "duplicate applies");
+            prop_assert!(idxs.windows(2).all(|w| w[0] < w[1]), "out-of-order applies");
+        }
+    }
+}
