@@ -15,7 +15,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench a1_window_ablation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_cluster::apiclient::{ApiClient, ApiClientConfig};
 use ph_cluster::apiserver::{ApiServer, ApiServerConfig};
@@ -78,11 +78,14 @@ fn run_ablation(seed: u64, window: usize, burst: usize) -> Outcome {
         .expect("leader");
     world.run_until(SimTime(Duration::secs(1).as_nanos()));
 
-    let host = world.spawn("host", Host {
-        client: ApiClient::new(ApiClientConfig::new(vec![api]), 0),
-        informer: Informer::new(InformerConfig::new("nodes/")),
-        relists: 0,
-    });
+    let host = world.spawn(
+        "host",
+        Host {
+            client: ApiClient::new(ApiClientConfig::new(vec![api]), 0),
+            informer: Informer::new(InformerConfig::new("nodes/")),
+            relists: 0,
+        },
+    );
     let admin = world.spawn(
         "admin",
         BasicClient::new(
@@ -93,8 +96,11 @@ fn run_ablation(seed: u64, window: usize, burst: usize) -> Outcome {
     // Seed one object and let the informer sync.
     let put = |world: &mut World, i: usize| {
         let req = world.invoke::<BasicClient, _>(admin, move |bc, ctx| {
-            bc.client
-                .put(format!("nodes/n{i}"), Object::node(format!("n{i}")).encode(), ctx)
+            bc.client.put(
+                format!("nodes/n{i}"),
+                Object::node(format!("n{i}")).encode(),
+                ctx,
+            )
         });
         while world
             .actor_ref::<BasicClient>(admin)

@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench e1_hbase_tradeoff`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_core::perturb::{StalenessInjector, Strategy, Targets};
 use ph_scenarios::hbase_3136::RegionManager;

@@ -12,7 +12,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench e2_epochs`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_core::epoch::{EpochBuffer, EpochError, EpochPartition};
 use ph_core::history::{Change, ChangeOp, History};
@@ -107,7 +107,12 @@ fn print_table() {
     println!("\n=== E2 (§6.2): epoch granularity sweep (512 events, {lost} lost) ===\n");
     println!(
         "{:<12} {:>10} {:>15} {:>16} {:>12} {:>14}",
-        "epoch size", "complete", "detected gaps", "events delivered", "peak buffer", "max staleness"
+        "epoch size",
+        "complete",
+        "detected gaps",
+        "events delivered",
+        "peak buffer",
+        "max staleness"
     );
     for size in [1u64, 2, 4, 8, 16, 32, 64] {
         let o = run_epochs(size, &h, &feed);

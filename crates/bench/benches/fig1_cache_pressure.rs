@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench fig1_cache_pressure`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_cluster::apiclient::{ApiClient, ApiClientConfig, ApiCompletion};
 use ph_cluster::apiserver::{ApiServer, ApiServerConfig};
@@ -130,7 +130,10 @@ fn run_fanout(seed: u64, n_readers: usize, fresh: bool) -> u64 {
 
 fn print_figure() {
     println!("\n=== F1 (Figure 1 / §4.1): reads per simulated second vs fan-out ===");
-    println!("{:<8} {:>16} {:>16} {:>8}", "fan-out", "cache reads/s", "quorum reads/s", "ratio");
+    println!(
+        "{:<8} {:>16} {:>16} {:>8}",
+        "fan-out", "cache reads/s", "quorum reads/s", "ratio"
+    );
     for n in [1usize, 2, 4, 8, 16, 32] {
         let cache = run_fanout(901, n, false);
         let quorum = run_fanout(901, n, true);
@@ -152,8 +155,12 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("cache_reads_fanout8", |b| b.iter(|| run_fanout(902, 8, false)));
-    group.bench_function("quorum_reads_fanout8", |b| b.iter(|| run_fanout(902, 8, true)));
+    group.bench_function("cache_reads_fanout8", |b| {
+        b.iter(|| run_fanout(902, 8, false))
+    });
+    group.bench_function("quorum_reads_fanout8", |b| {
+        b.iter(|| run_fanout(902, 8, true))
+    });
     group.finish();
 }
 

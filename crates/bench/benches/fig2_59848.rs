@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench fig2_59848`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 use ph_scenarios::{k8s_59848, Variant};
 
 fn print_figure() {

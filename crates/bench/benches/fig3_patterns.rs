@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench fig3_patterns`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_cluster::apiserver::ApiServer;
 use ph_cluster::objects::{Body, Object};
@@ -87,7 +87,11 @@ fn time_travel_depth(seed: u64, stale_upstream: bool) -> u64 {
     let (mut world, cluster) = cluster_world(seed);
     let targets = targets_for(&cluster, Duration::secs(5));
     let dl = SimTime(world.now().0 + Duration::secs(20).as_nanos());
-    cluster.create_object(&mut world, &Object::new("web", Body::ReplicaSet { replicas: 2 }), dl);
+    cluster.create_object(
+        &mut world,
+        &Object::new("web", Body::ReplicaSet { replicas: 2 }),
+        dl,
+    );
 
     let mut injector = TimeTravelInjector::new(
         1,

@@ -14,7 +14,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench table1_detection`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_core::harness::{DetectionMatrix, Explorer, RunReport};
 use ph_core::perturb::{CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy};
@@ -29,7 +29,11 @@ type Guided = fn(u64) -> Box<dyn Strategy>;
 
 fn scenarios() -> Vec<(&'static str, ScenarioRun, Guided)> {
     vec![
-        (k8s_59848::NAME, k8s_59848::run as ScenarioRun, k8s_59848::guided as Guided),
+        (
+            k8s_59848::NAME,
+            k8s_59848::run as ScenarioRun,
+            k8s_59848::guided as Guided,
+        ),
         (k8s_56261::NAME, k8s_56261::run, k8s_56261::guided),
         (volume_17::NAME, volume_17::run, volume_17::guided),
         (cass_398::NAME, cass_398::run, cass_398::guided),
@@ -60,19 +64,17 @@ fn build_matrix(max_trials: u32) -> DetectionMatrix {
     };
     let mut matrix = DetectionMatrix::new();
     for (name, run, guided) in scenarios() {
-        let mut outcome = explorer.explore(
-            name,
-            &|seed, s| run(seed, s, Variant::Buggy),
-            &|seed| guided(seed),
-        );
+        let mut outcome =
+            explorer.explore(name, &|seed, s| run(seed, s, Variant::Buggy), &|seed| {
+                guided(seed)
+            });
         outcome.strategy = "guided".into();
         matrix.add(outcome);
         for kind in ["random-crash", "crashtuner", "cofi", "no-fault"] {
-            let outcome = explorer.explore(
-                name,
-                &|seed, s| run(seed, s, Variant::Buggy),
-                &|seed| baseline(kind, seed),
-            );
+            let outcome =
+                explorer.explore(name, &|seed, s| run(seed, s, Variant::Buggy), &|seed| {
+                    baseline(kind, seed)
+                });
             matrix.add(outcome);
         }
     }

@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo bench -p ph-bench --bench table2_guided_vs_random`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use ph_core::harness::{Explorer, RunReport};
 use ph_core::perturb::{CoFiPartitions, CrashTunerCrashes, RandomCrashes, Strategy};
@@ -26,7 +26,11 @@ fn print_table() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
     let scenarios: Vec<(&str, ScenarioRun, Guided)> = vec![
-        (k8s_59848::NAME, k8s_59848::run as ScenarioRun, k8s_59848::guided as Guided),
+        (
+            k8s_59848::NAME,
+            k8s_59848::run as ScenarioRun,
+            k8s_59848::guided as Guided,
+        ),
         (k8s_56261::NAME, k8s_56261::run, k8s_56261::guided),
         (volume_17::NAME, volume_17::run, volume_17::guided),
         (cass_398::NAME, cass_398::run, cass_398::guided),

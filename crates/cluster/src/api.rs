@@ -247,7 +247,13 @@ mod tests {
             .target(),
             "pods/"
         );
-        assert_eq!(Verb::MarkDeleted { key: "pods/x".into() }.target(), "pods/x");
+        assert_eq!(
+            Verb::MarkDeleted {
+                key: "pods/x".into()
+            }
+            .target(),
+            "pods/x"
+        );
     }
 
     #[test]
@@ -267,7 +273,9 @@ mod tests {
 
     #[test]
     fn api_error_displays() {
-        assert!(ApiError::Conflict(Some(Revision(2))).to_string().contains("conflict"));
+        assert!(ApiError::Conflict(Some(Revision(2)))
+            .to_string()
+            .contains("conflict"));
         assert_eq!(ApiError::NotFound.to_string(), "not found");
     }
 }

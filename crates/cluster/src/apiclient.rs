@@ -12,8 +12,8 @@ use ph_sim::{ActorId, AnyMsg, Ctx, Duration, SimTime};
 use ph_store::Revision;
 
 use crate::api::{
-    ApiError, ApiOk, ApiRequest, ApiResponse, ApiWatchCancelReq, ApiWatchCancelled,
-    ApiWatchCreate, ApiWatchEvent, ApiWatchProgress, ObjEvent, Verb,
+    ApiError, ApiOk, ApiRequest, ApiResponse, ApiWatchCancelReq, ApiWatchCancelled, ApiWatchCreate,
+    ApiWatchEvent, ApiWatchProgress, ObjEvent, Verb,
 };
 
 /// How a component chooses its apiserver.
@@ -165,15 +165,21 @@ impl ApiClient {
         let req = self.next_req;
         self.next_req += 1;
         let target = self.upstream();
-        ctx.send(target, ApiRequest {
-            req,
-            verb: verb.clone(),
-        });
-        self.pending.insert(req, Pending {
-            verb,
+        ctx.send(
             target,
-            deadline: ctx.now() + self.cfg.request_timeout,
-        });
+            ApiRequest {
+                req,
+                verb: verb.clone(),
+            },
+        );
+        self.pending.insert(
+            req,
+            Pending {
+                verb,
+                target,
+                deadline: ctx.now() + self.cfg.request_timeout,
+            },
+        );
         req
     }
 
@@ -229,7 +235,12 @@ impl ApiClient {
     }
 
     /// Deletes by key.
-    pub fn delete(&mut self, key: impl Into<String>, expect_rv: Option<Revision>, ctx: &mut Ctx) -> u64 {
+    pub fn delete(
+        &mut self,
+        key: impl Into<String>,
+        expect_rv: Option<Revision>,
+        ctx: &mut Ctx,
+    ) -> u64 {
         self.submit(
             Verb::Delete {
                 key: key.into(),
@@ -254,18 +265,24 @@ impl ApiClient {
         self.next_watch += 1;
         let node = self.upstream();
         let prefix = prefix.into();
-        ctx.send(node, ApiWatchCreate {
-            watch,
-            prefix: prefix.clone(),
-            after,
-        });
-        self.watches.insert(watch, WatchSt {
-            prefix,
-            resume: after,
+        ctx.send(
             node,
-            last_seen: ctx.now(),
-            expect_seq: 0,
-        });
+            ApiWatchCreate {
+                watch,
+                prefix: prefix.clone(),
+                after,
+            },
+        );
+        self.watches.insert(
+            watch,
+            WatchSt {
+                prefix,
+                resume: after,
+                node,
+                last_seen: ctx.now(),
+                expect_seq: 0,
+            },
+        );
         watch
     }
 
@@ -296,6 +313,7 @@ impl ApiClient {
                 Err(ApiError::Unavailable) if from == p.target => {
                     // Rotate to the next apiserver and retry immediately.
                     self.preferred = (self.preferred + 1) % self.cfg.apiservers.len();
+                    ctx.counter_inc("apiclient.retries");
                     self.resend(resp.req, ctx);
                 }
                 Err(ApiError::Unavailable) => { /* stale responder; ignore */ }
@@ -376,13 +394,17 @@ impl ApiClient {
         let Some(st) = self.watches.get(&watch).cloned() else {
             return;
         };
+        ctx.counter_inc("apiclient.watch_reconnects");
         ctx.send(st.node, ApiWatchCancelReq { watch });
         let node = self.upstream();
-        ctx.send(node, ApiWatchCreate {
-            watch,
-            prefix: st.prefix.clone(),
-            after: st.resume,
-        });
+        ctx.send(
+            node,
+            ApiWatchCreate {
+                watch,
+                prefix: st.prefix.clone(),
+                after: st.resume,
+            },
+        );
         let entry = self.watches.get_mut(&watch).expect("exists");
         entry.node = node;
         entry.last_seen = ctx.now();
@@ -416,6 +438,7 @@ impl ApiClient {
             self.preferred = (self.preferred + 1) % self.cfg.apiservers.len();
         }
         for req in timed_out {
+            ctx.counter_inc("apiclient.retries");
             self.resend(req, ctx);
         }
         let dead: Vec<u64> = self

@@ -24,8 +24,8 @@ use ph_store::msgs::{Expect, ReadLevel};
 use ph_store::{Completion, OpError, OpResult, Revision, StoreClient, StoreClientConfig, Value};
 
 use crate::api::{
-    ApiError, ApiOk, ApiRequest, ApiResponse, ApiWatchCancelReq, ApiWatchCancelled,
-    ApiWatchCreate, ApiWatchEvent, ApiWatchProgress, ObjEvent, Verb, WatchError,
+    ApiError, ApiOk, ApiRequest, ApiResponse, ApiWatchCancelReq, ApiWatchCancelled, ApiWatchCreate,
+    ApiWatchEvent, ApiWatchProgress, ObjEvent, Verb, WatchError,
 };
 use crate::objects::Object;
 
@@ -121,6 +121,8 @@ pub struct ApiServer {
     feed_watch: Option<u64>,
     /// Capacity model: busy serving cache reads until this instant.
     busy_until: ph_sim::SimTime,
+    /// When the cache frontier last advanced (staleness-at-read probe).
+    cache_advanced_at: ph_sim::SimTime,
     /// Deferred cache-read replies, keyed by timer tag.
     deferred: BTreeMap<u64, (ActorId, ApiResponse)>,
     next_defer_tag: u64,
@@ -142,6 +144,7 @@ impl ApiServer {
             pending: BTreeMap::new(),
             feed_watch: None,
             busy_until: ph_sim::SimTime::ZERO,
+            cache_advanced_at: ph_sim::SimTime::ZERO,
             deferred: BTreeMap::new(),
             next_defer_tag: TAG_DEFER_BASE,
         }
@@ -167,8 +170,15 @@ impl ApiServer {
         self.cache.get(key)
     }
 
-    /// Sends a cache-read reply, charging the configured service time.
+    /// Sends a cache-read reply, charging the configured service time and
+    /// recording how stale the cache was at the moment it was read.
     fn reply_cached(&mut self, to: ActorId, resp: ApiResponse, ctx: &mut Ctx) {
+        ctx.counter_inc("apiserver.cache_reads");
+        ctx.observe(
+            "apiserver.read_staleness_ns",
+            ctx.now().0.saturating_sub(self.cache_advanced_at.0),
+        );
+        ctx.gauge_set("apiserver.cache_revision", self.cache_rev.0 as i64);
         if self.cfg.read_service == Duration::ZERO {
             ctx.send(to, resp);
             return;
@@ -194,8 +204,10 @@ impl ApiServer {
         for e in events {
             let oe = match e {
                 KvEvent::Put { kv, .. } => {
-                    self.cache
-                        .insert(kv.key.as_str().to_string(), (kv.value.clone(), kv.mod_revision));
+                    self.cache.insert(
+                        kv.key.as_str().to_string(),
+                        (kv.value.clone(), kv.mod_revision),
+                    );
                     ObjEvent {
                         key: kv.key.as_str().to_string(),
                         revision: kv.mod_revision,
@@ -217,11 +229,14 @@ impl ApiServer {
         while self.window.len() > self.cfg.window {
             let dropped = self.window.pop_front().expect("non-empty");
             self.window_floor = dropped.revision;
+            ctx.counter_inc("apiserver.window_evicted");
         }
         if revision > self.cache_rev {
             self.cache_rev = revision;
+            self.cache_advanced_at = ctx.now();
         }
         ctx.annotate("view.frontier", self.cache_rev.0.to_string());
+        ctx.gauge_set("apiserver.cache_revision", self.cache_rev.0 as i64);
         // Fan out to component watchers.
         let cache_rev = self.cache_rev;
         for ((client, watch), (prefix, next_seq)) in self.watchers.iter_mut() {
@@ -233,12 +248,16 @@ impl ApiServer {
             if !matching.is_empty() {
                 let seq = *next_seq;
                 *next_seq += 1;
-                ctx.send(*client, ApiWatchEvent {
-                    watch: *watch,
-                    stream_seq: seq,
-                    events: matching,
-                    revision: cache_rev,
-                });
+                ctx.counter_add("apiserver.watch_delivered", matching.len() as u64);
+                ctx.send(
+                    *client,
+                    ApiWatchEvent {
+                        watch: *watch,
+                        stream_seq: seq,
+                        events: matching,
+                        revision: cache_rev,
+                    },
+                );
             }
         }
     }
@@ -284,6 +303,7 @@ impl ApiServer {
                             .insert(kv.key.as_str().to_string(), (kv.value, kv.mod_revision));
                     }
                     self.cache_rev = revision;
+                    self.cache_advanced_at = ctx.now();
                     self.window.clear();
                     self.window_floor = revision;
                     self.ready = true;
@@ -353,20 +373,26 @@ impl ApiServer {
             } => match result {
                 Ok(OpResult::Read { kvs, .. }) => {
                     let Some(kv) = kvs.into_iter().next() else {
-                        ctx.send(client, ApiResponse {
-                            req,
-                            result: Err(ApiError::NotFound),
-                        });
+                        ctx.send(
+                            client,
+                            ApiResponse {
+                                req,
+                                result: Err(ApiError::NotFound),
+                            },
+                        );
                         return;
                     };
                     match Object::decode(&kv.value) {
                         Ok(mut obj) => {
                             if obj.meta.deletion_timestamp.is_some() {
                                 // Already terminating: idempotent success.
-                                ctx.send(client, ApiResponse {
-                                    req,
-                                    result: Ok(ApiOk::Written(kv.mod_revision)),
-                                });
+                                ctx.send(
+                                    client,
+                                    ApiResponse {
+                                        req,
+                                        result: Ok(ApiOk::Written(kv.mod_revision)),
+                                    },
+                                );
                                 return;
                             }
                             obj.meta.deletion_timestamp = Some(ctx.now().nanos());
@@ -376,23 +402,32 @@ impl ApiServer {
                                 Expect::ModRev(kv.mod_revision),
                                 ctx,
                             );
-                            self.pending.insert(sreq, PendingApi::MarkWrite {
-                                client,
-                                req,
-                                key,
-                                attempts,
-                            });
+                            self.pending.insert(
+                                sreq,
+                                PendingApi::MarkWrite {
+                                    client,
+                                    req,
+                                    key,
+                                    attempts,
+                                },
+                            );
                         }
-                        Err(_) => ctx.send(client, ApiResponse {
-                            req,
-                            result: Err(ApiError::NotFound),
-                        }),
+                        Err(_) => ctx.send(
+                            client,
+                            ApiResponse {
+                                req,
+                                result: Err(ApiError::NotFound),
+                            },
+                        ),
                     }
                 }
-                _ => ctx.send(client, ApiResponse {
-                    req,
-                    result: Err(ApiError::Unavailable),
-                }),
+                _ => ctx.send(
+                    client,
+                    ApiResponse {
+                        req,
+                        result: Err(ApiError::Unavailable),
+                    },
+                ),
             },
             PendingApi::MarkWrite {
                 client,
@@ -401,33 +436,43 @@ impl ApiServer {
                 attempts,
             } => match result {
                 Ok(OpResult::Put { revision }) => {
-                    ctx.send(client, ApiResponse {
-                        req,
-                        result: Ok(ApiOk::Written(revision)),
-                    });
+                    ctx.send(
+                        client,
+                        ApiResponse {
+                            req,
+                            result: Ok(ApiOk::Written(revision)),
+                        },
+                    );
                 }
                 Err(OpError::CasFailed { .. }) if attempts < 3 => {
                     // Raced with another writer: re-read and retry.
-                    let sreq = self
-                        .store
-                        .read(key.clone(), ReadLevel::Linearizable, ctx);
-                    self.pending.insert(sreq, PendingApi::MarkRead {
-                        client,
-                        req,
-                        key,
-                        attempts: attempts + 1,
-                    });
+                    let sreq = self.store.read(key.clone(), ReadLevel::Linearizable, ctx);
+                    self.pending.insert(
+                        sreq,
+                        PendingApi::MarkRead {
+                            client,
+                            req,
+                            key,
+                            attempts: attempts + 1,
+                        },
+                    );
                 }
                 Err(OpError::CasFailed { actual, .. }) => {
-                    ctx.send(client, ApiResponse {
-                        req,
-                        result: Err(ApiError::Conflict(actual)),
-                    });
+                    ctx.send(
+                        client,
+                        ApiResponse {
+                            req,
+                            result: Err(ApiError::Conflict(actual)),
+                        },
+                    );
                 }
-                _ => ctx.send(client, ApiResponse {
-                    req,
-                    result: Err(ApiError::Unavailable),
-                }),
+                _ => ctx.send(
+                    client,
+                    ApiResponse {
+                        req,
+                        result: Err(ApiError::Unavailable),
+                    },
+                ),
             },
         }
     }
@@ -437,35 +482,51 @@ impl ApiServer {
             Verb::Get { key, fresh } => {
                 if fresh {
                     let sreq = self.store.read(key, ReadLevel::Linearizable, ctx);
-                    self.pending.insert(sreq, PendingApi::FreshGet {
-                        client: from,
-                        req: r.req,
-                    });
+                    self.pending.insert(
+                        sreq,
+                        PendingApi::FreshGet {
+                            client: from,
+                            req: r.req,
+                        },
+                    );
                 } else if !self.ready {
-                    ctx.send(from, ApiResponse {
-                        req: r.req,
-                        result: Err(ApiError::Unavailable),
-                    });
+                    ctx.send(
+                        from,
+                        ApiResponse {
+                            req: r.req,
+                            result: Err(ApiError::Unavailable),
+                        },
+                    );
                 } else {
                     let obj = self.cache.get(&key).cloned();
-                    self.reply_cached(from, ApiResponse {
-                        req: r.req,
-                        result: Ok(ApiOk::Obj(obj)),
-                    }, ctx);
+                    self.reply_cached(
+                        from,
+                        ApiResponse {
+                            req: r.req,
+                            result: Ok(ApiOk::Obj(obj)),
+                        },
+                        ctx,
+                    );
                 }
             }
             Verb::List { prefix, fresh } => {
                 if fresh {
                     let sreq = self.store.read(prefix, ReadLevel::Linearizable, ctx);
-                    self.pending.insert(sreq, PendingApi::FreshList {
-                        client: from,
-                        req: r.req,
-                    });
+                    self.pending.insert(
+                        sreq,
+                        PendingApi::FreshList {
+                            client: from,
+                            req: r.req,
+                        },
+                    );
                 } else if !self.ready {
-                    ctx.send(from, ApiResponse {
-                        req: r.req,
-                        result: Err(ApiError::Unavailable),
-                    });
+                    ctx.send(
+                        from,
+                        ApiResponse {
+                            req: r.req,
+                            result: Err(ApiError::Unavailable),
+                        },
+                    );
                 } else {
                     let items: Vec<(String, Value, Revision)> = self
                         .cache
@@ -473,22 +534,29 @@ impl ApiServer {
                         .take_while(|(k, _)| k.starts_with(&prefix))
                         .map(|(k, (v, rv))| (k.clone(), v.clone(), *rv))
                         .collect();
-                    self.reply_cached(from, ApiResponse {
-                        req: r.req,
-                        result: Ok(ApiOk::List {
-                            items,
-                            revision: self.cache_rev,
-                        }),
-                    }, ctx);
+                    self.reply_cached(
+                        from,
+                        ApiResponse {
+                            req: r.req,
+                            result: Ok(ApiOk::List {
+                                items,
+                                revision: self.cache_rev,
+                            }),
+                        },
+                        ctx,
+                    );
                 }
             }
             Verb::Create { key, value } => {
                 let sreq = self.store.cas_put(key, value, Expect::NotExists, ctx);
-                self.pending.insert(sreq, PendingApi::Write {
-                    client: from,
-                    req: r.req,
-                    not_exists: true,
-                });
+                self.pending.insert(
+                    sreq,
+                    PendingApi::Write {
+                        client: from,
+                        req: r.req,
+                        not_exists: true,
+                    },
+                );
             }
             Verb::Update {
                 key,
@@ -500,11 +568,14 @@ impl ApiServer {
                     None => Expect::Any,
                 };
                 let sreq = self.store.cas_put(key, value, expect, ctx);
-                self.pending.insert(sreq, PendingApi::Write {
-                    client: from,
-                    req: r.req,
-                    not_exists: false,
-                });
+                self.pending.insert(
+                    sreq,
+                    PendingApi::Write {
+                        client: from,
+                        req: r.req,
+                        not_exists: false,
+                    },
+                );
             }
             Verb::Delete { key, expect_rv } => {
                 let expect = match expect_rv {
@@ -512,19 +583,25 @@ impl ApiServer {
                     None => Expect::Any,
                 };
                 let sreq = self.store.delete(key, expect, ctx);
-                self.pending.insert(sreq, PendingApi::Delete {
-                    client: from,
-                    req: r.req,
-                });
+                self.pending.insert(
+                    sreq,
+                    PendingApi::Delete {
+                        client: from,
+                        req: r.req,
+                    },
+                );
             }
             Verb::MarkDeleted { key } => {
                 let sreq = self.store.read(key.clone(), ReadLevel::Linearizable, ctx);
-                self.pending.insert(sreq, PendingApi::MarkRead {
-                    client: from,
-                    req: r.req,
-                    key,
-                    attempts: 0,
-                });
+                self.pending.insert(
+                    sreq,
+                    PendingApi::MarkRead {
+                        client: from,
+                        req: r.req,
+                        key,
+                        attempts: 0,
+                    },
+                );
             }
         }
     }
@@ -533,10 +610,13 @@ impl ApiServer {
         if !self.ready {
             // Not serving yet: refuse explicitly so the client re-lists
             // instead of waiting on a stream that was never registered.
-            ctx.send(from, ApiWatchCancelled {
-                watch: w.watch,
-                reason: WatchError::NotReady,
-            });
+            ctx.send(
+                from,
+                ApiWatchCancelled {
+                    watch: w.watch,
+                    reason: WatchError::NotReady,
+                },
+            );
             return;
         }
         // `after` is a genuine resume point; revision 0 means "from the
@@ -544,12 +624,16 @@ impl ApiServer {
         // never silently skip to "now" (that would manufacture a gap).
         let after = w.after;
         if after < self.window_floor {
-            ctx.send(from, ApiWatchCancelled {
-                watch: w.watch,
-                reason: WatchError::TooOldResourceVersion {
-                    oldest: Revision(self.window_floor.0 + 1),
+            ctx.counter_inc("apiserver.watch_too_old");
+            ctx.send(
+                from,
+                ApiWatchCancelled {
+                    watch: w.watch,
+                    reason: WatchError::TooOldResourceVersion {
+                        oldest: Revision(self.window_floor.0 + 1),
+                    },
                 },
-            });
+            );
             return;
         }
         let backlog: Vec<ObjEvent> = self
@@ -562,12 +646,15 @@ impl ApiServer {
         self.watchers
             .insert((from, w.watch), (w.prefix.clone(), first_seq));
         if !backlog.is_empty() {
-            ctx.send(from, ApiWatchEvent {
-                watch: w.watch,
-                stream_seq: 0,
-                events: backlog,
-                revision: self.cache_rev,
-            });
+            ctx.send(
+                from,
+                ApiWatchEvent {
+                    watch: w.watch,
+                    stream_seq: 0,
+                    events: backlog,
+                    revision: self.cache_rev,
+                },
+            );
         }
     }
 }
@@ -591,6 +678,7 @@ impl Actor for ApiServer {
         self.pending.clear();
         self.feed_watch = None;
         self.busy_until = ph_sim::SimTime::ZERO;
+        self.cache_advanced_at = ph_sim::SimTime::ZERO;
         self.deferred.clear();
         self.next_defer_tag = TAG_DEFER_BASE;
         self.on_start(ctx);
@@ -634,11 +722,14 @@ impl Actor for ApiServer {
                 for ((client, watch), (_, next_seq)) in self.watchers.iter_mut() {
                     let seq = *next_seq;
                     *next_seq += 1;
-                    ctx.send(*client, ApiWatchProgress {
-                        watch: *watch,
-                        stream_seq: seq,
-                        revision: cache_rev,
-                    });
+                    ctx.send(
+                        *client,
+                        ApiWatchProgress {
+                            watch: *watch,
+                            stream_seq: seq,
+                            revision: cache_rev,
+                        },
+                    );
                 }
                 ctx.set_timer(self.cfg.progress_interval, TAG_PROGRESS);
             }

@@ -95,11 +95,18 @@ impl VolumeController {
         &self.released
     }
 
+    /// The most-behind frontier across this controller's informers (for
+    /// lag sampling).
+    pub fn view_revision(&self) -> ph_store::Revision {
+        self.pods.revision().min(self.pvcs.revision())
+    }
+
     fn release(&mut self, pvc_key: String, why: &str, ctx: &mut Ctx) {
         if !self.released.insert(pvc_key.clone()) {
             return;
         }
         ctx.annotate("vc.release_pvc", format!("{pvc_key} ({why})"));
+        ctx.counter_inc("vc.pvc_releases");
         self.client.delete(pvc_key, None, ctx);
     }
 
@@ -108,6 +115,12 @@ impl VolumeController {
         if !self.pods.is_synced() || !self.pvcs.is_synced() {
             return;
         }
+        ctx.span_begin("reconcile", "volume-controller");
+        self.sparse_read_inner(ctx);
+        ctx.span_end("reconcile");
+    }
+
+    fn sparse_read_inner(&mut self, ctx: &mut Ctx) {
         // Path 1: pods observed carrying a deletion timestamp.
         let mut to_release: Vec<(String, &'static str)> = Vec::new();
         for pod in self.pods.objects() {
@@ -170,10 +183,16 @@ impl Actor for VolumeController {
         }
         let mut events: Vec<InformerEvent> = Vec::new();
         for c in &completions {
-            if self.pods.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .pods
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
-            if self.pvcs.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .pvcs
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
             // Fresh-confirmation results.
@@ -238,10 +257,22 @@ impl ReplicaSetController {
         }
     }
 
+    /// The most-behind frontier across this controller's informers (for
+    /// lag sampling).
+    pub fn view_revision(&self) -> ph_store::Revision {
+        self.sets.revision().min(self.pods.revision())
+    }
+
     fn sync(&mut self, ctx: &mut Ctx) {
         if !self.sets.is_synced() || !self.pods.is_synced() {
             return;
         }
+        ctx.span_begin("reconcile", "replicaset-controller");
+        self.sync_inner(ctx);
+        ctx.span_end("reconcile");
+    }
+
+    fn sync_inner(&mut self, ctx: &mut Ctx) {
         let sets: Vec<(String, u32)> = self
             .sets
             .objects()
@@ -266,8 +297,7 @@ impl ReplicaSetController {
                 .count() as u32;
             if have + pending < want {
                 // Create the lowest free indices.
-                let used: BTreeSet<String> =
-                    mine.iter().map(|o| o.meta.name.clone()).collect();
+                let used: BTreeSet<String> = mine.iter().map(|o| o.meta.name.clone()).collect();
                 let mut created = 0;
                 let mut i = 0u32;
                 while created < want - have - pending {
@@ -278,11 +308,13 @@ impl ReplicaSetController {
                     }
                     let pvc_name = self.cfg.with_pvcs.then(|| format!("{name}-pvc"));
                     if let Some(pvc) = &pvc_name {
-                        self.client.create(&Object::pvc(pvc.clone(), name.clone()), ctx);
+                        self.client
+                            .create(&Object::pvc(pvc.clone(), name.clone()), ctx);
                     }
                     let mut pod = Object::pod(name.clone(), None, pvc_name);
                     pod.meta.owner = Some(rs.clone());
                     ctx.annotate("rsc.create", name.clone());
+                    ctx.counter_inc("rsc.pod_creates");
                     self.client.create(&pod, ctx);
                     self.creating.insert(name);
                     created += 1;
@@ -293,16 +325,13 @@ impl ReplicaSetController {
                 names.sort();
                 for name in names.into_iter().rev().take((have - want) as usize) {
                     ctx.annotate("rsc.scale_down", name.clone());
+                    ctx.counter_inc("rsc.scale_downs");
                     self.client.mark_deleted(format!("pods/{name}"), ctx);
                 }
             }
         }
         // Drop create guards once the pod is visible.
-        let visible: BTreeSet<String> = self
-            .pods
-            .objects()
-            .map(|o| o.meta.name.clone())
-            .collect();
+        let visible: BTreeSet<String> = self.pods.objects().map(|o| o.meta.name.clone()).collect();
         self.creating.retain(|n| !visible.contains(n));
     }
 }
@@ -324,8 +353,12 @@ impl Actor for ReplicaSetController {
         }
         let mut events: Vec<InformerEvent> = Vec::new();
         for c in &completions {
-            if !self.sets.on_completion(c, &mut self.client, ctx, &mut events) {
-                self.pods.on_completion(c, &mut self.client, ctx, &mut events);
+            if !self
+                .sets
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
+                self.pods
+                    .on_completion(c, &mut self.client, ctx, &mut events);
             }
         }
         if !events.is_empty() {
@@ -409,10 +442,25 @@ impl NodeLifecycleController {
         }
     }
 
+    /// The most-behind frontier across this controller's informers (for
+    /// lag sampling).
+    pub fn view_revision(&self) -> ph_store::Revision {
+        self.nodes
+            .revision()
+            .min(self.leases.revision())
+            .min(self.pods.revision())
+    }
+
     fn sync(&mut self, ctx: &mut Ctx) {
         if !self.nodes.is_synced() || !self.leases.is_synced() || !self.pods.is_synced() {
             return;
         }
+        ctx.span_begin("reconcile", "node-lifecycle-controller");
+        self.sync_inner(ctx);
+        ctx.span_end("reconcile");
+    }
+
+    fn sync_inner(&mut self, ctx: &mut Ctx) {
         let now = ctx.now();
         let mut flips: Vec<Object> = Vec::new();
         let mut evict: Vec<String> = Vec::new();
@@ -427,9 +475,7 @@ impl NodeLifecycleController {
                     Body::Lease { renewed_at_ns, .. } => Some(*renewed_at_ns),
                     _ => None,
                 })
-                .is_some_and(|at| {
-                    now.since(ph_sim::SimTime(at)) <= self.cfg.lease_grace
-                });
+                .is_some_and(|at| now.since(ph_sim::SimTime(at)) <= self.cfg.lease_grace);
             if fresh != *ready {
                 let mut flipped = node.clone();
                 if let Body::Node { ready } = &mut flipped.body {
@@ -443,9 +489,7 @@ impl NodeLifecycleController {
             }
             if !fresh && self.cfg.force_evict {
                 for pod in self.pods.objects() {
-                    if pod.pod_node() == Some(node.meta.name.as_str())
-                        && !pod.is_terminating()
-                    {
+                    if pod.pod_node() == Some(node.meta.name.as_str()) && !pod.is_terminating() {
                         evict.push(pod.meta.name.clone());
                     }
                 }
@@ -459,6 +503,7 @@ impl NodeLifecycleController {
             // controller replaces it — trusting the view that the node is
             // gone. The kubelet may merely be partitioned.
             ctx.annotate("nlc.force_evict", pod.clone());
+            ctx.counter_inc("nlc.force_evictions");
             self.client.delete(format!("pods/{pod}"), None, ctx);
         }
     }
@@ -481,13 +526,20 @@ impl Actor for NodeLifecycleController {
         }
         let mut events: Vec<InformerEvent> = Vec::new();
         for c in &completions {
-            if self.nodes.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .nodes
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
-            if self.leases.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .leases
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
-            self.pods.on_completion(c, &mut self.client, ctx, &mut events);
+            self.pods
+                .on_completion(c, &mut self.client, ctx, &mut events);
         }
     }
 

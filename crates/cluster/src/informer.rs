@@ -140,6 +140,7 @@ impl Informer {
     pub fn poll(&mut self, client: &mut ApiClient, ctx: &mut Ctx) {
         match self.phase {
             Phase::NeedList => {
+                ctx.counter_inc("informer.relist");
                 let req = client.list(self.cfg.prefix.clone(), self.cfg.fresh_lists, ctx);
                 self.phase = Phase::Listing { req };
             }
@@ -149,8 +150,8 @@ impl Informer {
                         client.cancel_watch(watch, ctx);
                         self.phase = Phase::NeedList;
                         self.last_resync = ctx.now();
-                        let req =
-                            client.list(self.cfg.prefix.clone(), self.cfg.fresh_lists, ctx);
+                        ctx.counter_inc("informer.relist");
+                        let req = client.list(self.cfg.prefix.clone(), self.cfg.fresh_lists, ctx);
                         self.phase = Phase::Listing { req };
                     }
                 }
@@ -189,6 +190,8 @@ impl Informer {
                         self.synced_once = true;
                         self.last_resync = ctx.now();
                         ctx.annotate("view.frontier", revision.0.to_string());
+                        ctx.counter_inc("informer.synced");
+                        ctx.gauge_set("informer.frontier", revision.0 as i64);
                         let watch = client.watch(self.cfg.prefix.clone(), *revision, ctx);
                         self.phase = Phase::Watching { watch };
                         out.push(InformerEvent::Synced {
@@ -217,6 +220,7 @@ impl Informer {
                     if !e.key.starts_with(&self.cfg.prefix) {
                         continue;
                     }
+                    ctx.counter_inc("informer.watch_events");
                     match &e.value {
                         Some(bytes) => {
                             if let Ok(mut obj) = Object::decode(bytes) {
@@ -244,6 +248,7 @@ impl Informer {
                     self.revision = *revision;
                 }
                 ctx.annotate("view.frontier", self.revision.0.to_string());
+                ctx.gauge_set("informer.frontier", self.revision.0 as i64);
                 true
             }
             ApiCompletion::WatchTooOld { watch } => {
@@ -256,6 +261,7 @@ impl Informer {
                 // Gap: events between our resume point and the window are
                 // unrecoverable; rebuild from a fresh list (§4.2.3).
                 ctx.annotate("informer.too_old", self.revision.0.to_string());
+                ctx.counter_inc("informer.too_old");
                 self.phase = Phase::NeedList;
                 true
             }
@@ -282,6 +288,9 @@ mod tests {
     fn config_defaults_match_kubernetes() {
         let cfg = InformerConfig::new("nodes/");
         assert!(!cfg.fresh_lists, "default lists come from the cache");
-        assert!(cfg.resync_interval.is_none(), "no periodic relist by default");
+        assert!(
+            cfg.resync_interval.is_none(),
+            "no periodic relist by default"
+        );
     }
 }

@@ -106,10 +106,21 @@ impl Kubelet {
         &self.cfg.node
     }
 
+    /// The frontier `H′` of this kubelet's pod view (for lag sampling).
+    pub fn view_revision(&self) -> ph_store::Revision {
+        self.informer.revision()
+    }
+
     fn sync(&mut self, ctx: &mut Ctx) {
         if !self.informer.is_synced() {
             return;
         }
+        ctx.span_begin("reconcile", self.cfg.node.clone());
+        self.sync_inner(ctx);
+        ctx.span_end("reconcile");
+    }
+
+    fn sync_inner(&mut self, ctx: &mut Ctx) {
         // Desired = pods bound to me, live, not finished.
         let mut desired: BTreeSet<String> = BTreeSet::new();
         let mut to_finalize: Vec<Object> = Vec::new();
@@ -135,6 +146,7 @@ impl Kubelet {
         for name in to_start {
             self.running.insert(name.clone());
             ctx.annotate("kubelet.pod_start", name.clone());
+            ctx.counter_inc("kubelet.pod_starts");
             self.report_running(&name, ctx);
         }
         // Stop pods that should no longer run here.
@@ -143,6 +155,7 @@ impl Kubelet {
             self.running.remove(&name);
             self.status_written.remove(&name);
             ctx.annotate("kubelet.pod_stop", name);
+            ctx.counter_inc("kubelet.pod_stops");
         }
         // Finalize gracefully-deleted pods once their containers stopped and
         // the grace period has elapsed.
@@ -210,7 +223,8 @@ impl Actor for Kubelet {
         }
         let mut events: Vec<InformerEvent> = Vec::new();
         for c in &completions {
-            self.informer.on_completion(c, &mut self.client, ctx, &mut events);
+            self.informer
+                .on_completion(c, &mut self.client, ctx, &mut events);
         }
         if !events.is_empty() {
             self.sync(ctx);

@@ -226,11 +226,14 @@ impl Object {
 
     /// A pending pod, optionally pre-bound and with an attached PVC.
     pub fn pod(name: impl Into<String>, node: Option<String>, pvc: Option<String>) -> Object {
-        Object::new(name, Body::Pod {
-            node,
-            phase: PodPhase::Pending,
-            pvc,
-        })
+        Object::new(
+            name,
+            Body::Pod {
+                node,
+                phase: PodPhase::Pending,
+                pvc,
+            },
+        )
     }
 
     /// A ready node.
@@ -241,10 +244,13 @@ impl Object {
     /// A node heartbeat lease renewed at `renewed_at_ns`.
     pub fn lease(node: impl Into<String>, renewed_at_ns: u64) -> Object {
         let node = node.into();
-        Object::new(node.clone(), Body::Lease {
-            holder: node,
-            renewed_at_ns,
-        })
+        Object::new(
+            node.clone(),
+            Body::Lease {
+                holder: node,
+                renewed_at_ns,
+            },
+        )
     }
 
     /// A bound PVC owned by `owner` (a pod name).
@@ -444,7 +450,10 @@ mod tests {
         round_trip(&Object::node("n1"));
         round_trip(&Object::pvc("v1", "p1"));
         round_trip(&Object::new("rs1", Body::ReplicaSet { replicas: 3 }));
-        round_trip(&Object::new("dc1", Body::CassandraDatacenter { desired: 5 }));
+        round_trip(&Object::new(
+            "dc1",
+            Body::CassandraDatacenter { desired: 5 },
+        ));
         round_trip(&Object::lease("node-1", 123_456_789));
     }
 

@@ -137,11 +137,21 @@ impl CassandraOperator {
         self.stuck_on.as_deref()
     }
 
+    /// The most-behind frontier across this operator's informers (for lag
+    /// sampling).
+    pub fn view_revision(&self) -> ph_store::Revision {
+        self.dcs
+            .revision()
+            .min(self.pods.revision())
+            .min(self.pvcs.revision())
+    }
+
     fn delete_pvc(&mut self, pvc_key: String, why: &str, ctx: &mut Ctx) {
         if !self.released.insert(pvc_key.clone()) {
             return;
         }
         ctx.annotate("operator.delete_pvc", format!("{pvc_key} ({why})"));
+        ctx.counter_inc("operator.pvc_deletes");
         self.client.delete(pvc_key, None, ctx);
     }
 
@@ -149,6 +159,12 @@ impl CassandraOperator {
         if !self.dcs.is_synced() || !self.pods.is_synced() || !self.pvcs.is_synced() {
             return;
         }
+        ctx.span_begin("reconcile", "cassandra-operator");
+        self.reconcile_inner(ctx);
+        ctx.span_end("reconcile");
+    }
+
+    fn reconcile_inner(&mut self, ctx: &mut Ctx) {
         // Record deletion-timestamp observations (evidence for bug 398).
         for pod in self.pods.objects() {
             if pod.is_terminating() {
@@ -159,9 +175,7 @@ impl CassandraOperator {
             .dcs
             .objects()
             .filter_map(|o| match &o.body {
-                Body::CassandraDatacenter { desired } => {
-                    Some((o.meta.name.clone(), *desired))
-                }
+                Body::CassandraDatacenter { desired } => Some((o.meta.name.clone(), *desired)),
                 _ => None,
             })
             .collect();
@@ -194,8 +208,7 @@ impl CassandraOperator {
             for i in 0..desired {
                 let pod_name = format!("{dc}-{i}");
                 let pod_key = format!("pods/{pod_name}");
-                if mine.iter().any(|o| o.meta.name == pod_name)
-                    || self.creating.contains(&pod_key)
+                if mine.iter().any(|o| o.meta.name == pod_name) || self.creating.contains(&pod_key)
                 {
                     continue;
                 }
@@ -209,6 +222,7 @@ impl CassandraOperator {
                 let mut pod = Object::pod(pod_name.clone(), None, Some(pvc_name));
                 pod.meta.owner = Some(dc.to_string());
                 ctx.annotate("operator.create_pod", pod_name);
+                ctx.counter_inc("operator.pod_creates");
                 self.client.create(&pod, ctx);
                 self.creating.insert(pod_key);
             }
@@ -219,15 +233,18 @@ impl CassandraOperator {
             if mine.iter().any(|o| o.is_terminating()) {
                 return;
             }
-            if self.pending.values().any(|p| matches!(p, PendingOp::Decommission(_))) {
+            if self
+                .pending
+                .values()
+                .any(|p| matches!(p, PendingOp::Decommission(_)))
+            {
                 return; // one decommission at a time
             }
             let target = if let Some(stuck) = &self.stuck_on {
                 // Buggy 400: wedged on a target the cache said existed.
                 stuck.clone()
             } else {
-                let mut names: Vec<String> =
-                    live.iter().map(|o| o.meta.name.clone()).collect();
+                let mut names: Vec<String> = live.iter().map(|o| o.meta.name.clone()).collect();
                 names.sort();
                 match names.pop() {
                     Some(n) => format!("pods/{n}"),
@@ -235,6 +252,11 @@ impl CassandraOperator {
                 }
             };
             ctx.annotate("operator.decommission", target.clone());
+            ctx.counter_inc("operator.decommissions");
+            // One decommission is in flight at a time, so this span pairs
+            // unambiguously with the span_end in on_done and measures the
+            // real mark-to-completion latency across callbacks.
+            ctx.span_begin("decommission", target.clone());
             let req = self.client.mark_deleted(target.clone(), ctx);
             self.pending.insert(req, PendingOp::Decommission(target));
         }
@@ -293,6 +315,7 @@ impl CassandraOperator {
         match op {
             PendingOp::Decommission(target) => match result {
                 Err(ApiError::NotFound) => {
+                    ctx.span_end("decommission");
                     if self.cfg.flags.handle_decommission_notfound {
                         // Fixed: the cache was stale; drop the target and
                         // let the next reconcile re-derive it.
@@ -301,10 +324,12 @@ impl CassandraOperator {
                     } else {
                         // Bug 400: wedge on the phantom target forever.
                         ctx.annotate("operator.decommission_stuck", target.clone());
+                        ctx.counter_inc("operator.decommission_stuck");
                         self.stuck_on = Some(target);
                     }
                 }
                 _ => {
+                    ctx.span_end("decommission");
                     self.stuck_on = None;
                 }
             },
@@ -339,13 +364,22 @@ impl Actor for CassandraOperator {
         }
         let mut events: Vec<InformerEvent> = Vec::new();
         for c in &completions {
-            if self.dcs.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .dcs
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
-            if self.pods.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .pods
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
-            if self.pvcs.on_completion(c, &mut self.client, ctx, &mut events) {
+            if self
+                .pvcs
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
                 continue;
             }
             if let ApiCompletion::Done { req, result } = c {

@@ -80,10 +80,22 @@ impl Scheduler {
         self.nodes.objects().map(|o| o.meta.name.clone()).collect()
     }
 
+    /// The most-behind frontier across this scheduler's informers (for lag
+    /// sampling: the stalest view bounds what it can know).
+    pub fn view_revision(&self) -> ph_store::Revision {
+        self.pods.revision().min(self.nodes.revision())
+    }
+
     fn sync(&mut self, ctx: &mut Ctx) {
         if !self.pods.is_synced() || !self.nodes.is_synced() {
             return;
         }
+        ctx.span_begin("reconcile", "scheduler");
+        self.sync_inner(ctx);
+        ctx.span_end("reconcile");
+    }
+
+    fn sync_inner(&mut self, ctx: &mut Ctx) {
         // Forget assumptions the informer has confirmed (pod bound),
         // obsoleted (pod gone), or that have expired (the bind write was
         // lost or lost a conflict — retry).
@@ -141,10 +153,7 @@ impl Scheduler {
                         binds.push((obj.clone(), target));
                     }
                 }
-                Some(n)
-                    if self.cfg.fixed
-                        && self.nodes.get(&format!("nodes/{n}")).is_none() =>
-                {
+                Some(n) if self.cfg.fixed && self.nodes.get(&format!("nodes/{n}")).is_none() => {
                     // Fixed variant: the pod is bound to a node whose
                     // object no longer EXISTS — rebind it. (A merely
                     // not-ready node keeps its pods: rebinding off an
@@ -152,7 +161,11 @@ impl Scheduler {
                     // the node-fencing hazard.)
                     if let Some(target) = pick(&load) {
                         *load.get_mut(&target).expect("picked from map") += 1;
-                        ctx.annotate("scheduler.rebind", format!("{}:{}->{}", obj.meta.name, n, target));
+                        ctx.annotate(
+                            "scheduler.rebind",
+                            format!("{}:{}->{}", obj.meta.name, n, target),
+                        );
+                        ctx.counter_inc("scheduler.rebinds");
                         binds.push((obj.clone(), target));
                     }
                 }
@@ -165,6 +178,7 @@ impl Scheduler {
                 *node = Some(target.clone());
             }
             ctx.annotate("scheduler.bind", format!("{}->{}", obj.meta.name, target));
+            ctx.counter_inc("scheduler.binds");
             self.assumed
                 .insert(obj.meta.name.clone(), (target, ctx.now()));
             self.client.update(&bound, ctx);
@@ -190,8 +204,12 @@ impl Actor for Scheduler {
         }
         let mut events: Vec<InformerEvent> = Vec::new();
         for c in &completions {
-            if !self.pods.on_completion(c, &mut self.client, ctx, &mut events) {
-                self.nodes.on_completion(c, &mut self.client, ctx, &mut events);
+            if !self
+                .pods
+                .on_completion(c, &mut self.client, ctx, &mut events)
+            {
+                self.nodes
+                    .on_completion(c, &mut self.client, ctx, &mut events);
             }
         }
         if !events.is_empty() {

@@ -21,8 +21,8 @@ use ph_store::{
 use crate::apiclient::{ApiClientConfig, PickPolicy};
 use crate::apiserver::{ApiServer, ApiServerConfig};
 use crate::controllers::{
-    NodeLifecycleConfig, NodeLifecycleController, ReplicaSetController,
-    ReplicaSetControllerConfig, VcMode, VolumeController, VolumeControllerConfig,
+    NodeLifecycleConfig, NodeLifecycleController, ReplicaSetController, ReplicaSetControllerConfig,
+    VcMode, VolumeController, VolumeControllerConfig,
 };
 use crate::kubelet::{Kubelet, KubeletConfig};
 use crate::objects::Object;
@@ -266,13 +266,13 @@ impl ClusterHandle {
     ) -> Option<Revision> {
         let key = obj.key().as_str().to_string();
         let value = obj.encode();
-        let req = world.invoke::<BasicClient, _>(self.admin, move |bc, ctx| {
-            bc.client.put(key, value, ctx)
-        });
-        self.await_admin(world, req, deadline).and_then(|r| match r {
-            OpResult::Put { revision } => Some(revision),
-            _ => None,
-        })
+        let req = world
+            .invoke::<BasicClient, _>(self.admin, move |bc, ctx| bc.client.put(key, value, ctx));
+        self.await_admin(world, req, deadline)
+            .and_then(|r| match r {
+                OpResult::Put { revision } => Some(revision),
+                _ => None,
+            })
     }
 
     /// Deletes a key directly in the store, waiting for the commit.
@@ -284,12 +284,7 @@ impl ClusterHandle {
         self.await_admin(world, req, deadline).is_some()
     }
 
-    fn await_admin(
-        &self,
-        world: &mut World,
-        req: u64,
-        deadline: SimTime,
-    ) -> Option<OpResult> {
+    fn await_admin(&self, world: &mut World, req: u64, deadline: SimTime) -> Option<OpResult> {
         loop {
             if let Some(result) = world
                 .actor_ref::<BasicClient>(self.admin)
@@ -311,22 +306,19 @@ impl ClusterHandle {
     /// seen by the most caught-up live store node. Oracles compare views
     /// against this.
     pub fn ground_truth(&self, world: &World) -> BTreeMap<String, Object> {
-        let node = self
-            .store
-            .leader(world)
-            .or_else(|| {
-                self.store
-                    .nodes
-                    .iter()
-                    .copied()
-                    .filter(|&n| !world.is_crashed(n))
-                    .max_by_key(|&n| {
-                        world
-                            .actor_ref::<StoreNode>(n)
-                            .map(|s| s.mvcc().revision())
-                            .unwrap_or(Revision::ZERO)
-                    })
-            });
+        let node = self.store.leader(world).or_else(|| {
+            self.store
+                .nodes
+                .iter()
+                .copied()
+                .filter(|&n| !world.is_crashed(n))
+                .max_by_key(|&n| {
+                    world
+                        .actor_ref::<StoreNode>(n)
+                        .map(|s| s.mvcc().revision())
+                        .unwrap_or(Revision::ZERO)
+                })
+        });
         let mut out = BTreeMap::new();
         if let Some(n) = node {
             if let Some(store) = world.actor_ref::<StoreNode>(n) {
@@ -351,7 +343,11 @@ impl ClusterHandle {
                 .find(|&n| !world.is_crashed(n))
         });
         node.and_then(|n| world.actor_ref::<StoreNode>(n))
-            .map(|s| s.mvcc().events_since(s.mvcc().compacted()).unwrap_or_default())
+            .map(|s| {
+                s.mvcc()
+                    .events_since(s.mvcc().compacted())
+                    .unwrap_or_default()
+            })
             .unwrap_or_default()
     }
 }

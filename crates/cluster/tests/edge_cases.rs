@@ -151,8 +151,11 @@ fn watch_window_overflow_cancels_old_resumes() {
     );
     for i in 0..20 {
         let req = world.invoke::<ph_store::client::BasicClient, _>(admin, move |bc, ctx| {
-            bc.client
-                .put(format!("nodes/n{i}"), Object::node(format!("n{i}")).encode(), ctx)
+            bc.client.put(
+                format!("nodes/n{i}"),
+                Object::node(format!("n{i}")).encode(),
+                ctx,
+            )
         });
         while world
             .actor_ref::<ph_store::client::BasicClient>(admin)
@@ -178,11 +181,14 @@ fn watch_window_overflow_cancels_old_resumes() {
     }
     let w = world.spawn("raw-watcher", RawWatcher { cancelled: false });
     world.invoke::<RawWatcher, _>(w, move |_, ctx| {
-        ctx.send(api, ph_cluster::api::ApiWatchCreate {
-            watch: 1,
-            prefix: "nodes/".into(),
-            after: Revision(1),
-        });
+        ctx.send(
+            api,
+            ph_cluster::api::ApiWatchCreate {
+                watch: 1,
+                prefix: "nodes/".into(),
+                after: Revision(1),
+            },
+        );
     });
     world.run_for(Duration::millis(100));
     assert!(
@@ -220,8 +226,11 @@ fn informer_survives_window_overflow_via_relist() {
     );
     for i in 0..12 {
         let req = world.invoke::<ph_store::client::BasicClient, _>(admin, move |bc, ctx| {
-            bc.client
-                .put(format!("nodes/n{i}"), Object::node(format!("n{i}")).encode(), ctx)
+            bc.client.put(
+                format!("nodes/n{i}"),
+                Object::node(format!("n{i}")).encode(),
+                ctx,
+            )
         });
         while world
             .actor_ref::<ph_store::client::BasicClient>(admin)
@@ -240,7 +249,11 @@ fn informer_survives_window_overflow_via_relist() {
     eprintln!("DBG events={:?} relists={}", h.events, h.relists);
     assert!(h.informer.is_synced());
     assert_eq!(h.informer.len(), 12, "informer must converge after re-list");
-    assert!(h.relists >= 2, "a re-list should have occurred: {}", h.relists);
+    assert!(
+        h.relists >= 2,
+        "a re-list should have occurred: {}",
+        h.relists
+    );
 }
 
 #[test]
@@ -272,10 +285,13 @@ fn mark_deleted_is_idempotent_and_survives_races() {
             ctx.set_timer(Duration::millis(30), 0);
         }
     }
-    let m = world.spawn("marker", Marker {
-        client: ApiClient::new(ApiClientConfig::new(cluster.apiservers.clone()), 0),
-        results: Vec::new(),
-    });
+    let m = world.spawn(
+        "marker",
+        Marker {
+            client: ApiClient::new(ApiClientConfig::new(cluster.apiservers.clone()), 0),
+            results: Vec::new(),
+        },
+    );
     // Two concurrent marks racing each other (read-CAS-retry inside the
     // apiserver must absorb the conflict).
     world.invoke::<Marker, _>(m, |mk, ctx| {

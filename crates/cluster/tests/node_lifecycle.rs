@@ -62,10 +62,22 @@ fn partition_marks_node_not_ready_and_heal_restores() {
 fn conservative_controller_keeps_pods_bound_through_a_partition() {
     let (mut world, cluster) = build(93, false);
     let dl = SimTime(world.now().0 + Duration::secs(30).as_nanos());
-    cluster.create_object(&mut world, &Object::new("web", Body::ReplicaSet { replicas: 2 }), dl);
+    cluster.create_object(
+        &mut world,
+        &Object::new("web", Body::ReplicaSet { replicas: 2 }),
+        dl,
+    );
     // No RS controller in this build: create the pods directly, one per node.
-    cluster.create_object(&mut world, &Object::pod("web-0", Some("node-1".into()), None), dl);
-    cluster.create_object(&mut world, &Object::pod("web-1", Some("node-2".into()), None), dl);
+    cluster.create_object(
+        &mut world,
+        &Object::pod("web-0", Some("node-1".into()), None),
+        dl,
+    );
+    cluster.create_object(
+        &mut world,
+        &Object::pod("web-1", Some("node-2".into()), None),
+        dl,
+    );
     world.run_for(Duration::secs(1));
 
     let k2 = cluster.kubelets[1];
@@ -75,7 +87,8 @@ fn conservative_controller_keeps_pods_bound_through_a_partition() {
     assert!(!node_ready(&world, &cluster, "node-2"));
     let s = cluster.ground_truth(&world);
     assert_eq!(
-        s.get("pods/web-1").and_then(|o| o.pod_node().map(String::from)),
+        s.get("pods/web-1")
+            .and_then(|o| o.pod_node().map(String::from)),
         Some("node-2".to_string()),
         "conservative controller must not move the pod"
     );
@@ -86,7 +99,11 @@ fn conservative_controller_keeps_pods_bound_through_a_partition() {
 fn aggressive_controller_evicts_pods_from_unreachable_nodes() {
     let (mut world, cluster) = build(94, true);
     let dl = SimTime(world.now().0 + Duration::secs(30).as_nanos());
-    cluster.create_object(&mut world, &Object::pod("web-1", Some("node-2".into()), None), dl);
+    cluster.create_object(
+        &mut world,
+        &Object::pod("web-1", Some("node-2".into()), None),
+        dl,
+    );
     world.run_for(Duration::secs(1));
 
     let k2 = cluster.kubelets[1];

@@ -57,13 +57,27 @@ fn replicaset_pipeline_runs_pods() {
         .expect("seed rs");
 
     // RS controller creates 3 pods, scheduler binds, kubelets run.
-    settle(&mut world, &cluster, Duration::secs(10), "3 running pods", |s, _| {
-        let running = s
-            .values()
-            .filter(|o| matches!(o.body, Body::Pod { phase: PodPhase::Running, .. }))
-            .count();
-        running == 3
-    });
+    settle(
+        &mut world,
+        &cluster,
+        Duration::secs(10),
+        "3 running pods",
+        |s, _| {
+            let running = s
+                .values()
+                .filter(|o| {
+                    matches!(
+                        o.body,
+                        Body::Pod {
+                            phase: PodPhase::Running,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            running == 3
+        },
+    );
 
     // Kubelets actually hold the containers.
     let total_running: usize = cluster
@@ -106,12 +120,26 @@ fn scale_down_stops_and_finalizes_pods() {
         )
         .expect("seed rs");
 
-    settle(&mut world, &cluster, Duration::secs(10), "2 running pods", |s, _| {
-        s.values()
-            .filter(|o| matches!(o.body, Body::Pod { phase: PodPhase::Running, .. }))
-            .count()
-            == 2
-    });
+    settle(
+        &mut world,
+        &cluster,
+        Duration::secs(10),
+        "2 running pods",
+        |s, _| {
+            s.values()
+                .filter(|o| {
+                    matches!(
+                        o.body,
+                        Body::Pod {
+                            phase: PodPhase::Running,
+                            ..
+                        }
+                    )
+                })
+                .count()
+                == 2
+        },
+    );
     // PVCs exist for both pods.
     let s = cluster.ground_truth(&world);
     assert_eq!(s.keys().filter(|k| k.starts_with("pvcs/")).count(), 2);
@@ -132,7 +160,8 @@ fn scale_down_stops_and_finalizes_pods() {
         Duration::secs(15),
         "no pods and no pvcs",
         |s, _| {
-            !s.keys().any(|k| k.starts_with("pods/db-")) && !s.keys().any(|k| k.starts_with("pvcs/"))
+            !s.keys().any(|k| k.starts_with("pods/db-"))
+                && !s.keys().any(|k| k.starts_with("pvcs/"))
         },
     );
     // Containers actually stopped.
@@ -167,18 +196,30 @@ fn cassandra_operator_scales_up_and_down() {
         )
         .expect("seed dc");
 
-    settle(&mut world, &cluster, Duration::secs(10), "3 cass pods + pvcs", |s, _| {
-        let pods = s
-            .values()
-            .filter(|o| {
-                o.kind() == ph_cluster::ObjectKind::Pod
-                    && o.meta.owner.as_deref() == Some("dc1")
-                    && matches!(o.body, Body::Pod { phase: PodPhase::Running, .. })
-            })
-            .count();
-        let pvcs = s.keys().filter(|k| k.starts_with("pvcs/dc1-pvc-")).count();
-        pods == 3 && pvcs == 3
-    });
+    settle(
+        &mut world,
+        &cluster,
+        Duration::secs(10),
+        "3 cass pods + pvcs",
+        |s, _| {
+            let pods = s
+                .values()
+                .filter(|o| {
+                    o.kind() == ph_cluster::ObjectKind::Pod
+                        && o.meta.owner.as_deref() == Some("dc1")
+                        && matches!(
+                            o.body,
+                            Body::Pod {
+                                phase: PodPhase::Running,
+                                ..
+                            }
+                        )
+                })
+                .count();
+            let pvcs = s.keys().filter(|k| k.starts_with("pvcs/dc1-pvc-")).count();
+            pods == 3 && pvcs == 3
+        },
+    );
 
     // Scale to 2: the highest-index pod is decommissioned and its PVC
     // cleaned up.
@@ -189,9 +230,13 @@ fn cassandra_operator_scales_up_and_down() {
             deadline(),
         )
         .expect("scale down");
-    settle(&mut world, &cluster, Duration::secs(15), "dc1-2 gone", |s, _| {
-        !s.contains_key("pods/dc1-2") && !s.contains_key("pvcs/dc1-pvc-2")
-    });
+    settle(
+        &mut world,
+        &cluster,
+        Duration::secs(15),
+        "dc1-2 gone",
+        |s, _| !s.contains_key("pods/dc1-2") && !s.contains_key("pvcs/dc1-pvc-2"),
+    );
     let s = cluster.ground_truth(&world);
     assert!(s.contains_key("pods/dc1-0") && s.contains_key("pods/dc1-1"));
     assert!(s.contains_key("pvcs/dc1-pvc-0") && s.contains_key("pvcs/dc1-pvc-1"));
@@ -219,12 +264,26 @@ fn apiserver_crash_recovery_resumes_service() {
             deadline(),
         )
         .expect("seed rs");
-    settle(&mut world, &cluster, Duration::secs(10), "2 running", |s, _| {
-        s.values()
-            .filter(|o| matches!(o.body, Body::Pod { phase: PodPhase::Running, .. }))
-            .count()
-            == 2
-    });
+    settle(
+        &mut world,
+        &cluster,
+        Duration::secs(10),
+        "2 running",
+        |s, _| {
+            s.values()
+                .filter(|o| {
+                    matches!(
+                        o.body,
+                        Body::Pod {
+                            phase: PodPhase::Running,
+                            ..
+                        }
+                    )
+                })
+                .count()
+                == 2
+        },
+    );
 
     // Crash apiserver-1 (most components' upstream), scale up while down,
     // restart, and require convergence.
@@ -240,12 +299,26 @@ fn apiserver_crash_recovery_resumes_service() {
     world.run_for(Duration::millis(500));
     world.restart(api1);
 
-    settle(&mut world, &cluster, Duration::secs(20), "4 running", |s, _| {
-        s.values()
-            .filter(|o| matches!(o.body, Body::Pod { phase: PodPhase::Running, .. }))
-            .count()
-            == 4
-    });
+    settle(
+        &mut world,
+        &cluster,
+        Duration::secs(20),
+        "4 running",
+        |s, _| {
+            s.values()
+                .filter(|o| {
+                    matches!(
+                        o.body,
+                        Body::Pod {
+                            phase: PodPhase::Running,
+                            ..
+                        }
+                    )
+                })
+                .count()
+                == 4
+        },
+    );
 }
 
 #[test]

@@ -70,7 +70,9 @@ impl std::fmt::Display for Candidate {
                     write!(f, "drop notifications #{n}..#{} to {dst}", n + burst)
                 }
             }
-            Candidate::CrashAfterDecision { actor, label, n, .. } => {
+            Candidate::CrashAfterDecision {
+                actor, label, n, ..
+            } => {
                 write!(f, "crash {actor} after its {label:?} decision #{n}")
             }
         }
@@ -99,8 +101,7 @@ pub fn candidates(
     // Index every view-update send: trace seq → (dst, ordinal at dst).
     let mut ordinal_at: std::collections::BTreeMap<u64, (ActorId, u64)> =
         std::collections::BTreeMap::new();
-    let mut per_dst: std::collections::BTreeMap<ActorId, u64> =
-        std::collections::BTreeMap::new();
+    let mut per_dst: std::collections::BTreeMap<ActorId, u64> = std::collections::BTreeMap::new();
     let interesting: BTreeSet<ActorId> = targets
         .caches
         .iter()
@@ -130,9 +131,7 @@ pub fn candidates(
             continue;
         }
         let occurrence = {
-            let c = decision_counter
-                .entry((*actor, label.clone()))
-                .or_insert(0);
+            let c = decision_counter.entry((*actor, label.clone())).or_insert(0);
             let o = *c;
             *c += 1;
             o
@@ -246,9 +245,7 @@ impl Strategy for CandidateStrategy {
             let _ = self.cursor;
             for e in events {
                 if let TraceEventKind::Annotation {
-                    actor: a,
-                    label: l,
-                    ..
+                    actor: a, label: l, ..
                 } = &e.kind
                 {
                     if *a == actor && l == label {
@@ -382,10 +379,16 @@ mod tests {
             .collect();
         assert_eq!(drops.len(), 6, "two gap shapes per cause: {cands:?}");
         // The nearest cause is the delivery of View(3) itself = ordinal 3.
-        assert!(drops.iter().any(|c| matches!(c, Candidate::DropNth { n: 3, burst: 4, .. })));
         assert!(drops
             .iter()
-            .any(|c| matches!(c, Candidate::DropNth { burst: u64::MAX, .. })));
+            .any(|c| matches!(c, Candidate::DropNth { n: 3, burst: 4, .. })));
+        assert!(drops.iter().any(|c| matches!(
+            c,
+            Candidate::DropNth {
+                burst: u64::MAX,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -80,13 +80,16 @@ impl CausalGraph {
                     ensure(&mut actor_clock, *src);
                     let clock = tick(&mut actor_clock, *src);
                     send_clock.insert(*id, clock.clone());
-                    nodes.insert(e.seq, Node {
-                        actor: *src,
-                        clock,
-                        msg: Some(*id),
-                        is_send: true,
-                        label: None,
-                    });
+                    nodes.insert(
+                        e.seq,
+                        Node {
+                            actor: *src,
+                            clock,
+                            msg: Some(*id),
+                            is_send: true,
+                            label: None,
+                        },
+                    );
                 }
                 TraceEventKind::MessageDelivered { id, dst, .. } => {
                     ensure(&mut actor_clock, *dst);
@@ -95,37 +98,46 @@ impl CausalGraph {
                         join(&mut actor_clock[dst.index()], &sc);
                     }
                     let clock = tick(&mut actor_clock, *dst);
-                    nodes.insert(e.seq, Node {
-                        actor: *dst,
-                        clock,
-                        msg: Some(*id),
-                        is_send: false,
-                        label: None,
-                    });
+                    nodes.insert(
+                        e.seq,
+                        Node {
+                            actor: *dst,
+                            clock,
+                            msg: Some(*id),
+                            is_send: false,
+                            label: None,
+                        },
+                    );
                 }
                 TraceEventKind::TimerFired { actor, .. }
                 | TraceEventKind::Crashed { actor }
                 | TraceEventKind::Restarted { actor } => {
                     ensure(&mut actor_clock, *actor);
                     let clock = tick(&mut actor_clock, *actor);
-                    nodes.insert(e.seq, Node {
-                        actor: *actor,
-                        clock,
-                        msg: None,
-                        is_send: false,
-                        label: None,
-                    });
+                    nodes.insert(
+                        e.seq,
+                        Node {
+                            actor: *actor,
+                            clock,
+                            msg: None,
+                            is_send: false,
+                            label: None,
+                        },
+                    );
                 }
                 TraceEventKind::Annotation { actor, label, .. } => {
                     ensure(&mut actor_clock, *actor);
                     let clock = tick(&mut actor_clock, *actor);
-                    nodes.insert(e.seq, Node {
-                        actor: *actor,
-                        clock,
-                        msg: None,
-                        is_send: false,
-                        label: Some(label.clone()),
-                    });
+                    nodes.insert(
+                        e.seq,
+                        Node {
+                            actor: *actor,
+                            clock,
+                            msg: None,
+                            is_send: false,
+                            label: Some(label.clone()),
+                        },
+                    );
                 }
                 _ => {}
             }
@@ -241,18 +253,27 @@ mod tests {
     fn chain_world() -> (World, ActorId, ActorId, ActorId) {
         let mut w = World::new(WorldConfig::default(), 5);
         // Spawn in reverse so `next` ids exist.
-        let c = w.spawn("c", Relay {
-            next: None,
-            kick: false,
-        });
-        let b = w.spawn("b", Relay {
-            next: Some(c),
-            kick: false,
-        });
-        let a = w.spawn("a", Relay {
-            next: Some(b),
-            kick: true,
-        });
+        let c = w.spawn(
+            "c",
+            Relay {
+                next: None,
+                kick: false,
+            },
+        );
+        let b = w.spawn(
+            "b",
+            Relay {
+                next: Some(c),
+                kick: false,
+            },
+        );
+        let a = w.spawn(
+            "a",
+            Relay {
+                next: Some(b),
+                kick: true,
+            },
+        );
         w.run_until_quiescent(1_000_000_000);
         (w, a, b, c)
     }
@@ -291,22 +312,34 @@ mod tests {
     fn unrelated_actors_are_concurrent() {
         let mut w = World::new(WorldConfig::default(), 6);
         // Two independent ping pairs.
-        let c = w.spawn("c", Relay {
-            next: None,
-            kick: false,
-        });
-        let d = w.spawn("d", Relay {
-            next: Some(c),
-            kick: true,
-        });
-        let e = w.spawn("e", Relay {
-            next: None,
-            kick: false,
-        });
-        let f = w.spawn("f", Relay {
-            next: Some(e),
-            kick: true,
-        });
+        let c = w.spawn(
+            "c",
+            Relay {
+                next: None,
+                kick: false,
+            },
+        );
+        let d = w.spawn(
+            "d",
+            Relay {
+                next: Some(c),
+                kick: true,
+            },
+        );
+        let e = w.spawn(
+            "e",
+            Relay {
+                next: None,
+                kick: false,
+            },
+        );
+        let f = w.spawn(
+            "f",
+            Relay {
+                next: Some(e),
+                kick: true,
+            },
+        );
         let _ = (d, f);
         w.run_until_quiescent(1_000_000_000);
         let g = CausalGraph::from_trace(w.trace());

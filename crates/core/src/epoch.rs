@@ -167,11 +167,7 @@ impl EpochBuffer {
     /// waiting for lost events), discarding whatever was buffered for it.
     pub fn skip_epoch(&mut self) {
         let hi = self.partition.last_seq(self.next_epoch);
-        let keys: Vec<u64> = self
-            .pending
-            .range(..=hi)
-            .map(|(&s, _)| s)
-            .collect();
+        let keys: Vec<u64> = self.pending.range(..=hi).map(|(&s, _)| s).collect();
         for k in keys {
             self.pending.remove(&k);
         }
@@ -253,7 +249,11 @@ mod tests {
         b.push(ch(2));
         let epoch = b.release_next(3).expect("complete");
         let seqs: Vec<u64> = epoch.iter().map(|c| c.seq).collect();
-        assert_eq!(seqs, vec![1, 2, 3], "released in seq order regardless of arrival");
+        assert_eq!(
+            seqs,
+            vec![1, 2, 3],
+            "released in seq order regardless of arrival"
+        );
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! paper's §7 claims ("our tool has reproduced two known bugs … and
 //! detected three new bugs") plus the §5/§6.1 guided-vs-random comparison.
 
-use ph_sim::SimTime;
+use ph_sim::{MetricsReport, SimTime};
 
+use crate::divergence::DivergenceSummary;
 use crate::oracle::Violation;
 use crate::perturb::Strategy;
 
@@ -31,12 +32,63 @@ pub struct RunReport {
     pub trace_events: usize,
     /// Order-sensitive digest of the trace (for replay verification).
     pub trace_digest: u64,
+    /// Deterministic metrics snapshot (counters, gauges, histograms) taken
+    /// at the end of the run.
+    pub metrics: MetricsReport,
+    /// Sampled per-view lag (`|H| − |H′|`) over the run.
+    pub divergence: DivergenceSummary,
 }
 
 impl RunReport {
     /// `true` if any oracle fired.
     pub fn failed(&self) -> bool {
         !self.violations.is_empty()
+    }
+
+    /// Renders the full report as deterministic JSON (key order fixed, no
+    /// wall-clock anywhere) — the `phtool run --json` payload.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let violations: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"oracle\":\"{}\",\"at_ns\":{},\"details\":\"{}\"}}",
+                    esc(&v.oracle),
+                    v.at.0,
+                    esc(&v.details)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"seed\":{},\"sim_time_ns\":{},\
+             \"trace_events\":{},\"trace_digest\":\"{:#018x}\",\"violations\":[{}],\
+             \"metrics\":{},\"divergence\":{}}}",
+            esc(&self.scenario),
+            esc(&self.strategy),
+            self.seed,
+            self.sim_time.0,
+            self.trace_events,
+            self.trace_digest,
+            violations.join(","),
+            self.metrics.to_json(),
+            self.divergence.to_json(),
+        )
     }
 }
 
@@ -61,6 +113,8 @@ pub struct TrialOutcome {
     pub example: Option<RunReport>,
     /// Total trace events across all trials (effort proxy).
     pub total_events: u64,
+    /// Total simulated nanoseconds across all trials (effort proxy).
+    pub total_sim_ns: u64,
 }
 
 impl TrialOutcome {
@@ -98,6 +152,7 @@ impl Explorer {
     ) -> TrialOutcome {
         let mut strategy_name = String::new();
         let mut total_events = 0u64;
+        let mut total_sim_ns = 0u64;
         for t in 0..self.max_trials {
             let seed = self.base_seed + t as u64;
             let mut strategy = factory(seed);
@@ -106,6 +161,7 @@ impl Explorer {
             }
             let report = scenario(seed, strategy.as_mut());
             total_events += report.trace_events as u64;
+            total_sim_ns += report.sim_time.0;
             if report.failed() {
                 return TrialOutcome {
                     scenario: scenario_name.to_string(),
@@ -114,6 +170,7 @@ impl Explorer {
                     first_violation: Some(t + 1),
                     example: Some(report),
                     total_events,
+                    total_sim_ns,
                 };
             }
         }
@@ -124,6 +181,7 @@ impl Explorer {
             first_violation: None,
             example: None,
             total_events,
+            total_sim_ns,
         }
     }
 }
@@ -199,6 +257,37 @@ impl DetectionMatrix {
         }
         out
     }
+
+    /// Renders the exploration *effort* behind each cell: trials run, trace
+    /// events generated, and simulated time burned. Companion to
+    /// [`DetectionMatrix::render`] — that table says *whether* a strategy
+    /// finds a bug; this one says what it cost.
+    pub fn render_effort(&self) -> String {
+        let first_col = self
+            .cells
+            .iter()
+            .map(|c| c.scenario.len() + c.strategy.len() + 3)
+            .max()
+            .unwrap_or(8)
+            .max("cell".len());
+        let mut out = format!(
+            "{:<first_col$}  {:>7}  {:>12}  {:>12}  {:>10}\n",
+            "cell", "trials", "events", "sim-time", "detected"
+        );
+        for c in &self.cells {
+            let label = format!("{} / {}", c.scenario, c.strategy);
+            let sim = format!("{:.3}s", c.total_sim_ns as f64 / 1e9);
+            let det = match c.first_violation {
+                Some(n) => format!("trial {n}"),
+                None => "no".to_string(),
+            };
+            out.push_str(&format!(
+                "{label:<first_col$}  {:>7}  {:>12}  {sim:>12}  {det:>10}\n",
+                c.trials_run, c.total_events,
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +317,8 @@ mod tests {
                 sim_time: SimTime(1),
                 trace_events: 10,
                 trace_digest: seed,
+                metrics: MetricsReport::default(),
+                divergence: DivergenceSummary::default(),
             }
         }
     }
@@ -261,7 +352,9 @@ mod tests {
             max_trials: 5,
             base_seed: 0,
         };
-        let out = ex.explore("fake", &fake_scenario("magic"), &|_s| Box::new(Named("dud")));
+        let out = ex.explore("fake", &fake_scenario("magic"), &|_s| {
+            Box::new(Named("dud"))
+        });
         assert!(!out.detected());
         assert_eq!(out.trials_run, 5);
         assert!(out.example.is_none());
@@ -277,7 +370,9 @@ mod tests {
         m.add(ex.explore("fake", &fake_scenario("magic"), &|_s| {
             Box::new(Named("magic"))
         }));
-        m.add(ex.explore("fake", &fake_scenario("magic"), &|_s| Box::new(Named("dud"))));
+        m.add(ex.explore("fake", &fake_scenario("magic"), &|_s| {
+            Box::new(Named("dud"))
+        }));
         let table = m.render();
         assert!(table.contains("scenario"));
         assert!(table.contains("magic"));

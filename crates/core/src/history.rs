@@ -119,10 +119,13 @@ impl History {
 fn apply(s: &mut BTreeMap<String, EntityState>, c: &Change) {
     match c.op {
         ChangeOp::Create => {
-            s.insert(c.entity.clone(), EntityState {
-                last_seq: c.seq,
-                version: 0,
-            });
+            s.insert(
+                c.entity.clone(),
+                EntityState {
+                    last_seq: c.seq,
+                    version: 0,
+                },
+            );
         }
         ChangeOp::Update(v) => {
             if let Some(e) = s.get_mut(&c.entity) {

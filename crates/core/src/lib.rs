@@ -14,6 +14,9 @@
 //! * [`epoch`] — the epoch-bounded delivery model sketched in §6.2:
 //!   partition `H` into epochs and guarantee all-or-nothing visibility per
 //!   epoch, trading coordination for bounded divergence;
+//! * [`divergence`] — sampled per-view lag (`|H| − |H′|`) summaries, the
+//!   measured counterpart of the §4.2 divergence metrics, folded into every
+//!   [`harness::RunReport`];
 //! * [`causality`] — happens-before recovery from simulation traces,
 //!   used to pick perturbation points causally related to component
 //!   decisions (§7);
@@ -58,6 +61,7 @@
 
 pub mod autoguide;
 pub mod causality;
+pub mod divergence;
 pub mod epoch;
 pub mod harness;
 pub mod history;
@@ -67,6 +71,7 @@ pub mod perturb;
 
 pub use autoguide::{candidates, explore, AutoFinding, Candidate, CandidateStrategy};
 pub use causality::CausalGraph;
+pub use divergence::{DivergenceSummary, ViewLag};
 pub use epoch::{EpochBuffer, EpochPartition};
 pub use harness::{DetectionMatrix, Explorer, RunReport, TrialOutcome};
 pub use history::{Change, ChangeOp, FrontierLog, History, PartialHistory, View};

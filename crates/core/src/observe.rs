@@ -105,9 +105,9 @@ fn analyze_interval(
         let b = before.get(entity).map(|e| e.version);
         let a = after.get(entity).map(|e| e.version);
         let net_visible = match (b, a) {
-            (None, None) => false,                       // never seen alive
-            (Some(vb), Some(va)) => vb != va,            // version must differ
-            _ => true,                                   // appeared or vanished
+            (None, None) => false,            // never seen alive
+            (Some(vb), Some(va)) => vb != va, // version must differ
+            _ => true,                        // appeared or vanished
         };
         if net_visible {
             let (last, earlier) = changes.split_last().expect("non-empty");
@@ -233,6 +233,78 @@ mod tests {
         let r = observability_report(&h, &[0, 1, 1, 99]);
         assert_eq!(r.observable, vec![1]);
         assert!(r.unobservable.is_empty());
+    }
+
+    #[test]
+    fn read_past_end_equals_read_at_end() {
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create); // 1
+        h.append("a", ChangeOp::Update(1)); // 2
+        let at_end = observability_report(&h, &[2]);
+        let past_end = observability_report(&h, &[1_000_000]);
+        assert_eq!(at_end, past_end, "points beyond |H| clamp to |H|");
+    }
+
+    #[test]
+    fn zero_only_read_points_see_nothing() {
+        // A read at position 0 is the implicit initial (empty) read; a
+        // schedule of only zeros is equivalent to never reading.
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create); // 1
+        let zeros = observability_report(&h, &[0, 0, 0]);
+        let none = observability_report(&h, &[]);
+        assert_eq!(zeros, none);
+        assert_eq!(zeros.unobservable, vec![1]);
+        assert!((zeros.gap_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rewrite_to_the_same_version_is_invisible() {
+        let mut h = History::new();
+        h.append("a", ChangeOp::Create); // 1: version 0
+        h.append("a", ChangeOp::Update(3)); // 2
+        h.append("a", ChangeOp::Update(3)); // 3: same version as read 2 saw
+        let r = observability_report(&h, &[2, 3]);
+        // Interval (2,3]: version 3 before and after → change 3 invisible.
+        assert_eq!(r.observable, vec![2]);
+        assert!(r.unobservable.contains(&3));
+    }
+
+    #[test]
+    fn gap_fraction_stays_within_bounds() {
+        // Across a deterministic sweep of schedules, every report must
+        // partition the history and keep the gap fraction in [0, 1].
+        let mut h = History::new();
+        for i in 0..8u64 {
+            let entity = format!("e{}", i % 3);
+            match i % 4 {
+                0 => h.append(entity, ChangeOp::Create),
+                3 => h.append(entity, ChangeOp::Delete),
+                k => h.append(entity, ChangeOp::Update(k)),
+            };
+        }
+        let schedules: &[&[u64]] = &[
+            &[],
+            &[0],
+            &[1],
+            &[8],
+            &[3, 6, 8],
+            &[2, 2, 4, 4, 99],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        ];
+        for points in schedules {
+            let r = observability_report(&h, points);
+            let g = r.gap_fraction();
+            assert!(
+                (0.0..=1.0).contains(&g),
+                "gap {g} out of bounds for {points:?}"
+            );
+            assert_eq!(
+                r.observable.len() + r.unobservable.len(),
+                h.len() as usize,
+                "report must partition the history for {points:?}"
+            );
+        }
     }
 
     #[test]

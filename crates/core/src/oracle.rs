@@ -162,7 +162,10 @@ pub fn check_all(oracles: &mut [Box<dyn Oracle>], world: &World) -> Vec<Violatio
     let mut out: Vec<Violation> = Vec::new();
     for o in oracles.iter_mut() {
         for v in o.check(world) {
-            if !out.iter().any(|x| x.oracle == v.oracle && x.details == v.details) {
+            if !out
+                .iter()
+                .any(|x| x.oracle == v.oracle && x.details == v.details)
+            {
                 out.push(v);
             }
         }

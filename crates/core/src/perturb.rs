@@ -130,10 +130,7 @@ impl Strategy for StalenessInjector {
         let delay = self.delay;
         let after = SimTime(self.after.as_nanos());
         world.set_interceptor(move |env: &Envelope, now: SimTime| {
-            if now >= after
-                && env.dst == victim
-                && kinds.iter().any(|k| k == env.kind_short())
-            {
+            if now >= after && env.dst == victim && kinds.iter().any(|k| k == env.kind_short()) {
                 Verdict::Delay(delay)
             } else {
                 Verdict::Pass
@@ -230,9 +227,7 @@ impl Strategy for TimeTravelInjector {
         let kinds = targets.notify_kinds.clone();
         let hold_at = SimTime(self.hold_at.as_nanos());
         world.set_interceptor(move |env: &Envelope, now: SimTime| {
-            if now >= hold_at
-                && env.dst == upstream
-                && kinds.iter().any(|k| k == env.kind_short())
+            if now >= hold_at && env.dst == upstream && kinds.iter().any(|k| k == env.kind_short())
             {
                 Verdict::Hold
             } else {
@@ -347,7 +342,8 @@ impl Strategy for CrashTunerCrashes {
                 self.cursor += 1;
                 if let TraceEventKind::MessageDelivered { dst, kind, .. } = &e.kind {
                     let is_view_update = targets.notify_kinds.iter().any(|k| k == kind);
-                    let is_service = targets.components.contains(dst) || targets.caches.contains(dst);
+                    let is_service =
+                        targets.components.contains(dst) || targets.caches.contains(dst);
                     if is_view_update && is_service && self.fired < self.max_crashes {
                         // Deterministic per-delivery draw.
                         let mut rng = SimRng::derive(self.seed, 0xC7 ^ e.seq);
@@ -430,7 +426,8 @@ impl Strategy for CoFiPartitions {
                 self.cursor += 1;
                 if let TraceEventKind::MessageDelivered { src, dst, kind, .. } = &e.kind {
                     let is_view_update = targets.notify_kinds.iter().any(|k| k == kind);
-                    let is_service = targets.components.contains(dst) || targets.caches.contains(dst);
+                    let is_service =
+                        targets.components.contains(dst) || targets.caches.contains(dst);
                     if is_view_update && is_service && self.fired < self.max_partitions {
                         let mut rng = SimRng::derive(self.seed, 0xF1 ^ e.seq);
                         if rng.chance(self.p) {

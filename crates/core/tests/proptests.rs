@@ -1,86 +1,87 @@
-//! Property-based tests on the partial-history model's invariants.
+//! Randomized-but-deterministic tests on the partial-history model's
+//! invariants, generated from a fixed-seed [`SimRng`].
 
-use proptest::prelude::*;
+use ph_sim::SimRng;
 
 use ph_core::epoch::{EpochBuffer, EpochError, EpochPartition};
 use ph_core::history::{ChangeOp, History, PartialHistory, View};
 use ph_core::observe::observability_report;
 
-/// An arbitrary history over a small entity universe.
-fn arb_history(max_len: usize) -> impl Strategy<Value = History> {
-    prop::collection::vec((0u8..6, 0u8..3, 0u64..100), 0..max_len).prop_map(|ops| {
-        let mut h = History::new();
-        let mut alive = [false; 6];
-        for (e, kind, v) in ops {
-            let entity = format!("e{e}");
-            let idx = e as usize;
-            match kind {
-                0 => {
-                    if !alive[idx] {
-                        h.append(entity, ChangeOp::Create);
-                        alive[idx] = true;
-                    } else {
-                        h.append(entity, ChangeOp::Update(v));
-                    }
+/// Draws an arbitrary history over a small entity universe.
+fn gen_history(rng: &mut SimRng, max_len: u64) -> History {
+    let n = rng.below(max_len) as usize;
+    let mut h = History::new();
+    let mut alive = [false; 6];
+    for _ in 0..n {
+        let e = rng.below(6) as usize;
+        let kind = rng.below(3);
+        let v = rng.below(100);
+        let entity = format!("e{e}");
+        match kind {
+            0 => {
+                if !alive[e] {
+                    h.append(entity, ChangeOp::Create);
+                    alive[e] = true;
+                } else {
+                    h.append(entity, ChangeOp::Update(v));
                 }
-                1 => {
-                    if alive[idx] {
-                        h.append(entity, ChangeOp::Delete);
-                        alive[idx] = false;
-                    } else {
-                        h.append(entity, ChangeOp::Create);
-                        alive[idx] = true;
-                    }
+            }
+            1 => {
+                if alive[e] {
+                    h.append(entity, ChangeOp::Delete);
+                    alive[e] = false;
+                } else {
+                    h.append(entity, ChangeOp::Create);
+                    alive[e] = true;
                 }
-                _ => {
-                    if alive[idx] {
-                        h.append(entity, ChangeOp::Update(v));
-                    } else {
-                        h.append(entity, ChangeOp::Create);
-                        alive[idx] = true;
-                    }
+            }
+            _ => {
+                if alive[e] {
+                    h.append(entity, ChangeOp::Update(v));
+                } else {
+                    h.append(entity, ChangeOp::Create);
+                    alive[e] = true;
                 }
             }
         }
-        h
-    })
+    }
+    h
 }
 
-/// A subsequence mask for a history.
-fn arb_mask(len: usize) -> impl Strategy<Value = Vec<bool>> {
-    prop::collection::vec(any::<bool>(), len..=len)
+/// Draws a subsequence mask for a history.
+fn gen_mask(rng: &mut SimRng, len: usize) -> Vec<bool> {
+    (0..len).map(|_| rng.below(2) == 1).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn any_subsequence_is_a_partial_history(
-        (h, mask) in arb_history(40).prop_flat_map(|h| {
-            let len = h.len() as usize;
-            (Just(h), arb_mask(len))
-        })
-    ) {
+#[test]
+fn any_subsequence_is_a_partial_history() {
+    let mut rng = SimRng::from_seed(0x5B5);
+    for _ in 0..128 {
+        let h = gen_history(&mut rng, 40);
+        let mask = gen_mask(&mut rng, h.len() as usize);
         let mut view = PartialHistory::new();
         for (c, keep) in h.changes().iter().zip(&mask) {
             if *keep {
                 view.observe(c.clone());
             }
         }
-        prop_assert!(view.is_partial_of(&h));
+        assert!(view.is_partial_of(&h));
         // Frontier never exceeds |H|.
-        prop_assert!(view.frontier() <= h.len());
+        assert!(view.frontier() <= h.len());
     }
+}
 
-    #[test]
-    fn duplicating_any_element_breaks_the_invariant(
-        (h, idx) in arb_history(40)
-            .prop_filter("non-empty", |h| !h.is_empty())
-            .prop_flat_map(|h| {
-                let len = h.len();
-                (Just(h), 1..=len)
-            })
-    ) {
+#[test]
+fn duplicating_any_element_breaks_the_invariant() {
+    let mut rng = SimRng::from_seed(0xD0B1);
+    let mut cases = 0;
+    while cases < 128 {
+        let h = gen_history(&mut rng, 40);
+        if h.is_empty() {
+            continue;
+        }
+        cases += 1;
+        let idx = rng.range(1, h.len() + 1);
         let mut view = PartialHistory::new();
         for c in h.changes() {
             view.observe(c.clone());
@@ -88,40 +89,46 @@ proptest! {
                 view.observe(c.clone()); // replay
             }
         }
-        prop_assert!(!view.is_partial_of(&h), "replays must be rejected");
+        assert!(!view.is_partial_of(&h), "replays must be rejected");
     }
+}
 
-    #[test]
-    fn lag_plus_frontier_equals_history_length(
-        (h, mask) in arb_history(40).prop_flat_map(|h| {
-            let len = h.len() as usize;
-            (Just(h), arb_mask(len))
-        })
-    ) {
+#[test]
+fn lag_plus_frontier_equals_history_length() {
+    let mut rng = SimRng::from_seed(0x1A6);
+    for _ in 0..128 {
+        let h = gen_history(&mut rng, 40);
+        let mask = gen_mask(&mut rng, h.len() as usize);
         let mut view = View::new();
         for (c, keep) in h.changes().iter().zip(&mask) {
             if *keep {
                 view.observe(c.clone());
             }
         }
-        prop_assert_eq!(view.lag(&h) + view.history.frontier(), h.len());
+        assert_eq!(view.lag(&h) + view.history.frontier(), h.len());
     }
+}
 
-    #[test]
-    fn complete_views_never_diverge(h in arb_history(40)) {
-        let view = View { history: h.as_view() };
-        prop_assert!(view.divergent_entities(&h).is_empty());
-        prop_assert!(view.interior_gaps(&h).is_empty());
-        prop_assert_eq!(view.lag(&h), 0);
+#[test]
+fn complete_views_never_diverge() {
+    let mut rng = SimRng::from_seed(0xC0);
+    for _ in 0..128 {
+        let h = gen_history(&mut rng, 40);
+        let view = View {
+            history: h.as_view(),
+        };
+        assert!(view.divergent_entities(&h).is_empty());
+        assert!(view.interior_gaps(&h).is_empty());
+        assert_eq!(view.lag(&h), 0);
     }
+}
 
-    #[test]
-    fn interior_gaps_are_exactly_the_masked_out_prefix_changes(
-        (h, mask) in arb_history(40).prop_flat_map(|h| {
-            let len = h.len() as usize;
-            (Just(h), arb_mask(len))
-        })
-    ) {
+#[test]
+fn interior_gaps_are_exactly_the_masked_out_prefix_changes() {
+    let mut rng = SimRng::from_seed(0x6A5);
+    for _ in 0..128 {
+        let h = gen_history(&mut rng, 40);
+        let mask = gen_mask(&mut rng, h.len() as usize);
         let mut view = View::new();
         for (c, keep) in h.changes().iter().zip(&mask) {
             if *keep {
@@ -137,17 +144,19 @@ proptest! {
             .map(|(c, _)| c.seq)
             .collect();
         let got: Vec<u64> = view.interior_gaps(&h).iter().map(|c| c.seq).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn observability_partitions_the_history(
-        (h, points) in arb_history(40).prop_flat_map(|h| {
-            let len = h.len();
-            let points = prop::collection::vec(0..=len + 2, 0..8);
-            (Just(h), points)
-        })
-    ) {
+#[test]
+fn observability_partitions_the_history() {
+    let mut rng = SimRng::from_seed(0x0B5);
+    for _ in 0..128 {
+        let h = gen_history(&mut rng, 40);
+        let points: Vec<u64> = {
+            let n = rng.below(8) as usize;
+            (0..n).map(|_| rng.below(h.len() + 3)).collect()
+        };
         let report = observability_report(&h, &points);
         let mut all: Vec<u64> = report
             .observable
@@ -157,27 +166,37 @@ proptest! {
             .collect();
         all.sort_unstable();
         let expected: Vec<u64> = (1..=h.len()).collect();
-        prop_assert_eq!(all, expected, "every change classified exactly once");
+        assert_eq!(all, expected, "every change classified exactly once");
     }
+}
 
-    #[test]
-    fn reading_after_every_event_observes_single_entity_histories_fully(
-        n in 1u64..30
-    ) {
-        // With one entity and alternating create/delete, dense reads see all.
+#[test]
+fn reading_after_every_event_observes_single_entity_histories_fully() {
+    // With one entity and alternating create/delete, dense reads see all.
+    for n in 1u64..30 {
         let mut h = History::new();
         for i in 0..n {
-            h.append("x", if i % 2 == 0 { ChangeOp::Create } else { ChangeOp::Delete });
+            h.append(
+                "x",
+                if i % 2 == 0 {
+                    ChangeOp::Create
+                } else {
+                    ChangeOp::Delete
+                },
+            );
         }
         let points: Vec<u64> = (1..=n).collect();
         let report = observability_report(&h, &points);
-        prop_assert!(report.unobservable.is_empty());
+        assert!(report.unobservable.is_empty());
     }
+}
 
-    #[test]
-    fn epoch_buffer_releases_everything_given_a_complete_feed(
-        (h, size) in arb_history(60).prop_flat_map(|h| (Just(h), 1u64..10))
-    ) {
+#[test]
+fn epoch_buffer_releases_everything_given_a_complete_feed() {
+    let mut rng = SimRng::from_seed(0xE9);
+    for _ in 0..128 {
+        let h = gen_history(&mut rng, 60);
+        let size = rng.range(1, 10);
         let mut buf = EpochBuffer::new(EpochPartition::new(size));
         for c in h.changes() {
             buf.push(c.clone());
@@ -190,28 +209,32 @@ proptest! {
                     let seqs: Vec<u64> = epoch.iter().map(|c| c.seq).collect();
                     let mut sorted = seqs.clone();
                     sorted.sort_unstable();
-                    prop_assert_eq!(&seqs, &sorted);
+                    assert_eq!(&seqs, &sorted);
                     released += epoch.len() as u64;
                 }
                 Err(EpochError::NotSealed { .. }) => break,
                 Err(EpochError::Incomplete { .. }) => {
-                    prop_assert!(false, "complete feed produced an incomplete epoch");
+                    panic!("complete feed produced an incomplete epoch");
                 }
             }
         }
         // Everything except the trailing unsealed epoch is delivered.
-        prop_assert_eq!(released, (h.len() / size) * size);
+        assert_eq!(released, (h.len() / size) * size);
     }
+}
 
-    #[test]
-    fn epoch_buffer_detects_every_gap(
-        (h, size, drop_seq) in arb_history(60)
-            .prop_filter("non-trivial", |h| h.len() >= 4)
-            .prop_flat_map(|h| {
-                let len = h.len();
-                (Just(h), 1u64..5, 1..=len)
-            })
-    ) {
+#[test]
+fn epoch_buffer_detects_every_gap() {
+    let mut rng = SimRng::from_seed(0x6A9);
+    let mut cases = 0;
+    while cases < 128 {
+        let h = gen_history(&mut rng, 60);
+        if h.len() < 4 {
+            continue;
+        }
+        cases += 1;
+        let size = rng.range(1, 5);
+        let drop_seq = rng.range(1, h.len() + 1);
         let mut buf = EpochBuffer::new(EpochPartition::new(size));
         for c in h.changes() {
             if c.seq != drop_seq {
@@ -226,15 +249,12 @@ proptest! {
                     // No released epoch may contain a neighbour of the gap
                     // from the same epoch.
                     for c in &epoch {
-                        prop_assert_ne!(
-                            EpochPartition::new(size).epoch_of(c.seq),
-                            dropped_epoch
-                        );
+                        assert_ne!(EpochPartition::new(size).epoch_of(c.seq), dropped_epoch);
                     }
                 }
                 Err(EpochError::Incomplete { epoch, missing }) => {
-                    prop_assert_eq!(epoch, dropped_epoch);
-                    prop_assert!(missing.contains(&drop_seq));
+                    assert_eq!(epoch, dropped_epoch);
+                    assert!(missing.contains(&drop_seq));
                     hit = true;
                     buf.skip_epoch();
                 }
@@ -243,6 +263,6 @@ proptest! {
         }
         // The gap is detected iff its epoch seals within the history.
         let seals = EpochPartition::new(size).is_sealed(dropped_epoch, h.len());
-        prop_assert_eq!(hit, seals);
+        assert_eq!(hit, seals);
     }
 }

@@ -4,14 +4,22 @@
 //! phtool list                         enumerate scenarios and strategies
 //! phtool run --scenario <name>        one trial (prints the report)
 //!        [--strategy <name>] [--variant buggy|fixed] [--seed N]
-//!        [--trace <file.json>]        dump the full trace as JSON
+//!        [--trace <file>] [--format json|jsonl|chrome]
+//!                                     dump the full trace (chrome = load
+//!                                     in Perfetto / chrome://tracing)
+//!        [--metrics]                  print the metrics + divergence tables
+//!        [--json]                     print the full report as JSON
+//! phtool report [--scenario <name>] [--strategy <name>]
+//!        [--variant buggy|fixed] [--seed N]
+//!                                     divergence & effort dashboard
 //! phtool matrix [--trials N] [--seed N]
 //!                                     the §7 detection matrix
 //! phtool hunt --scenario <name> [--budget N] [--depth N] [--seed N]
 //!                                     causality-guided auto-discovery
 //! ```
 //!
-//! Everything is deterministic: `--seed` fully determines a run.
+//! Everything is deterministic: `--seed` fully determines a run, including
+//! every metric value and every exported trace byte.
 
 use std::collections::BTreeMap;
 
@@ -64,54 +72,78 @@ fn scheduler_targets() -> Targets {
 
 fn registry() -> BTreeMap<&'static str, Entry> {
     let mut m: BTreeMap<&'static str, Entry> = BTreeMap::new();
-    m.insert(k8s_59848::NAME, Entry {
-        run: k8s_59848::run,
-        guided: k8s_59848::guided,
-        hunt: None,
-    });
-    m.insert(k8s_56261::NAME, Entry {
-        run: k8s_56261::run,
-        guided: k8s_56261::guided,
-        hunt: Some((
-            k8s_56261::run_with_trace,
-            &["scheduler.bind"],
-            scheduler_targets,
-        )),
-    });
-    m.insert(volume_17::NAME, Entry {
-        run: volume_17::run,
-        guided: volume_17::guided,
-        hunt: Some((
-            volume_17::run_with_trace,
-            &["vc.release_pvc"],
-            volume_targets,
-        )),
-    });
-    m.insert(cass_398::NAME, Entry {
-        run: cass_398::run,
-        guided: cass_398::guided,
-        hunt: None,
-    });
-    m.insert(cass_400::NAME, Entry {
-        run: cass_400::run,
-        guided: cass_400::guided,
-        hunt: None,
-    });
-    m.insert(cass_402::NAME, Entry {
-        run: cass_402::run,
-        guided: cass_402::guided,
-        hunt: None,
-    });
-    m.insert(hbase_3136::NAME, Entry {
-        run: hbase_3136::run,
-        guided: hbase_3136::guided,
-        hunt: None,
-    });
-    m.insert(node_fencing::NAME, Entry {
-        run: node_fencing::run,
-        guided: node_fencing::guided,
-        hunt: None,
-    });
+    m.insert(
+        k8s_59848::NAME,
+        Entry {
+            run: k8s_59848::run,
+            guided: k8s_59848::guided,
+            hunt: None,
+        },
+    );
+    m.insert(
+        k8s_56261::NAME,
+        Entry {
+            run: k8s_56261::run,
+            guided: k8s_56261::guided,
+            hunt: Some((
+                k8s_56261::run_with_trace,
+                &["scheduler.bind"],
+                scheduler_targets,
+            )),
+        },
+    );
+    m.insert(
+        volume_17::NAME,
+        Entry {
+            run: volume_17::run,
+            guided: volume_17::guided,
+            hunt: Some((
+                volume_17::run_with_trace,
+                &["vc.release_pvc"],
+                volume_targets,
+            )),
+        },
+    );
+    m.insert(
+        cass_398::NAME,
+        Entry {
+            run: cass_398::run,
+            guided: cass_398::guided,
+            hunt: None,
+        },
+    );
+    m.insert(
+        cass_400::NAME,
+        Entry {
+            run: cass_400::run,
+            guided: cass_400::guided,
+            hunt: None,
+        },
+    );
+    m.insert(
+        cass_402::NAME,
+        Entry {
+            run: cass_402::run,
+            guided: cass_402::guided,
+            hunt: None,
+        },
+    );
+    m.insert(
+        hbase_3136::NAME,
+        Entry {
+            run: hbase_3136::run,
+            guided: hbase_3136::guided,
+            hunt: None,
+        },
+    );
+    m.insert(
+        node_fencing::NAME,
+        Entry {
+            run: node_fencing::run,
+            guided: node_fencing::guided,
+            hunt: None,
+        },
+    );
     m
 }
 
@@ -132,7 +164,10 @@ fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Result<Box<dyn Stra
     })
 }
 
-/// Minimal `--key value` flag parser.
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["metrics", "json"];
+
+/// Minimal `--key value` flag parser (plus valueless boolean flags).
 struct Args {
     flags: BTreeMap<String, String>,
 }
@@ -145,6 +180,10 @@ impl Args {
             let Some(key) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument {a:?}"));
             };
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(format!("flag --{key} needs a value"));
             };
@@ -157,6 +196,10 @@ impl Args {
         self.flags.get(key).map(String::as_str)
     }
 
+    fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
     fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
@@ -167,9 +210,18 @@ impl Args {
 
 fn usage() -> &'static str {
     "usage:\n  phtool list\n  phtool run --scenario <name> [--strategy <name>] \
-     [--variant buggy|fixed] [--seed N] [--trace out.json]\n  phtool matrix \
-     [--trials N] [--seed N]\n  phtool hunt --scenario <name> [--budget N] \
-     [--depth N] [--seed N]"
+     [--variant buggy|fixed] [--seed N] [--trace out.json] \
+     [--format json|jsonl|chrome] [--metrics] [--json]\n  phtool report \
+     [--scenario <name>] [--strategy <name>] [--variant buggy|fixed] [--seed N]\n  \
+     phtool matrix [--trials N] [--seed N]\n  phtool hunt --scenario <name> \
+     [--budget N] [--depth N] [--seed N]"
+}
+
+/// Scenario lookup tolerant of `_`/`-` spelling (`k8s_59848` = `k8s-59848`).
+fn lookup<'r>(reg: &'r BTreeMap<&'static str, Entry>, name: &str) -> Result<&'r Entry, String> {
+    reg.get(name)
+        .or_else(|| reg.get(name.replace('_', "-").as_str()))
+        .ok_or_else(|| format!("unknown scenario {name:?} (phtool list)"))
 }
 
 fn cmd_list() {
@@ -184,12 +236,22 @@ fn cmd_list() {
     println!("strategies: {}", STRATEGIES.join(", "));
 }
 
+/// Serializes a trace in the chosen export format.
+fn format_trace(trace: &Trace, format: &str) -> Result<String, String> {
+    match format {
+        "json" => Ok(trace.to_json()),
+        "jsonl" => Ok(ph_sim::trace_to_jsonl(trace)),
+        "chrome" => Ok(ph_sim::trace_to_chrome(trace)),
+        other => Err(format!(
+            "unknown trace format {other:?} (json|jsonl|chrome)"
+        )),
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let reg = registry();
     let scenario = args.get("scenario").ok_or("--scenario is required")?;
-    let entry = reg
-        .get(scenario)
-        .ok_or_else(|| format!("unknown scenario {scenario:?} (phtool list)"))?;
+    let entry = lookup(&reg, scenario)?;
     let seed = args.get_u64("seed", 1)?;
     let variant = match args.get("variant").unwrap_or("buggy") {
         "buggy" => Variant::Buggy,
@@ -198,28 +260,30 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     let strategy_name = args.get("strategy").unwrap_or("guided");
     let mut strategy = make_strategy(strategy_name, entry.guided, seed)?;
+    let format = args.get("format").unwrap_or("json");
 
     let report = if let Some(path) = args.get("trace") {
         // Only trace-capable scenarios can dump (the rest run normally).
-        if let Some((run_with_trace, ..)) = entry.hunt {
-            let (report, trace) = run_with_trace(seed, strategy.as_mut(), variant);
-            std::fs::write(path, trace.to_json())
-                .map_err(|e| format!("writing {path}: {e}"))?;
-            println!("trace written to {path} ({} events)", trace.len());
-            report
-        } else if scenario == k8s_59848::NAME {
-            let (report, trace) = k8s_59848::run_with_trace(seed, strategy.as_mut(), variant);
-            std::fs::write(path, trace.to_json())
-                .map_err(|e| format!("writing {path}: {e}"))?;
-            println!("trace written to {path} ({} events)", trace.len());
-            report
+        let run_with_trace = if let Some((f, ..)) = entry.hunt {
+            f
+        } else if scenario.replace('_', "-") == k8s_59848::NAME {
+            k8s_59848::run_with_trace
         } else {
             return Err(format!("scenario {scenario:?} cannot dump traces"));
-        }
+        };
+        let (report, trace) = run_with_trace(seed, strategy.as_mut(), variant);
+        std::fs::write(path, format_trace(&trace, format)?)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path} ({} events, {format})", trace.len());
+        report
     } else {
         (entry.run)(seed, strategy.as_mut(), variant)
     };
 
+    if args.has("json") {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
     println!("scenario : {}", report.scenario);
     println!("strategy : {}", report.strategy);
     println!("variant  : {variant}");
@@ -233,6 +297,78 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     } else {
         println!("VERDICT  : clean");
+    }
+    if args.has("metrics") {
+        println!("\n-- metrics --");
+        print!("{}", report.metrics.render());
+        println!("\n-- divergence (|H| - |H'|, sampled) --");
+        print!("{}", report.divergence.render());
+    }
+    Ok(())
+}
+
+/// The observability dashboard: run every scenario (or one) once and
+/// summarize verdicts, effort, and divergence side by side.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let reg = registry();
+    let seed = args.get_u64("seed", 1)?;
+    let variant = match args.get("variant").unwrap_or("buggy") {
+        "buggy" => Variant::Buggy,
+        "fixed" => Variant::Fixed,
+        other => return Err(format!("unknown variant {other:?}")),
+    };
+    let strategy_name = args.get("strategy").unwrap_or("guided");
+    let selected: Vec<&'static str> = match args.get("scenario") {
+        Some(s) => {
+            lookup(&reg, s)?;
+            let dashed = s.replace('_', "-");
+            reg.keys().copied().filter(|k| *k == dashed).collect()
+        }
+        None => reg.keys().copied().collect(),
+    };
+
+    let mut reports = Vec::new();
+    for name in &selected {
+        let entry = &reg[name];
+        let mut strategy = make_strategy(strategy_name, entry.guided, seed)?;
+        reports.push((entry.run)(seed, strategy.as_mut(), variant));
+    }
+
+    println!("phtool report  (strategy {strategy_name}, variant {variant}, seed {seed})");
+    println!();
+    let wide = selected
+        .iter()
+        .map(|s| s.len())
+        .max()
+        .unwrap_or(8)
+        .max("scenario".len());
+    println!(
+        "{:<wide$}  {:>8}  {:>8}  {:>9}  {:>7}  {:>8}  {:>6}",
+        "scenario", "verdict", "events", "sim-time", "max-lag", "mean-lag", "gap%"
+    );
+    for r in &reports {
+        let gap = r
+            .divergence
+            .iter()
+            .map(|(_, v)| v.gap_fraction())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<wide$}  {:>8}  {:>8}  {:>8.2}s  {:>7}  {:>8.2}  {:>5.1}%",
+            r.scenario,
+            if r.failed() { "VIOLATED" } else { "clean" },
+            r.trace_events,
+            r.sim_time.0 as f64 / 1e9,
+            r.divergence.max_lag(),
+            r.divergence.mean_lag(),
+            gap * 100.0,
+        );
+    }
+    for r in &reports {
+        if r.divergence.is_empty() {
+            continue;
+        }
+        println!("\n-- {} divergence --", r.scenario);
+        print!("{}", r.divergence.render());
     }
     Ok(())
 }
@@ -250,11 +386,10 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
         for strategy_name in STRATEGIES {
             let run = entry.run;
             let guided = entry.guided;
-            let mut outcome = explorer.explore(
-                name,
-                &|seed, s| run(seed, s, Variant::Buggy),
-                &|seed| make_strategy(strategy_name, guided, seed).expect("known strategy"),
-            );
+            let mut outcome =
+                explorer.explore(name, &|seed, s| run(seed, s, Variant::Buggy), &|seed| {
+                    make_strategy(strategy_name, guided, seed).expect("known strategy")
+                });
             if *strategy_name == "guided" {
                 outcome.strategy = "guided".into();
             }
@@ -268,9 +403,7 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
 fn cmd_hunt(args: &Args) -> Result<(), String> {
     let reg = registry();
     let scenario = args.get("scenario").ok_or("--scenario is required")?;
-    let entry = reg
-        .get(scenario)
-        .ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+    let entry = lookup(&reg, scenario)?;
     let Some((run_with_trace, labels, targets_fn)) = entry.hunt else {
         let huntable: Vec<&str> = reg
             .iter()
@@ -309,9 +442,7 @@ fn cmd_hunt(args: &Args) -> Result<(), String> {
             }
         }
     }
-    println!(
-        "{found} violating candidate(s); re-run any with the same seed to replay"
-    );
+    println!("{found} violating candidate(s); re-run any with the same seed to replay");
     Ok(())
 }
 
@@ -327,6 +458,7 @@ fn main() {
             Ok(())
         }
         "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
+        "report" => Args::parse(rest).and_then(|a| cmd_report(&a)),
         "matrix" => Args::parse(rest).and_then(|a| cmd_matrix(&a)),
         "hunt" => Args::parse(rest).and_then(|a| cmd_hunt(&a)),
         "help" | "--help" | "-h" => {

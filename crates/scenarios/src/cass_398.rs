@@ -67,14 +67,20 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(7));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));
-    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 3 }));
+    runner.seed(&Object::new(
+        "dc1",
+        Body::CassandraDatacenter { desired: 3 },
+    ));
 
     strategy.setup(&mut runner.world, &runner.targets);
     runner.drive(strategy, Duration::secs(3), Duration::millis(10));
 
     // Scale down: the operator decommissions dc1-2 and must then clean up
     // its PVC.
-    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 2 }));
+    runner.seed(&Object::new(
+        "dc1",
+        Body::CassandraDatacenter { desired: 2 },
+    ));
 
     runner.drive(strategy, Duration::secs(7), Duration::millis(10));
     let cluster = runner.cluster.clone();

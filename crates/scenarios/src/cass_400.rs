@@ -78,14 +78,20 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(8));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));
-    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 3 }));
+    runner.seed(&Object::new(
+        "dc1",
+        Body::CassandraDatacenter { desired: 3 },
+    ));
 
     strategy.setup(&mut runner.world, &runner.targets);
     runner.drive(strategy, Duration::secs(3), Duration::millis(10));
 
     // Scale down by two: dc1-2 then dc1-1 must be decommissioned, one at a
     // time.
-    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 1 }));
+    runner.seed(&Object::new(
+        "dc1",
+        Body::CassandraDatacenter { desired: 1 },
+    ));
 
     runner.drive(strategy, Duration::secs(8), Duration::millis(10));
     let cluster = runner.cluster.clone();

@@ -85,13 +85,19 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::millis(6500));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));
-    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 2 }));
+    runner.seed(&Object::new(
+        "dc1",
+        Body::CassandraDatacenter { desired: 2 },
+    ));
 
     strategy.setup(&mut runner.world, &runner.targets);
     runner.drive(strategy, Duration::millis(2500), Duration::millis(10));
 
     // Scale up: the operator creates dc1-pvc-2, then pod dc1-2.
-    runner.seed(&Object::new("dc1", Body::CassandraDatacenter { desired: 3 }));
+    runner.seed(&Object::new(
+        "dc1",
+        Body::CassandraDatacenter { desired: 3 },
+    ));
 
     runner.drive(strategy, Duration::millis(6500), Duration::millis(10));
     let cluster = runner.cluster.clone();

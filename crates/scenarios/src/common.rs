@@ -5,11 +5,18 @@
 //! assembles a [`RunReport`] from its oracles. Driving is quantized
 //! ([`Runner::drive`]) so trace-triggered strategies act promptly.
 
+use ph_cluster::apiserver::ApiServer;
+use ph_cluster::controllers::{NodeLifecycleController, ReplicaSetController, VolumeController};
+use ph_cluster::kubelet::Kubelet;
+use ph_cluster::operator::CassandraOperator;
+use ph_cluster::scheduler::Scheduler;
 use ph_cluster::topology::{ClusterConfig, ClusterHandle};
+use ph_core::divergence::DivergenceSummary;
 use ph_core::harness::RunReport;
 use ph_core::oracle::{check_all, Oracle};
 use ph_core::perturb::{Strategy, Targets};
 use ph_sim::{Duration, SimTime, World, WorldConfig};
+use ph_store::StoreNode;
 
 /// Which implementation variant a trial runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +56,9 @@ pub struct Runner {
     pub name: String,
     /// Root seed.
     pub seed: u64,
+    /// Sampled per-view lag, folded into the report by
+    /// [`Runner::finish_with_trace`].
+    pub divergence: DivergenceSummary,
 }
 
 impl Runner {
@@ -59,7 +69,13 @@ impl Runner {
     ///
     /// Panics if the cluster is not ready by `t0` (raise `t0` if you build
     /// bigger clusters).
-    pub fn new(name: &str, seed: u64, cfg: &ClusterConfig, t0: Duration, horizon: Duration) -> Runner {
+    pub fn new(
+        name: &str,
+        seed: u64,
+        cfg: &ClusterConfig,
+        t0: Duration,
+        horizon: Duration,
+    ) -> Runner {
         let mut world = World::new(WorldConfig::default(), seed);
         let cluster = ph_cluster::topology::spawn_cluster(&mut world, cfg);
         let t0 = SimTime(t0.as_nanos());
@@ -75,6 +91,7 @@ impl Runner {
             targets,
             name: name.to_string(),
             seed,
+            divergence: DivergenceSummary::new(),
         }
     }
 
@@ -93,13 +110,79 @@ impl Runner {
     }
 
     /// Runs the world up to absolute time `until`, ticking `strategy`
-    /// every `quantum` so trace-triggered strategies stay responsive.
+    /// every `quantum` so trace-triggered strategies stay responsive, and
+    /// sampling per-view lag once per quantum.
     pub fn drive(&mut self, strategy: &mut dyn Strategy, until: Duration, quantum: Duration) {
         let until = SimTime(until.as_nanos());
         while self.world.now() < until {
             let step = SimTime((self.world.now() + quantum).0.min(until.0));
             self.world.run_until(step);
+            self.sample_divergence();
             strategy.tick(&mut self.world, &self.targets);
+        }
+    }
+
+    /// Takes one divergence sample: for every view in the cluster (each
+    /// apiserver cache and each component's informer frontier), record how
+    /// many revisions it is behind the ground truth `|H| − |H′|`. Samples
+    /// land both in [`Runner::divergence`] and in the world's metrics (a
+    /// `view_lag.revisions` histogram and `view_lag.last` gauge per view),
+    /// so they surface in trace/metric exports too. Skipped while the store
+    /// has no leader (the truth frontier is unknowable then).
+    pub fn sample_divergence(&mut self) {
+        let Some(truth) = self
+            .cluster
+            .store
+            .leader(&self.world)
+            .and_then(|n| self.world.actor_ref::<StoreNode>(n))
+            .map(|s| s.mvcc().revision())
+        else {
+            return;
+        };
+        let mut lags: Vec<(String, u64)> = Vec::new();
+        let push = |lags: &mut Vec<(String, u64)>, name: &str, frontier: ph_store::Revision| {
+            lags.push((name.to_string(), truth.0.saturating_sub(frontier.0)));
+        };
+        for &a in &self.cluster.apiservers {
+            if let Some(s) = self.world.actor_ref::<ApiServer>(a) {
+                push(&mut lags, self.world.name_of(a), s.cache_revision());
+            }
+        }
+        for &k in &self.cluster.kubelets {
+            if let Some(s) = self.world.actor_ref::<Kubelet>(k) {
+                push(&mut lags, self.world.name_of(k), s.view_revision());
+            }
+        }
+        if let Some(id) = self.cluster.scheduler {
+            if let Some(s) = self.world.actor_ref::<Scheduler>(id) {
+                push(&mut lags, self.world.name_of(id), s.view_revision());
+            }
+        }
+        if let Some(id) = self.cluster.volume_controller {
+            if let Some(s) = self.world.actor_ref::<VolumeController>(id) {
+                push(&mut lags, self.world.name_of(id), s.view_revision());
+            }
+        }
+        if let Some(id) = self.cluster.rs_controller {
+            if let Some(s) = self.world.actor_ref::<ReplicaSetController>(id) {
+                push(&mut lags, self.world.name_of(id), s.view_revision());
+            }
+        }
+        if let Some(id) = self.cluster.operator {
+            if let Some(s) = self.world.actor_ref::<CassandraOperator>(id) {
+                push(&mut lags, self.world.name_of(id), s.view_revision());
+            }
+        }
+        if let Some(id) = self.cluster.node_lifecycle {
+            if let Some(s) = self.world.actor_ref::<NodeLifecycleController>(id) {
+                push(&mut lags, self.world.name_of(id), s.view_revision());
+            }
+        }
+        for (name, lag) in lags {
+            self.divergence.record(&name, lag);
+            let metrics = self.world.metrics_mut();
+            metrics.observe(&name, "view_lag.revisions", lag);
+            metrics.gauge_set(&name, "view_lag.last", lag as i64);
         }
     }
 
@@ -124,6 +207,7 @@ impl Runner {
     ) -> (RunReport, ph_sim::Trace) {
         strategy.teardown(&mut self.world);
         self.world.run_for(settle);
+        self.sample_divergence();
         let violations = check_all(oracles, &self.world);
         let report = RunReport {
             scenario: self.name,
@@ -133,6 +217,8 @@ impl Runner {
             sim_time: self.world.now(),
             trace_events: self.world.trace().len(),
             trace_digest: self.world.trace().digest(),
+            metrics: self.world.metrics_report(),
+            divergence: self.divergence,
         };
         (report, self.world.trace().clone())
     }

@@ -27,8 +27,8 @@ use ph_sim::{Actor, ActorId, AnyMsg, Ctx, Duration, SimTime, TimerId, World, Wor
 use ph_store::msgs::Expect;
 use ph_store::node::StoreNodeConfig;
 use ph_store::{
-    spawn_store_cluster, Completion, OpError, OpResult, ReadLevel, StoreClient,
-    StoreClientConfig, Value,
+    spawn_store_cluster, Completion, OpError, OpResult, ReadLevel, StoreClient, StoreClientConfig,
+    Value,
 };
 
 use crate::common::Variant;
@@ -125,9 +125,9 @@ impl RegionManager {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(0);
                 let next = Value::copy_from_slice((state + 1).to_string().as_bytes());
-                let req = self
-                    .client
-                    .cas_put(kv.key.clone(), next, Expect::ModRev(kv.mod_revision), ctx);
+                let req =
+                    self.client
+                        .cas_put(kv.key.clone(), next, Expect::ModRev(kv.mod_revision), ctx);
                 self.pending_cas.insert(req, region);
             }
             return;
@@ -159,8 +159,7 @@ impl Actor for RegionManager {
         if !self.seeded {
             self.seeded = true;
             for region in self.regions.clone() {
-                self.client
-                    .put(region, Value::from_static(b"0"), ctx);
+                self.client.put(region, Value::from_static(b"0"), ctx);
             }
         }
         ctx.set_timer(self.interval, TAG_TICK);
@@ -250,6 +249,16 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
     let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> =
         vec![oracles::no_aborted_transitions()];
     let violations = check_all(&mut oracles, &world);
+    // Store-level scenario: no informer stack to sample, but the follower
+    // the manager reads from is itself a view of the leader's history.
+    let mut divergence = ph_core::divergence::DivergenceSummary::new();
+    if let (Some(l), Some(f)) = (
+        world.actor_ref::<ph_store::StoreNode>(leader),
+        world.actor_ref::<ph_store::StoreNode>(follower),
+    ) {
+        let lag = l.mvcc().revision().0.saturating_sub(f.mvcc().revision().0);
+        divergence.record(world.name_of(follower), lag);
+    }
     RunReport {
         scenario: NAME.into(),
         strategy: strategy.name(),
@@ -258,6 +267,8 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
         sim_time: world.now(),
         trace_events: world.trace().len(),
         trace_digest: world.trace().digest(),
+        metrics: world.metrics_report(),
+        divergence,
     }
 }
 

@@ -66,7 +66,11 @@ pub fn no_wrongful_pvc_delete(cluster: ClusterHandle) -> Box<dyn Oracle> {
                             pods.insert(kv.key.as_str().to_string(), terminating);
                         }
                     }
-                    KvEvent::Delete { key, revision, prev } => {
+                    KvEvent::Delete {
+                        key,
+                        revision,
+                        prev,
+                    } => {
                         if key.as_str().starts_with("pods/") {
                             pods.remove(key.as_str());
                         } else if key.as_str().starts_with("pvcs/") {
@@ -107,10 +111,9 @@ pub fn all_pods_running(cluster: ClusterHandle) -> Box<dyn Oracle> {
                 };
                 match node {
                     None => Some(format!("pod {} never scheduled", o.meta.name)),
-                    Some(n) if !s.contains_key(&format!("nodes/{n}")) => Some(format!(
-                        "pod {} bound to nonexistent node {n}",
-                        o.meta.name
-                    )),
+                    Some(n) if !s.contains_key(&format!("nodes/{n}")) => {
+                        Some(format!("pod {} bound to nonexistent node {n}", o.meta.name))
+                    }
                     Some(_) if *phase != PodPhase::Running => {
                         Some(format!("pod {} stuck in {:?}", o.meta.name, phase))
                     }
@@ -154,9 +157,7 @@ pub fn no_aborted_transitions() -> Box<dyn Oracle> {
             world
                 .trace()
                 .annotations("hbase.aborted")
-                .map(|(actor, data)| {
-                    format!("{} aborted transition: {data}", world.name_of(actor))
-                })
+                .map(|(actor, data)| format!("{} aborted transition: {data}", world.name_of(actor)))
                 .collect()
         },
     ))
@@ -200,7 +201,11 @@ mod tests {
     fn wrongful_delete_needs_live_owner_at_delete_time() {
         let (mut world, cluster) = ready_cluster(52);
         seed_obj(&mut world, &cluster, &Object::pvc("v1", "p1"));
-        seed_obj(&mut world, &cluster, &Object::pod("p1", None, Some("v1".into())));
+        seed_obj(
+            &mut world,
+            &cluster,
+            &Object::pod("p1", None, Some("v1".into())),
+        );
         // Delete the PVC while p1 is alive: wrongful.
         let dl = SimTime(world.now().0 + Duration::secs(5).as_nanos());
         assert!(cluster.delete_key(&mut world, "pvcs/v1", dl));
@@ -212,7 +217,11 @@ mod tests {
         // Counter-case: delete pod first, then pvc → fine.
         let (mut world, cluster) = ready_cluster(53);
         seed_obj(&mut world, &cluster, &Object::pvc("v1", "p1"));
-        seed_obj(&mut world, &cluster, &Object::pod("p1", None, Some("v1".into())));
+        seed_obj(
+            &mut world,
+            &cluster,
+            &Object::pod("p1", None, Some("v1".into())),
+        );
         let dl = SimTime(world.now().0 + Duration::secs(5).as_nanos());
         assert!(cluster.delete_key(&mut world, "pods/p1", dl));
         assert!(cluster.delete_key(&mut world, "pvcs/v1", dl));

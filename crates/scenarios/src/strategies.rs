@@ -115,7 +115,9 @@ impl EventSelector {
         notify_keys(env).iter().any(|(key, del, dt)| {
             key.contains(&self.key_contains)
                 && self.deletes.map_or(true, |want| *del == want)
-                && self.with_deletion_timestamp.map_or(true, |want| *dt == want)
+                && self
+                    .with_deletion_timestamp
+                    .map_or(true, |want| *dt == want)
         })
     }
 }

@@ -90,6 +90,25 @@ pub(crate) enum Effect {
         label: &'static str,
         data: String,
     },
+    CounterAdd {
+        name: &'static str,
+        delta: u64,
+    },
+    GaugeSet {
+        name: &'static str,
+        value: i64,
+    },
+    Observe {
+        name: &'static str,
+        value: u64,
+    },
+    SpanBegin {
+        label: &'static str,
+        detail: String,
+    },
+    SpanEnd {
+        label: &'static str,
+    },
 }
 
 /// The execution context handed to every actor callback.
@@ -152,6 +171,45 @@ impl Ctx<'_> {
             label,
             data: data.into(),
         });
+    }
+
+    /// Adds `delta` to this actor's named counter in the world's metrics
+    /// registry.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        self.effects.push(Effect::CounterAdd { name, delta });
+    }
+
+    /// Increments this actor's named counter by one.
+    pub fn counter_inc(&mut self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets this actor's named gauge to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        self.effects.push(Effect::GaugeSet { name, value });
+    }
+
+    /// Records `value` into this actor's named histogram (default log-spaced
+    /// latency buckets; see [`crate::metrics::DEFAULT_LATENCY_BOUNDS_NS`]).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.effects.push(Effect::Observe { name, value });
+    }
+
+    /// Opens a span: a scoped operation recorded in the trace and, once
+    /// closed, as a `"<label>.ns"` duration histogram sample. Spans with the
+    /// same label nest LIFO and may stay open across callbacks (e.g. a
+    /// request opened on send and closed on completion).
+    pub fn span_begin(&mut self, label: &'static str, detail: impl Into<String>) {
+        self.effects.push(Effect::SpanBegin {
+            label,
+            detail: detail.into(),
+        });
+    }
+
+    /// Closes the innermost open span with `label`. Closing a label with no
+    /// open span is a no-op (crash/restart can orphan an end).
+    pub fn span_end(&mut self, label: &'static str) {
+        self.effects.push(Effect::SpanEnd { label });
     }
 }
 

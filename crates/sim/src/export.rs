@@ -1,0 +1,325 @@
+//! Trace exporters.
+//!
+//! Two serializations of a [`Trace`], both hand-rolled, deterministic and
+//! dependency-free:
+//!
+//! * [`trace_to_jsonl`] — one structured JSON object per line, for grep/jq
+//!   pipelines and archival;
+//! * [`trace_to_chrome`] — the Chrome `trace_event` array format, loadable
+//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Each
+//!   actor becomes a named thread; spans become `B`/`E` duration events,
+//!   everything else becomes an instant event.
+//!
+//! Timestamps are the simulation's logical nanoseconds (Chrome wants
+//! microseconds, so `ts` is rendered as `ns/1000` with three decimals); no
+//! wall-clock time is involved, so exports are byte-identical across
+//! same-seed runs.
+
+use std::collections::BTreeMap;
+
+use crate::ids::ActorId;
+use crate::trace::{json_string, Trace, TraceEventKind};
+
+/// Renders the trace as JSON Lines: one event object per line, with
+/// structured per-kind fields (`type`, `seq`, `at_ns`, then the event's own
+/// fields).
+pub fn trace_to_jsonl(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 96);
+    for e in trace.iter() {
+        out.push_str(&format!("{{\"seq\":{},\"at_ns\":{},", e.seq, e.at.0));
+        match &e.kind {
+            TraceEventKind::Spawned { actor, name } => {
+                out.push_str(&format!(
+                    "\"type\":\"spawned\",\"actor\":{},\"name\":{}",
+                    actor.0,
+                    json_string(name)
+                ));
+            }
+            TraceEventKind::MessageSent { id, src, dst, kind } => {
+                out.push_str(&format!(
+                    "\"type\":\"sent\",\"id\":{},\"src\":{},\"dst\":{},\"kind\":{}",
+                    id.0,
+                    src.0,
+                    dst.0,
+                    json_string(kind)
+                ));
+            }
+            TraceEventKind::MessageDelivered { id, src, dst, kind } => {
+                out.push_str(&format!(
+                    "\"type\":\"delivered\",\"id\":{},\"src\":{},\"dst\":{},\"kind\":{}",
+                    id.0,
+                    src.0,
+                    dst.0,
+                    json_string(kind)
+                ));
+            }
+            TraceEventKind::MessageDropped {
+                id,
+                src,
+                dst,
+                kind,
+                reason,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"dropped\",\"id\":{},\"src\":{},\"dst\":{},\"kind\":{},\"reason\":{}",
+                    id.0,
+                    src.0,
+                    dst.0,
+                    json_string(kind),
+                    json_string(&format!("{reason:?}"))
+                ));
+            }
+            TraceEventKind::MessageHeld { id, src, dst, kind } => {
+                out.push_str(&format!(
+                    "\"type\":\"held\",\"id\":{},\"src\":{},\"dst\":{},\"kind\":{}",
+                    id.0,
+                    src.0,
+                    dst.0,
+                    json_string(kind)
+                ));
+            }
+            TraceEventKind::MessageReleased { id } => {
+                out.push_str(&format!("\"type\":\"released\",\"id\":{}", id.0));
+            }
+            TraceEventKind::TimerSet {
+                actor,
+                timer,
+                tag,
+                fire_at,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"timer_set\",\"actor\":{},\"timer\":{},\"tag\":{},\"fire_at_ns\":{}",
+                    actor.0, timer.0, tag, fire_at.0
+                ));
+            }
+            TraceEventKind::TimerFired { actor, timer, tag } => {
+                out.push_str(&format!(
+                    "\"type\":\"timer_fired\",\"actor\":{},\"timer\":{},\"tag\":{}",
+                    actor.0, timer.0, tag
+                ));
+            }
+            TraceEventKind::Crashed { actor } => {
+                out.push_str(&format!("\"type\":\"crashed\",\"actor\":{}", actor.0));
+            }
+            TraceEventKind::Restarted { actor } => {
+                out.push_str(&format!("\"type\":\"restarted\",\"actor\":{}", actor.0));
+            }
+            TraceEventKind::Annotation { actor, label, data } => {
+                out.push_str(&format!(
+                    "\"type\":\"annotation\",\"actor\":{},\"label\":{},\"data\":{}",
+                    actor.0,
+                    json_string(label),
+                    json_string(data)
+                ));
+            }
+            TraceEventKind::SpanBegin {
+                actor,
+                label,
+                detail,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"span_begin\",\"actor\":{},\"label\":{},\"detail\":{}",
+                    actor.0,
+                    json_string(label),
+                    json_string(detail)
+                ));
+            }
+            TraceEventKind::SpanEnd { actor, label } => {
+                out.push_str(&format!(
+                    "\"type\":\"span_end\",\"actor\":{},\"label\":{}",
+                    actor.0,
+                    json_string(label)
+                ));
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Formats logical nanoseconds as Chrome's microsecond `ts` with fixed
+/// 3-decimal precision (keeps output byte-stable, no float formatting).
+fn chrome_ts(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Names of every spawned actor, from the trace itself.
+fn actor_names(trace: &Trace) -> BTreeMap<ActorId, String> {
+    let mut names = BTreeMap::new();
+    for e in trace.iter() {
+        if let TraceEventKind::Spawned { actor, name } = &e.kind {
+            names.insert(*actor, name.clone());
+        }
+    }
+    names
+}
+
+/// Renders the trace in the Chrome `trace_event` JSON object format
+/// (`{"traceEvents": [...]}`), suitable for Perfetto. The export is
+/// self-contained: thread names come from the trace's `Spawned` events.
+pub fn trace_to_chrome(trace: &Trace) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(trace.len() + 8);
+    for (actor, name) in actor_names(trace) {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+            actor.0,
+            json_string(&name)
+        ));
+    }
+    for e in trace.iter() {
+        let ts = chrome_ts(e.at.0);
+        let ev = match &e.kind {
+            TraceEventKind::SpanBegin {
+                actor,
+                label,
+                detail,
+            } => format!(
+                "{{\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"name\":{},\"args\":{{\"detail\":{}}}}}",
+                actor.0,
+                json_string(label),
+                json_string(detail)
+            ),
+            TraceEventKind::SpanEnd { actor, label } => format!(
+                "{{\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"name\":{}}}",
+                actor.0,
+                json_string(label)
+            ),
+            TraceEventKind::MessageSent { id, src, dst, kind } => instant(
+                src.0,
+                &ts,
+                &format!("send {kind}"),
+                &format!("{{\"id\":{},\"dst\":{}}}", id.0, dst.0),
+            ),
+            TraceEventKind::MessageDelivered { id, src, dst, kind } => instant(
+                dst.0,
+                &ts,
+                &format!("recv {kind}"),
+                &format!("{{\"id\":{},\"src\":{}}}", id.0, src.0),
+            ),
+            TraceEventKind::MessageDropped {
+                id,
+                src,
+                dst,
+                kind,
+                reason,
+            } => instant(
+                dst.0,
+                &ts,
+                &format!("drop {kind}"),
+                &format!(
+                    "{{\"id\":{},\"src\":{},\"reason\":{}}}",
+                    id.0,
+                    src.0,
+                    json_string(&format!("{reason:?}"))
+                ),
+            ),
+            TraceEventKind::Crashed { actor } => instant(actor.0, &ts, "crash", "{}"),
+            TraceEventKind::Restarted { actor } => instant(actor.0, &ts, "restart", "{}"),
+            TraceEventKind::Annotation { actor, label, data } => instant(
+                actor.0,
+                &ts,
+                label,
+                &format!("{{\"data\":{}}}", json_string(data)),
+            ),
+            // Spawn/timer/hold bookkeeping would drown the timeline; the
+            // JSONL exporter carries the complete record.
+            _ => continue,
+        };
+        events.push(ev);
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
+}
+
+fn instant(tid: u32, ts: &str, name: &str, args: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"name\":{},\"args\":{args}}}",
+        json_string(name)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, Ctx};
+    use crate::ids::ActorId;
+    use crate::msg::AnyMsg;
+    use crate::time::Duration;
+    use crate::world::{World, WorldConfig};
+
+    struct Spanner;
+    impl Actor for Spanner {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(Duration::millis(1), 0);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: AnyMsg, _c: &mut Ctx) {}
+        fn on_timer(&mut self, _t: crate::ids::TimerId, _tag: u64, ctx: &mut Ctx) {
+            ctx.span_begin("work", "unit");
+            ctx.counter_inc("ticks");
+            ctx.span_end("work");
+        }
+    }
+
+    fn spanned_world() -> World {
+        let mut w = World::new(WorldConfig::default(), 5);
+        w.spawn("spanner", Spanner);
+        w.run_for(Duration::millis(2));
+        w
+    }
+
+    #[test]
+    fn jsonl_lines_are_objects_covering_every_event() {
+        let w = spanned_world();
+        let jsonl = trace_to_jsonl(w.trace());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), w.trace().len());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(jsonl.contains("\"type\":\"span_begin\""));
+        assert!(jsonl.contains("\"type\":\"span_end\""));
+    }
+
+    #[test]
+    fn chrome_export_pairs_spans_and_names_threads() {
+        let w = spanned_world();
+        let chrome = trace_to_chrome(w.trace());
+        assert!(chrome.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(chrome.ends_with("]}"));
+        assert!(chrome.contains("\"thread_name\""));
+        assert!(chrome.contains("\"name\":\"spanner\""));
+        assert_eq!(
+            chrome.matches("\"ph\":\"B\"").count(),
+            chrome.matches("\"ph\":\"E\"").count(),
+            "every B needs an E"
+        );
+    }
+
+    #[test]
+    fn chrome_ts_renders_microseconds_with_nanosecond_fraction() {
+        assert_eq!(chrome_ts(0), "0.000");
+        assert_eq!(chrome_ts(1_500), "1.500");
+        assert_eq!(chrome_ts(2_000_007), "2000.007");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = spanned_world();
+        let b = spanned_world();
+        assert_eq!(trace_to_jsonl(a.trace()), trace_to_jsonl(b.trace()));
+        assert_eq!(trace_to_chrome(a.trace()), trace_to_chrome(b.trace()));
+    }
+
+    #[test]
+    fn span_durations_land_in_histograms() {
+        let w = spanned_world();
+        let report = w.metrics_report();
+        assert_eq!(report.counter("spanner", "ticks"), Some(1));
+        let h = report
+            .histogram("spanner", "work.ns")
+            .expect("span histogram");
+        assert_eq!(h.count, 1);
+    }
+}

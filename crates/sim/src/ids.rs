@@ -1,14 +1,10 @@
 //! Identifier newtypes used throughout the simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies an actor (a simulated process) within a [`crate::World`].
 ///
 /// Actor ids are assigned densely in spawn order, which makes them usable as
 /// vector indices in hot paths (the network matrix, vector clocks).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActorId(pub u32);
 
 impl ActorId {
@@ -30,9 +26,7 @@ impl std::fmt::Display for ActorId {
 /// Every send gets a fresh id; the id appears in the [`crate::Trace`] on the
 /// send, delivery and drop records for the message, which is how
 /// happens-before edges are recovered.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId(pub u64);
 
 impl std::fmt::Display for MsgId {
@@ -45,9 +39,7 @@ impl std::fmt::Display for MsgId {
 ///
 /// Timer ids are unique within a run. A timer that has fired or been
 /// cancelled never fires again, even if an id were forged.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub u64);
 
 impl std::fmt::Display for TimerId {

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn null_interceptor_passes() {
-        assert_eq!(NullInterceptor.on_send(&env(), SimTime::ZERO), Verdict::Pass);
+        assert_eq!(
+            NullInterceptor.on_send(&env(), SimTime::ZERO),
+            Verdict::Pass
+        );
     }
 
     #[test]

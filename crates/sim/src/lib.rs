@@ -10,7 +10,10 @@
 //! * a pluggable message [`Interceptor`] — the hook used by `ph-core`'s
 //!   perturbation strategies to delay, drop, hold and replay notifications,
 //! * a structured [`Trace`] of everything that happened, from which
-//!   `ph-core` derives happens-before relations and oracles derive verdicts.
+//!   `ph-core` derives happens-before relations and oracles derive verdicts,
+//! * a deterministic [`metrics`] registry (counters, gauges, histograms,
+//!   spans) snapshotted into ordered [`MetricsReport`]s, and [`export`]ers
+//!   rendering traces as JSONL or Chrome `trace_event` JSON for Perfetto.
 //!
 //! Every simulation is a pure function of `(topology, workload, seed)`:
 //! re-running a [`World`] with the same inputs produces the *identical* trace,
@@ -53,8 +56,10 @@
 
 pub mod actor;
 pub mod event;
+pub mod export;
 pub mod ids;
 pub mod intercept;
+pub mod metrics;
 pub mod msg;
 pub mod net;
 pub mod rng;
@@ -64,8 +69,10 @@ pub mod world;
 
 pub use actor::{Actor, Ctx};
 pub use event::Event;
+pub use export::{trace_to_chrome, trace_to_jsonl};
 pub use ids::{ActorId, MsgId, TimerId};
 pub use intercept::{Interceptor, NullInterceptor, Verdict};
+pub use metrics::{Histogram, MetricValue, Metrics, MetricsReport};
 pub use msg::{AnyMsg, Envelope};
 pub use net::{LinkConfig, NetConfig, Network, Partition};
 pub use rng::SimRng;

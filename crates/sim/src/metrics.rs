@@ -1,0 +1,384 @@
+//! Deterministic run metrics.
+//!
+//! Components record counters, gauges and fixed-bucket histograms through
+//! their [`crate::Ctx`]; the [`crate::World`] owns one [`Metrics`] registry
+//! and attributes every sample to the recording actor. Everything here is a
+//! pure function of the simulation schedule: no wall-clock time, no
+//! allocation-order dependence, and snapshots ([`MetricsReport`]) iterate in
+//! `BTreeMap` order — so two runs with the same seed produce *byte-identical*
+//! reports, and a report diff is a behavior diff.
+//!
+//! Histogram bucket bounds are fixed at registration (first observation) and
+//! default to [`DEFAULT_LATENCY_BOUNDS_NS`], a log-spaced ladder suited to
+//! simulated latencies recorded in nanoseconds.
+
+use std::collections::BTreeMap;
+
+use crate::trace::json_string;
+
+/// Default histogram bucket upper bounds, in nanoseconds: 1µs … 10s,
+/// log-spaced. Values above the last bound land in the implicit overflow
+/// bucket.
+pub const DEFAULT_LATENCY_BOUNDS_NS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A fixed-bucket histogram: counts per upper bound plus an overflow bucket,
+/// with total count and sum for mean computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket, ascending.
+    pub bounds: Vec<u64>,
+    /// One count per bound, plus a final overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given ascending bounds.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds not ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of all observations, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(i64),
+    /// Fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// The live metrics registry, owned by a [`crate::World`].
+///
+/// Keys are `(component, metric)` name pairs; components are actor names for
+/// actor-recorded samples, or harness-chosen labels for samples recorded from
+/// outside the message plane (e.g. the scenario runner's view-lag probe).
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    values: BTreeMap<(String, String), MetricValue>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn counter_add(&mut self, component: &str, name: &str, delta: u64) {
+        match self.slot(component, name, || MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("{component}/{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge to `value`, creating it if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn gauge_set(&mut self, component: &str, name: &str, value: i64) {
+        match self.slot(component, name, || MetricValue::Gauge(0)) {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("{component}/{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records a histogram observation, creating the histogram over
+    /// [`DEFAULT_LATENCY_BOUNDS_NS`] if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered as a different metric kind.
+    pub fn observe(&mut self, component: &str, name: &str, value: u64) {
+        match self.slot(component, name, || {
+            MetricValue::Histogram(Histogram::new(&DEFAULT_LATENCY_BOUNDS_NS))
+        }) {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("{component}/{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    fn slot(
+        &mut self,
+        component: &str,
+        name: &str,
+        init: impl FnOnce() -> MetricValue,
+    ) -> &mut MetricValue {
+        self.values
+            .entry((component.to_string(), name.to_string()))
+            .or_insert_with(init)
+    }
+
+    /// Snapshots the registry into an immutable, ordered report.
+    pub fn report(&self) -> MetricsReport {
+        MetricsReport {
+            metrics: self.values.clone(),
+        }
+    }
+}
+
+/// An immutable, deterministically ordered snapshot of a [`Metrics`]
+/// registry. Two same-seed runs of the same scenario produce equal reports.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    metrics: BTreeMap<(String, String), MetricValue>,
+}
+
+impl MetricsReport {
+    /// `true` if no metric was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Number of distinct `(component, metric)` series.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Iterates all series in `(component, metric)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &MetricValue)> {
+        self.metrics
+            .iter()
+            .map(|((c, n), v)| (c.as_str(), n.as_str(), v))
+    }
+
+    /// One component's counter, if recorded.
+    pub fn counter(&self, component: &str, name: &str) -> Option<u64> {
+        match self.get(component, name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// One component's gauge, if recorded.
+    pub fn gauge(&self, component: &str, name: &str) -> Option<i64> {
+        match self.get(component, name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// One component's histogram, if recorded.
+    pub fn histogram(&self, component: &str, name: &str) -> Option<&Histogram> {
+        match self.get(component, name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Raw lookup by `(component, metric)`.
+    pub fn get(&self, component: &str, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(&(component.to_string(), name.to_string()))
+    }
+
+    /// Sums a counter across every component that recorded it.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|((_, n), _)| n == name)
+            .filter_map(|(_, v)| match v {
+                MetricValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Maximum of a gauge across every component that recorded it.
+    pub fn gauge_max(&self, name: &str) -> Option<i64> {
+        self.metrics
+            .iter()
+            .filter(|((_, n), _)| n == name)
+            .filter_map(|(_, v)| match v {
+                MetricValue::Gauge(g) => Some(*g),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Renders a fixed-width text table, one row per series, in key order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<28} {}\n",
+            "component", "metric", "value"
+        ));
+        for ((c, n), v) in &self.metrics {
+            let rendered = match v {
+                MetricValue::Counter(x) => x.to_string(),
+                MetricValue::Gauge(x) => x.to_string(),
+                MetricValue::Histogram(h) => {
+                    format!("count {} sum {} mean {:.1}", h.count, h.sum, h.mean())
+                }
+            };
+            out.push_str(&format!("{c:<24} {n:<28} {rendered}\n"));
+        }
+        out
+    }
+
+    /// Renders the report as a deterministic JSON object keyed
+    /// `"component/metric"`, in key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, ((c, n), v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(&format!("{c}/{n}")));
+            out.push(':');
+            match v {
+                MetricValue::Counter(x) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{x}}}"));
+                }
+                MetricValue::Gauge(x) => {
+                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{x}}}"));
+                }
+                MetricValue::Histogram(h) => {
+                    let bounds: Vec<String> = h.bounds.iter().map(|b| b.to_string()).collect();
+                    let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"bounds\":[{}],\"counts\":[{}]}}",
+                        h.count,
+                        h.sum,
+                        bounds.join(","),
+                        counts.join(","),
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_total_across_components() {
+        let mut m = Metrics::new();
+        m.counter_add("a", "hits", 2);
+        m.counter_add("a", "hits", 3);
+        m.counter_add("b", "hits", 10);
+        let r = m.report();
+        assert_eq!(r.counter("a", "hits"), Some(5));
+        assert_eq!(r.counter("b", "hits"), Some(10));
+        assert_eq!(r.counter_total("hits"), 15);
+        assert_eq!(r.counter("a", "missing"), None);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut m = Metrics::new();
+        m.gauge_set("a", "lag", 7);
+        m.gauge_set("a", "lag", 3);
+        m.gauge_set("b", "lag", 9);
+        let r = m.report();
+        assert_eq!(r.gauge("a", "lag"), Some(3));
+        assert_eq!(r.gauge_max("lag"), Some(9));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1000); // overflow
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1065);
+        assert!((h.mean() - 266.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(Histogram::new(&[1]).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let mut m = Metrics::new();
+        m.gauge_set("a", "x", 1);
+        m.counter_add("a", "x", 1);
+    }
+
+    #[test]
+    fn report_iterates_in_key_order_and_compares_equal() {
+        let mut m1 = Metrics::new();
+        m1.counter_add("b", "n", 1);
+        m1.gauge_set("a", "g", 2);
+        let mut m2 = Metrics::new();
+        // Recorded in the opposite order; snapshots must still be equal.
+        m2.gauge_set("a", "g", 2);
+        m2.counter_add("b", "n", 1);
+        assert_eq!(m1.report(), m2.report());
+        let report = m1.report();
+        let keys: Vec<(&str, &str)> = report.iter().map(|(c, n, _)| (c, n)).collect();
+        assert_eq!(keys, vec![("a", "g"), ("b", "n")]);
+        assert_eq!(m1.report().len(), 2);
+        assert!(!m1.report().is_empty());
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_wellformed() {
+        let mut m = Metrics::new();
+        m.counter_add("c", "n", 4);
+        m.observe("c", "lat", 2_000);
+        let j = m.report().to_json();
+        assert_eq!(j, m.report().to_json());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"c/n\":{\"type\":\"counter\",\"value\":4}"));
+        assert!(j.contains("\"c/lat\":{\"type\":\"histogram\",\"count\":1,\"sum\":2000"));
+    }
+}

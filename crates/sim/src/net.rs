@@ -257,7 +257,8 @@ mod tests {
         let mut rng = SimRng::from_seed(3);
         let mut times = Vec::new();
         for i in 0..100 {
-            if let SendOutcome::DeliverAt(t) = n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO)
+            if let SendOutcome::DeliverAt(t) =
+                n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO)
             {
                 times.push(t);
             }

@@ -5,12 +5,15 @@
 //! or reordering unrelated draws does not perturb the streams of existing
 //! actors — a property that keeps bug reproductions stable as scenarios grow.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random number generator for one simulation component.
+///
+/// The generator is an in-repo xoshiro256++ — no external crates, so the
+/// byte-for-byte output stream is pinned by this file alone and can never
+/// shift underneath recorded traces when a dependency is upgraded.
 #[derive(Debug, Clone)]
-pub struct SimRng(SmallRng);
+pub struct SimRng {
+    s: [u64; 4],
+}
 
 /// Mixes a 64-bit value (splitmix64 finalizer); used to derive child seeds.
 fn mix(mut z: u64) -> u64 {
@@ -23,7 +26,15 @@ fn mix(mut z: u64) -> u64 {
 impl SimRng {
     /// Creates a generator from a raw seed.
     pub fn from_seed(seed: u64) -> SimRng {
-        SimRng(SmallRng::seed_from_u64(mix(seed)))
+        // Expand the seed into the full 256-bit state with splitmix64, as
+        // the xoshiro authors recommend; a zero state is unreachable.
+        let mut z = mix(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = mix(z.wrapping_add(0x9e37_79b9_7f4a_7c15));
+            *slot = z;
+        }
+        SimRng { s }
     }
 
     /// Derives an independent child generator; children with distinct
@@ -32,9 +43,18 @@ impl SimRng {
         SimRng::from_seed(mix(seed) ^ mix(stream.wrapping_mul(0xa076_1d64_78bd_642f)))
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (one xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -44,7 +64,18 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.0.gen_range(0..bound)
+        // Lemire's multiply-shift with rejection: unbiased and deterministic.
+        loop {
+            let m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low < bound {
+                let threshold = bound.wrapping_neg() % bound;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -54,7 +85,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.0.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -64,13 +95,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.0.gen_bool(p)
+            self.unit() < p
         }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        // 53 high bits → the standard [0, 1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Picks a uniformly random element of `items`, or `None` if empty.

@@ -5,19 +5,13 @@
 //! event loop. All latencies, timeouts and TTLs in the workspace are
 //! [`Duration`]s of this logical clock, which is what makes runs replayable.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in logical simulation time, in nanoseconds since the start of the
 /// run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of logical simulation time, in nanoseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub u64);
 
 impl SimTime {

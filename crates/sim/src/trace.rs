@@ -6,13 +6,11 @@
 //! happens-before relations for causality-guided perturbation and (b) give
 //! oracles the evidence they report violations with.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{ActorId, MsgId, TimerId};
 use crate::time::SimTime;
 
 /// Why a message failed to reach its destination.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
     /// The link was partitioned at send time.
     Partitioned,
@@ -28,7 +26,7 @@ pub enum DropReason {
 }
 
 /// One thing that happened during the run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEventKind {
     /// An actor was created.
     Spawned {
@@ -127,10 +125,30 @@ pub enum TraceEventKind {
         /// Free-form payload.
         data: String,
     },
+    /// A scoped operation opened via [`crate::Ctx::span_begin`]. Spans model
+    /// request/reconcile scopes; matching `SpanEnd` events close them
+    /// LIFO per `(actor, label)`.
+    SpanBegin {
+        /// The actor the span belongs to.
+        actor: ActorId,
+        /// Span label (e.g. `"reconcile"`).
+        label: String,
+        /// Free-form detail attached at open time.
+        detail: String,
+    },
+    /// Closes the innermost open span with this label on this actor; the
+    /// world also records the span's duration into the actor's
+    /// `"<label>.ns"` histogram.
+    SpanEnd {
+        /// The actor the span belongs to.
+        actor: ActorId,
+        /// Span label matching the corresponding `SpanBegin`.
+        label: String,
+    },
 }
 
 /// A trace record: what happened, when, and its position in the total order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Position in the run's total order (dense, starting at 0).
     pub seq: u64,
@@ -250,7 +268,7 @@ impl Trace {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -13,6 +13,7 @@ use crate::actor::{Actor, ActorObj, Ctx, Effect};
 use crate::event::{Event, Scheduled};
 use crate::ids::{ActorId, MsgId, TimerId};
 use crate::intercept::{Interceptor, NullInterceptor, Verdict};
+use crate::metrics::{Metrics, MetricsReport};
 use crate::msg::{AnyMsg, Envelope};
 use crate::net::{NetConfig, Network, Partition, SendOutcome};
 use crate::rng::SimRng;
@@ -67,6 +68,9 @@ pub struct World {
     net_rng: SimRng,
     interceptor: Box<dyn Interceptor>,
     trace: Trace,
+    metrics: Metrics,
+    /// Open span start times, LIFO per `(actor, label)`.
+    open_spans: BTreeMap<(ActorId, &'static str), Vec<SimTime>>,
 }
 
 impl World {
@@ -92,6 +96,8 @@ impl World {
             net_rng: SimRng::derive(seed, u64::MAX),
             interceptor: Box::new(NullInterceptor),
             trace: Trace::new(),
+            metrics: Metrics::new(),
+            open_spans: BTreeMap::new(),
         }
     }
 
@@ -108,6 +114,23 @@ impl World {
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry, for samples recorded from
+    /// outside the message plane (e.g. a harness probing view lag each
+    /// scheduling quantum under a label of its choosing).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Snapshots the metrics registry into an ordered, comparable report.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.metrics.report()
     }
 
     /// Read access to the network fabric.
@@ -209,11 +232,7 @@ impl World {
     /// # Panics
     ///
     /// Panics if the actor has a different concrete type or is crashed.
-    pub fn invoke<A: Actor, R>(
-        &mut self,
-        id: ActorId,
-        f: impl FnOnce(&mut A, &mut Ctx) -> R,
-    ) -> R {
+    pub fn invoke<A: Actor, R>(&mut self, id: ActorId, f: impl FnOnce(&mut A, &mut Ctx) -> R) -> R {
         assert!(
             !self.actors[id.index()].crashed,
             "invoke on crashed actor {}",
@@ -295,10 +314,13 @@ impl World {
             .push(self.now, TraceEventKind::MessageReleased { id });
         let dst_incarnation = self.actors[env.dst.index()].incarnation;
         let at = SimTime(self.now.0 + 1);
-        self.schedule(at, Event::Deliver {
-            env,
-            dst_incarnation,
-        });
+        self.schedule(
+            at,
+            Event::Deliver {
+                env,
+                dst_incarnation,
+            },
+        );
         true
     }
 
@@ -485,7 +507,10 @@ impl World {
         }
         slot.crashed = true;
         self.timers.retain(|_, owner| *owner != id);
-        self.trace.push(self.now, TraceEventKind::Crashed { actor: id });
+        // Open spans die with the incarnation that opened them.
+        self.open_spans.retain(|(owner, _), _| *owner != id);
+        self.trace
+            .push(self.now, TraceEventKind::Crashed { actor: id });
     }
 
     fn do_restart(&mut self, id: ActorId) {
@@ -535,11 +560,14 @@ impl World {
                             fire_at,
                         },
                     );
-                    self.schedule(fire_at, Event::TimerFire {
-                        actor: src,
-                        timer: id,
-                        tag,
-                    });
+                    self.schedule(
+                        fire_at,
+                        Event::TimerFire {
+                            actor: src,
+                            timer: id,
+                            tag,
+                        },
+                    );
                 }
                 Effect::CancelTimer { id } => {
                     self.timers.remove(&id);
@@ -553,6 +581,56 @@ impl World {
                             data,
                         },
                     );
+                }
+                Effect::CounterAdd { name, delta } => {
+                    let component = self.actors[src.index()].name.clone();
+                    self.metrics.counter_add(&component, name, delta);
+                }
+                Effect::GaugeSet { name, value } => {
+                    let component = self.actors[src.index()].name.clone();
+                    self.metrics.gauge_set(&component, name, value);
+                }
+                Effect::Observe { name, value } => {
+                    let component = self.actors[src.index()].name.clone();
+                    self.metrics.observe(&component, name, value);
+                }
+                Effect::SpanBegin { label, detail } => {
+                    self.open_spans
+                        .entry((src, label))
+                        .or_default()
+                        .push(self.now);
+                    self.trace.push(
+                        self.now,
+                        TraceEventKind::SpanBegin {
+                            actor: src,
+                            label: label.to_string(),
+                            detail,
+                        },
+                    );
+                }
+                Effect::SpanEnd { label } => {
+                    let started = self
+                        .open_spans
+                        .get_mut(&(src, label))
+                        .and_then(|stack| stack.pop());
+                    // An end with no matching begin is dropped silently: a
+                    // crash wipes the actor's open spans, and its restarted
+                    // incarnation may close scopes it never opened.
+                    if let Some(started) = started {
+                        self.trace.push(
+                            self.now,
+                            TraceEventKind::SpanEnd {
+                                actor: src,
+                                label: label.to_string(),
+                            },
+                        );
+                        let component = self.actors[src.index()].name.clone();
+                        self.metrics.observe(
+                            &component,
+                            &format!("{label}.ns"),
+                            self.now.0 - started.0,
+                        );
+                    }
                 }
             }
         }
@@ -616,10 +694,13 @@ impl World {
         match self.net.offer(src, dst, self.now, &mut self.net_rng, extra) {
             SendOutcome::DeliverAt(at) => {
                 let dst_incarnation = self.actors[dst.index()].incarnation;
-                self.schedule(at, Event::Deliver {
-                    env,
-                    dst_incarnation,
-                });
+                self.schedule(
+                    at,
+                    Event::Deliver {
+                        env,
+                        dst_incarnation,
+                    },
+                );
             }
             SendOutcome::Lost(reason) => {
                 self.trace.push(
@@ -734,18 +815,29 @@ mod tests {
     #[test]
     fn timers_fire_periodically_and_stop_on_crash() {
         let mut w = World::new(WorldConfig::default(), 3);
-        let t = w.spawn("ticker", Ticker {
-            ticks: 0,
-            period: Duration::millis(10),
-        });
+        let t = w.spawn(
+            "ticker",
+            Ticker {
+                ticks: 0,
+                period: Duration::millis(10),
+            },
+        );
         w.run_for(Duration::millis(35));
         assert_eq!(w.actor_ref::<Ticker>(t).unwrap().ticks, 3);
         w.crash(t);
         w.run_for(Duration::millis(50));
-        assert_eq!(w.actor_ref::<Ticker>(t).unwrap().ticks, 3, "no ticks while crashed");
+        assert_eq!(
+            w.actor_ref::<Ticker>(t).unwrap().ticks,
+            3,
+            "no ticks while crashed"
+        );
         w.restart(t);
         w.run_for(Duration::millis(25));
-        assert_eq!(w.actor_ref::<Ticker>(t).unwrap().ticks, 2, "volatile state reset");
+        assert_eq!(
+            w.actor_ref::<Ticker>(t).unwrap().ticks,
+            2,
+            "volatile state reset"
+        );
         assert_eq!(w.incarnation(t), 1);
     }
 
@@ -859,10 +951,13 @@ mod tests {
     #[test]
     fn run_until_event_finds_annotations() {
         let mut w = World::new(WorldConfig::default(), 3);
-        let _ = w.spawn("ticker", Ticker {
-            ticks: 0,
-            period: Duration::millis(10),
-        });
+        let _ = w.spawn(
+            "ticker",
+            Ticker {
+                ticks: 0,
+                period: Duration::millis(10),
+            },
+        );
         let hit = w.run_until_event(SimTime(Duration::secs(1).as_nanos()), |e| {
             matches!(&e.kind, TraceEventKind::Annotation { label, data, .. }
                 if label == "tick" && data == "3")
@@ -882,10 +977,13 @@ mod tests {
     #[test]
     fn scheduled_faults_fire_at_their_times() {
         let mut w = World::new(WorldConfig::default(), 3);
-        let t = w.spawn("ticker", Ticker {
-            ticks: 0,
-            period: Duration::millis(10),
-        });
+        let t = w.spawn(
+            "ticker",
+            Ticker {
+                ticks: 0,
+                period: Duration::millis(10),
+            },
+        );
         w.schedule_crash(t, SimTime(Duration::millis(25).as_nanos()));
         w.schedule_restart(t, SimTime(Duration::millis(100).as_nanos()));
         w.run_for(Duration::millis(200));

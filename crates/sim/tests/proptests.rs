@@ -1,11 +1,13 @@
-//! Property-based tests on the simulator's core guarantees: determinism,
-//! FIFO delivery, and crash/restart hygiene, under arbitrary topologies and
-//! fault schedules.
-
-use proptest::prelude::*;
+//! Randomized-but-deterministic tests on the simulator's core guarantees:
+//! determinism, FIFO delivery, and crash/restart hygiene, under arbitrary
+//! topologies and fault schedules.
+//!
+//! Cases are generated from a fixed-seed [`SimRng`] rather than an external
+//! property-testing framework, so the exact case set is pinned forever and
+//! the suite runs with zero third-party dependencies.
 
 use ph_sim::{
-    Actor, ActorId, AnyMsg, Ctx, Duration, SimTime, TraceEventKind, World, WorldConfig,
+    Actor, ActorId, AnyMsg, Ctx, Duration, SimRng, SimTime, TraceEventKind, World, WorldConfig,
 };
 
 /// A chatty actor: every tick it messages a fixed peer with a sequence
@@ -44,21 +46,39 @@ impl Actor for Chatter {
 
 #[derive(Debug, Clone)]
 enum Fault {
-    Crash { victim: u8, at_ms: u16, down_ms: u16 },
-    Partition { a: u8, b: u8, at_ms: u16, for_ms: u16 },
+    Crash {
+        victim: u8,
+        at_ms: u16,
+        down_ms: u16,
+    },
+    Partition {
+        a: u8,
+        b: u8,
+    },
 }
 
-fn arb_fault() -> impl Strategy<Value = Fault> {
-    prop_oneof![
-        (0u8..4, 1u16..400, 1u16..200).prop_map(|(victim, at_ms, down_ms)| Fault::Crash {
-            victim,
-            at_ms,
-            down_ms,
-        }),
-        (0u8..4, 0u8..4, 1u16..400, 1u16..200).prop_map(|(a, b, at_ms, for_ms)| {
-            Fault::Partition { a, b, at_ms, for_ms }
-        }),
-    ]
+/// Draws a random fault from the same distribution the proptest version used.
+fn gen_fault(rng: &mut SimRng) -> Fault {
+    if rng.below(2) == 0 {
+        Fault::Crash {
+            victim: rng.below(4) as u8,
+            at_ms: rng.range(1, 400) as u16,
+            down_ms: rng.range(1, 200) as u16,
+        }
+    } else {
+        Fault::Partition {
+            a: rng.below(4) as u8,
+            b: rng.below(4) as u8,
+        }
+    }
+}
+
+/// Draws a full random case: a world seed and a fault schedule.
+fn gen_case(rng: &mut SimRng) -> (u64, Vec<Fault>) {
+    let seed = rng.below(1000);
+    let n = rng.below(6) as usize;
+    let faults = (0..n).map(|_| gen_fault(rng)).collect();
+    (seed, faults)
 }
 
 /// Builds a 4-actor ring and applies the fault schedule; returns the world.
@@ -83,7 +103,11 @@ fn run_ring(seed: u64, faults: &[Fault]) -> World {
     }
     for f in faults {
         match *f {
-            Fault::Crash { victim, at_ms, down_ms } => {
+            Fault::Crash {
+                victim,
+                at_ms,
+                down_ms,
+            } => {
                 let v = ids[victim as usize % 4];
                 world.schedule_crash(v, SimTime(Duration::millis(at_ms as u64).as_nanos()));
                 world.schedule_restart(
@@ -91,11 +115,9 @@ fn run_ring(seed: u64, faults: &[Fault]) -> World {
                     SimTime(Duration::millis(at_ms as u64 + down_ms as u64).as_nanos()),
                 );
             }
-            Fault::Partition { a, b, at_ms, for_ms } => {
-                // Deterministic block/unblock without handles.
+            Fault::Partition { a, b } => {
                 let (x, y) = (ids[a as usize % 4], ids[b as usize % 4]);
                 if x != y {
-                    let _ = (at_ms, for_ms);
                     world.net_mut().block(x, y);
                 }
             }
@@ -105,22 +127,26 @@ fn run_ring(seed: u64, faults: &[Fault]) -> World {
     world
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The headline guarantee: identical inputs produce identical traces,
-    /// regardless of fault schedules.
-    #[test]
-    fn runs_are_deterministic(seed in 0u64..1000, faults in prop::collection::vec(arb_fault(), 0..6)) {
+/// The headline guarantee: identical inputs produce identical traces,
+/// regardless of fault schedules.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = SimRng::from_seed(0xD0);
+    for _ in 0..48 {
+        let (seed, faults) = gen_case(&mut rng);
         let a = run_ring(seed, &faults).trace().digest();
         let b = run_ring(seed, &faults).trace().digest();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed} faults {faults:?}");
     }
+}
 
-    /// Per-link FIFO: sequence numbers received from any single incarnation
-    /// of a sender are strictly increasing.
-    #[test]
-    fn links_deliver_in_order(seed in 0u64..1000, faults in prop::collection::vec(arb_fault(), 0..6)) {
+/// Per-link FIFO: sequence numbers received from any single incarnation
+/// of a sender are strictly increasing.
+#[test]
+fn links_deliver_in_order() {
+    let mut rng = SimRng::from_seed(0xF1F0);
+    for _ in 0..48 {
+        let (seed, faults) = gen_case(&mut rng);
         let world = run_ring(seed, &faults);
         for id in world.actor_ids() {
             if let Some(c) = world.actor_ref::<Chatter>(id) {
@@ -129,7 +155,7 @@ proptest! {
                     std::collections::BTreeMap::new();
                 for &(from, n) in &c.received {
                     if let Some(&prev) = last.get(&from) {
-                        prop_assert!(
+                        assert!(
                             n > prev || n == 0,
                             "link {from}->{id} reordered: {prev} then {n}"
                         );
@@ -139,14 +165,15 @@ proptest! {
             }
         }
     }
+}
 
-    /// Trace bookkeeping: every delivered message was sent, and no message
-    /// is both delivered and dropped.
-    #[test]
-    fn trace_message_lifecycle_is_consistent(
-        seed in 0u64..1000,
-        faults in prop::collection::vec(arb_fault(), 0..6)
-    ) {
+/// Trace bookkeeping: every delivered message was sent, and no message
+/// is both delivered and dropped.
+#[test]
+fn trace_message_lifecycle_is_consistent() {
+    let mut rng = SimRng::from_seed(0x11FE);
+    for _ in 0..48 {
+        let (seed, faults) = gen_case(&mut rng);
         let world = run_ring(seed, &faults);
         let mut sent = std::collections::BTreeSet::new();
         let mut delivered = std::collections::BTreeSet::new();
@@ -154,26 +181,36 @@ proptest! {
         for e in world.trace().iter() {
             match &e.kind {
                 TraceEventKind::MessageSent { id, .. } => {
-                    prop_assert!(sent.insert(*id), "duplicate send id");
+                    assert!(sent.insert(*id), "duplicate send id");
                 }
                 TraceEventKind::MessageDelivered { id, .. } => {
-                    prop_assert!(sent.contains(id), "delivery without send");
-                    prop_assert!(delivered.insert(*id), "double delivery");
+                    assert!(sent.contains(id), "delivery without send");
+                    assert!(delivered.insert(*id), "double delivery");
                 }
                 TraceEventKind::MessageDropped { id, .. } => {
-                    prop_assert!(sent.contains(id), "drop without send");
+                    assert!(sent.contains(id), "drop without send");
                     dropped.insert(*id);
                 }
                 _ => {}
             }
         }
-        prop_assert!(delivered.is_disjoint(&dropped), "delivered AND dropped");
+        assert!(delivered.is_disjoint(&dropped), "delivered AND dropped");
     }
+}
 
-    /// Crashed actors receive nothing while down; restarted actors resume.
-    #[test]
-    fn crash_windows_are_silent(victim in 0u8..4, at_ms in 50u16..200, down_ms in 50u16..150) {
-        let faults = [Fault::Crash { victim, at_ms, down_ms }];
+/// Crashed actors receive nothing while down; restarted actors resume.
+#[test]
+fn crash_windows_are_silent() {
+    let mut rng = SimRng::from_seed(0xC1A5);
+    for _ in 0..48 {
+        let victim = rng.below(4) as u8;
+        let at_ms = rng.range(50, 200) as u16;
+        let down_ms = rng.range(50, 150) as u16;
+        let faults = [Fault::Crash {
+            victim,
+            at_ms,
+            down_ms,
+        }];
         let world = run_ring(7, &faults);
         let ids = world.actor_ids();
         let v = ids[victim as usize % 4];
@@ -182,7 +219,7 @@ proptest! {
         for e in world.trace().iter() {
             if let TraceEventKind::MessageDelivered { dst, .. } = &e.kind {
                 if *dst == v {
-                    prop_assert!(
+                    assert!(
                         e.at.0 < start || e.at.0 >= end,
                         "delivery to crashed actor at {}",
                         e.at
@@ -190,7 +227,7 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(world.incarnation(v), 1);
-        prop_assert!(!world.is_crashed(v));
+        assert_eq!(world.incarnation(v), 1);
+        assert!(!world.is_crashed(v));
     }
 }

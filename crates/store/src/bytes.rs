@@ -1,0 +1,180 @@
+//! A cheaply cloneable, immutable byte buffer.
+//!
+//! A minimal in-repo stand-in for the `bytes` crate's `Bytes`: values are
+//! reference-counted slices, so fanning one value out to many caches (the
+//! apiserver watch cache, every informer's `S′`) never copies the payload.
+//! Only the API surface the workspace actually uses is provided.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte string.
+#[derive(Clone)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from the binary; clone is a pointer copy.
+    Static(&'static [u8]),
+    /// Shared heap allocation; clone bumps a refcount.
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Bytes {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wraps a `'static` slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Copies a slice into a shared buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes(Repr::Shared(Arc::from(bytes)))
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Repr::Shared(Arc::from(v.into_boxed_slice())))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render printable payloads as text (object codecs are line-based),
+        // escaping everything else, like `bytes::Bytes` does.
+        let text: Cow<'_, str> = String::from_utf8_lossy(self.as_slice());
+        write!(f, "b{text:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_copied_buffers_compare_equal() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(&a[..], b"abc");
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Bytes::copy_from_slice(&[1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Bytes::from(vec![9, 9]), Bytes::copy_from_slice(&[9, 9]));
+        assert_eq!(Bytes::from("hi"), Bytes::from_static(b"hi"));
+        assert_eq!(Bytes::from(String::from("hi")), Bytes::from_static(b"hi"));
+        assert!(Bytes::new().is_empty());
+        assert!(Bytes::default().is_empty());
+    }
+
+    #[test]
+    fn ordering_and_hashing_follow_the_bytes() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Bytes::from_static(b"b"));
+        set.insert(Bytes::from_static(b"a"));
+        let ordered: Vec<&Bytes> = set.iter().collect();
+        assert_eq!(ordered[0].as_slice(), b"a");
+    }
+
+    #[test]
+    fn debug_renders_text() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"k=v")), "b\"k=v\"");
+    }
+}

@@ -125,7 +125,10 @@ impl StoreClient {
     /// Panics if the member list is empty or the affinity index is out of
     /// range.
     pub fn new(cfg: StoreClientConfig) -> StoreClient {
-        assert!(!cfg.nodes.is_empty(), "store client needs at least one node");
+        assert!(
+            !cfg.nodes.is_empty(),
+            "store client needs at least one node"
+        );
         if let Some(a) = cfg.affinity {
             assert!(a < cfg.nodes.len(), "affinity index out of range");
         }
@@ -180,18 +183,24 @@ impl StoreClient {
             (Op::Read { .. }, ReadLevel::Serializable) => self.affinity_node(),
             _ => self.write_target(),
         };
-        ctx.send(target, ClientRequest {
-            req,
-            op: op.clone(),
-            level,
-        });
-        self.pending.insert(req, Pending {
-            op,
-            level,
+        ctx.send(
             target,
-            deadline: ctx.now() + self.cfg.request_timeout,
-            attempts: 1,
-        });
+            ClientRequest {
+                req,
+                op: op.clone(),
+                level,
+            },
+        );
+        self.pending.insert(
+            req,
+            Pending {
+                op,
+                level,
+                target,
+                deadline: ctx.now() + self.cfg.request_timeout,
+                attempts: 1,
+            },
+        );
         req
     }
 
@@ -264,18 +273,24 @@ impl StoreClient {
         self.next_watch += 1;
         let node = self.affinity_node();
         let prefix = prefix.into();
-        ctx.send(node, WatchCreate {
-            watch,
-            prefix: prefix.clone(),
-            after,
-        });
-        self.watches.insert(watch, WatchState {
-            prefix,
-            resume: after,
+        ctx.send(
             node,
-            last_seen: ctx.now(),
-            expect_seq: 0,
-        });
+            WatchCreate {
+                watch,
+                prefix: prefix.clone(),
+                after,
+            },
+        );
+        self.watches.insert(
+            watch,
+            WatchState {
+                prefix,
+                resume: after,
+                node,
+                last_seen: ctx.now(),
+                expect_seq: 0,
+            },
+        );
         watch
     }
 
@@ -411,11 +426,14 @@ impl StoreClient {
         };
         ctx.send(st.node, WatchCancelReq { watch });
         let node = self.affinity_node();
-        ctx.send(node, WatchCreate {
-            watch,
-            prefix: st.prefix.clone(),
-            after: st.resume,
-        });
+        ctx.send(
+            node,
+            WatchCreate {
+                watch,
+                prefix: st.prefix.clone(),
+                after: st.resume,
+            },
+        );
         let entry = self.watches.get_mut(&watch).expect("exists");
         entry.node = node;
         entry.last_seen = ctx.now();
@@ -439,11 +457,7 @@ impl StoreClient {
                 t
             }
         };
-        ctx.send(target, ClientRequest {
-            req,
-            op,
-            level,
-        });
+        ctx.send(target, ClientRequest { req, op, level });
         let p = self.pending.get_mut(&req).expect("checked");
         p.target = target;
         p.deadline = ctx.now() + timeout;

@@ -25,15 +25,12 @@ impl StoreCluster {
 
     /// The current leader's actor id, if any node currently leads.
     pub fn leader(&self, world: &World) -> Option<ActorId> {
-        self.nodes
-            .iter()
-            .copied()
-            .find(|&n| {
-                !world.is_crashed(n)
-                    && world
-                        .actor_ref::<StoreNode>(n)
-                        .is_some_and(|s| s.is_leader())
-            })
+        self.nodes.iter().copied().find(|&n| {
+            !world.is_crashed(n)
+                && world
+                    .actor_ref::<StoreNode>(n)
+                    .is_some_and(|s| s.is_leader())
+        })
     }
 
     /// Runs the world until a leader exists or `deadline` passes.

@@ -5,7 +5,7 @@
 //! one per revision — is exactly the paper's history `H`; the materialized
 //! map of [`KeyValue`]s at a revision is the state `S`.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 /// A key in the store. Keys are ordered byte strings; prefix scans model
 /// etcd range reads and Kubernetes collection lists.

@@ -287,7 +287,9 @@ mod tests {
             actual: Some(Revision(3)),
         };
         assert!(e.to_string().contains("cas failed"));
-        assert!(OpError::LeaseNotFound(LeaseId(1)).to_string().contains("lease-1"));
+        assert!(OpError::LeaseNotFound(LeaseId(1))
+            .to_string()
+            .contains("lease-1"));
         let c = OpError::Compacted {
             requested: Revision(2),
             compacted: Revision(9),

@@ -133,10 +133,13 @@ impl MvccStore {
                 if self.leases.contains_key(id) {
                     return (Err(OpError::LeaseExists(*id)), Vec::new());
                 }
-                self.leases.insert(*id, LeaseInfo {
-                    ttl_ms: *ttl_ms,
-                    keys: BTreeSet::new(),
-                });
+                self.leases.insert(
+                    *id,
+                    LeaseInfo {
+                        ttl_ms: *ttl_ms,
+                        keys: BTreeSet::new(),
+                    },
+                );
                 (Ok(OpResult::LeaseGranted { id: *id }), Vec::new())
             }
             Op::LeaseKeepAlive { id } => {
@@ -568,7 +571,9 @@ mod tests {
         let before = s.revision();
         s.apply(&Op::Read { prefix: "".into() }).0.expect("read");
         s.apply(&Op::Nop).0.expect("nop");
-        s.apply(&Op::Compact { at: Revision(1) }).0.expect("compact");
+        s.apply(&Op::Compact { at: Revision(1) })
+            .0
+            .expect("compact");
         assert_eq!(s.revision(), before);
         assert!(s.events_since(before).expect("ok").is_empty());
     }

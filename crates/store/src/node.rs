@@ -160,7 +160,10 @@ impl StoreNode {
         }
         let span = ctx.rng().range(
             self.cfg.election_min.as_nanos(),
-            self.cfg.election_max.as_nanos().max(self.cfg.election_min.as_nanos() + 1),
+            self.cfg
+                .election_max
+                .as_nanos()
+                .max(self.cfg.election_min.as_nanos() + 1),
         );
         self.election_timer = Some(ctx.set_timer(Duration::nanos(span), TAG_ELECTION));
     }
@@ -215,12 +218,15 @@ impl StoreNode {
         // Feed watchers from the applied state.
         if !events.is_empty() {
             for (w, evs, revision) in self.watches.route(&events, self.mvcc.revision()) {
-                ctx.send(w.client, WatchNotify {
-                    watch: w.watch,
-                    stream_seq: w.next_seq,
-                    events: evs,
-                    revision,
-                });
+                ctx.send(
+                    w.client,
+                    WatchNotify {
+                        watch: w.watch,
+                        stream_seq: w.next_seq,
+                        events: evs,
+                        revision,
+                    },
+                );
             }
         }
         // Answer the client iff this node received the request. Reads are
@@ -253,19 +259,26 @@ impl StoreNode {
         if let Op::Read { prefix } = &r.op {
             if r.level == ReadLevel::Serializable {
                 let (kvs, revision) = self.mvcc.range(prefix);
-                self.reply_read(from, ClientResponse {
-                    req: r.req,
-                    result: Ok(OpResult::Read { kvs, revision }),
-                }, ctx);
+                self.reply_read(
+                    from,
+                    ClientResponse {
+                        req: r.req,
+                        result: Ok(OpResult::Read { kvs, revision }),
+                    },
+                    ctx,
+                );
                 return;
             }
         }
         if !self.core.is_leader() {
             let hint = self.core.leader_hint().map(|i| self.peers[i]);
-            ctx.send(from, ClientResponse {
-                req: r.req,
-                result: Err(RequestError::NotLeader { hint }),
-            });
+            ctx.send(
+                from,
+                ClientResponse {
+                    req: r.req,
+                    result: Err(RequestError::NotLeader { hint }),
+                },
+            );
             return;
         }
         let origin = Origin {
@@ -284,10 +297,13 @@ impl StoreNode {
             Ok(_) => self.handle_effects(effects, ctx),
             Err(nl) => {
                 let hint = nl.hint.map(|i| self.peers[i]);
-                ctx.send(from, ClientResponse {
-                    req: r.req,
-                    result: Err(RequestError::NotLeader { hint }),
-                });
+                ctx.send(
+                    from,
+                    ClientResponse {
+                        req: r.req,
+                        result: Err(RequestError::NotLeader { hint }),
+                    },
+                );
             }
         }
     }
@@ -298,10 +314,13 @@ impl StoreNode {
         // than silently skipped forward.
         match self.mvcc.events_since(w.after) {
             Err(e) => {
-                ctx.send(from, WatchCancelled {
-                    watch: w.watch,
-                    reason: e,
-                });
+                ctx.send(
+                    from,
+                    WatchCancelled {
+                        watch: w.watch,
+                        reason: e,
+                    },
+                );
             }
             Ok(backlog) => {
                 self.watches.register(from, w.watch, w.prefix.clone());
@@ -314,12 +333,15 @@ impl StoreNode {
                         .watches
                         .next_seq(from, w.watch)
                         .expect("just registered");
-                    ctx.send(from, WatchNotify {
-                        watch: w.watch,
-                        stream_seq: seq,
-                        events: matching,
-                        revision: self.mvcc.revision(),
-                    });
+                    ctx.send(
+                        from,
+                        WatchNotify {
+                            watch: w.watch,
+                            stream_seq: seq,
+                            events: matching,
+                            revision: self.mvcc.revision(),
+                        },
+                    );
                 }
             }
         }
@@ -358,7 +380,8 @@ impl Actor for StoreNode {
                 return; // not a cluster member; ignore
             };
             let mut effects = Vec::new();
-            self.core.on_message(from_idx, raft_msg.clone(), &mut effects);
+            self.core
+                .on_message(from_idx, raft_msg.clone(), &mut effects);
             self.handle_effects(effects, ctx);
             return;
         }
@@ -402,11 +425,14 @@ impl Actor for StoreNode {
                         .watches
                         .next_seq(w.client, w.watch)
                         .expect("listed watcher");
-                    ctx.send(w.client, WatchProgress {
-                        watch: w.watch,
-                        stream_seq: seq,
-                        revision,
-                    });
+                    ctx.send(
+                        w.client,
+                        WatchProgress {
+                            watch: w.watch,
+                            stream_seq: seq,
+                            revision,
+                        },
+                    );
                 }
                 ctx.set_timer(self.cfg.progress_interval, TAG_PROGRESS);
             }

@@ -355,7 +355,11 @@ impl RaftCore {
     /// # Errors
     ///
     /// [`NotLeader`] (with a leader hint) if this node is not the leader.
-    pub fn propose(&mut self, cmd: Command, effects: &mut Vec<Effect>) -> Result<LogIndex, NotLeader> {
+    pub fn propose(
+        &mut self,
+        cmd: Command,
+        effects: &mut Vec<Effect>,
+    ) -> Result<LogIndex, NotLeader> {
         if self.role != Role::Leader {
             return Err(NotLeader {
                 hint: self.leader_hint,
@@ -378,13 +382,16 @@ impl RaftCore {
         let prev_index = next - 1;
         let prev_term = self.term_at(prev_index);
         let entries: Vec<LogEntry> = self.log[prev_index as usize..].to_vec();
-        effects.push(Effect::Send(to, RaftMsg::AppendEntries {
-            term: self.term,
-            prev_index,
-            prev_term,
-            entries,
-            commit: self.commit,
-        }));
+        effects.push(Effect::Send(
+            to,
+            RaftMsg::AppendEntries {
+                term: self.term,
+                prev_index,
+                prev_term,
+                entries,
+                commit: self.commit,
+            },
+        ));
     }
 
     /// Feeds one protocol message into the core.
@@ -431,13 +438,22 @@ impl RaftCore {
             self.voted_for = Some(from);
             effects.push(Effect::ResetElectionTimer);
         }
-        effects.push(Effect::Send(from, RaftMsg::VoteResp {
-            term: self.term,
-            granted: grant,
-        }));
+        effects.push(Effect::Send(
+            from,
+            RaftMsg::VoteResp {
+                term: self.term,
+                granted: grant,
+            },
+        ));
     }
 
-    fn on_vote_resp(&mut self, from: NodeIdx, term: Term, granted: bool, effects: &mut Vec<Effect>) {
+    fn on_vote_resp(
+        &mut self,
+        from: NodeIdx,
+        term: Term,
+        granted: bool,
+        effects: &mut Vec<Effect>,
+    ) {
         if term > self.term {
             self.become_follower(term, effects);
             return;
@@ -464,11 +480,14 @@ impl RaftCore {
         effects: &mut Vec<Effect>,
     ) {
         if term < self.term {
-            effects.push(Effect::Send(from, RaftMsg::AppendResp {
-                term: self.term,
-                success: false,
-                match_index: 0,
-            }));
+            effects.push(Effect::Send(
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
+            ));
             return;
         }
         // Valid leader for this term.
@@ -478,11 +497,14 @@ impl RaftCore {
 
         // Consistency check.
         if prev_index > self.last_log_index() || self.term_at(prev_index) != prev_term {
-            effects.push(Effect::Send(from, RaftMsg::AppendResp {
-                term: self.term,
-                success: false,
-                match_index: 0,
-            }));
+            effects.push(Effect::Send(
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
+            ));
             return;
         }
         // Append, truncating conflicts.
@@ -500,11 +522,14 @@ impl RaftCore {
             self.commit = new_commit;
             self.emit_applies(effects);
         }
-        effects.push(Effect::Send(from, RaftMsg::AppendResp {
-            term: self.term,
-            success: true,
-            match_index,
-        }));
+        effects.push(Effect::Send(
+            from,
+            RaftMsg::AppendResp {
+                term: self.term,
+                success: true,
+                match_index,
+            },
+        ));
     }
 
     fn on_append_resp(
@@ -539,11 +564,7 @@ impl RaftCore {
         while candidate > self.commit {
             // Only entries from the current term commit by counting (§5.4.2).
             if self.term_at(candidate) == self.term {
-                let replicated = self
-                    .match_index
-                    .iter()
-                    .filter(|&&m| m >= candidate)
-                    .count();
+                let replicated = self.match_index.iter().filter(|&&m| m >= candidate).count();
                 if replicated >= self.majority() {
                     self.commit = candidate;
                     self.emit_applies(effects);

@@ -42,12 +42,15 @@ impl WatchRegistry {
     /// Registers (or replaces) a watcher; a replacement restarts the
     /// stream sequence at 0.
     pub fn register(&mut self, client: ActorId, watch: u64, prefix: String) {
-        self.watchers.insert((client, watch), Watcher {
-            client,
-            watch,
-            prefix,
-            next_seq: 0,
-        });
+        self.watchers.insert(
+            (client, watch),
+            Watcher {
+                client,
+                watch,
+                prefix,
+                next_seq: 0,
+            },
+        );
     }
 
     /// Takes the next stream sequence number for a watcher.

@@ -40,16 +40,16 @@ fn await_op(world: &mut World, c: ph_sim::ActorId, req: u64) -> Result<OpResult,
 fn put_then_linearizable_read_round_trips() {
     let (mut world, _cluster, c) = setup(21, 3, StoreNodeConfig::default());
     let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
-        bc.client.put("pods/p1", Value::from_static(b"running"), ctx)
+        bc.client
+            .put("pods/p1", Value::from_static(b"running"), ctx)
     });
     let rev = match await_op(&mut world, c, req).expect("put") {
         OpResult::Put { revision } => revision,
         other => panic!("unexpected {other:?}"),
     };
     assert!(rev.0 >= 1);
-    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
-        bc.client.read("pods/", RL::Linearizable, ctx)
-    });
+    let req =
+        world.invoke::<BasicClient, _>(c, |bc, ctx| bc.client.read("pods/", RL::Linearizable, ctx));
     match await_op(&mut world, c, req).expect("read") {
         OpResult::Read { kvs, revision } => {
             assert_eq!(kvs.len(), 1);
@@ -64,9 +64,8 @@ fn put_then_linearizable_read_round_trips() {
 #[test]
 fn watch_streams_events_in_order() {
     let (mut world, _cluster, c) = setup(22, 3, StoreNodeConfig::default());
-    let watch = world.invoke::<BasicClient, _>(c, |bc, ctx| {
-        bc.client.watch("pods/", Revision::ZERO, ctx)
-    });
+    let watch =
+        world.invoke::<BasicClient, _>(c, |bc, ctx| bc.client.watch("pods/", Revision::ZERO, ctx));
     world.run_for(Duration::millis(50));
     for (k, v) in [("pods/a", "1"), ("pods/b", "2"), ("nodes/n1", "x")] {
         let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
@@ -75,9 +74,8 @@ fn watch_streams_events_in_order() {
         await_op(&mut world, c, req).expect("put");
     }
     // Delete one to see a tombstone event.
-    let req = world.invoke::<BasicClient, _>(c, |bc, ctx| {
-        bc.client.delete("pods/a", Expect::Any, ctx)
-    });
+    let req =
+        world.invoke::<BasicClient, _>(c, |bc, ctx| bc.client.delete("pods/a", Expect::Any, ctx));
     await_op(&mut world, c, req).expect("delete");
     world.run_for(Duration::millis(300));
 
@@ -85,7 +83,10 @@ fn watch_streams_events_in_order() {
         .actor_ref::<BasicClient>(c)
         .expect("client")
         .watch_events(watch);
-    let keys: Vec<_> = events.iter().map(|e| e.key().as_str().to_string()).collect();
+    let keys: Vec<_> = events
+        .iter()
+        .map(|e| e.key().as_str().to_string())
+        .collect();
     assert_eq!(keys, vec!["pods/a", "pods/b", "pods/a"]);
     assert!(events[2].is_delete());
     // Revisions strictly increase.
@@ -183,9 +184,8 @@ fn serializable_read_from_partitioned_follower_is_stale() {
     await_op(&mut world, c2, req).expect("put v2");
 
     // Serializable read hits the partitioned follower: sees stale v1.
-    let req = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
-        bc.client.read("k", RL::Serializable, ctx)
-    });
+    let req =
+        world.invoke::<BasicClient, _>(c2, |bc, ctx| bc.client.read("k", RL::Serializable, ctx));
     match await_op(&mut world, c2, req).expect("stale read") {
         OpResult::Read { kvs, .. } => {
             assert_eq!(&kvs[0].value[..], b"v1", "follower must serve stale data");
@@ -194,9 +194,8 @@ fn serializable_read_from_partitioned_follower_is_stale() {
     }
 
     // Linearizable read (reaches the majority side): sees v2.
-    let req = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
-        bc.client.read("k", RL::Linearizable, ctx)
-    });
+    let req =
+        world.invoke::<BasicClient, _>(c2, |bc, ctx| bc.client.read("k", RL::Linearizable, ctx));
     match await_op(&mut world, c2, req).expect("fresh read") {
         OpResult::Read { kvs, .. } => assert_eq!(&kvs[0].value[..], b"v2"),
         other => panic!("unexpected {other:?}"),
@@ -273,9 +272,7 @@ fn compaction_cancels_stale_watch_resume() {
     world.run_for(Duration::millis(500)); // let autocompaction run
 
     // A watch resuming from revision 1 must be cancelled as compacted.
-    let watch = world.invoke::<BasicClient, _>(c, |bc, ctx| {
-        bc.client.watch("k", Revision(1), ctx)
-    });
+    let watch = world.invoke::<BasicClient, _>(c, |bc, ctx| bc.client.watch("k", Revision(1), ctx));
     world.run_for(Duration::millis(300));
     let compacted = world
         .actor_ref::<BasicClient>(c)

@@ -1,57 +1,70 @@
-//! Property-based tests on the store's MVCC state machine and the Raft
-//! core's safety invariants.
+//! Randomized-but-deterministic tests on the store's MVCC state machine and
+//! the Raft core's safety invariants. Cases come from a fixed-seed
+//! [`SimRng`], so the suite is reproducible with no third-party framework.
 
-use proptest::prelude::*;
-
+use ph_sim::SimRng;
 use ph_store::kv::{Key, LeaseId, Revision, Value};
 use ph_store::msgs::{Expect, Op};
 use ph_store::mvcc::MvccStore;
 use ph_store::raft::{Command, Effect, RaftCore, RaftMsg};
 
-/// An arbitrary op over a small key universe.
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..8, any::<u8>()).prop_map(|(k, v)| Op::Put {
-            key: Key::new(format!("k{k}")),
-            value: Value::copy_from_slice(&[v]),
+/// Draws an arbitrary op over a small key universe.
+fn gen_op(rng: &mut SimRng) -> Op {
+    match rng.below(6) {
+        0 => Op::Put {
+            key: Key::new(format!("k{}", rng.below(8))),
+            value: Value::copy_from_slice(&[rng.below(256) as u8]),
             lease: None,
             expect: Expect::Any,
-        }),
-        (0u8..8).prop_map(|k| Op::Delete {
-            key: Key::new(format!("k{k}")),
+        },
+        1 => Op::Delete {
+            key: Key::new(format!("k{}", rng.below(8))),
             expect: Expect::Any,
-        }),
-        (0u8..4, 1u64..500).prop_map(|(id, ttl)| Op::LeaseGrant {
-            id: LeaseId(id as u64),
-            ttl_ms: ttl,
-        }),
-        (0u8..4).prop_map(|id| Op::LeaseRevoke { id: LeaseId(id as u64) }),
-        (0u64..20).prop_map(|at| Op::Compact { at: Revision(at) }),
-        Just(Op::Nop),
-    ]
+        },
+        2 => Op::LeaseGrant {
+            id: LeaseId(rng.below(4)),
+            ttl_ms: rng.range(1, 500),
+        },
+        3 => Op::LeaseRevoke {
+            id: LeaseId(rng.below(4)),
+        },
+        4 => Op::Compact {
+            at: Revision(rng.below(20)),
+        },
+        _ => Op::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_ops(rng: &mut SimRng, max: u64) -> Vec<Op> {
+    let n = rng.below(max) as usize;
+    (0..n).map(|_| gen_op(rng)).collect()
+}
 
-    #[test]
-    fn mvcc_apply_is_deterministic(ops in prop::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn mvcc_apply_is_deterministic() {
+    let mut rng = SimRng::from_seed(0x3A11);
+    for _ in 0..128 {
+        let ops = gen_ops(&mut rng, 60);
         let mut a = MvccStore::new();
         let mut b = MvccStore::new();
         for op in &ops {
             let (ra, ea) = a.apply(op);
             let (rb, eb) = b.apply(op);
-            prop_assert_eq!(ra.is_ok(), rb.is_ok());
-            prop_assert_eq!(ra.ok(), rb.ok());
-            prop_assert_eq!(ea, eb);
+            assert_eq!(ra.is_ok(), rb.is_ok());
+            assert_eq!(ra.ok(), rb.ok());
+            assert_eq!(ea, eb);
         }
-        prop_assert_eq!(a.range(""), b.range(""));
-        prop_assert_eq!(a.revision(), b.revision());
-        prop_assert_eq!(a.compacted(), b.compacted());
+        assert_eq!(a.range(""), b.range(""));
+        assert_eq!(a.revision(), b.revision());
+        assert_eq!(a.compacted(), b.compacted());
     }
+}
 
-    #[test]
-    fn mvcc_event_log_is_dense_in_revisions(ops in prop::collection::vec(arb_op(), 0..60)) {
+#[test]
+fn mvcc_event_log_is_dense_in_revisions() {
+    let mut rng = SimRng::from_seed(0xDE45);
+    for _ in 0..128 {
+        let ops = gen_ops(&mut rng, 60);
         let mut s = MvccStore::new();
         let mut all_events = Vec::new();
         for op in &ops {
@@ -63,13 +76,15 @@ proptest! {
         let mut revs: Vec<u64> = all_events.iter().map(|e| e.revision().0).collect();
         revs.sort_unstable();
         let expected: Vec<u64> = (1..=s.revision().0).collect();
-        prop_assert_eq!(revs, expected);
+        assert_eq!(revs, expected);
     }
+}
 
-    #[test]
-    fn mvcc_retained_events_replay_to_current_state(
-        ops in prop::collection::vec(arb_op(), 0..60)
-    ) {
+#[test]
+fn mvcc_retained_events_replay_to_current_state() {
+    let mut rng = SimRng::from_seed(0x4E91);
+    for _ in 0..128 {
+        let ops = gen_ops(&mut rng, 60);
         let mut s = MvccStore::new();
         for op in &ops {
             let _ = s.apply(op);
@@ -90,16 +105,18 @@ proptest! {
                 }
             }
             let (current, _) = s.range("");
-            let direct: std::collections::BTreeMap<Key, Value> = current
-                .into_iter()
-                .map(|kv| (kv.key, kv.value))
-                .collect();
-            prop_assert_eq!(rebuilt, direct);
+            let direct: std::collections::BTreeMap<Key, Value> =
+                current.into_iter().map(|kv| (kv.key, kv.value)).collect();
+            assert_eq!(rebuilt, direct);
         }
     }
+}
 
-    #[test]
-    fn mvcc_version_counts_writes_since_create(puts in 1u8..20) {
+#[test]
+fn mvcc_version_counts_writes_since_create() {
+    let mut rng = SimRng::from_seed(0x7C01);
+    for _ in 0..32 {
+        let puts = rng.range(1, 20) as u8;
         let mut s = MvccStore::new();
         for i in 0..puts {
             let (r, _) = s.apply(&Op::Put {
@@ -110,14 +127,16 @@ proptest! {
             });
             r.expect("put");
         }
-        prop_assert_eq!(s.get(&Key::new("k")).expect("k").version, puts as u64);
+        assert_eq!(s.get(&Key::new("k")).expect("k").version, puts as u64);
     }
+}
 
-    #[test]
-    fn cas_never_succeeds_against_a_wrong_revision(
-        writes in 2u8..10,
-        guess in 0u64..100
-    ) {
+#[test]
+fn cas_never_succeeds_against_a_wrong_revision() {
+    let mut rng = SimRng::from_seed(0xCA5);
+    for _ in 0..64 {
+        let writes = rng.range(2, 10) as u8;
+        let guess = rng.below(100);
         let mut s = MvccStore::new();
         for i in 0..writes {
             let _ = s.apply(&Op::Put {
@@ -134,7 +153,7 @@ proptest! {
             lease: None,
             expect: Expect::ModRev(Revision(guess)),
         });
-        prop_assert_eq!(r.is_ok(), Revision(guess) == actual);
+        assert_eq!(r.is_ok(), Revision(guess) == actual);
     }
 }
 
@@ -152,26 +171,27 @@ enum Action {
     DropOne,
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0usize..3).prop_map(Action::Timeout),
-        (0usize..3).prop_map(Action::Heartbeat),
-        (0usize..3, any::<u8>()).prop_map(|(n, v)| Action::Propose(n, v)),
-        Just(Action::DeliverOne),
-        Just(Action::DeliverOne), // bias toward delivery
-        Just(Action::DeliverOne),
-        Just(Action::DropOne),
-    ]
+fn gen_action(rng: &mut SimRng) -> Action {
+    match rng.below(7) {
+        0 => Action::Timeout(rng.below(3) as usize),
+        1 => Action::Heartbeat(rng.below(3) as usize),
+        2 => Action::Propose(rng.below(3) as usize, rng.below(256) as u8),
+        6 => Action::DropOne,
+        _ => Action::DeliverOne, // bias toward delivery
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The core Raft safety property: no two nodes ever apply different
-    /// commands at the same log index, under arbitrary interleaving,
-    /// duplication-free delivery and message loss.
-    #[test]
-    fn raft_applied_logs_never_conflict(actions in prop::collection::vec(arb_action(), 0..120)) {
+/// The core Raft safety property: no two nodes ever apply different
+/// commands at the same log index, under arbitrary interleaving,
+/// duplication-free delivery and message loss.
+#[test]
+fn raft_applied_logs_never_conflict() {
+    let mut rng = SimRng::from_seed(0x4A47);
+    for _ in 0..256 {
+        let actions: Vec<Action> = {
+            let n = rng.below(120) as usize;
+            (0..n).map(|_| gen_action(&mut rng)).collect()
+        };
         let n = 3;
         let mut cores: Vec<RaftCore> = (0..n).map(|i| RaftCore::new(i, n)).collect();
         let mut inflight: std::collections::VecDeque<(usize, usize, RaftMsg)> =
@@ -179,9 +199,9 @@ proptest! {
         let mut applied: Vec<Vec<(u64, Command)>> = vec![Vec::new(); n];
 
         let absorb = |at: usize,
-                          effects: Vec<Effect>,
-                          inflight: &mut std::collections::VecDeque<(usize, usize, RaftMsg)>,
-                          applied: &mut Vec<Vec<(u64, Command)>>| {
+                      effects: Vec<Effect>,
+                      inflight: &mut std::collections::VecDeque<(usize, usize, RaftMsg)>,
+                      applied: &mut Vec<Vec<(u64, Command)>>| {
             for e in effects {
                 match e {
                     Effect::Send(to, msg) => inflight.push_back((at, to, msg)),
@@ -233,7 +253,7 @@ proptest! {
                     applied[a].iter().map(|(i, c)| (*i, c)).collect();
                 for (idx, cmd) in &applied[b] {
                     if let Some(other) = map_a.get(idx) {
-                        prop_assert_eq!(*other, cmd, "index {} diverged", idx);
+                        assert_eq!(*other, cmd, "index {} diverged", idx);
                     }
                 }
             }
@@ -244,8 +264,8 @@ proptest! {
             let mut sorted = idxs.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(idxs.len(), sorted.len(), "duplicate applies");
-            prop_assert!(idxs.windows(2).all(|w| w[0] < w[1]), "out-of-order applies");
+            assert_eq!(idxs.len(), sorted.len(), "duplicate applies");
+            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "out-of-order applies");
         }
     }
 }

@@ -58,7 +58,11 @@ fn main() {
         |strategy| {
             let (report, trace) = volume_17::run_with_trace(1, strategy, Variant::Buggy);
             (
-                report.violations.iter().map(|v| v.details.clone()).collect(),
+                report
+                    .violations
+                    .iter()
+                    .map(|v| v.details.clone())
+                    .collect(),
                 trace,
             )
         },
@@ -81,7 +85,11 @@ fn main() {
         |strategy| {
             let (report, trace) = k8s_56261::run_with_trace(1, strategy, Variant::Buggy);
             (
-                report.violations.iter().map(|v| v.details.clone()).collect(),
+                report
+                    .violations
+                    .iter()
+                    .map(|v| v.details.clone())
+                    .collect(),
                 trace,
             )
         },

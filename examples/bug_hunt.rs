@@ -10,9 +10,7 @@
 //! partitions) rarely do within the same budget.
 
 use ph_core::harness::{DetectionMatrix, Explorer, RunReport};
-use ph_core::perturb::{
-    CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy,
-};
+use ph_core::perturb::{CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy};
 use ph_scenarios::{
     cass_398, cass_400, cass_402, hbase_3136, k8s_56261, k8s_59848, node_fencing, volume_17,
     Variant,
@@ -29,7 +27,11 @@ fn main() {
         .unwrap_or(10);
 
     let scenarios: Vec<(&str, ScenarioRun, Guided)> = vec![
-        (k8s_59848::NAME, k8s_59848::run as ScenarioRun, k8s_59848::guided as Guided),
+        (
+            k8s_59848::NAME,
+            k8s_59848::run as ScenarioRun,
+            k8s_59848::guided as Guided,
+        ),
         (k8s_56261::NAME, k8s_56261::run, k8s_56261::guided),
         (volume_17::NAME, volume_17::run, volume_17::guided),
         (cass_398::NAME, cass_398::run, cass_398::guided),
@@ -41,7 +43,10 @@ fn main() {
 
     type Factory = Box<dyn Fn(u64) -> Box<dyn Strategy>>;
     let baselines: Vec<(&str, Factory)> = vec![
-        ("guided", Box::new(|_| unreachable!("replaced per scenario"))),
+        (
+            "guided",
+            Box::new(|_| unreachable!("replaced per scenario")),
+        ),
         (
             "random-crash",
             Box::new(|seed| {
@@ -54,9 +59,7 @@ fn main() {
         ),
         (
             "crashtuner",
-            Box::new(|seed| {
-                Box::new(CrashTunerCrashes::new(seed, 0.02, 3, Duration::millis(300)))
-            }),
+            Box::new(|seed| Box::new(CrashTunerCrashes::new(seed, 0.02, 3, Duration::millis(300)))),
         ),
         (
             "cofi",
@@ -80,21 +83,18 @@ fn main() {
     for (name, run, guided) in &scenarios {
         for (sname, factory) in &baselines {
             let mut outcome = if *sname == "guided" {
-                let mut o = explorer.explore(
-                    name,
-                    &|seed, s| run(seed, s, Variant::Buggy),
-                    &|seed| guided(seed),
-                );
+                let mut o =
+                    explorer.explore(name, &|seed, s| run(seed, s, Variant::Buggy), &|seed| {
+                        guided(seed)
+                    });
                 // Uniform column label; the per-scenario pattern is printed
                 // in the per-row detail above.
                 o.strategy = format!("guided [{}]", o.strategy);
                 o
             } else {
-                explorer.explore(
-                    name,
-                    &|seed, s| run(seed, s, Variant::Buggy),
-                    &|seed| factory(seed),
-                )
+                explorer.explore(name, &|seed, s| run(seed, s, Variant::Buggy), &|seed| {
+                    factory(seed)
+                })
             };
             let detail = outcome.strategy.clone();
             if outcome.strategy.starts_with("guided [") {

@@ -49,7 +49,11 @@ fn main() {
     for n in &cfg.nodes {
         cluster.create_object(&mut world, &Object::node(n.clone()), dl);
     }
-    cluster.create_object(&mut world, &Object::new("web", Body::ReplicaSet { replicas: 4 }), dl);
+    cluster.create_object(
+        &mut world,
+        &Object::new("web", Body::ReplicaSet { replicas: 4 }),
+        dl,
+    );
     world.run_for(Duration::secs(2));
 
     let s = cluster.ground_truth(&world);
@@ -60,7 +64,10 @@ fn main() {
         s.values()
             .filter(|o| matches!(
                 o.body,
-                Body::Pod { phase: ph_cluster::PodPhase::Running, .. }
+                Body::Pod {
+                    phase: ph_cluster::PodPhase::Running,
+                    ..
+                }
             ))
             .count(),
     );
@@ -82,7 +89,11 @@ fn main() {
         after: Duration::ZERO,
     };
     injector.setup(&mut world, &targets);
-    cluster.create_object(&mut world, &Object::new("web", Body::ReplicaSet { replicas: 8 }), dl);
+    cluster.create_object(
+        &mut world,
+        &Object::new("web", Body::ReplicaSet { replicas: 8 }),
+        dl,
+    );
     world.run_for(Duration::millis(1500));
 
     let api2 = world

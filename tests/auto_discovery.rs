@@ -101,10 +101,8 @@ fn auto_explorer_discovers_the_scheduler_bug() {
     // The real 56261 manifestation is among the finds: a pod bound to the
     // ghost node.
     assert!(
-        hits.iter().any(|f| f
-            .violations
-            .iter()
-            .any(|v| v.contains("nonexistent node"))),
+        hits.iter()
+            .any(|f| f.violations.iter().any(|v| v.contains("nonexistent node"))),
         "expected a ghost-node binding among: {:#?}",
         hits.iter().map(|f| &f.violations).collect::<Vec<_>>()
     );
@@ -127,7 +125,10 @@ fn candidates_are_replayable_across_runs() {
     let cluster = ph_cluster::topology::spawn_cluster(&mut world, &cfg);
     let targets = targets_for(&cluster, Duration::secs(5));
     let cands = candidates(&reference, &targets, &["vc.release_pvc"], 2, 300);
-    let Some(c) = cands.iter().find(|c| matches!(c, Candidate::DropNth { .. })) else {
+    let Some(c) = cands
+        .iter()
+        .find(|c| matches!(c, Candidate::DropNth { .. }))
+    else {
         panic!("no drop candidates: {cands:?}");
     };
     let d1 = {

@@ -19,7 +19,11 @@ type Guided = fn(u64) -> Box<dyn Strategy>;
 
 fn all_scenarios() -> Vec<(&'static str, ScenarioRun, Guided)> {
     vec![
-        (k8s_59848::NAME, k8s_59848::run as ScenarioRun, k8s_59848::guided as Guided),
+        (
+            k8s_59848::NAME,
+            k8s_59848::run as ScenarioRun,
+            k8s_59848::guided as Guided,
+        ),
         (k8s_56261::NAME, k8s_56261::run, k8s_56261::guided),
         (volume_17::NAME, volume_17::run, volume_17::guided),
         (cass_398::NAME, cass_398::run, cass_398::guided),

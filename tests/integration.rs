@@ -7,8 +7,8 @@ use ph_cluster::topology::{spawn_cluster, ClusterConfig};
 use ph_core::causality::CausalGraph;
 use ph_core::history::FrontierLog;
 use ph_core::perturb::{RandomCrashes, Strategy, Targets, TimeTravelInjector};
-use ph_sim::{ActorId, Duration, SimTime, TraceEventKind, World, WorldConfig};
 use ph_scenarios::common::targets_for;
+use ph_sim::{ActorId, Duration, SimTime, TraceEventKind, World, WorldConfig};
 
 /// Extracts a component's view-frontier log from its `view.frontier`
 /// annotations.
@@ -53,7 +53,11 @@ fn seed_workload(world: &mut World, cluster: &ph_cluster::topology::ClusterHandl
             .expect("node");
     }
     cluster
-        .create_object(world, &Object::new("web", Body::ReplicaSet { replicas: 4 }), dl)
+        .create_object(
+            world,
+            &Object::new("web", Body::ReplicaSet { replicas: 4 }),
+            dl,
+        )
         .expect("rs");
 }
 
@@ -64,7 +68,10 @@ fn frontiers_are_monotone_without_time_travel_injection() {
     world.run_for(Duration::secs(4));
     for &api in &cluster.apiservers {
         let log = frontier_log(&world, api);
-        assert!(log.samples().len() > 3, "apiserver should annotate frontiers");
+        assert!(
+            log.samples().len() > 3,
+            "apiserver should annotate frontiers"
+        );
         assert!(
             log.time_travels().is_empty(),
             "{} traveled in time without injection: {:?}",
@@ -144,7 +151,15 @@ fn random_crashes_leave_cluster_consistent() {
     let s = cluster.ground_truth(&world);
     let running: Vec<&Object> = s
         .values()
-        .filter(|o| matches!(o.body, Body::Pod { phase: PodPhase::Running, .. }))
+        .filter(|o| {
+            matches!(
+                o.body,
+                Body::Pod {
+                    phase: PodPhase::Running,
+                    ..
+                }
+            )
+        })
         .collect();
     assert_eq!(running.len(), 4, "pods lost after random crashes");
     for &k in &cluster.kubelets {

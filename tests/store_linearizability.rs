@@ -7,8 +7,8 @@ use ph_store::client::BasicClient;
 use ph_store::kv::KvEvent;
 use ph_store::node::StoreNodeConfig;
 use ph_store::{
-    spawn_store_cluster, OpResult, ReadLevel, Revision, StoreClient, StoreClientConfig,
-    StoreNode, Value,
+    spawn_store_cluster, OpResult, ReadLevel, Revision, StoreClient, StoreClientConfig, StoreNode,
+    Value,
 };
 
 fn setup(seed: u64) -> (World, ph_store::StoreCluster, ph_sim::ActorId) {
@@ -139,9 +139,8 @@ fn replicas_converge_to_identical_state_after_faults() {
 fn watch_stream_is_a_partial_history_of_h() {
     let (mut world, cluster, c) = setup(63);
     // Watch everything from revision 0 on the client.
-    let watch = world.invoke::<BasicClient, _>(c, |bc, ctx| {
-        bc.client.watch("", Revision::ZERO, ctx)
-    });
+    let watch =
+        world.invoke::<BasicClient, _>(c, |bc, ctx| bc.client.watch("", Revision::ZERO, ctx));
     world.run_for(Duration::millis(100));
     // A churny workload.
     for i in 0..20 {
@@ -206,9 +205,8 @@ fn follower_watch_stream_is_partial_history_even_under_faults() {
         "watcher",
         BasicClient::new(StoreClient::new(cfg), Duration::millis(50)),
     );
-    let watch = world.invoke::<BasicClient, _>(c2, |bc, ctx| {
-        bc.client.watch("", Revision::ZERO, ctx)
-    });
+    let watch =
+        world.invoke::<BasicClient, _>(c2, |bc, ctx| bc.client.watch("", Revision::ZERO, ctx));
     world.run_for(Duration::millis(100));
 
     let follower = cluster.nodes[follower_idx];
