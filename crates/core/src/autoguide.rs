@@ -314,6 +314,42 @@ where
     (findings, total)
 }
 
+/// Parallel twin of [`explore`]: the reference run stays sequential (it is
+/// one run), candidate enumeration is a pure function of the reference
+/// trace, and the per-candidate re-runs fan out across the
+/// [`crate::parallel`] pool. Findings come back **in candidate order**
+/// (merged by index, not completion), so the result is identical to the
+/// sequential loop's at any thread count.
+pub fn explore_parallel<R>(
+    run: R,
+    targets_of: impl Fn(&Trace) -> Targets,
+    decision_labels: &[&str],
+    depth: usize,
+    budget: usize,
+    threads: usize,
+) -> (Vec<AutoFinding>, usize)
+where
+    R: Fn(&mut dyn Strategy) -> (Vec<String>, Trace) + Sync,
+{
+    let mut nofault = crate::perturb::NoFault;
+    let (_, reference) = run(&mut nofault);
+    let targets = targets_of(&reference);
+    let all = candidates(&reference, &targets, decision_labels, depth, 300);
+    let total = all.len();
+    let tried: Vec<Candidate> = all.into_iter().take(budget).collect();
+    let findings = crate::parallel::run_indexed(threads, tried.len(), |i| {
+        let candidate = tried[i].clone();
+        let mut strategy = CandidateStrategy::new(candidate.clone());
+        let (violations, _) = run(&mut strategy);
+        AutoFinding {
+            candidate,
+            violated: !violations.is_empty(),
+            violations,
+        }
+    });
+    (findings, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,7 +129,8 @@ impl TrialOutcome {
 pub struct Explorer {
     /// Maximum trials per (scenario, strategy) cell.
     pub max_trials: u32,
-    /// Base seed; trial `t` uses `base_seed + t`.
+    /// Root seed; trial `t` uses
+    /// [`crate::parallel::derive_trial_seed`]`(base_seed, t)`.
     pub base_seed: u64,
 }
 
@@ -143,6 +144,13 @@ impl Default for Explorer {
 }
 
 impl Explorer {
+    /// The seed of trial `t` (0-based): positional splitmix64 derivation,
+    /// shared with [`Explorer::explore_parallel`] so both paths agree on
+    /// every trial's seed regardless of execution order.
+    pub fn trial_seed(&self, t: u32) -> u64 {
+        crate::parallel::derive_trial_seed(self.base_seed, t)
+    }
+
     /// Runs up to `max_trials` trials, stopping at the first violation.
     pub fn explore(
         &self,
@@ -154,7 +162,7 @@ impl Explorer {
         let mut total_events = 0u64;
         let mut total_sim_ns = 0u64;
         for t in 0..self.max_trials {
-            let seed = self.base_seed + t as u64;
+            let seed = self.trial_seed(t);
             let mut strategy = factory(seed);
             if t == 0 {
                 strategy_name = strategy.name();
@@ -334,15 +342,20 @@ mod tests {
     fn explorer_stops_at_first_violation() {
         let ex = Explorer {
             max_trials: 10,
-            base_seed: 0, // seeds 0,1,..: first odd seed is trial 2
+            base_seed: 0,
         };
+        // Trial seeds are derived (splitmix64), so compute which trial
+        // first draws an odd seed rather than hardcoding it.
+        let first_odd = (0..10)
+            .find(|&t| ex.trial_seed(t) % 2 == 1)
+            .expect("some odd seed within 10 trials");
         let out = ex.explore("fake", &fake_scenario("magic"), &|_s| {
             Box::new(Named("magic-strategy"))
         });
         assert!(out.detected());
-        assert_eq!(out.first_violation, Some(2));
-        assert_eq!(out.trials_run, 2);
-        assert_eq!(out.total_events, 20);
+        assert_eq!(out.first_violation, Some(first_odd + 1));
+        assert_eq!(out.trials_run, first_odd + 1);
+        assert_eq!(out.total_events, 10 * (first_odd as u64 + 1));
         assert!(out.example.as_ref().is_some_and(|r| r.failed()));
     }
 
@@ -374,9 +387,12 @@ mod tests {
             Box::new(Named("dud"))
         }));
         let table = m.render();
+        let first_odd = (0..4)
+            .find(|&t| ex.trial_seed(t) % 2 == 1)
+            .expect("some odd seed within 4 trials");
         assert!(table.contains("scenario"));
         assert!(table.contains("magic"));
-        assert!(table.contains("✓ 2"));
+        assert!(table.contains(&format!("✓ {}", first_odd + 1)));
         assert!(table.contains('✗'));
         assert!(m.cell("fake", "magic").expect("cell").detected());
         assert!(!m.cell("fake", "dud").expect("cell").detected());

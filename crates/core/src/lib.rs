@@ -34,7 +34,11 @@
 //!   with violation reports carrying the evidence;
 //! * [`harness`] — the explorer: run a scenario under a strategy across
 //!   seeds, count trials-to-first-violation, and build the detection
-//!   matrices reported in EXPERIMENTS.md.
+//!   matrices reported in EXPERIMENTS.md;
+//! * [`parallel`] — the deterministic work-stealing trial scheduler:
+//!   positional splitmix64 seed derivation, order-stable merge by trial
+//!   index, and cooperative early-cancel, so `explore_parallel(n)` is
+//!   byte-identical to the sequential explorer at any thread count.
 //!
 //! The crate deliberately depends only on [`ph_sim`]: the model and tool are
 //! substrate-agnostic, and `ph-scenarios` wires them to the Kubernetes-like
@@ -67,9 +71,12 @@ pub mod harness;
 pub mod history;
 pub mod observe;
 pub mod oracle;
+pub mod parallel;
 pub mod perturb;
 
-pub use autoguide::{candidates, explore, AutoFinding, Candidate, CandidateStrategy};
+pub use autoguide::{
+    candidates, explore, explore_parallel, AutoFinding, Candidate, CandidateStrategy,
+};
 pub use causality::CausalGraph;
 pub use divergence::{DivergenceSummary, ViewLag};
 pub use epoch::{EpochBuffer, EpochPartition};
@@ -77,6 +84,7 @@ pub use harness::{DetectionMatrix, Explorer, RunReport, TrialOutcome};
 pub use history::{Change, ChangeOp, FrontierLog, History, PartialHistory, View};
 pub use observe::{observability_report, ObservabilityReport};
 pub use oracle::{FnOracle, Oracle, UniqueExecutionOracle, Violation};
+pub use parallel::{default_threads, derive_trial_seed, run_indexed};
 pub use perturb::{
     CoFiPartitions, CrashTunerCrashes, NoFault, NotificationDropper, RandomCrashes,
     StalenessInjector, Strategy, Targets, TimeTravelInjector,

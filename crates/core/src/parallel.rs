@@ -1,0 +1,413 @@
+//! Deterministic parallel trial execution.
+//!
+//! The §7 outer loop is embarrassingly parallel — every trial is an
+//! independent simulation pinned by its seed — but naive parallelism
+//! destroys the property the whole methodology rests on: that a
+//! [`TrialOutcome`] is a pure function of `(scenario, strategy, base
+//! seed, budget)` and nothing else. This module provides parallelism that
+//! provably preserves it:
+//!
+//! * **Seed derivation is positional, not sequential.** Trial `t` runs
+//!   under [`derive_trial_seed`]`(base_seed, t)` — a splitmix64 evaluated
+//!   *at* index `t` — so any worker can compute any trial's seed without
+//!   knowing what the other workers are doing. (The old `base_seed + t`
+//!   scheme had the same property but correlated neighbouring trials;
+//!   splitmix64 decorrelates them for free.)
+//! * **Results merge by trial index, never by completion order.** Workers
+//!   deposit each report into a per-trial slot; the aggregation walks the
+//!   slots `0, 1, 2, …` exactly like the sequential loop walks its
+//!   iterations, so `total_events`/`total_sim_ns` are summed in trial
+//!   order and `first_violation` is the *lowest* failing index — not the
+//!   first to finish.
+//! * **Early-cancel is cooperative and one-sided.** Once some trial `f`
+//!   fails, trials with index `> f` become unnecessary and are skipped;
+//!   trials `≤ f` are never skipped (the cancel cutoff only decreases, and
+//!   never below the final first failure), so every slot the merge reads
+//!   is guaranteed to be populated.
+//!
+//! The scheduler itself is a work-stealing pool over `std::thread` scoped
+//! threads: each worker owns a chunk of the trial range and steals from
+//! the tail of a sibling's chunk when its own runs dry. Stealing order
+//! affects only *which worker* runs a trial — never the trial's seed, nor
+//! where its result lands.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::harness::{Explorer, RunReport, TrialOutcome};
+use crate::perturb::Strategy;
+
+/// A scenario runnable from worker threads (the `Sync` twin of
+/// [`crate::harness::ScenarioFn`]; plain `fn` pointers qualify).
+pub type SyncScenarioFn<'a> = dyn Fn(u64, &mut dyn Strategy) -> RunReport + Sync + 'a;
+
+/// A strategy factory callable from worker threads (the `Sync` twin of
+/// [`crate::harness::StrategyFactory`]).
+pub type SyncStrategyFactory<'a> = dyn Fn(u64) -> Box<dyn Strategy> + Sync + 'a;
+
+/// Derives the seed of trial `trial_idx` from the explorer's root seed:
+/// splitmix64 evaluated at index `trial_idx`.
+///
+/// The derivation is *positional* — a pure function of `(root_seed,
+/// trial_idx)` — so sequential and parallel explorers, and workers racing
+/// in any order, all agree on every trial's seed.
+pub fn derive_trial_seed(root_seed: u64, trial_idx: u32) -> u64 {
+    // splitmix64 with its state advanced trial_idx + 1 steps from
+    // root_seed, collapsed into one multiply (the increment is a constant
+    // stride), then the standard finalizer.
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut z = root_seed.wrapping_add(GOLDEN.wrapping_mul(trial_idx as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The number of workers to use when the caller does not say: the
+/// machine's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Per-worker job queues with stealing.
+///
+/// Worker `w` pops from the front of its own queue (cache-friendly,
+/// ascending indices) and, when empty, steals from the *back* of the
+/// first non-empty sibling queue — the classic deque discipline, with a
+/// mutex per queue instead of a lock-free deque (job bodies are whole
+/// simulations; queue contention is noise).
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<u32>>>,
+}
+
+impl StealQueues {
+    /// Splits `0..jobs` into `workers` contiguous chunks.
+    fn new(jobs: u32, workers: usize) -> StealQueues {
+        let mut queues: Vec<VecDeque<u32>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let per = (jobs as usize).div_ceil(workers.max(1));
+        for j in 0..jobs {
+            queues[(j as usize / per.max(1)).min(workers - 1)].push_back(j);
+        }
+        StealQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next job for worker `w`: own front, else steal a sibling's back.
+    /// `None` means every queue is empty and the worker can retire.
+    fn next(&self, w: usize) -> Option<u32> {
+        if let Some(j) = self.queues[w].lock().expect("queue poisoned").pop_front() {
+            return Some(j);
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (w + i) % n;
+            if let Some(j) = self.queues[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_back()
+            {
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `job(0), job(1), …, job(jobs - 1)` across `threads` workers and
+/// returns the results **in job order** (index `i` holds `job(i)`),
+/// regardless of which worker ran what when.
+///
+/// `job` must be deterministic in its index for the output to be
+/// deterministic — that is the caller's contract, and everything in this
+/// crate satisfies it (trials are pure functions of their seed).
+pub fn run_indexed<T, F>(threads: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots = run_pool(threads, jobs as u32, None, |i| job(i as usize));
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("uncancelled job always completes")
+        })
+        .collect()
+}
+
+/// The shared pool core: runs `job` for indices `0..jobs`, depositing
+/// each result in its index's slot. If `cancel` is given, indices greater
+/// than its current value are skipped (their slots stay `None`); the
+/// value only ever decreases (via `fetch_min` inside `job`), so indices
+/// at or below its final value are never skipped.
+fn run_pool<T, F>(
+    threads: usize,
+    jobs: u32,
+    cancel: Option<&AtomicU32>,
+    job: F,
+) -> Vec<Mutex<Option<T>>>
+where
+    T: Send,
+    F: Fn(u32) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    if jobs == 0 {
+        return slots;
+    }
+    let workers = threads.clamp(1, jobs as usize);
+    let queues = StealQueues::new(jobs, workers);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let job = &job;
+            s.spawn(move || {
+                while let Some(i) = queues.next(w) {
+                    if let Some(c) = cancel {
+                        if i > c.load(Ordering::Acquire) {
+                            continue; // a lower trial already failed
+                        }
+                    }
+                    let out = job(i);
+                    *slots[i as usize].lock().expect("slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+}
+
+/// What a worker records per trial: the built strategy's name (trial 0's
+/// names the whole cell, as in the sequential path) plus the report.
+struct TrialRecord {
+    strategy_name: String,
+    report: RunReport,
+}
+
+impl Explorer {
+    /// Parallel twin of [`Explorer::explore`]: fans the trial range across
+    /// `threads` workers and produces a [`TrialOutcome`] **identical** to
+    /// the sequential one — same `first_violation` (the lowest failing
+    /// trial index, found cooperatively), same `example` report, same
+    /// `total_events`/`total_sim_ns` (summed in trial order over exactly
+    /// the trials the sequential loop would have run).
+    ///
+    /// `threads == 1` still routes through the pool (one worker), so the
+    /// equivalence tests exercise the parallel code path end to end.
+    pub fn explore_parallel(
+        &self,
+        threads: usize,
+        scenario_name: &str,
+        scenario: &SyncScenarioFn<'_>,
+        factory: &SyncStrategyFactory<'_>,
+    ) -> TrialOutcome {
+        let n = self.max_trials;
+        let cutoff = AtomicU32::new(u32::MAX);
+        let slots = run_pool(threads, n, Some(&cutoff), |t| {
+            let seed = self.trial_seed(t);
+            let mut strategy = factory(seed);
+            let strategy_name = strategy.name();
+            let report = scenario(seed, strategy.as_mut());
+            if report.failed() {
+                // Publish "nothing above t is needed"; fetch_min keeps the
+                // cutoff at the lowest failure seen so far.
+                cutoff.fetch_min(t, Ordering::AcqRel);
+            }
+            TrialRecord {
+                strategy_name,
+                report,
+            }
+        });
+
+        // Merge in trial order, mirroring the sequential loop exactly.
+        let mut records: Vec<Option<TrialRecord>> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot poisoned"))
+            .collect();
+        let first_fail = records
+            .iter()
+            .enumerate()
+            .find_map(|(t, r)| r.as_ref().filter(|r| r.report.failed()).map(|_| t as u32));
+        let upto = first_fail.map_or(n, |f| f + 1);
+        let mut strategy_name = String::new();
+        let mut example = None;
+        let mut total_events = 0u64;
+        let mut total_sim_ns = 0u64;
+        for t in 0..upto {
+            let rec = records[t as usize]
+                .take()
+                .expect("trials at or before the first failure always run");
+            if t == 0 {
+                strategy_name = rec.strategy_name;
+            }
+            total_events += rec.report.trace_events as u64;
+            total_sim_ns += rec.report.sim_time.0;
+            if Some(t) == first_fail {
+                example = Some(rec.report);
+            }
+        }
+        TrialOutcome {
+            scenario: scenario_name.to_string(),
+            strategy: strategy_name,
+            trials_run: upto,
+            first_violation: first_fail.map(|f| f + 1),
+            example,
+            total_events,
+            total_sim_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::divergence::DivergenceSummary;
+    use crate::oracle::Violation;
+    use ph_sim::{MetricsReport, SimTime};
+
+    /// A deterministic fake scenario: fails iff `seed % modulus == 0`;
+    /// event count and sim-time derive from the seed so aggregate sums
+    /// discriminate between orderings.
+    fn fake(modulus: u64) -> impl Fn(u64, &mut dyn Strategy) -> RunReport + Sync {
+        move |seed, strategy| RunReport {
+            scenario: "fake".into(),
+            strategy: strategy.name(),
+            seed,
+            violations: if seed % modulus == 0 {
+                vec![Violation {
+                    oracle: "o".into(),
+                    at: SimTime(seed),
+                    details: format!("seed {seed}"),
+                }]
+            } else {
+                Vec::new()
+            },
+            sim_time: SimTime(seed % 1000),
+            trace_events: (seed % 97) as usize,
+            trace_digest: seed,
+            metrics: MetricsReport::default(),
+            divergence: DivergenceSummary::default(),
+        }
+    }
+
+    struct Named;
+    impl Strategy for Named {
+        fn name(&self) -> String {
+            "named".into()
+        }
+    }
+
+    fn factory(_seed: u64) -> Box<dyn Strategy> {
+        Box::new(Named)
+    }
+
+    fn outcomes_equal(a: &TrialOutcome, b: &TrialOutcome) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.trials_run, b.trials_run);
+        assert_eq!(a.first_violation, b.first_violation);
+        assert_eq!(a.total_events, b.total_events);
+        assert_eq!(a.total_sim_ns, b.total_sim_ns);
+        match (&a.example, &b.example) {
+            (None, None) => {}
+            (Some(x), Some(y)) => assert_eq!(x.to_json(), y.to_json()),
+            _ => panic!("example presence diverged"),
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_positional_and_decorrelated() {
+        let ex = Explorer {
+            max_trials: 64,
+            base_seed: 42,
+        };
+        let seeds: Vec<u64> = (0..64).map(|t| ex.trial_seed(t)).collect();
+        // Stable under recomputation in any order.
+        for (t, &s) in seeds.iter().enumerate().rev() {
+            assert_eq!(derive_trial_seed(42, t as u32), s);
+        }
+        // All distinct (splitmix64 is a bijection over the stride).
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_thread_counts() {
+        for modulus in [3, 7, 1_000_000_007] {
+            let ex = Explorer {
+                max_trials: 33,
+                base_seed: modulus,
+            };
+            let scenario = fake(modulus);
+            let seq = ex.explore("fake", &scenario, &factory);
+            for threads in [1, 2, 3, 4, 8] {
+                let par = ex.explore_parallel(threads, "fake", &scenario, &factory);
+                outcomes_equal(&seq, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trials_is_an_empty_outcome_in_both_paths() {
+        let ex = Explorer {
+            max_trials: 0,
+            base_seed: 1,
+        };
+        let scenario = fake(2);
+        let seq = ex.explore("fake", &scenario, &factory);
+        let par = ex.explore_parallel(4, "fake", &scenario, &factory);
+        outcomes_equal(&seq, &par);
+        assert_eq!(par.trials_run, 0);
+        assert!(par.example.is_none());
+    }
+
+    #[test]
+    fn first_violation_is_the_lowest_failing_index() {
+        // A modulus of 1 makes every trial fail; the winner must be trial
+        // 1 (1-based) no matter how many workers race.
+        let ex = Explorer {
+            max_trials: 16,
+            base_seed: 9,
+        };
+        let scenario = fake(1);
+        for threads in [2, 4, 8] {
+            let out = ex.explore_parallel(threads, "fake", &scenario, &factory);
+            assert_eq!(out.first_violation, Some(1));
+            assert_eq!(out.trials_run, 1);
+            assert_eq!(out.example.as_ref().map(|r| r.seed), Some(ex.trial_seed(0)));
+        }
+    }
+
+    #[test]
+    fn run_indexed_returns_results_in_job_order() {
+        for threads in [1, 2, 5] {
+            let out = run_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_indexed(3, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn steal_queues_drain_every_job_exactly_once() {
+        let q = StealQueues::new(37, 4);
+        let mut seen = Vec::new();
+        // Drain from a single "worker" so its own queue empties and it
+        // steals the rest.
+        while let Some(j) = q.next(2) {
+            seen.push(j);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -9,17 +9,22 @@
 //!                                     in Perfetto / chrome://tracing)
 //!        [--metrics]                  print the metrics + divergence tables
 //!        [--json]                     print the full report as JSON
+//!        [--threads N]                worker pool size
 //! phtool report [--scenario <name>] [--strategy <name>]
-//!        [--variant buggy|fixed] [--seed N]
+//!        [--variant buggy|fixed] [--seed N] [--threads N]
 //!                                     divergence & effort dashboard
-//! phtool matrix [--trials N] [--seed N]
+//! phtool matrix [--trials N] [--seed N] [--threads N]
 //!                                     the §7 detection matrix
 //! phtool hunt --scenario <name> [--budget N] [--depth N] [--seed N]
-//!                                     causality-guided auto-discovery
+//!        [--threads N]               causality-guided auto-discovery
 //! ```
 //!
 //! Everything is deterministic: `--seed` fully determines a run, including
-//! every metric value and every exported trace byte.
+//! every metric value and every exported trace byte. `--threads` (default:
+//! the machine's available parallelism) only changes wall-clock time —
+//! trials fan out over the deterministic `ph-core::parallel` pool and
+//! merge by trial index, so output bytes are identical at any thread
+//! count.
 
 use std::collections::BTreeMap;
 
@@ -206,15 +211,26 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("--{key} wants a number")),
         }
     }
+
+    /// Worker-pool size: `--threads N`, defaulting to the machine's
+    /// available parallelism.
+    fn threads(&self) -> Result<usize, String> {
+        let n = self.get_u64("threads", ph_core::default_threads() as u64)?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        Ok(n as usize)
+    }
 }
 
 fn usage() -> &'static str {
     "usage:\n  phtool list\n  phtool run --scenario <name> [--strategy <name>] \
      [--variant buggy|fixed] [--seed N] [--trace out.json] \
-     [--format json|jsonl|chrome] [--metrics] [--json]\n  phtool report \
-     [--scenario <name>] [--strategy <name>] [--variant buggy|fixed] [--seed N]\n  \
-     phtool matrix [--trials N] [--seed N]\n  phtool hunt --scenario <name> \
-     [--budget N] [--depth N] [--seed N]"
+     [--format json|jsonl|chrome] [--metrics] [--json] [--threads N]\n  phtool report \
+     [--scenario <name>] [--strategy <name>] [--variant buggy|fixed] [--seed N] \
+     [--threads N]\n  \
+     phtool matrix [--trials N] [--seed N] [--threads N]\n  phtool hunt \
+     --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N]"
 }
 
 /// Scenario lookup tolerant of `_`/`-` spelling (`k8s_59848` = `k8s-59848`).
@@ -261,6 +277,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let strategy_name = args.get("strategy").unwrap_or("guided");
     let mut strategy = make_strategy(strategy_name, entry.guided, seed)?;
     let format = args.get("format").unwrap_or("json");
+    let threads = args.threads()?;
 
     let report = if let Some(path) = args.get("trace") {
         // Only trace-capable scenarios can dump (the rest run normally).
@@ -277,7 +294,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("trace written to {path} ({} events, {format})", trace.len());
         report
     } else {
-        (entry.run)(seed, strategy.as_mut(), variant)
+        // Route the run through the deterministic pool so --threads
+        // exercises the parallel path; a single trial's report is
+        // byte-identical at any pool size.
+        let run = entry.run;
+        let guided = entry.guided;
+        ph_core::run_indexed(threads, 1, move |_| {
+            let mut strategy = make_strategy(strategy_name, guided, seed).expect("validated above");
+            run(seed, strategy.as_mut(), variant)
+        })
+        .pop()
+        .expect("one job, one report")
     };
 
     if args.has("json") {
@@ -318,6 +345,12 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown variant {other:?}")),
     };
     let strategy_name = args.get("strategy").unwrap_or("guided");
+    if !STRATEGIES.contains(&strategy_name) {
+        return Err(format!(
+            "unknown strategy {strategy_name:?} (try: {STRATEGIES:?})"
+        ));
+    }
+    let threads = args.threads()?;
     let selected: Vec<&'static str> = match args.get("scenario") {
         Some(s) => {
             lookup(&reg, s)?;
@@ -327,12 +360,17 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         None => reg.keys().copied().collect(),
     };
 
-    let mut reports = Vec::new();
-    for name in &selected {
-        let entry = &reg[name];
-        let mut strategy = make_strategy(strategy_name, entry.guided, seed)?;
-        reports.push((entry.run)(seed, strategy.as_mut(), variant));
-    }
+    // One job per scenario through the pool; results come back in
+    // scenario order, so the dashboard is identical at any thread count.
+    let cells: Vec<(RunFn, GuidedFn)> = selected
+        .iter()
+        .map(|n| (reg[n].run, reg[n].guided))
+        .collect();
+    let reports = ph_core::run_indexed(threads, cells.len(), |i| {
+        let (run, guided) = cells[i];
+        let mut strategy = make_strategy(strategy_name, guided, seed).expect("validated above");
+        run(seed, strategy.as_mut(), variant)
+    });
 
     println!("phtool report  (strategy {strategy_name}, variant {variant}, seed {seed})");
     println!();
@@ -376,6 +414,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 fn cmd_matrix(args: &Args) -> Result<(), String> {
     let trials = args.get_u64("trials", 5)? as u32;
     let base_seed = args.get_u64("seed", 1000)?;
+    let threads = args.threads()?;
     let explorer = Explorer {
         max_trials: trials,
         base_seed,
@@ -386,10 +425,12 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
         for strategy_name in STRATEGIES {
             let run = entry.run;
             let guided = entry.guided;
-            let mut outcome =
-                explorer.explore(name, &|seed, s| run(seed, s, Variant::Buggy), &|seed| {
-                    make_strategy(strategy_name, guided, seed).expect("known strategy")
-                });
+            let mut outcome = explorer.explore_parallel(
+                threads,
+                name,
+                &|seed, s| run(seed, s, Variant::Buggy),
+                &|seed| make_strategy(strategy_name, guided, seed).expect("known strategy"),
+            );
             if *strategy_name == "guided" {
                 outcome.strategy = "guided".into();
             }
@@ -417,6 +458,7 @@ fn cmd_hunt(args: &Args) -> Result<(), String> {
     let seed = args.get_u64("seed", 1)?;
     let budget = args.get_u64("budget", 20)? as usize;
     let depth = args.get_u64("depth", 8)? as usize;
+    let threads = args.threads()?;
 
     let run = |strategy: &mut dyn Strategy| {
         let (report, trace) = run_with_trace(seed, strategy, Variant::Buggy);
@@ -430,7 +472,8 @@ fn cmd_hunt(args: &Args) -> Result<(), String> {
         )
     };
     println!("hunting {scenario} (decisions {labels:?}, depth {depth}, budget {budget})…");
-    let (findings, total) = autoguide::explore(run, |_| targets_fn(), labels, depth, budget);
+    let (findings, total) =
+        autoguide::explore_parallel(run, |_| targets_fn(), labels, depth, budget, threads);
     println!("{total} candidates derived; {} tried", findings.len());
     let mut found = 0;
     for f in &findings {

@@ -158,6 +158,153 @@ fn cas_never_succeeds_against_a_wrong_revision() {
 }
 
 // ---------------------------------------------------------------------
+// MVCC watch-window invariants under random interleavings
+// ---------------------------------------------------------------------
+
+/// One step of a random store/view interleaving: a mutation, a
+/// compaction, or a windowed view read from one of `VIEWS` cursors.
+#[derive(Debug, Clone)]
+enum WindowStep {
+    Mutate(Op),
+    Compact(u64),
+    ViewRead(usize),
+}
+
+const VIEWS: usize = 3;
+
+fn gen_window_step(rng: &mut SimRng) -> WindowStep {
+    match rng.below(8) {
+        0..=3 => WindowStep::Mutate(Op::Put {
+            key: Key::new(format!("k{}", rng.below(6))),
+            value: Value::copy_from_slice(&[rng.below(256) as u8]),
+            lease: None,
+            expect: Expect::Any,
+        }),
+        4 => WindowStep::Mutate(Op::Delete {
+            key: Key::new(format!("k{}", rng.below(6))),
+            expect: Expect::Any,
+        }),
+        5 => WindowStep::Compact(rng.below(40)),
+        _ => WindowStep::ViewRead(rng.below(VIEWS as u64) as usize),
+    }
+}
+
+/// The §4.2.3 window contract, as a property over random interleavings of
+/// puts, deletes, compactions and per-view windowed reads:
+///
+/// * a view's frontier (the last revision it has seen) never goes
+///   backwards, and each read's events are strictly ascending, dense, and
+///   entirely above the frontier — no replays, no reordering;
+/// * a read from a frontier below the compaction floor **always errors**
+///   ([`ph_store::msgs::OpError::Compacted`]) and **never silently
+///   skips** the compacted gap — the error fires exactly when the window
+///   is too old, with the true floor in the payload.
+#[test]
+fn watch_window_frontiers_are_monotonic_and_too_old_windows_always_error() {
+    use ph_store::msgs::OpError;
+    let mut rng = SimRng::from_seed(0x717D_0175);
+    for _ in 0..96 {
+        let n = rng.range(10, 80) as usize;
+        let steps: Vec<WindowStep> = (0..n).map(|_| gen_window_step(&mut rng)).collect();
+        let mut s = MvccStore::new();
+        // Each view resumes from the last revision it saw (starting at 0,
+        // like a watcher registered before any history existed).
+        let mut frontiers = [Revision::ZERO; VIEWS];
+        for step in steps {
+            match step {
+                WindowStep::Mutate(op) => {
+                    let _ = s.apply(&op);
+                }
+                WindowStep::Compact(at) => {
+                    s.compact(Revision(at));
+                    assert!(s.compacted() <= s.revision(), "floor above head");
+                }
+                WindowStep::ViewRead(v) => {
+                    let before = frontiers[v];
+                    match s.events_since(before) {
+                        Ok(events) => {
+                            // Ok is only legal when the window still
+                            // covers the frontier.
+                            assert!(
+                                before >= s.compacted(),
+                                "silent skip: read from {before:?} under floor {:?}",
+                                s.compacted()
+                            );
+                            let mut last = before;
+                            for e in &events {
+                                // Dense and strictly ascending: exactly
+                                // the next revision, every time.
+                                assert_eq!(
+                                    e.revision(),
+                                    Revision(last.0 + 1),
+                                    "gap or reorder in view {v}"
+                                );
+                                last = e.revision();
+                            }
+                            frontiers[v] = last;
+                            assert!(frontiers[v] >= before, "view {v} frontier went backwards");
+                        }
+                        Err(OpError::Compacted {
+                            requested,
+                            compacted,
+                        }) => {
+                            // The error fires iff the window is too old,
+                            // and reports the true floor.
+                            assert_eq!(requested, before);
+                            assert_eq!(compacted, s.compacted());
+                            assert!(
+                                requested < compacted,
+                                "spurious Compacted error for a covered window"
+                            );
+                            // A real watcher would re-list; model that by
+                            // resuming from the floor (still monotonic:
+                            // the floor is above the stale frontier).
+                            frontiers[v] = compacted;
+                        }
+                        Err(other) => panic!("unexpected error {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// After any interleaving, a fresh view resuming from *exactly* the
+/// compaction floor sees the full retained suffix — the window boundary
+/// itself is never off by one in either direction.
+#[test]
+fn window_boundary_is_exact_after_random_compactions() {
+    let mut rng = SimRng::from_seed(0x0B0D_A7E5);
+    for _ in 0..96 {
+        let mut s = MvccStore::new();
+        let writes = rng.range(1, 40);
+        for i in 0..writes {
+            let _ = s.apply(&Op::Put {
+                key: Key::new(format!("k{}", i % 5)),
+                value: Value::from_static(b"v"),
+                lease: None,
+                expect: Expect::Any,
+            });
+        }
+        s.compact(Revision(rng.below(writes + 10)));
+        let floor = s.compacted();
+        // At the floor: Ok, and dense up to the head.
+        let evs = s.events_since(floor).expect("at the floor");
+        assert_eq!(evs.len() as u64, s.revision().0 - floor.0);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.revision(), Revision(floor.0 + 1 + i as u64));
+        }
+        // One below the floor: always an error (unless the floor is 0).
+        if floor > Revision::ZERO {
+            assert!(
+                s.events_since(Revision(floor.0 - 1)).is_err(),
+                "one-below-floor read must error"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Raft safety under arbitrary message schedules
 // ---------------------------------------------------------------------
 

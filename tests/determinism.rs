@@ -81,6 +81,65 @@ fn different_seeds_change_the_trace() {
 }
 
 #[test]
+fn autoguide_candidates_are_identical_at_any_thread_count() {
+    // The §7 automation loop through the parallel pool: the reference
+    // trace is deterministic, candidate enumeration is a pure function of
+    // it, and the per-candidate re-runs merge by candidate index — so the
+    // full findings list (candidates, order, verdicts) must be identical
+    // at any thread count.
+    use ph_core::perturb::Targets;
+    let run = |strategy: &mut dyn Strategy| {
+        let (report, trace) = volume_17::run_with_trace(1, strategy, Variant::Buggy);
+        let violations = report
+            .violations
+            .iter()
+            .map(|v| v.details.clone())
+            .collect::<Vec<String>>();
+        (violations, trace)
+    };
+    let targets_of = |_: &ph_sim::Trace| -> Targets {
+        let cfg = ph_cluster::topology::ClusterConfig {
+            volume_controller: Some(ph_cluster::controllers::VcMode::MarkOnly),
+            ..ph_cluster::topology::ClusterConfig::default()
+        };
+        let mut world = ph_sim::World::new(ph_sim::WorldConfig::default(), 1);
+        let cluster = ph_cluster::topology::spawn_cluster(&mut world, &cfg);
+        ph_scenarios::common::targets_for(&cluster, ph_sim::Duration::secs(5))
+    };
+    let runs: Vec<(Vec<String>, Vec<bool>, usize)> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let (findings, total) = ph_core::autoguide::explore_parallel(
+                run,
+                targets_of,
+                &["vc.release_pvc"],
+                2,
+                4,
+                threads,
+            );
+            (
+                findings.iter().map(|f| f.candidate.to_string()).collect(),
+                findings.iter().map(|f| f.violated).collect(),
+                total,
+            )
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads diverged");
+    assert_eq!(runs[1], runs[2], "2 vs 4 threads diverged");
+    assert!(!runs[0].0.is_empty(), "no candidates derived");
+    // And the pool matches the sequential loop.
+    let (seq, seq_total) = ph_core::autoguide::explore(run, targets_of, &["vc.release_pvc"], 2, 4);
+    assert_eq!(
+        runs[0].0,
+        seq.iter()
+            .map(|f| f.candidate.to_string())
+            .collect::<Vec<_>>(),
+        "pooled vs sequential candidate lists"
+    );
+    assert_eq!(runs[0].2, seq_total);
+}
+
+#[test]
 fn telemetry_reports_are_populated() {
     // The instrumentation layer must actually produce data: lag samples
     // for every view and watch-delivery counts at the apiservers.

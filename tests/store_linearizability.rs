@@ -3,9 +3,9 @@
 
 use ph_core::history::{Change, ChangeOp, History, PartialHistory};
 use ph_sim::{Duration, SimRng, SimTime, World, WorldConfig};
-use ph_store::client::BasicClient;
+use ph_store::client::{BasicClient, Completion};
 use ph_store::kv::KvEvent;
-use ph_store::node::StoreNodeConfig;
+use ph_store::node::{AutoCompact, StoreNodeConfig};
 use ph_store::{
     spawn_store_cluster, OpResult, ReadLevel, Revision, StoreClient, StoreClientConfig, StoreNode,
     Value,
@@ -249,4 +249,81 @@ fn follower_watch_stream_is_partial_history_even_under_faults() {
         "failover watch stream must remain a subsequence of H (no replays, \
          no reordering)"
     );
+}
+
+#[test]
+fn watch_replay_after_compaction_errors_instead_of_skipping() {
+    // A watcher whose stream breaks while the history window rolls
+    // forward must either resume gap-free (the replay window still covers
+    // its frontier) or be cancelled loudly as compacted — it must never
+    // silently skip the compacted gap. This is the sim-level counterpart
+    // of the `events_since` window property tests in ph-store.
+    let cfg = StoreNodeConfig {
+        autocompact: Some(AutoCompact {
+            keep: 5,
+            interval: Duration::millis(100),
+        }),
+        ..StoreNodeConfig::default()
+    };
+    let mut world = World::new(WorldConfig::default(), 65);
+    let cluster = spawn_store_cluster(&mut world, 3, cfg);
+    let client = StoreClient::new(StoreClientConfig::new(cluster.nodes.clone()));
+    let c = world.spawn("client", BasicClient::new(client, Duration::millis(50)));
+    cluster
+        .wait_for_leader(&mut world, SimTime(Duration::secs(2).as_nanos()))
+        .expect("leader");
+
+    // Register the watch before any history exists, then churn enough
+    // that the retained window rolls far past revision 1, crashing the
+    // serving node mid-stream so the client must reconnect and replay.
+    let watch =
+        world.invoke::<BasicClient, _>(c, |bc, ctx| bc.client.watch("", Revision::ZERO, ctx));
+    world.run_for(Duration::millis(100));
+    let serving = world
+        .actor_ref::<BasicClient>(c)
+        .expect("client")
+        .client
+        .watch_state(watch)
+        .expect("registered")
+        .node;
+    for i in 0..40 {
+        let key = format!("obj{}", i % 5);
+        world.invoke::<BasicClient, _>(c, move |bc, ctx| {
+            bc.client.put(key, Value::from_static(b"x"), ctx);
+        });
+        world.run_for(Duration::millis(40));
+        if i == 15 {
+            world.crash(serving);
+            // Keep the node down across several compaction intervals so
+            // the window genuinely rolls while the stream is dead.
+            world.run_for(Duration::millis(400));
+            world.restart(serving);
+        }
+    }
+    world.run_for(Duration::secs(2));
+
+    let bc = world.actor_ref::<BasicClient>(c).expect("client");
+    let observed = bc.watch_events(watch);
+    let compacted_notice = bc
+        .completions
+        .iter()
+        .any(|x| matches!(x, Completion::WatchCompacted { watch: w } if *w == watch));
+
+    // Whatever happened, the stream the client *did* see is in strict
+    // revision order with no replays.
+    let revs: Vec<u64> = observed.iter().map(|e| e.revision().0).collect();
+    assert!(
+        revs.windows(2).all(|w| w[0] < w[1]),
+        "watch stream reordered or replayed: {revs:?}"
+    );
+    // And any gap in it must have been surfaced as a compaction cancel,
+    // never skipped silently.
+    let has_gap = revs.windows(2).any(|w| w[1] > w[0] + 1);
+    if has_gap {
+        assert!(
+            compacted_notice,
+            "stream skipped revisions {revs:?} without a WatchCompacted notice"
+        );
+    }
+    assert!(!observed.is_empty(), "watch saw nothing at all");
 }
