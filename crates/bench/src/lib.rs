@@ -20,6 +20,7 @@ pub struct Criterion {}
 impl Criterion {
     /// Opens a named group of related measurements.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        // ph-lint: allow(stray-print, the bench harness reports results on stdout by design)
         println!("-- bench group: {name} --");
         BenchmarkGroup {
             sample_size: 20,
@@ -60,11 +61,13 @@ impl BenchmarkGroup {
         // One untimed warm-up pass.
         f(&mut b);
         b.samples.clear();
+        // ph-lint: allow(wall-clock, the measurement harness times real execution)
         let started = Instant::now();
         while b.samples.len() < self.sample_size && started.elapsed() < self.measurement_time {
             f(&mut b);
         }
         let (min, mean, max) = b.stats();
+        // ph-lint: allow(stray-print, the bench harness reports results on stdout by design)
         println!(
             "   {id}: {} samples, min {} / mean {} / max {}",
             b.samples.len(),
@@ -89,6 +92,7 @@ impl Bencher {
     /// Times one execution of `f`, keeping its result opaque to the
     /// optimizer.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // ph-lint: allow(wall-clock, the measurement harness times real execution)
         let t = Instant::now();
         let out = f();
         self.samples.push(t.elapsed().as_nanos());

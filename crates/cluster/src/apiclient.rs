@@ -50,6 +50,14 @@ impl ApiClientConfig {
             pick: PickPolicy::Pinned(0),
         }
     }
+
+    /// Can this client end up re-listing from a *different* apiserver than
+    /// the one that served its current view? `ByInstance` rotates upstreams
+    /// across restarts, so with more than one apiserver the answer is yes —
+    /// the §4.2.2 time-travel vector the static hazard checker keys on.
+    pub fn upstream_switch(&self) -> bool {
+        self.pick == PickPolicy::ByInstance && self.apiservers.len() > 1
+    }
 }
 
 /// A finished client interaction.

@@ -90,6 +90,53 @@ impl VolumeController {
         }
     }
 
+    /// The static access protocol a volume controller built from `cfg`
+    /// follows, for the partial-history hazard checker.
+    ///
+    /// The `terminating-owner` path requires *witnessing* the owner pod's
+    /// transient terminating mark ([`ph_lint::summary::Gate::ObservedEvent`]
+    /// — the mark exists only between graceful delete and finalization, and
+    /// this controller samples its view sparsely), so in `MarkOnly` mode
+    /// the release can be missed forever: the §4.2.3 gap of the
+    /// volume-controller scenario. Orphan paths gate on the owner's
+    /// absence from the cached pod view; only `FreshOrphan` re-confirms
+    /// with a quorum read. Target-existence checks (the PVC itself) are
+    /// omitted: deleting an already-gone object is an idempotent no-op.
+    pub fn access_summary(cfg: &VolumeControllerConfig) -> ph_lint::summary::AccessSummary {
+        use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath};
+        let mut paths = vec![GatePath::new(
+            "terminating-owner",
+            vec![Gate::ObservedEvent("pods".into())],
+        )];
+        match cfg.mode {
+            VcMode::MarkOnly => {}
+            VcMode::CacheOrphan => paths.push(GatePath::new(
+                "orphan-in-cache",
+                vec![Gate::CacheAbsence("pods".into())],
+            )),
+            VcMode::FreshOrphan => paths.push(GatePath::new(
+                "orphan-confirmed",
+                vec![
+                    Gate::CacheAbsence("pods".into()),
+                    Gate::FreshConfirm("pods".into()),
+                ],
+            )),
+        }
+        AccessSummary {
+            component: "volume-controller".into(),
+            upstream_switch: cfg.api.upstream_switch(),
+            views: vec![
+                InformerConfig::new("pods/").view_decl(),
+                InformerConfig::new("pvcs/").view_decl(),
+            ],
+            actions: vec![ActionDecl {
+                name: "release-pvc".into(),
+                destructive: true,
+                paths,
+            }],
+        }
+    }
+
     /// PVC keys this controller has released.
     pub fn released(&self) -> &BTreeSet<String> {
         &self.released
@@ -254,6 +301,44 @@ impl ReplicaSetController {
             sets: Informer::new(InformerConfig::new("replicasets/")),
             pods: Informer::new(InformerConfig::new("pods/")),
             creating: BTreeSet::new(),
+        }
+    }
+
+    /// The static access protocol a replica-set controller built from
+    /// `cfg` follows, for the partial-history hazard checker.
+    ///
+    /// Creates are conflict-guarded and idempotent (non-destructive);
+    /// scale-down gracefully deletes the highest-index pod *the cached
+    /// view shows*, unfenced — an honest staleness hazard (a stale view
+    /// can pick a pod that was already replaced), reported but not
+    /// exercised by any scenario.
+    pub fn access_summary(cfg: &ReplicaSetControllerConfig) -> ph_lint::summary::AccessSummary {
+        use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath};
+        AccessSummary {
+            component: "rs-controller".into(),
+            upstream_switch: cfg.api.upstream_switch(),
+            views: vec![
+                InformerConfig::new("replicasets/").view_decl(),
+                InformerConfig::new("pods/").view_decl(),
+            ],
+            actions: vec![
+                ActionDecl {
+                    name: "create-pod".into(),
+                    destructive: false,
+                    paths: vec![GatePath::new(
+                        "missing-replica",
+                        vec![Gate::CacheAbsence("pods".into())],
+                    )],
+                },
+                ActionDecl {
+                    name: "scale-down-pod".into(),
+                    destructive: true,
+                    paths: vec![GatePath::new(
+                        "excess-replica",
+                        vec![Gate::CachePresence("pods".into())],
+                    )],
+                },
+            ],
         }
     }
 
@@ -439,6 +524,50 @@ impl NodeLifecycleController {
             nodes: Informer::new(InformerConfig::new("nodes/")),
             leases: Informer::new(InformerConfig::new("leases/")),
             pods: Informer::new(InformerConfig::new("pods/")),
+        }
+    }
+
+    /// The static access protocol a node-lifecycle controller built from
+    /// `cfg` follows, for the partial-history hazard checker.
+    ///
+    /// Readiness flips are reversible status writes (non-destructive).
+    /// Force eviction, when enabled, deletes pods because the controller
+    /// *stopped hearing* the node's leases — `ObservedSilence` with no
+    /// fence: silence cannot distinguish a dead kubelet from a partitioned
+    /// one, the §4.2.3 observability gap the node-fencing scenario
+    /// exercises.
+    pub fn access_summary(cfg: &NodeLifecycleConfig) -> ph_lint::summary::AccessSummary {
+        use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath};
+        let mut actions = vec![ActionDecl {
+            name: "mark-node-ready".into(),
+            destructive: false,
+            paths: vec![GatePath::new(
+                "lease-age",
+                vec![Gate::ObservedSilence("leases".into())],
+            )],
+        }];
+        if cfg.force_evict {
+            actions.push(ActionDecl {
+                name: "force-evict-pod".into(),
+                destructive: true,
+                paths: vec![GatePath::new(
+                    "lease-silence",
+                    vec![
+                        Gate::ObservedSilence("leases".into()),
+                        Gate::CachePresence("pods".into()),
+                    ],
+                )],
+            });
+        }
+        AccessSummary {
+            component: "node-lifecycle".into(),
+            upstream_switch: cfg.api.upstream_switch(),
+            views: vec![
+                InformerConfig::new("nodes/").view_decl(),
+                InformerConfig::new("leases/").view_decl(),
+                InformerConfig::new("pods/").view_decl(),
+            ],
+            actions,
         }
     }
 

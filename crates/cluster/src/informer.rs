@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use ph_lint::summary::{ReadKind, ViewDecl};
 use ph_sim::{Ctx, Duration, SimTime};
 use ph_store::Revision;
 
@@ -37,6 +38,26 @@ impl InformerConfig {
             prefix: prefix.into(),
             fresh_lists: false,
             resync_interval: None,
+        }
+    }
+
+    /// The static [`ViewDecl`] this informer realizes, for the hazard
+    /// checker: informers always watch and always relist on a watch gap,
+    /// but a relist jumps to a *snapshot* — skipped intermediate events are
+    /// never replayed (`event_replay: false`), which is exactly the §4.2.3
+    /// observability gap the volume-controller scenario exercises.
+    pub fn view_decl(&self) -> ViewDecl {
+        ViewDecl {
+            resource: self.prefix.trim_end_matches('/').to_string(),
+            list: if self.fresh_lists {
+                ReadKind::Quorum
+            } else {
+                ReadKind::Cache
+            },
+            watch: true,
+            relist_on_gap: true,
+            periodic_resync: self.resync_interval.is_some(),
+            event_replay: false,
         }
     }
 }

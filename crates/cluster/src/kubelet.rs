@@ -91,6 +91,56 @@ impl Kubelet {
         }
     }
 
+    /// The static access protocol a kubelet built from `cfg` follows, for
+    /// the partial-history hazard checker.
+    ///
+    /// Stopping a container is gated on the pod's *absence* from the view
+    /// (bound elsewhere / deleted); finalizing on its terminating mark,
+    /// which is persistent object state visible in any snapshot — so both
+    /// are snapshot gates, unfenced (the kubelet fires unconditional
+    /// deletes). The buggy kubelet lists from cache and, under
+    /// `ByInstance`, relists from a different apiserver after a restart —
+    /// the §4.2.2 recipe the Kubernetes-59848 scenario replays.
+    pub fn access_summary(cfg: &KubeletConfig) -> ph_lint::summary::AccessSummary {
+        use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath};
+        let pods = InformerConfig {
+            prefix: "pods/".into(),
+            fresh_lists: cfg.fixed,
+            resync_interval: None,
+        };
+        AccessSummary {
+            component: format!("kubelet-{}", cfg.node),
+            upstream_switch: cfg.api.upstream_switch(),
+            views: vec![pods.view_decl()],
+            actions: vec![
+                ActionDecl {
+                    name: "start-pod".into(),
+                    destructive: false,
+                    paths: vec![GatePath::new(
+                        "bound-here",
+                        vec![Gate::CachePresence("pods".into())],
+                    )],
+                },
+                ActionDecl {
+                    name: "stop-pod".into(),
+                    destructive: true,
+                    paths: vec![GatePath::new(
+                        "unbound-or-deleted",
+                        vec![Gate::CacheAbsence("pods".into())],
+                    )],
+                },
+                ActionDecl {
+                    name: "finalize-pod".into(),
+                    destructive: true,
+                    paths: vec![GatePath::new(
+                        "terminating-marked",
+                        vec![Gate::CachePresence("pods".into())],
+                    )],
+                },
+            ],
+        }
+    }
+
     /// Pods currently running on this node.
     pub fn running_pods(&self) -> &BTreeSet<String> {
         &self.running

@@ -127,6 +127,77 @@ impl CassandraOperator {
         }
     }
 
+    /// The static access protocol an operator built from `cfg` follows,
+    /// for the partial-history hazard checker. The three defect switches
+    /// map directly onto gate structure:
+    ///
+    /// * bug 398 (`pvc_requires_observed_terminating`): PVC deletion's
+    ///   *only* path demands having witnessed the owner's transient
+    ///   terminating mark — a missed-trigger observability gap;
+    /// * bug 400 (`!handle_decommission_notfound`): the decommission mark
+    ///   is not fenced by NotFound detect-and-recover, so it fires from an
+    ///   arbitrarily stale (and, under `ByInstance`, time-traveled) view;
+    /// * bug 402 (`!fresh_confirm_orphan`): orphanhood is judged from the
+    ///   cached snapshot alone, with no quorum confirmation.
+    pub fn access_summary(cfg: &OperatorConfig) -> ph_lint::summary::AccessSummary {
+        use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath};
+        let mut decommission_gates = vec![Gate::CachePresence("pods".into())];
+        if cfg.flags.handle_decommission_notfound {
+            // NotFound on the mark-delete is detected and the target
+            // re-derived: the destructive write is ordered after the true
+            // state — a fence in the §4.2.2 sense.
+            decommission_gates.push(Gate::Fence("pods".into()));
+        }
+        let pvc_path = if cfg.flags.pvc_requires_observed_terminating {
+            GatePath::new(
+                "observed-terminating",
+                vec![
+                    Gate::CacheAbsence("pods".into()),
+                    Gate::ObservedEvent("pods".into()),
+                ],
+            )
+        } else if cfg.flags.fresh_confirm_orphan {
+            GatePath::new(
+                "orphan-confirmed",
+                vec![
+                    Gate::CacheAbsence("pods".into()),
+                    Gate::FreshConfirm("pods".into()),
+                ],
+            )
+        } else {
+            GatePath::new("orphan-in-cache", vec![Gate::CacheAbsence("pods".into())])
+        };
+        AccessSummary {
+            component: "cassandra-operator".into(),
+            upstream_switch: cfg.api.upstream_switch(),
+            views: vec![
+                InformerConfig::new("cassdcs/").view_decl(),
+                InformerConfig::new("pods/").view_decl(),
+                InformerConfig::new("pvcs/").view_decl(),
+            ],
+            actions: vec![
+                ActionDecl {
+                    name: "create-pod".into(),
+                    destructive: false,
+                    paths: vec![GatePath::new(
+                        "missing-replica",
+                        vec![Gate::CacheAbsence("pods".into())],
+                    )],
+                },
+                ActionDecl {
+                    name: "decommission-pod".into(),
+                    destructive: true,
+                    paths: vec![GatePath::new("scale-down", decommission_gates)],
+                },
+                ActionDecl {
+                    name: "delete-pvc".into(),
+                    destructive: true,
+                    paths: vec![pvc_path],
+                },
+            ],
+        }
+    }
+
     /// PVC keys the operator has deleted.
     pub fn released(&self) -> &BTreeSet<String> {
         &self.released

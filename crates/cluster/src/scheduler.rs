@@ -75,6 +75,58 @@ impl Scheduler {
         }
     }
 
+    /// The static access protocol a scheduler built from `cfg` follows,
+    /// for the partial-history hazard checker.
+    ///
+    /// Binding is modeled destructive: a bind is a commitment — a pod
+    /// bound to a node that no longer exists is stranded (the
+    /// Kubernetes-56261 outcome). The buggy variant gates binds on a
+    /// cache-listed, never-resynced node view; the fix quorum-lists nodes
+    /// and resyncs both informers, discharging the staleness hazard.
+    pub fn access_summary(cfg: &SchedulerConfig) -> ph_lint::summary::AccessSummary {
+        use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath};
+        let pods = InformerConfig {
+            prefix: "pods/".into(),
+            fresh_lists: false,
+            resync_interval: cfg.fixed.then_some(cfg.resync_interval),
+        };
+        let nodes = InformerConfig {
+            prefix: "nodes/".into(),
+            fresh_lists: cfg.fixed,
+            resync_interval: cfg.fixed.then_some(cfg.resync_interval),
+        };
+        let mut actions = vec![ActionDecl {
+            name: "bind-pod".into(),
+            destructive: true,
+            paths: vec![GatePath::new(
+                "unbound-pod-to-cached-node",
+                vec![
+                    Gate::CachePresence("pods".into()),
+                    Gate::CachePresence("nodes".into()),
+                ],
+            )],
+        }];
+        if cfg.fixed {
+            actions.push(ActionDecl {
+                name: "rebind-pod".into(),
+                destructive: true,
+                paths: vec![GatePath::new(
+                    "bound-node-vanished",
+                    vec![
+                        Gate::CachePresence("pods".into()),
+                        Gate::CacheAbsence("nodes".into()),
+                    ],
+                )],
+            });
+        }
+        AccessSummary {
+            component: "scheduler".into(),
+            upstream_switch: cfg.api.upstream_switch(),
+            views: vec![pods.view_decl(), nodes.view_decl()],
+            actions,
+        }
+    }
+
     /// The scheduler's cached node names (its `S′` of the node space).
     pub fn cached_nodes(&self) -> Vec<String> {
         self.nodes.objects().map(|o| o.meta.name.clone()).collect()

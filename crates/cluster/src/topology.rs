@@ -111,6 +111,122 @@ pub struct ClusterHandle {
     pub admin: ActorId,
 }
 
+/// The control-plane component configurations a [`ClusterConfig`] implies,
+/// resolved against a concrete apiserver list.
+///
+/// Extracted from [`spawn_cluster`] so the *exact same* configurations
+/// feed both the dynamic world and the static hazard checker
+/// ([`access_summaries`]) — the static pass analyzes what actually runs,
+/// not a parallel description that could drift.
+#[derive(Debug, Clone)]
+pub struct ComponentConfigs {
+    /// One per entry of [`ClusterConfig::nodes`], in order.
+    pub kubelets: Vec<KubeletConfig>,
+    /// The scheduler, if configured.
+    pub scheduler: Option<SchedulerConfig>,
+    /// The volume controller, if configured.
+    pub volume_controller: Option<VolumeControllerConfig>,
+    /// The replica-set controller, if configured.
+    pub rs_controller: Option<ReplicaSetControllerConfig>,
+    /// The Cassandra operator, if configured.
+    pub operator: Option<OperatorConfig>,
+    /// The node-lifecycle controller, if configured.
+    pub node_lifecycle: Option<NodeLifecycleConfig>,
+}
+
+/// Builds the component configurations `cfg` implies, given the apiserver
+/// actor ids (placeholders suffice for static analysis).
+pub fn component_configs(cfg: &ClusterConfig, apiservers: &[ActorId]) -> ComponentConfigs {
+    let api_cfg = |pick: PickPolicy| {
+        let mut c = ApiClientConfig::new(apiservers.to_vec());
+        c.pick = pick;
+        c
+    };
+
+    let kubelets = cfg
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let mut api = api_cfg(cfg.kubelet_pick);
+            if cfg.kubelet_pick == PickPolicy::ByInstance && cfg.kubelet_stagger {
+                // Stagger initial upstreams: kubelet i starts on apiserver i.
+                api.apiservers.rotate_left(i % apiservers.len().max(1));
+            }
+            KubeletConfig {
+                node: node.clone(),
+                api,
+                sync_interval: cfg.sync_interval,
+                termination_grace: cfg.termination_grace,
+                fixed: cfg.kubelet_fixed,
+                lease_interval: cfg.node_lifecycle.map(|_| Duration::millis(200)),
+            }
+        })
+        .collect();
+
+    ComponentConfigs {
+        kubelets,
+        scheduler: cfg.scheduler.map(|fixed| SchedulerConfig {
+            api: api_cfg(PickPolicy::Pinned(0)),
+            sync_interval: cfg.sync_interval,
+            fixed,
+            resync_interval: Duration::millis(500),
+        }),
+        volume_controller: cfg.volume_controller.map(|mode| VolumeControllerConfig {
+            api: api_cfg(PickPolicy::Pinned(apiservers.len().saturating_sub(1))),
+            read_interval: cfg.sync_interval.times(2),
+            mode,
+        }),
+        rs_controller: cfg
+            .rs_controller
+            .map(|with_pvcs| ReplicaSetControllerConfig {
+                api: api_cfg(PickPolicy::Pinned(0)),
+                sync_interval: cfg.sync_interval,
+                with_pvcs,
+            }),
+        operator: cfg.operator.map(|flags| OperatorConfig {
+            api: api_cfg(PickPolicy::ByInstance),
+            sync_interval: cfg.sync_interval,
+            flags,
+        }),
+        node_lifecycle: cfg.node_lifecycle.map(|force_evict| NodeLifecycleConfig {
+            api: api_cfg(PickPolicy::Pinned(0)),
+            sync_interval: cfg.sync_interval.times(2),
+            lease_grace: Duration::millis(800),
+            force_evict,
+        }),
+    }
+}
+
+/// The [`ph_lint::summary::AccessSummary`] of every component `cfg` would
+/// spawn — the input to the static partial-history hazard checker. Uses
+/// placeholder apiserver ids; only their *count* matters statically (it
+/// decides whether an upstream switch is possible).
+pub fn access_summaries(cfg: &ClusterConfig) -> Vec<ph_lint::summary::AccessSummary> {
+    let apiservers: Vec<ActorId> = (0..cfg.apiservers as u32).map(ActorId).collect();
+    let cc = component_configs(cfg, &apiservers);
+    let mut out = Vec::new();
+    for kc in &cc.kubelets {
+        out.push(Kubelet::access_summary(kc));
+    }
+    if let Some(sc) = &cc.scheduler {
+        out.push(Scheduler::access_summary(sc));
+    }
+    if let Some(vc) = &cc.volume_controller {
+        out.push(VolumeController::access_summary(vc));
+    }
+    if let Some(rc) = &cc.rs_controller {
+        out.push(ReplicaSetController::access_summary(rc));
+    }
+    if let Some(oc) = &cc.operator {
+        out.push(CassandraOperator::access_summary(oc));
+    }
+    if let Some(nc) = &cc.node_lifecycle {
+        out.push(NodeLifecycleController::access_summary(nc));
+    }
+    out
+}
+
 /// Spawns the full stack described by `cfg`.
 pub fn spawn_cluster(world: &mut World, cfg: &ClusterConfig) -> ClusterHandle {
     let store = spawn_store_cluster(world, cfg.store_nodes, cfg.store);
@@ -126,91 +242,33 @@ pub fn spawn_cluster(world: &mut World, cfg: &ClusterConfig) -> ClusterHandle {
         apiservers.push(id);
     }
 
-    let api_cfg = |pick: PickPolicy| {
-        let mut c = ApiClientConfig::new(apiservers.clone());
-        c.pick = pick;
-        c
-    };
+    let cc = component_configs(cfg, &apiservers);
 
-    let mut kubelets = Vec::with_capacity(cfg.nodes.len());
-    for (i, node) in cfg.nodes.iter().enumerate() {
-        let mut api = api_cfg(cfg.kubelet_pick);
-        if cfg.kubelet_pick == PickPolicy::ByInstance && cfg.kubelet_stagger {
-            // Stagger initial upstreams: kubelet i starts on apiserver i.
-            api.apiservers.rotate_left(i % apiservers.len());
-        }
-        let id = world.spawn(
-            &format!("kubelet-{node}"),
-            Kubelet::new(KubeletConfig {
-                node: node.clone(),
-                api,
-                sync_interval: cfg.sync_interval,
-                termination_grace: cfg.termination_grace,
-                fixed: cfg.kubelet_fixed,
-                lease_interval: cfg.node_lifecycle.map(|_| Duration::millis(200)),
-            }),
-        );
-        kubelets.push(id);
+    let mut kubelets = Vec::with_capacity(cc.kubelets.len());
+    for kc in cc.kubelets {
+        let name = format!("kubelet-{}", kc.node);
+        kubelets.push(world.spawn(&name, Kubelet::new(kc)));
     }
 
-    let scheduler = cfg.scheduler.map(|fixed| {
-        world.spawn(
-            "scheduler",
-            Scheduler::new(SchedulerConfig {
-                api: api_cfg(PickPolicy::Pinned(0)),
-                sync_interval: cfg.sync_interval,
-                fixed,
-                resync_interval: Duration::millis(500),
-            }),
-        )
-    });
+    let scheduler = cc
+        .scheduler
+        .map(|sc| world.spawn("scheduler", Scheduler::new(sc)));
 
-    let volume_controller = cfg.volume_controller.map(|mode| {
-        world.spawn(
-            "volume-controller",
-            VolumeController::new(VolumeControllerConfig {
-                api: api_cfg(PickPolicy::Pinned(apiservers.len().saturating_sub(1))),
-                read_interval: cfg.sync_interval.times(2),
-                mode,
-            }),
-        )
-    });
+    let volume_controller = cc
+        .volume_controller
+        .map(|vc| world.spawn("volume-controller", VolumeController::new(vc)));
 
-    let rs_controller = cfg.rs_controller.map(|with_pvcs| {
-        world.spawn(
-            "rs-controller",
-            ReplicaSetController::new(ReplicaSetControllerConfig {
-                api: api_cfg(PickPolicy::Pinned(0)),
-                sync_interval: cfg.sync_interval,
-                with_pvcs,
-            }),
-        )
-    });
+    let rs_controller = cc
+        .rs_controller
+        .map(|rc| world.spawn("rs-controller", ReplicaSetController::new(rc)));
 
-    let operator = cfg.operator.map(|flags| {
-        let mut api = api_cfg(PickPolicy::ByInstance);
-        api.pick = PickPolicy::ByInstance;
-        world.spawn(
-            "cassandra-operator",
-            CassandraOperator::new(OperatorConfig {
-                api,
-                sync_interval: cfg.sync_interval,
-                flags,
-            }),
-        )
-    });
+    let operator = cc
+        .operator
+        .map(|oc| world.spawn("cassandra-operator", CassandraOperator::new(oc)));
 
-    let node_lifecycle = cfg.node_lifecycle.map(|force_evict| {
-        world.spawn(
-            "node-lifecycle",
-            NodeLifecycleController::new(NodeLifecycleConfig {
-                api: api_cfg(PickPolicy::Pinned(0)),
-                sync_interval: cfg.sync_interval.times(2),
-                lease_grace: Duration::millis(800),
-                force_evict,
-            }),
-        )
-    });
+    let node_lifecycle = cc
+        .node_lifecycle
+        .map(|nc| world.spawn("node-lifecycle", NodeLifecycleController::new(nc)));
 
     let admin = world.spawn(
         "admin",

@@ -246,7 +246,6 @@ fn informer_survives_window_overflow_via_relist() {
     world.run_for(Duration::secs(4));
 
     let h = world.actor_ref::<InformerHost>(host).unwrap();
-    eprintln!("DBG events={:?} relists={}", h.events, h.relists);
     assert!(h.informer.is_synced());
     assert_eq!(h.informer.len(), 12, "informer must converge after re-list");
     assert!(

@@ -1,0 +1,234 @@
+//! Static/dynamic cross-check: does the hazard checker agree with the
+//! explorer?
+//!
+//! The static pass ([`ph_lint::summary::check_summary`]) predicts, from a
+//! scenario's access summaries alone, which §4.2 pattern class its buggy
+//! variant can exhibit; the dynamic explorer actually detects a violation
+//! under guided perturbation. A [`CrossCheckTable`] lines the two up, one
+//! row per scenario, and `phtool lint` renders it. Agreement is
+//! *containment*: static analysis is conservative and may report several
+//! classes (a ByInstance component with an unfenced cache gate is both
+//! stale-able and time-travel-able), so a row agrees statically when the
+//! expected class is among the flagged ones for the buggy variant — and
+//! the fixed variant flags nothing at all.
+
+use ph_lint::findings::esc;
+use ph_lint::summary::{Hazard, PatternClass};
+
+/// One scenario's static (and optionally dynamic) verdicts.
+#[derive(Debug, Clone)]
+pub struct CrossCheckRow {
+    /// Scenario name, e.g. `k8s-59848`.
+    pub scenario: String,
+    /// The §4.2 class the scenario is documented to exercise.
+    pub expected: PatternClass,
+    /// Hazards flagged on the buggy variant's summaries.
+    pub buggy_hazards: Vec<Hazard>,
+    /// Hazards flagged on the fixed variant's summaries (should be empty).
+    pub fixed_hazards: Vec<Hazard>,
+    /// Did the guided dynamic run on the buggy variant detect a violation?
+    /// `None` when only the static pass ran (e.g. `phtool lint`).
+    pub dynamic_buggy_detected: Option<bool>,
+    /// Was the guided dynamic run on the fixed variant clean?
+    pub dynamic_fixed_clean: Option<bool>,
+}
+
+impl CrossCheckRow {
+    /// Distinct classes flagged on the buggy variant, sorted.
+    pub fn buggy_classes(&self) -> Vec<PatternClass> {
+        let mut out: Vec<PatternClass> = self.buggy_hazards.iter().map(|h| h.class).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Static agreement: expected class flagged on buggy, fixed clean.
+    pub fn static_agrees(&self) -> bool {
+        self.buggy_classes().contains(&self.expected) && self.fixed_hazards.is_empty()
+    }
+
+    /// Full agreement: static agreement plus (when the dynamic side ran)
+    /// buggy detected and fixed clean dynamically too.
+    pub fn agrees(&self) -> bool {
+        self.static_agrees()
+            && self.dynamic_buggy_detected.unwrap_or(true)
+            && self.dynamic_fixed_clean.unwrap_or(true)
+    }
+}
+
+/// The full static/dynamic agreement table.
+#[derive(Debug, Clone, Default)]
+pub struct CrossCheckTable {
+    /// One row per scenario.
+    pub rows: Vec<CrossCheckRow>,
+}
+
+impl CrossCheckTable {
+    /// Do all rows agree statically?
+    pub fn all_static_agree(&self) -> bool {
+        self.rows.iter().all(|r| r.static_agrees())
+    }
+
+    /// Do all rows agree fully (static and, where run, dynamic)?
+    pub fn all_agree(&self) -> bool {
+        self.rows.iter().all(|r| r.agrees())
+    }
+
+    /// Human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<18} {:<30} {:<8} {}\n",
+            "scenario", "expected", "static(buggy)", "fixed", "verdict"
+        ));
+        for r in &self.rows {
+            let classes = r
+                .buggy_classes()
+                .iter()
+                .map(|c| c.as_str())
+                .collect::<Vec<_>>()
+                .join(",");
+            let fixed = if r.fixed_hazards.is_empty() {
+                "clean"
+            } else {
+                "FLAGGED"
+            };
+            let verdict = if r.static_agrees() {
+                "agree"
+            } else {
+                "MISMATCH"
+            };
+            out.push_str(&format!(
+                "{:<16} {:<18} {:<30} {:<8} {}\n",
+                r.scenario,
+                r.expected.as_str(),
+                classes,
+                fixed,
+                verdict
+            ));
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let classes = r
+                .buggy_classes()
+                .iter()
+                .map(|c| format!("\"{}\"", c.as_str()))
+                .collect::<Vec<_>>()
+                .join(",");
+            let hazards = r
+                .buggy_hazards
+                .iter()
+                .map(|h| h.to_json())
+                .collect::<Vec<_>>()
+                .join(",");
+            let fixed_hazards = r
+                .fixed_hazards
+                .iter()
+                .map(|h| h.to_json())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"expected\":\"{}\",\"static_buggy_classes\":[{}],\
+                 \"buggy_hazards\":[{}],\"fixed_hazards\":[{}],\"static_agrees\":{}}}",
+                esc(&r.scenario),
+                r.expected.as_str(),
+                classes,
+                hazards,
+                fixed_hazards,
+                r.static_agrees()
+            ));
+        }
+        out.push_str(&format!(
+            "],\"all_static_agree\":{}}}",
+            self.all_static_agree()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hazard(class: PatternClass) -> Hazard {
+        Hazard {
+            component: "c".into(),
+            action: "a".into(),
+            class,
+            detail: "d".into(),
+        }
+    }
+
+    #[test]
+    fn containment_semantics() {
+        let row = CrossCheckRow {
+            scenario: "s".into(),
+            expected: PatternClass::Staleness,
+            buggy_hazards: vec![
+                hazard(PatternClass::Staleness),
+                hazard(PatternClass::TimeTravel),
+            ],
+            fixed_hazards: vec![],
+            dynamic_buggy_detected: None,
+            dynamic_fixed_clean: None,
+        };
+        assert!(row.static_agrees());
+        assert_eq!(
+            row.buggy_classes(),
+            vec![PatternClass::Staleness, PatternClass::TimeTravel]
+        );
+    }
+
+    #[test]
+    fn flagged_fixed_variant_breaks_agreement() {
+        let row = CrossCheckRow {
+            scenario: "s".into(),
+            expected: PatternClass::Staleness,
+            buggy_hazards: vec![hazard(PatternClass::Staleness)],
+            fixed_hazards: vec![hazard(PatternClass::Staleness)],
+            dynamic_buggy_detected: None,
+            dynamic_fixed_clean: None,
+        };
+        assert!(!row.static_agrees());
+    }
+
+    #[test]
+    fn dynamic_side_feeds_full_agreement() {
+        let mut row = CrossCheckRow {
+            scenario: "s".into(),
+            expected: PatternClass::TimeTravel,
+            buggy_hazards: vec![hazard(PatternClass::TimeTravel)],
+            fixed_hazards: vec![],
+            dynamic_buggy_detected: Some(true),
+            dynamic_fixed_clean: Some(true),
+        };
+        assert!(row.agrees());
+        row.dynamic_buggy_detected = Some(false);
+        assert!(!row.agrees());
+    }
+
+    #[test]
+    fn json_is_stable() {
+        let table = CrossCheckTable {
+            rows: vec![CrossCheckRow {
+                scenario: "s".into(),
+                expected: PatternClass::ObservabilityGap,
+                buggy_hazards: vec![hazard(PatternClass::ObservabilityGap)],
+                fixed_hazards: vec![],
+                dynamic_buggy_detected: None,
+                dynamic_fixed_clean: None,
+            }],
+        };
+        let json = table.to_json();
+        assert!(json.contains("\"expected\":\"observability-gap\""));
+        assert!(json.contains("\"all_static_agree\":true"));
+    }
+}

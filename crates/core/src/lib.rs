@@ -65,6 +65,7 @@
 
 pub mod autoguide;
 pub mod causality;
+pub mod crosscheck;
 pub mod divergence;
 pub mod epoch;
 pub mod harness;

@@ -1,0 +1,111 @@
+//! Lint findings and their deterministic text/JSON renderings.
+
+/// One lint finding, suppressed or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `wall-clock`.
+    pub rule: String,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of what matched and why it matters.
+    pub message: String,
+    /// `Some(reason)` if a well-formed `ph-lint: allow` covers this line.
+    pub suppressed: Option<String>,
+}
+
+/// The result of a workspace determinism scan.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Sorts findings into their canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Findings not covered by a suppression — these gate CI.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Count of gating findings.
+    pub fn unsuppressed_count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.suppressed {
+                Some(reason) => out.push_str(&format!(
+                    "allowed   {}:{} [{}] {} (reason: {})\n",
+                    f.file, f.line, f.rule, f.message, reason
+                )),
+                None => out.push_str(&format!(
+                    "finding   {}:{} [{}] {}\n",
+                    f.file, f.line, f.rule, f.message
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "determinism: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.unsuppressed_count(),
+            self.findings.len() - self.unsuppressed_count(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Deterministic JSON rendering (no external serializer).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"suppressed\":{}}}",
+                esc(&f.rule),
+                esc(&f.file),
+                f.line,
+                esc(&f.message),
+                match &f.suppressed {
+                    Some(r) => format!("\"{}\"", esc(r)),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "],\"unsuppressed\":{},\"files_scanned\":{}}}",
+            self.unsuppressed_count(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in JSON.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,19 @@
+// Fixture: a `#[cfg(test)]` module inside library code gets test-scope
+// slack — prints and wall-clock reads there are not findings. Linted as
+// if at crates/sim/src/fixture.rs.
+
+pub fn lib_code() -> u64 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_and_times_freely() {
+        let t = std::time::Instant::now();
+        println!("elapsed: {:?}", t.elapsed());
+        assert_eq!(lib_code(), 42);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: print/dbg output in library code. Linted as if at
+// crates/cluster/src/fixture.rs.
+
+pub fn chatty(x: u64) -> u64 {
+    println!("processing {x}");
+    eprintln!("warning: {x}");
+    dbg!(x)
+}
+
+pub fn quiet(x: u64) -> u64 {
+    // format! is not output and must not be flagged.
+    let _ = format!("processing {x}");
+    x
+}

@@ -1,0 +1,15 @@
+// Fixture: a reasonless `allow` is itself a finding, and the finding it
+// tried to cover stays unsuppressed. Linted as if at
+// crates/sim/src/fixture.rs.
+
+pub fn timed() {
+    // ph-lint: allow(wall-clock)
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+
+pub fn wrong_rule() {
+    // ph-lint: allow(stray-print, reason names a rule that does not match)
+    let t = std::time::Instant::now();
+    let _ = t;
+}

@@ -1,0 +1,14 @@
+// Fixture: a well-formed suppression with a reason. The finding is still
+// reported, marked suppressed, and does not gate. Linted as if at
+// crates/sim/src/fixture.rs.
+
+pub fn timed() {
+    // ph-lint: allow(wall-clock, fixture demonstrates a reasoned suppression)
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+
+pub fn trailing() {
+    let t = std::time::Instant::now(); // ph-lint: allow(wall-clock, trailing form also counts)
+    let _ = t;
+}

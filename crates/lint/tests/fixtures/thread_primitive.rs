@@ -1,0 +1,14 @@
+// Fixture: concurrency primitives outside ph-core::parallel. Linted as if
+// at crates/core/src/fixture.rs (NOT the parallel.rs carve-out).
+
+use std::sync::Mutex;
+
+pub fn racy() {
+    let flag = std::sync::atomic::AtomicBool::new(false);
+    let handle = std::thread::spawn(move || {});
+    let _ = (flag, handle);
+}
+
+pub struct Shared {
+    inner: Mutex<Vec<u64>>,
+}

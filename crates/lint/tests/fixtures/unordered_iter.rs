@@ -1,0 +1,18 @@
+// Fixture: hash containers in a trace-affecting crate. Linted as if at
+// crates/store/src/fixture.rs.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    by_key: HashMap<String, u64>,
+}
+
+pub fn ordered() -> std::collections::BTreeMap<String, u64> {
+    // BTreeMap is the sanctioned container and must not be flagged.
+    std::collections::BTreeMap::new()
+}
+
+pub fn hashset_too() {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(1u32);
+}

@@ -1,0 +1,16 @@
+// Fixture: entropy-seeded RNG — flagged even in test code. Linted as if
+// at crates/scenarios/tests/fixture.rs.
+
+#[test]
+fn flaky_by_construction() {
+    let mut rng = rand::thread_rng();
+    let roll: u8 = rand::random();
+    let _ = (rng, roll);
+}
+
+#[test]
+fn seeded_is_fine() {
+    // Deriving from a trial seed must not be flagged.
+    let rng = SmallRng::seed_from_u64(42);
+    let _ = rng;
+}

@@ -1,0 +1,20 @@
+// Fixture: wall-clock reads in library code. Linted as if at
+// crates/sim/src/fixture.rs.
+
+pub fn elapsed() -> u64 {
+    let started = std::time::Instant::now();
+    work();
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// A comment mentioning Instant::now() must not be flagged.
+pub fn clean() {
+    let s = "Instant::now() in a string must not be flagged";
+    let _ = s;
+}
+
+fn work() {}

@@ -17,6 +17,8 @@
 //!                                     the §7 detection matrix
 //! phtool hunt --scenario <name> [--budget N] [--depth N] [--seed N]
 //!        [--threads N]               causality-guided auto-discovery
+//! phtool lint [--json] [--root DIR]  static determinism lint + §4.2
+//!                                     partial-history hazard analysis
 //! ```
 //!
 //! Everything is deterministic: `--seed` fully determines a run, including
@@ -25,6 +27,11 @@
 //! trials fan out over the deterministic `ph-core::parallel` pool and
 //! merge by trial index, so output bytes are identical at any thread
 //! count.
+//!
+//! Exit codes: `0` clean, `1` runtime error, `2` usage error, `3` a
+//! violation was detected (a dynamic oracle fired, a hunt found a
+//! violating candidate, or `lint` found unsuppressed findings or a
+//! static/dynamic disagreement) — so CI can gate on any subcommand.
 
 use std::collections::BTreeMap;
 
@@ -230,7 +237,9 @@ fn usage() -> &'static str {
      [--scenario <name>] [--strategy <name>] [--variant buggy|fixed] [--seed N] \
      [--threads N]\n  \
      phtool matrix [--trials N] [--seed N] [--threads N]\n  phtool hunt \
-     --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N]"
+     --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N]\n  \
+     phtool lint [--json] [--root DIR]\n\
+     exit codes: 0 clean, 1 error, 2 usage, 3 violation detected"
 }
 
 /// Scenario lookup tolerant of `_`/`-` spelling (`k8s_59848` = `k8s-59848`).
@@ -264,7 +273,11 @@ fn format_trace(trace: &Trace, format: &str) -> Result<String, String> {
     }
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+/// Exit code for "the tool worked and found a violation" — distinct from
+/// runtime (1) and usage (2) errors so CI can gate on it.
+const EXIT_VIOLATION: i32 = 3;
+
+fn cmd_run(args: &Args) -> Result<i32, String> {
     let reg = registry();
     let scenario = args.get("scenario").ok_or("--scenario is required")?;
     let entry = lookup(&reg, scenario)?;
@@ -307,9 +320,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .expect("one job, one report")
     };
 
+    let exit = if report.failed() { EXIT_VIOLATION } else { 0 };
     if args.has("json") {
         println!("{}", report.to_json());
-        return Ok(());
+        return Ok(exit);
     }
     println!("scenario : {}", report.scenario);
     println!("strategy : {}", report.strategy);
@@ -331,12 +345,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("\n-- divergence (|H| - |H'|, sampled) --");
         print!("{}", report.divergence.render());
     }
-    Ok(())
+    Ok(exit)
 }
 
 /// The observability dashboard: run every scenario (or one) once and
 /// summarize verdicts, effort, and divergence side by side.
-fn cmd_report(args: &Args) -> Result<(), String> {
+fn cmd_report(args: &Args) -> Result<i32, String> {
     let reg = registry();
     let seed = args.get_u64("seed", 1)?;
     let variant = match args.get("variant").unwrap_or("buggy") {
@@ -408,10 +422,13 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         println!("\n-- {} divergence --", r.scenario);
         print!("{}", r.divergence.render());
     }
-    Ok(())
+    if reports.iter().any(|r| r.failed()) {
+        return Ok(EXIT_VIOLATION);
+    }
+    Ok(0)
 }
 
-fn cmd_matrix(args: &Args) -> Result<(), String> {
+fn cmd_matrix(args: &Args) -> Result<i32, String> {
     let trials = args.get_u64("trials", 5)? as u32;
     let base_seed = args.get_u64("seed", 1000)?;
     let threads = args.threads()?;
@@ -438,10 +455,13 @@ fn cmd_matrix(args: &Args) -> Result<(), String> {
         }
     }
     println!("{}", matrix.render());
-    Ok(())
+    if matrix.cells().iter().any(|c| c.detected()) {
+        return Ok(EXIT_VIOLATION);
+    }
+    Ok(0)
 }
 
-fn cmd_hunt(args: &Args) -> Result<(), String> {
+fn cmd_hunt(args: &Args) -> Result<i32, String> {
     let reg = registry();
     let scenario = args.get("scenario").ok_or("--scenario is required")?;
     let entry = lookup(&reg, scenario)?;
@@ -486,7 +506,83 @@ fn cmd_hunt(args: &Args) -> Result<(), String> {
         }
     }
     println!("{found} violating candidate(s); re-run any with the same seed to replay");
-    Ok(())
+    if found > 0 {
+        return Ok(EXIT_VIOLATION);
+    }
+    Ok(0)
+}
+
+/// Finds the workspace root: `--root` if given, else ascend from the
+/// current directory to the first `Cargo.toml` declaring `[workspace]`.
+fn workspace_root(args: &Args) -> Result<std::path::PathBuf, String> {
+    if let Some(root) = args.get("root") {
+        let root = std::path::PathBuf::from(root);
+        if !root.join("Cargo.toml").is_file() {
+            return Err(format!("--root {}: no Cargo.toml there", root.display()));
+        }
+        return Ok(root);
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory (use --root)".into());
+        }
+    }
+}
+
+/// The static passes: the determinism lint over every workspace `.rs`
+/// file, and the §4.2 hazard analysis over every scenario's access
+/// summaries, cross-checked against each scenario's documented class.
+fn cmd_lint(args: &Args) -> Result<i32, String> {
+    let root = workspace_root(args)?;
+    let report =
+        ph_lint::scan_workspace(&root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let table = ph_scenarios::static_crosscheck();
+    let violated = report.unsuppressed_count() > 0 || !table.all_static_agree();
+
+    if args.has("json") {
+        println!(
+            "{{\"determinism\":{},\"hazards\":{}}}",
+            report.to_json(),
+            table.to_json()
+        );
+        return Ok(if violated { EXIT_VIOLATION } else { 0 });
+    }
+
+    println!("-- determinism lint ({}) --", root.display());
+    print!("{}", report.render_text());
+    println!("\n-- partial-history hazards (§4.2, buggy variants) --");
+    for row in &table.rows {
+        for h in &row.buggy_hazards {
+            println!(
+                "  {}: {}/{} [{}] {}",
+                row.scenario, h.component, h.action, h.class, h.detail
+            );
+        }
+        for h in &row.fixed_hazards {
+            println!(
+                "  {}: FIXED VARIANT FLAGGED {}/{} [{}] {}",
+                row.scenario, h.component, h.action, h.class, h.detail
+            );
+        }
+    }
+    println!("\n-- static cross-check --");
+    print!("{}", table.render_text());
+    if violated {
+        println!("\nverdict: VIOLATION (lint findings or static/dynamic mismatch)");
+        Ok(EXIT_VIOLATION)
+    } else {
+        println!("\nverdict: clean");
+        Ok(0)
+    }
 }
 
 fn main() {
@@ -498,20 +594,24 @@ fn main() {
     let result = match cmd.as_str() {
         "list" => {
             cmd_list();
-            Ok(())
+            Ok(0)
         }
         "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
         "report" => Args::parse(rest).and_then(|a| cmd_report(&a)),
         "matrix" => Args::parse(rest).and_then(|a| cmd_matrix(&a)),
         "hunt" => Args::parse(rest).and_then(|a| cmd_hunt(&a)),
+        "lint" => Args::parse(rest).and_then(|a| cmd_lint(&a)),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match result {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

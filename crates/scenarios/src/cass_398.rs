@@ -54,16 +54,35 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
     ))
 }
 
-/// Runs one trial under `strategy`.
-pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
-    let cfg = ClusterConfig {
+/// The §4.2 pattern class this scenario's buggy variant exercises.
+pub const PATTERN: ph_lint::summary::PatternClass =
+    ph_lint::summary::PatternClass::ObservabilityGap;
+
+/// The cluster this scenario spawns (shared by [`run`] and the static
+/// hazard pass, so the analysis sees exactly what executes).
+fn cluster_config(variant: Variant) -> ClusterConfig {
+    ClusterConfig {
         store_nodes: 3,
         apiservers: 2,
         nodes: vec!["node-1".into(), "node-2".into()],
         scheduler: Some(true),
         operator: Some(flags(variant)),
         ..ClusterConfig::default()
-    };
+    }
+}
+
+/// Static access summaries of the focal component (the operator, whose
+/// observed-terminating-only PVC cleanup is the bug-398 gap).
+pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary> {
+    ph_cluster::topology::access_summaries(&cluster_config(variant))
+        .into_iter()
+        .filter(|s| s.component == "cassandra-operator")
+        .collect()
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    let cfg = cluster_config(variant);
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(7));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));

@@ -40,6 +40,47 @@ pub const NAME: &str = "hbase-3136";
 const TAG_TICK: u64 = 1;
 const TAG_NEXT: u64 = 2;
 
+/// The §4.2 pattern class this scenario's buggy variant exercises.
+pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::Staleness;
+
+/// Static access summary of the region manager.
+///
+/// This scenario has no informer stack, so the summary is written by hand:
+/// the manager's "view" is one point read per transition — serializable
+/// from its local follower (buggy, `ReadKind::Cache`) or linearizable
+/// (fixed, `ReadKind::Quorum`). The CAS carries an `Expect::ModRev`
+/// precondition, but that fence only protects the *write*: the manager
+/// treats a failed CAS as a permanently broken assignment and abandons the
+/// region, so the destructive abandon decision consumes the possibly-stale
+/// read unfenced — which is exactly HBASE-3136's failure mode.
+pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary> {
+    use ph_lint::summary::{AccessSummary, ActionDecl, Gate, GatePath, ReadKind, ViewDecl};
+    vec![AccessSummary {
+        component: "region-manager".into(),
+        upstream_switch: false,
+        views: vec![ViewDecl {
+            resource: "regions".into(),
+            list: if variant.is_buggy() {
+                ReadKind::Cache
+            } else {
+                ReadKind::Quorum
+            },
+            watch: false,
+            relist_on_gap: false,
+            periodic_resync: false,
+            event_replay: false,
+        }],
+        actions: vec![ActionDecl {
+            name: "cas-region-transition".into(),
+            destructive: true,
+            paths: vec![GatePath::new(
+                "read-then-cas",
+                vec![Gate::CachePresence("regions".into())],
+            )],
+        }],
+    }]
+}
+
 /// Drives region state transitions with read-then-CAS cycles against the
 /// store — the ZKAssign analog.
 #[derive(Debug)]

@@ -48,6 +48,31 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
     run_with_trace(seed, strategy, variant).0
 }
 
+/// The §4.2 pattern class this scenario's buggy variant exercises.
+pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::Staleness;
+
+/// The cluster this scenario spawns (shared by [`run`] and the static
+/// hazard pass, so the analysis sees exactly what executes).
+fn cluster_config(variant: Variant) -> ClusterConfig {
+    ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        scheduler: Some(!variant.is_buggy()),
+        rs_controller: Some(false),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Static access summaries of the focal component (the scheduler, whose
+/// never-resynced node view is the 56261 staleness vector).
+pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary> {
+    ph_cluster::topology::access_summaries(&cluster_config(variant))
+        .into_iter()
+        .filter(|s| s.component == "scheduler")
+        .collect()
+}
+
 /// Like [`run`], but also returns the full trace (consumed by the
 /// causality-guided auto-explorer).
 pub fn run_with_trace(
@@ -55,14 +80,7 @@ pub fn run_with_trace(
     strategy: &mut dyn Strategy,
     variant: Variant,
 ) -> (RunReport, ph_sim::Trace) {
-    let cfg = ClusterConfig {
-        store_nodes: 3,
-        apiservers: 2,
-        nodes: vec!["node-1".into(), "node-2".into()],
-        scheduler: Some(!variant.is_buggy()),
-        rs_controller: Some(false),
-        ..ClusterConfig::default()
-    };
+    let cfg = cluster_config(variant);
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(6));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));

@@ -49,6 +49,31 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
     ))
 }
 
+/// The §4.2 pattern class this scenario's buggy variant exercises.
+pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::TimeTravel;
+
+/// The cluster this scenario spawns (shared by [`run`] and the static
+/// hazard pass, so the analysis sees exactly what executes).
+fn cluster_config(variant: Variant) -> ClusterConfig {
+    ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        kubelet_stagger: false, // both kubelets start on api-1; restarts move them
+        kubelet_fixed: !variant.is_buggy(),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Static access summaries of the focal components (the kubelets — the
+/// actors whose relist-after-restart is the 59848 time-travel vector).
+pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary> {
+    ph_cluster::topology::access_summaries(&cluster_config(variant))
+        .into_iter()
+        .filter(|s| s.component.starts_with("kubelet-"))
+        .collect()
+}
+
 /// Runs one trial under `strategy`. `variant` selects the buggy or fixed
 /// kubelet.
 pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
@@ -62,14 +87,7 @@ pub fn run_with_trace(
     strategy: &mut dyn Strategy,
     variant: Variant,
 ) -> (RunReport, ph_sim::Trace) {
-    let cfg = ClusterConfig {
-        store_nodes: 3,
-        apiservers: 2,
-        nodes: vec!["node-1".into(), "node-2".into()],
-        kubelet_stagger: false, // both kubelets start on api-1; restarts move them
-        kubelet_fixed: !variant.is_buggy(),
-        ..ClusterConfig::default()
-    };
+    let cfg = cluster_config(variant);
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(4));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));

@@ -41,3 +41,114 @@ pub mod strategies;
 pub mod volume_17;
 
 pub use common::{Runner, Variant};
+
+use ph_core::crosscheck::{CrossCheckRow, CrossCheckTable};
+use ph_core::harness::RunReport;
+use ph_core::perturb::Strategy;
+use ph_lint::summary::{AccessSummary, PatternClass};
+
+/// One scenario's hooks for the static/dynamic cross-check: its documented
+/// §4.2 class, its access summaries, and the dynamic run/guided pair.
+pub struct StaticEntry {
+    /// Scenario name (the module's `NAME`).
+    pub name: &'static str,
+    /// The §4.2 class the buggy variant exercises (the module's `PATTERN`).
+    pub pattern: PatternClass,
+    /// Focal components' access summaries under a variant.
+    pub summaries: fn(Variant) -> Vec<AccessSummary>,
+    /// One dynamic trial.
+    pub run: fn(u64, &mut dyn Strategy, Variant) -> RunReport,
+    /// The tuned guided injector.
+    pub guided: fn(u64) -> Box<dyn Strategy>,
+}
+
+/// Every scenario's static-analysis entry, in canonical order.
+pub fn scenario_statics() -> Vec<StaticEntry> {
+    vec![
+        StaticEntry {
+            name: k8s_59848::NAME,
+            pattern: k8s_59848::PATTERN,
+            summaries: k8s_59848::access_summaries,
+            run: k8s_59848::run,
+            guided: k8s_59848::guided,
+        },
+        StaticEntry {
+            name: k8s_56261::NAME,
+            pattern: k8s_56261::PATTERN,
+            summaries: k8s_56261::access_summaries,
+            run: k8s_56261::run,
+            guided: k8s_56261::guided,
+        },
+        StaticEntry {
+            name: volume_17::NAME,
+            pattern: volume_17::PATTERN,
+            summaries: volume_17::access_summaries,
+            run: volume_17::run,
+            guided: volume_17::guided,
+        },
+        StaticEntry {
+            name: cass_398::NAME,
+            pattern: cass_398::PATTERN,
+            summaries: cass_398::access_summaries,
+            run: cass_398::run,
+            guided: cass_398::guided,
+        },
+        StaticEntry {
+            name: cass_400::NAME,
+            pattern: cass_400::PATTERN,
+            summaries: cass_400::access_summaries,
+            run: cass_400::run,
+            guided: cass_400::guided,
+        },
+        StaticEntry {
+            name: cass_402::NAME,
+            pattern: cass_402::PATTERN,
+            summaries: cass_402::access_summaries,
+            run: cass_402::run,
+            guided: cass_402::guided,
+        },
+        StaticEntry {
+            name: hbase_3136::NAME,
+            pattern: hbase_3136::PATTERN,
+            summaries: hbase_3136::access_summaries,
+            run: hbase_3136::run,
+            guided: hbase_3136::guided,
+        },
+        StaticEntry {
+            name: node_fencing::NAME,
+            pattern: node_fencing::PATTERN,
+            summaries: node_fencing::access_summaries,
+            run: node_fencing::run,
+            guided: node_fencing::guided,
+        },
+    ]
+}
+
+/// Runs the static hazard pass over every scenario: checks each buggy
+/// variant's summaries for hazards and each fixed variant's for
+/// cleanliness, with no dynamic runs. `phtool lint` renders the result;
+/// the agreement test additionally fills in the dynamic columns.
+pub fn static_crosscheck() -> CrossCheckTable {
+    let rows = scenario_statics()
+        .into_iter()
+        .map(|e| {
+            let buggy = (e.summaries)(Variant::Buggy);
+            let fixed = (e.summaries)(Variant::Fixed);
+            CrossCheckRow {
+                scenario: e.name.to_string(),
+                expected: e.pattern,
+                buggy_hazards: buggy
+                    .iter()
+                    .flat_map(ph_lint::summary::check_summary)
+                    .collect(),
+                fixed_hazards: fixed
+                    .iter()
+                    .flat_map(ph_lint::summary::check_summary)
+                    .collect(),
+                dynamic_buggy_detected: None,
+                dynamic_fixed_clean: None,
+            }
+        })
+        .collect();
+    CrossCheckTable { rows }
+}

@@ -46,6 +46,36 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
     })
 }
 
+/// The §4.2 pattern class this scenario's buggy variant exercises.
+pub const PATTERN: ph_lint::summary::PatternClass =
+    ph_lint::summary::PatternClass::ObservabilityGap;
+
+/// The cluster this scenario spawns (shared by [`run`] and the static
+/// hazard pass, so the analysis sees exactly what executes).
+fn cluster_config(variant: Variant) -> ClusterConfig {
+    let mode = if variant.is_buggy() {
+        VcMode::MarkOnly
+    } else {
+        VcMode::FreshOrphan
+    };
+    ClusterConfig {
+        store_nodes: 3,
+        apiservers: 2,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        volume_controller: Some(mode),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Static access summaries of the focal component (the volume controller,
+/// whose mark-only release path is the observability-gap vector).
+pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary> {
+    ph_cluster::topology::access_summaries(&cluster_config(variant))
+        .into_iter()
+        .filter(|s| s.component == "volume-controller")
+        .collect()
+}
+
 /// Runs one trial under `strategy`.
 pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
     run_with_trace(seed, strategy, variant).0
@@ -58,18 +88,7 @@ pub fn run_with_trace(
     strategy: &mut dyn Strategy,
     variant: Variant,
 ) -> (RunReport, ph_sim::Trace) {
-    let mode = if variant.is_buggy() {
-        VcMode::MarkOnly
-    } else {
-        VcMode::FreshOrphan
-    };
-    let cfg = ClusterConfig {
-        store_nodes: 3,
-        apiservers: 2,
-        nodes: vec!["node-1".into(), "node-2".into()],
-        volume_controller: Some(mode),
-        ..ClusterConfig::default()
-    };
+    let cfg = cluster_config(variant);
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(5));
     runner.seed(&Object::node("node-1"));
     runner.seed(&Object::node("node-2"));

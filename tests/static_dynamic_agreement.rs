@@ -1,0 +1,90 @@
+//! Static/dynamic agreement over all eight scenarios (the acceptance
+//! gate of the hazard analysis).
+//!
+//! For every scenario the static pass must flag the buggy variant's
+//! access summaries with the documented §4.2 class and leave the fixed
+//! variant's summaries clean — and the dynamic explorer must confirm
+//! both verdicts: the guided run on the buggy variant detects a
+//! violation, the same injection on the fixed variant stays clean. One
+//! [`CrossCheckTable`] holds all four columns; `all_agree()` is the
+//! theorem.
+
+use ph_core::crosscheck::{CrossCheckRow, CrossCheckTable};
+use ph_lint::summary::check_summary;
+use ph_scenarios::{scenario_statics, Variant};
+
+/// Builds the full table: static verdicts from the access summaries,
+/// dynamic verdicts from one guided trial per variant (seed 1 — every
+/// scenario's tuned injection is deterministic and seed-stable).
+fn full_table() -> CrossCheckTable {
+    let rows = scenario_statics()
+        .into_iter()
+        .map(|e| {
+            let buggy_hazards: Vec<_> = (e.summaries)(Variant::Buggy)
+                .iter()
+                .flat_map(check_summary)
+                .collect();
+            let fixed_hazards: Vec<_> = (e.summaries)(Variant::Fixed)
+                .iter()
+                .flat_map(check_summary)
+                .collect();
+            let mut buggy_strategy = (e.guided)(1);
+            let buggy_report = (e.run)(1, buggy_strategy.as_mut(), Variant::Buggy);
+            let mut fixed_strategy = (e.guided)(1);
+            let fixed_report = (e.run)(1, fixed_strategy.as_mut(), Variant::Fixed);
+            CrossCheckRow {
+                scenario: e.name.to_string(),
+                expected: e.pattern,
+                buggy_hazards,
+                fixed_hazards,
+                dynamic_buggy_detected: Some(buggy_report.failed()),
+                dynamic_fixed_clean: Some(!fixed_report.failed()),
+            }
+        })
+        .collect();
+    CrossCheckTable { rows }
+}
+
+#[test]
+fn static_analysis_agrees_with_dynamic_exploration_on_all_scenarios() {
+    let table = full_table();
+    assert_eq!(table.rows.len(), 8, "all eight scenarios must be wired");
+    for row in &table.rows {
+        assert!(
+            row.buggy_classes().contains(&row.expected),
+            "{}: static pass missed the documented class {} (flagged: {:?})",
+            row.scenario,
+            row.expected,
+            row.buggy_classes()
+        );
+        assert!(
+            row.fixed_hazards.is_empty(),
+            "{}: fixed variant statically flagged: {:?}",
+            row.scenario,
+            row.fixed_hazards
+        );
+        assert_eq!(
+            row.dynamic_buggy_detected,
+            Some(true),
+            "{}: guided dynamic run failed to detect the buggy variant",
+            row.scenario
+        );
+        assert_eq!(
+            row.dynamic_fixed_clean,
+            Some(true),
+            "{}: fixed variant violated dynamically",
+            row.scenario
+        );
+    }
+    assert!(table.all_agree(), "\n{}", table.render_text());
+}
+
+#[test]
+fn static_only_table_from_the_library_agrees() {
+    // `phtool lint` renders exactly this table; keep its verdict pinned.
+    let table = ph_scenarios::static_crosscheck();
+    assert_eq!(table.rows.len(), 8);
+    assert!(table.all_static_agree(), "\n{}", table.render_text());
+    let json = table.to_json();
+    assert!(json.contains("\"all_static_agree\":true"));
+}
