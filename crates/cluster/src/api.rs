@@ -185,8 +185,9 @@ pub struct ApiWatchEvent {
     /// a gap means the network lost a stream message and the client must
     /// reconnect from its last contiguous revision.
     pub stream_seq: u64,
-    /// Events in revision order.
-    pub events: Vec<ObjEvent>,
+    /// Events in revision order (shared with the apiserver's window —
+    /// fan-out to N watchers bumps refcounts, never deep-copies).
+    pub events: Vec<std::rc::Rc<ObjEvent>>,
     /// The serving apiserver's cache revision after this batch.
     pub revision: Revision,
 }

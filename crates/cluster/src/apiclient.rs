@@ -75,8 +75,9 @@ pub enum ApiCompletion {
     WatchEvents {
         /// Watch id.
         watch: u64,
-        /// The events, in revision order.
-        events: Vec<ObjEvent>,
+        /// The events, in revision order (shared along the apiserver →
+        /// client → informer path).
+        events: Vec<std::rc::Rc<ObjEvent>>,
         /// Resume point after the batch.
         revision: Revision,
     },

@@ -19,6 +19,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ph_sim::{Actor, ActorId, AnyMsg, Ctx, Duration, TimerId};
+use std::rc::Rc;
+
 use ph_store::kv::KvEvent;
 use ph_store::msgs::{Expect, ReadLevel};
 use ph_store::{Completion, OpError, OpResult, Revision, StoreClient, StoreClientConfig, Value};
@@ -109,7 +111,7 @@ pub struct ApiServer {
     /// `true` once the bootstrap list has been applied.
     ready: bool,
     /// Rolling window of recent events (dense in revision).
-    window: VecDeque<ObjEvent>,
+    window: VecDeque<Rc<ObjEvent>>,
     /// Lowest resume point servable from the window (events ≤ floor are
     /// gone; a resume at exactly `floor` is fine).
     window_floor: Revision,
@@ -247,10 +249,10 @@ impl ApiServer {
         self.pending.insert(req, PendingApi::BootstrapList);
     }
 
-    fn apply_feed_events(&mut self, events: Vec<KvEvent>, revision: Revision, ctx: &mut Ctx) {
-        let mut out: Vec<ObjEvent> = Vec::with_capacity(events.len());
+    fn apply_feed_events(&mut self, events: Vec<Rc<KvEvent>>, revision: Revision, ctx: &mut Ctx) {
+        let mut out: Vec<Rc<ObjEvent>> = Vec::with_capacity(events.len());
         for e in events {
-            let oe = match e {
+            let oe = match e.as_ref() {
                 KvEvent::Put { kv, .. } => {
                     self.cache.insert(
                         kv.key.as_str().to_string(),
@@ -259,19 +261,22 @@ impl ApiServer {
                     ObjEvent {
                         key: kv.key.as_str().to_string(),
                         revision: kv.mod_revision,
-                        value: Some(kv.value),
+                        value: Some(kv.value.clone()),
                     }
                 }
                 KvEvent::Delete { key, revision, .. } => {
                     self.cache.remove(key.as_str());
                     ObjEvent {
                         key: key.as_str().to_string(),
-                        revision,
+                        revision: *revision,
                         value: None,
                     }
                 }
             };
-            self.window.push_back(oe.clone());
+            // One allocation per object event, shared by the window and
+            // every watcher batch.
+            let oe = Rc::new(oe);
+            self.window.push_back(Rc::clone(&oe));
             out.push(oe);
         }
         while self.window.len() > self.cfg.window {
@@ -288,7 +293,7 @@ impl ApiServer {
         // Fan out to component watchers.
         let cache_rev = self.cache_rev;
         for ((client, watch), (prefix, next_seq)) in self.watchers.iter_mut() {
-            let matching: Vec<ObjEvent> = out
+            let matching: Vec<Rc<ObjEvent>> = out
                 .iter()
                 .filter(|e| e.key.starts_with(prefix.as_str()))
                 .cloned()
@@ -684,7 +689,7 @@ impl ApiServer {
             );
             return;
         }
-        let backlog: Vec<ObjEvent> = self
+        let backlog: Vec<Rc<ObjEvent>> = self
             .window
             .iter()
             .filter(|e| e.revision > after && e.key.starts_with(&w.prefix))

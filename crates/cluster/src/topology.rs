@@ -392,7 +392,7 @@ impl ClusterHandle {
 
     /// The retained ground-truth history `H` (KV events) from the same
     /// node as [`ClusterHandle::ground_truth`].
-    pub fn ground_history(&self, world: &World) -> Vec<ph_store::KvEvent> {
+    pub fn ground_history(&self, world: &World) -> Vec<std::rc::Rc<ph_store::KvEvent>> {
         let node = self.store.leader(world).or_else(|| {
             self.store
                 .nodes

@@ -131,7 +131,9 @@ pub fn candidates(
             continue;
         }
         let occurrence = {
-            let c = decision_counter.entry((*actor, label.clone())).or_insert(0);
+            let c = decision_counter
+                .entry((*actor, label.to_string()))
+                .or_insert(0);
             let o = *c;
             *c += 1;
             o
@@ -139,7 +141,7 @@ pub fn candidates(
         // Crash the decider right after this decision.
         let crash = Candidate::CrashAfterDecision {
             actor: *actor,
-            label: label.clone(),
+            label: label.to_string(),
             n: occurrence,
             down_ms,
         };

@@ -135,7 +135,7 @@ impl CausalGraph {
                             clock,
                             msg: None,
                             is_send: false,
-                            label: Some(label.clone()),
+                            label: Some(label.to_string()),
                         },
                     );
                 }

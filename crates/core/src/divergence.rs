@@ -80,10 +80,17 @@ impl DivergenceSummary {
 
     /// Folds one sampled lag for `component` in.
     pub fn record(&mut self, component: &str, lag: u64) {
-        self.views
-            .entry(component.to_string())
-            .or_default()
-            .record(lag);
+        // Fast path first: after the opening sample of each view, recording
+        // never allocates (the keyed `entry` API would build a `String` per
+        // sample just to look it up).
+        if let Some(v) = self.views.get_mut(component) {
+            v.record(lag);
+        } else {
+            self.views
+                .entry(component.to_string())
+                .or_default()
+                .record(lag);
+        }
     }
 
     /// The stats for one component, if sampled.

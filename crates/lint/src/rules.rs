@@ -11,7 +11,7 @@
 //! | `wall-clock`       | `Instant::now` / `SystemTime::now` in libraries   |
 //! | `unordered-iter`   | `HashMap`/`HashSet` in trace-affecting crates     |
 //! | `unseeded-rng`     | `thread_rng`, `from_entropy`, `OsRng`, anywhere   |
-//! | `thread-primitive` | threads/atomics/locks outside `ph-core::parallel` |
+//! | `thread-primitive` | threads/atomics/locks/`Arc` outside `ph-core::parallel` |
 //! | `stray-print`      | `println!`/`eprintln!`/`dbg!` in libraries        |
 //! | `bad-suppression`  | `ph-lint:` directives without a reason            |
 
@@ -104,7 +104,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "thread-primitive",
-        summary: "threads/atomics/locks outside ph-core::parallel — concurrency lives in the deterministic pool",
+        summary: "threads/atomics/locks/Arc outside ph-core::parallel — concurrency lives in the deterministic pool; sim code shares with Rc",
     },
     RuleInfo {
         id: "stray-print",
@@ -225,7 +225,9 @@ pub fn lint_file(meta: &FileMeta, src: &str) -> Vec<Finding> {
         }
 
         // thread-primitive: trace-affecting library code, except the
-        // deterministic pool itself.
+        // deterministic pool itself. `Arc` counts: cross-thread sharing in
+        // the single-threaded sim is a design smell (its atomic refcounts
+        // also cost on the hot path) — share with `Rc` instead.
         if lib
             && !in_test
             && trace_affecting
@@ -237,11 +239,12 @@ pub fn lint_file(meta: &FileMeta, src: &str) -> Vec<Finding> {
                 || has_ident(&line, "Mutex")
                 || has_ident(&line, "RwLock")
                 || has_ident(&line, "Condvar")
+                || has_ident(&line, "Arc")
                 || line.contains("Atomic"))
         {
             emit(
                 "thread-primitive",
-                "thread/atomic/lock primitive outside ph-core::parallel".to_string(),
+                "thread/atomic/lock/Arc primitive outside ph-core::parallel".to_string(),
                 &mut findings,
             );
         }
@@ -323,6 +326,19 @@ mod tests {
         let src = "use std::sync::Mutex;\n";
         assert!(lint_file(&meta, src).is_empty());
         assert_eq!(lint("core", FileKind::Lib, src).len(), 1);
+    }
+
+    #[test]
+    fn arc_flagged_rc_allowed() {
+        assert_eq!(lint("sim", FileKind::Lib, "use std::sync::Arc;\n").len(), 1);
+        assert_eq!(
+            lint("store", FileKind::Lib, "let b: Arc<[u8]> = x.into();\n").len(),
+            1
+        );
+        // Rc is the sanctioned sharing primitive for single-threaded sim
+        // code; identifiers merely containing "Arc" don't match either.
+        assert!(lint("sim", FileKind::Lib, "use std::rc::Rc;\n").is_empty());
+        assert!(lint("sim", FileKind::Lib, "let sparc = Sparc::new();\n").is_empty());
     }
 
     #[test]

@@ -12,3 +12,10 @@ pub fn racy() {
 pub struct Shared {
     inner: Mutex<Vec<u64>>,
 }
+
+pub struct Counted {
+    // Arc trips the rule: single-threaded sim code shares with Rc.
+    wide: std::sync::Arc<[u8]>,
+    // Rc is the sanctioned sharing primitive and stays clean.
+    narrow: std::rc::Rc<str>,
+}

@@ -15,7 +15,7 @@ use ph_core::divergence::DivergenceSummary;
 use ph_core::harness::RunReport;
 use ph_core::oracle::{check_all, Oracle};
 use ph_core::perturb::{Strategy, Targets};
-use ph_sim::{Duration, SimTime, World, WorldConfig};
+use ph_sim::{Duration, Name, SimTime, World, WorldConfig};
 use ph_store::StoreNode;
 
 /// Which implementation variant a trial runs.
@@ -59,6 +59,9 @@ pub struct Runner {
     /// Sampled per-view lag, folded into the report by
     /// [`Runner::finish_with_trace`].
     pub divergence: DivergenceSummary,
+    /// Reused buffer for [`Runner::sample_divergence`] (capacity persists
+    /// across quanta so sampling stays allocation-free in steady state).
+    lag_scratch: Vec<(Name, u64)>,
 }
 
 impl Runner {
@@ -92,6 +95,7 @@ impl Runner {
             name: name.to_string(),
             seed,
             divergence: DivergenceSummary::new(),
+            lag_scratch: Vec::new(),
         }
     }
 
@@ -139,78 +143,98 @@ impl Runner {
         else {
             return;
         };
-        let mut lags: Vec<(String, u64)> = Vec::new();
-        let push = |lags: &mut Vec<(String, u64)>, name: &str, frontier: ph_store::Revision| {
-            lags.push((name.to_string(), truth.0.saturating_sub(frontier.0)));
+        let mut lags = std::mem::take(&mut self.lag_scratch);
+        lags.clear();
+        // Names are interned `Rc<str>` handles, so collecting them is a
+        // refcount bump per view — no string copies on this path.
+        let push = |lags: &mut Vec<(Name, u64)>, name: Name, frontier: ph_store::Revision| {
+            lags.push((name, truth.0.saturating_sub(frontier.0)));
         };
         for &a in &self.cluster.apiservers {
             if let Some(s) = self.world.actor_ref::<ApiServer>(a) {
-                push(&mut lags, self.world.name_of(a), s.cache_revision());
+                push(&mut lags, self.world.name_handle(a), s.cache_revision());
             }
         }
         for &k in &self.cluster.kubelets {
             if let Some(s) = self.world.actor_ref::<Kubelet>(k) {
-                push(&mut lags, self.world.name_of(k), s.view_revision());
+                push(&mut lags, self.world.name_handle(k), s.view_revision());
             }
         }
         if let Some(id) = self.cluster.scheduler {
             if let Some(s) = self.world.actor_ref::<Scheduler>(id) {
-                push(&mut lags, self.world.name_of(id), s.view_revision());
+                push(&mut lags, self.world.name_handle(id), s.view_revision());
             }
         }
         if let Some(id) = self.cluster.volume_controller {
             if let Some(s) = self.world.actor_ref::<VolumeController>(id) {
-                push(&mut lags, self.world.name_of(id), s.view_revision());
+                push(&mut lags, self.world.name_handle(id), s.view_revision());
             }
         }
         if let Some(id) = self.cluster.rs_controller {
             if let Some(s) = self.world.actor_ref::<ReplicaSetController>(id) {
-                push(&mut lags, self.world.name_of(id), s.view_revision());
+                push(&mut lags, self.world.name_handle(id), s.view_revision());
             }
         }
         if let Some(id) = self.cluster.operator {
             if let Some(s) = self.world.actor_ref::<CassandraOperator>(id) {
-                push(&mut lags, self.world.name_of(id), s.view_revision());
+                push(&mut lags, self.world.name_handle(id), s.view_revision());
             }
         }
         if let Some(id) = self.cluster.node_lifecycle {
             if let Some(s) = self.world.actor_ref::<NodeLifecycleController>(id) {
-                push(&mut lags, self.world.name_of(id), s.view_revision());
+                push(&mut lags, self.world.name_handle(id), s.view_revision());
             }
         }
-        for (name, lag) in lags {
-            self.divergence.record(&name, lag);
+        for (name, lag) in &lags {
+            let (name, lag) = (name.as_str(), *lag);
+            self.divergence.record(name, lag);
             let metrics = self.world.metrics_mut();
-            metrics.observe(&name, "view_lag.revisions", lag);
-            metrics.gauge_set(&name, "view_lag.last", lag as i64);
+            metrics.observe(name, "view_lag.revisions", lag);
+            metrics.gauge_set(name, "view_lag.last", lag as i64);
         }
+        lags.clear();
+        self.lag_scratch = lags;
     }
 
     /// Finishes the run: tears the strategy down, lets the system settle
-    /// for `settle`, evaluates the oracles, and produces the report.
+    /// for `settle`, evaluates the oracles, and produces the report. The
+    /// trace stays with the world, so its buffers recycle into the trial
+    /// pool when the world drops here.
     pub fn finish(
-        self,
+        mut self,
         strategy: &mut dyn Strategy,
         settle: Duration,
         oracles: &mut [Box<dyn Oracle>],
     ) -> RunReport {
-        self.finish_with_trace(strategy, settle, oracles).0
+        self.settle_and_report(strategy, settle, oracles)
     }
 
     /// Like [`Runner::finish`], but also hands back the full run trace
-    /// (for narration, causality analysis, or archiving).
+    /// (for narration, causality analysis, or archiving). The trace is
+    /// moved out of the world, not cloned.
     pub fn finish_with_trace(
         mut self,
         strategy: &mut dyn Strategy,
         settle: Duration,
         oracles: &mut [Box<dyn Oracle>],
     ) -> (RunReport, ph_sim::Trace) {
+        let report = self.settle_and_report(strategy, settle, oracles);
+        (report, self.world.take_trace())
+    }
+
+    /// Shared tail of [`Runner::finish`]/[`Runner::finish_with_trace`].
+    fn settle_and_report(
+        &mut self,
+        strategy: &mut dyn Strategy,
+        settle: Duration,
+        oracles: &mut [Box<dyn Oracle>],
+    ) -> RunReport {
         strategy.teardown(&mut self.world);
         self.world.run_for(settle);
         self.sample_divergence();
         let violations = check_all(oracles, &self.world);
-        let report = RunReport {
-            scenario: self.name,
+        RunReport {
+            scenario: std::mem::take(&mut self.name),
             strategy: strategy.name(),
             seed: self.seed,
             violations,
@@ -218,9 +242,8 @@ impl Runner {
             trace_events: self.world.trace().len(),
             trace_digest: self.world.trace().digest(),
             metrics: self.world.metrics_report(),
-            divergence: self.divergence,
-        };
-        (report, self.world.trace().clone())
+            divergence: std::mem::take(&mut self.divergence),
+        }
     }
 }
 

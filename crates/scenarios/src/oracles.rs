@@ -57,7 +57,7 @@ pub fn no_wrongful_pvc_delete(cluster: ClusterHandle) -> Box<dyn Oracle> {
                 std::collections::BTreeMap::new();
             let mut out = Vec::new();
             for ev in &history {
-                match ev {
+                match ev.as_ref() {
                     KvEvent::Put { kv, .. } => {
                         if kv.key.as_str().starts_with("pods/") {
                             let terminating = Object::from_kv(kv)

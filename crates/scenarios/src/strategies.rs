@@ -20,7 +20,7 @@ pub fn notify_keys(env: &Envelope) -> Vec<(String, bool, bool)> {
     let mut out = Vec::new();
     if let Some(n) = env.msg.downcast_ref::<WatchNotify>() {
         for e in &n.events {
-            let (del, dt) = match e {
+            let (del, dt) = match e.as_ref() {
                 KvEvent::Put { kv, .. } => (
                     false,
                     Object::decode(&kv.value)

@@ -144,7 +144,7 @@ fn chrome_ts(ns: u64) -> String {
 }
 
 /// Names of every spawned actor, from the trace itself.
-fn actor_names(trace: &Trace) -> BTreeMap<ActorId, String> {
+fn actor_names(trace: &Trace) -> BTreeMap<ActorId, crate::intern::Name> {
     let mut names = BTreeMap::new();
     for e in trace.iter() {
         if let TraceEventKind::Spawned { actor, name } = &e.kind {

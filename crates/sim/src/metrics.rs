@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::intern::{Interner, Sym};
 use crate::trace::json_string;
 
 /// Default histogram bucket upper bounds, in nanoseconds: 1µs … 10s,
@@ -97,9 +98,16 @@ pub enum MetricValue {
 /// Keys are `(component, metric)` name pairs; components are actor names for
 /// actor-recorded samples, or harness-chosen labels for samples recorded from
 /// outside the message plane (e.g. the scenario runner's view-lag probe).
+///
+/// Internally the registry keys series by interned [`Sym`] pairs, so the
+/// steady-state record path (`*_sym` methods, or the string methods once a
+/// name has been seen) allocates nothing and compares integers instead of
+/// string pairs. [`Metrics::report`] resolves symbols back to strings, so
+/// snapshots are unchanged by the interning.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
-    values: BTreeMap<(String, String), MetricValue>,
+    interner: Interner,
+    values: BTreeMap<(Sym, Sym), MetricValue>,
 }
 
 impl Metrics {
@@ -108,15 +116,37 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Interns a component or metric name for use with the `*_sym` record
+    /// methods. Callers on a hot path should intern once and reuse the
+    /// returned [`Sym`].
+    pub fn sym(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
     /// Adds `delta` to a counter, creating it at zero first if needed.
     ///
     /// # Panics
     ///
     /// Panics if the name is already registered as a different metric kind.
     pub fn counter_add(&mut self, component: &str, name: &str, delta: u64) {
-        match self.slot(component, name, || MetricValue::Counter(0)) {
+        let c = self.interner.intern(component);
+        let n = self.interner.intern(name);
+        self.counter_add_sym(c, n, delta);
+    }
+
+    /// [`Metrics::counter_add`] over pre-interned names.
+    pub fn counter_add_sym(&mut self, component: Sym, name: Sym, delta: u64) {
+        match self
+            .values
+            .entry((component, name))
+            .or_insert(MetricValue::Counter(0))
+        {
             MetricValue::Counter(v) => *v += delta,
-            other => panic!("{component}/{name} is not a counter: {other:?}"),
+            other => panic!(
+                "{}/{} is not a counter: {other:?}",
+                self.interner.resolve(component),
+                self.interner.resolve(name)
+            ),
         }
     }
 
@@ -126,9 +156,24 @@ impl Metrics {
     ///
     /// Panics if the name is already registered as a different metric kind.
     pub fn gauge_set(&mut self, component: &str, name: &str, value: i64) {
-        match self.slot(component, name, || MetricValue::Gauge(0)) {
+        let c = self.interner.intern(component);
+        let n = self.interner.intern(name);
+        self.gauge_set_sym(c, n, value);
+    }
+
+    /// [`Metrics::gauge_set`] over pre-interned names.
+    pub fn gauge_set_sym(&mut self, component: Sym, name: Sym, value: i64) {
+        match self
+            .values
+            .entry((component, name))
+            .or_insert(MetricValue::Gauge(0))
+        {
             MetricValue::Gauge(v) => *v = value,
-            other => panic!("{component}/{name} is not a gauge: {other:?}"),
+            other => panic!(
+                "{}/{} is not a gauge: {other:?}",
+                self.interner.resolve(component),
+                self.interner.resolve(name)
+            ),
         }
     }
 
@@ -139,29 +184,46 @@ impl Metrics {
     ///
     /// Panics if the name is already registered as a different metric kind.
     pub fn observe(&mut self, component: &str, name: &str, value: u64) {
-        match self.slot(component, name, || {
-            MetricValue::Histogram(Histogram::new(&DEFAULT_LATENCY_BOUNDS_NS))
-        }) {
+        let c = self.interner.intern(component);
+        let n = self.interner.intern(name);
+        self.observe_sym(c, n, value);
+    }
+
+    /// [`Metrics::observe`] over pre-interned names.
+    pub fn observe_sym(&mut self, component: Sym, name: Sym, value: u64) {
+        match self
+            .values
+            .entry((component, name))
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(&DEFAULT_LATENCY_BOUNDS_NS)))
+        {
             MetricValue::Histogram(h) => h.observe(value),
-            other => panic!("{component}/{name} is not a histogram: {other:?}"),
+            other => panic!(
+                "{}/{} is not a histogram: {other:?}",
+                self.interner.resolve(component),
+                self.interner.resolve(name)
+            ),
         }
     }
 
-    fn slot(
-        &mut self,
-        component: &str,
-        name: &str,
-        init: impl FnOnce() -> MetricValue,
-    ) -> &mut MetricValue {
-        self.values
-            .entry((component.to_string(), name.to_string()))
-            .or_insert_with(init)
-    }
-
-    /// Snapshots the registry into an immutable, ordered report.
+    /// Snapshots the registry into an immutable, ordered report, resolving
+    /// interned keys back to `(component, metric)` strings. The resulting
+    /// report is byte-identical to one from a string-keyed registry: the
+    /// `BTreeMap` re-sorts by string key regardless of interning order.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
-            metrics: self.values.clone(),
+            metrics: self
+                .values
+                .iter()
+                .map(|(&(c, n), v)| {
+                    (
+                        (
+                            self.interner.resolve(c).to_string(),
+                            self.interner.resolve(n).to_string(),
+                        ),
+                        v.clone(),
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -267,6 +329,7 @@ impl MetricsReport {
     /// Renders the report as a deterministic JSON object keyed
     /// `"component/metric"`, in key order.
     pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::from("{");
         for (i, ((c, n), v)) in self.metrics.iter().enumerate() {
             if i > 0 {
@@ -276,21 +339,31 @@ impl MetricsReport {
             out.push(':');
             match v {
                 MetricValue::Counter(x) => {
-                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{x}}}"));
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{x}}}");
                 }
                 MetricValue::Gauge(x) => {
-                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{x}}}"));
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{x}}}");
                 }
                 MetricValue::Histogram(h) => {
-                    let bounds: Vec<String> = h.bounds.iter().map(|b| b.to_string()).collect();
-                    let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
-                    out.push_str(&format!(
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"bounds\":[{}],\"counts\":[{}]}}",
-                        h.count,
-                        h.sum,
-                        bounds.join(","),
-                        counts.join(","),
-                    ));
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"bounds\":[",
+                        h.count, h.sum
+                    );
+                    for (j, b) in h.bounds.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{b}");
+                    }
+                    out.push_str("],\"counts\":[");
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{c}");
+                    }
+                    out.push_str("]}");
                 }
             }
         }

@@ -9,6 +9,7 @@
 use std::any::Any;
 
 use crate::ids::{ActorId, MsgId};
+use crate::intern::Name;
 use crate::time::SimTime;
 
 /// A type-erased message payload.
@@ -88,6 +89,9 @@ pub struct Envelope {
     /// Human-readable payload type name (for traces and interceptor
     /// matching); derived from `std::any::type_name` of the payload.
     pub kind: &'static str,
+    /// [`Envelope::kind_short`] interned at send time, so every trace event
+    /// about this message shares one allocation.
+    pub(crate) short: Name,
     /// The payload itself.
     pub msg: AnyMsg,
 }
@@ -140,6 +144,7 @@ mod tests {
             dst: ActorId(1),
             sent_at: SimTime::ZERO,
             kind: "ph_store::raft::AppendEntries",
+            short: Name::from("AppendEntries"),
             msg: AnyMsg::new(Foo(1)),
         };
         assert_eq!(env.kind_short(), "AppendEntries");

@@ -7,6 +7,7 @@
 //! oracles the evidence they report violations with.
 
 use crate::ids::{ActorId, MsgId, TimerId};
+use crate::intern::Name;
 use crate::time::SimTime;
 
 /// Why a message failed to reach its destination.
@@ -32,8 +33,8 @@ pub enum TraceEventKind {
     Spawned {
         /// The new actor.
         actor: ActorId,
-        /// Its human-readable name.
-        name: String,
+        /// Its human-readable name (interned; prints like a `String`).
+        name: Name,
     },
     /// An actor sent a message.
     MessageSent {
@@ -43,8 +44,8 @@ pub enum TraceEventKind {
         src: ActorId,
         /// Destination.
         dst: ActorId,
-        /// Short payload type name.
-        kind: String,
+        /// Short payload type name (interned; prints like a `String`).
+        kind: Name,
     },
     /// A message reached its destination and was handled.
     MessageDelivered {
@@ -54,8 +55,8 @@ pub enum TraceEventKind {
         src: ActorId,
         /// Destination.
         dst: ActorId,
-        /// Short payload type name.
-        kind: String,
+        /// Short payload type name (interned; prints like a `String`).
+        kind: Name,
     },
     /// A message was lost.
     MessageDropped {
@@ -65,8 +66,8 @@ pub enum TraceEventKind {
         src: ActorId,
         /// Destination.
         dst: ActorId,
-        /// Short payload type name.
-        kind: String,
+        /// Short payload type name (interned; prints like a `String`).
+        kind: Name,
         /// Why it was lost.
         reason: DropReason,
     },
@@ -78,8 +79,8 @@ pub enum TraceEventKind {
         src: ActorId,
         /// Destination.
         dst: ActorId,
-        /// Short payload type name.
-        kind: String,
+        /// Short payload type name (interned; prints like a `String`).
+        kind: Name,
     },
     /// A held message was released back into the network.
     MessageReleased {
@@ -121,7 +122,7 @@ pub enum TraceEventKind {
         /// The annotating actor.
         actor: ActorId,
         /// Annotation label (namespaced by convention, e.g. `"kubelet.run_pod"`).
-        label: String,
+        label: Name,
         /// Free-form payload.
         data: String,
     },
@@ -132,7 +133,7 @@ pub enum TraceEventKind {
         /// The actor the span belongs to.
         actor: ActorId,
         /// Span label (e.g. `"reconcile"`).
-        label: String,
+        label: Name,
         /// Free-form detail attached at open time.
         detail: String,
     },
@@ -143,7 +144,7 @@ pub enum TraceEventKind {
         /// The actor the span belongs to.
         actor: ActorId,
         /// Span label matching the corresponding `SpanBegin`.
-        label: String,
+        label: Name,
     },
 }
 
@@ -168,6 +169,18 @@ impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Trace {
         Trace::default()
+    }
+
+    /// Creates an empty trace on top of a recycled event buffer, keeping its
+    /// capacity. Used by the world's trial buffer pool.
+    pub(crate) fn with_buffer(mut events: Vec<TraceEvent>) -> Trace {
+        events.clear();
+        Trace { events }
+    }
+
+    /// Surrenders the backing event buffer so its capacity can be reused.
+    pub(crate) fn take_buffer(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
     }
 
     pub(crate) fn push(&mut self, at: SimTime, kind: TraceEventKind) {
@@ -230,6 +243,11 @@ impl Trace {
     /// A 64-bit order-sensitive digest of the trace; two runs with equal
     /// digests almost certainly behaved identically. Used by determinism
     /// tests and by the harness to deduplicate schedules.
+    ///
+    /// The hashed bytes are each event's `at.0.to_le_bytes()` followed by
+    /// the `format!("{:?}")` rendering of its kind — but rendered through
+    /// [`render_kind`] into one reused buffer, because `core::fmt` plus a
+    /// fresh `String` per event used to dominate whole-trial wall time.
     pub fn digest(&self) -> u64 {
         // FNV-1a over a stable textual rendering of each event.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -239,9 +257,12 @@ impl Trace {
                 h = h.wrapping_mul(0x100_0000_01b3);
             }
         };
+        let mut buf: Vec<u8> = Vec::with_capacity(160);
         for e in &self.events {
             eat(&e.at.0.to_le_bytes());
-            eat(format!("{:?}", e.kind).as_bytes());
+            buf.clear();
+            render_kind(&e.kind, &mut buf);
+            eat(&buf);
         }
         h
     }
@@ -265,6 +286,194 @@ impl Trace {
         out.push(']');
         out
     }
+}
+
+/// Appends the decimal rendering of `v` to `buf` (no allocation).
+fn push_u64(buf: &mut Vec<u8>, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.extend_from_slice(&tmp[i..]);
+}
+
+/// Appends the exact `format!("{:?}", s)` bytes of a `str` to `buf`.
+///
+/// The fast path covers the strings the sim actually produces (plain
+/// printable ASCII); anything needing escapes goes char-by-char through
+/// [`char::escape_debug`], matching `str`'s `Debug` impl — which, unlike
+/// `char`'s, leaves single quotes unescaped.
+fn push_str_debug(buf: &mut Vec<u8>, s: &str) {
+    buf.push(b'"');
+    if s.bytes()
+        .all(|b| (0x20..=0x7e).contains(&b) && b != b'"' && b != b'\\')
+    {
+        buf.extend_from_slice(s.as_bytes());
+    } else {
+        let mut utf8 = [0u8; 4];
+        for c in s.chars() {
+            if c == '\'' {
+                buf.push(b'\'');
+            } else {
+                for esc in c.escape_debug() {
+                    buf.extend_from_slice(esc.encode_utf8(&mut utf8).as_bytes());
+                }
+            }
+        }
+    }
+    buf.push(b'"');
+}
+
+/// Appends `ActorId(n)`-style tuple-struct Debug bytes.
+fn push_id(buf: &mut Vec<u8>, name: &[u8], v: u64) {
+    buf.extend_from_slice(name);
+    buf.push(b'(');
+    push_u64(buf, v);
+    buf.push(b')');
+}
+
+/// Streams the byte-exact derived-`Debug` rendering of a kind into `buf`.
+///
+/// This MUST stay byte-identical to `format!("{:?}", kind)` — the trace
+/// digest is defined over those bytes, and replay verification compares
+/// digests across builds. `digest_render_matches_derived_debug` pins the
+/// equivalence for every variant.
+fn render_kind(kind: &TraceEventKind, buf: &mut Vec<u8>) {
+    use TraceEventKind::*;
+    match kind {
+        Spawned { actor, name } => {
+            buf.extend_from_slice(b"Spawned { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b", name: ");
+            push_str_debug(buf, name);
+            buf.extend_from_slice(b" }");
+        }
+        MessageSent { id, src, dst, kind } => {
+            buf.extend_from_slice(b"MessageSent { id: ");
+            push_msg_header(buf, *id, *src, *dst, kind);
+        }
+        MessageDelivered { id, src, dst, kind } => {
+            buf.extend_from_slice(b"MessageDelivered { id: ");
+            push_msg_header(buf, *id, *src, *dst, kind);
+        }
+        MessageHeld { id, src, dst, kind } => {
+            buf.extend_from_slice(b"MessageHeld { id: ");
+            push_msg_header(buf, *id, *src, *dst, kind);
+        }
+        MessageDropped {
+            id,
+            src,
+            dst,
+            kind,
+            reason,
+        } => {
+            buf.extend_from_slice(b"MessageDropped { id: ");
+            push_id(buf, b"MsgId", id.0);
+            buf.extend_from_slice(b", src: ");
+            push_id(buf, b"ActorId", src.0 as u64);
+            buf.extend_from_slice(b", dst: ");
+            push_id(buf, b"ActorId", dst.0 as u64);
+            buf.extend_from_slice(b", kind: ");
+            push_str_debug(buf, kind);
+            buf.extend_from_slice(b", reason: ");
+            buf.extend_from_slice(match reason {
+                DropReason::Partitioned => b"Partitioned".as_slice(),
+                DropReason::Loss => b"Loss",
+                DropReason::Interceptor => b"Interceptor",
+                DropReason::DestCrashed => b"DestCrashed",
+                DropReason::Stale => b"Stale",
+            });
+            buf.extend_from_slice(b" }");
+        }
+        MessageReleased { id } => {
+            buf.extend_from_slice(b"MessageReleased { id: ");
+            push_id(buf, b"MsgId", id.0);
+            buf.extend_from_slice(b" }");
+        }
+        TimerSet {
+            actor,
+            timer,
+            tag,
+            fire_at,
+        } => {
+            buf.extend_from_slice(b"TimerSet { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b", timer: ");
+            push_id(buf, b"TimerId", timer.0);
+            buf.extend_from_slice(b", tag: ");
+            push_u64(buf, *tag);
+            buf.extend_from_slice(b", fire_at: ");
+            push_id(buf, b"SimTime", fire_at.0);
+            buf.extend_from_slice(b" }");
+        }
+        TimerFired { actor, timer, tag } => {
+            buf.extend_from_slice(b"TimerFired { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b", timer: ");
+            push_id(buf, b"TimerId", timer.0);
+            buf.extend_from_slice(b", tag: ");
+            push_u64(buf, *tag);
+            buf.extend_from_slice(b" }");
+        }
+        Crashed { actor } => {
+            buf.extend_from_slice(b"Crashed { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b" }");
+        }
+        Restarted { actor } => {
+            buf.extend_from_slice(b"Restarted { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b" }");
+        }
+        Annotation { actor, label, data } => {
+            buf.extend_from_slice(b"Annotation { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b", label: ");
+            push_str_debug(buf, label);
+            buf.extend_from_slice(b", data: ");
+            push_str_debug(buf, data);
+            buf.extend_from_slice(b" }");
+        }
+        SpanBegin {
+            actor,
+            label,
+            detail,
+        } => {
+            buf.extend_from_slice(b"SpanBegin { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b", label: ");
+            push_str_debug(buf, label);
+            buf.extend_from_slice(b", detail: ");
+            push_str_debug(buf, detail);
+            buf.extend_from_slice(b" }");
+        }
+        SpanEnd { actor, label } => {
+            buf.extend_from_slice(b"SpanEnd { actor: ");
+            push_id(buf, b"ActorId", actor.0 as u64);
+            buf.extend_from_slice(b", label: ");
+            push_str_debug(buf, label);
+            buf.extend_from_slice(b" }");
+        }
+    }
+}
+
+/// Shared tail of the `MessageSent`/`Delivered`/`Held` renderings (the
+/// three differ only in the variant name).
+fn push_msg_header(buf: &mut Vec<u8>, id: MsgId, src: ActorId, dst: ActorId, kind: &str) {
+    push_id(buf, b"MsgId", id.0);
+    buf.extend_from_slice(b", src: ");
+    push_id(buf, b"ActorId", src.0 as u64);
+    buf.extend_from_slice(b", dst: ");
+    push_id(buf, b"ActorId", dst.0 as u64);
+    buf.extend_from_slice(b", kind: ");
+    push_str_debug(buf, kind);
+    buf.extend_from_slice(b" }");
 }
 
 /// Escapes a string as a JSON string literal.
@@ -297,6 +506,111 @@ impl<'a> IntoIterator for &'a Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// One event of every variant, with strings that exercise the escape
+    /// fallback: quotes, backslashes, control chars, unicode, combining
+    /// (grapheme-extended) marks, and the single quote `str`'s Debug does
+    /// NOT escape.
+    fn every_kind() -> Vec<TraceEventKind> {
+        use TraceEventKind::*;
+        let tricky = [
+            "plain",
+            "",
+            "with \"quotes\" and \\backslash\\",
+            "tab\tnewline\nnull\0",
+            "unicode: héllo ✓ — 日本語",
+            "combining: e\u{301} (grapheme-extended)",
+            "single 'quotes' stay raw",
+        ];
+        let mut kinds = Vec::new();
+        for (i, s) in tricky.iter().enumerate() {
+            let i = i as u64;
+            kinds.extend([
+                Spawned {
+                    actor: ActorId(i as u32),
+                    name: (*s).into(),
+                },
+                MessageSent {
+                    id: MsgId(i),
+                    src: ActorId(0),
+                    dst: ActorId(u32::MAX),
+                    kind: (*s).into(),
+                },
+                MessageDelivered {
+                    id: MsgId(u64::MAX),
+                    src: ActorId(1),
+                    dst: ActorId(2),
+                    kind: (*s).into(),
+                },
+                MessageHeld {
+                    id: MsgId(i),
+                    src: ActorId(3),
+                    dst: ActorId(4),
+                    kind: (*s).into(),
+                },
+                MessageReleased { id: MsgId(i) },
+                TimerSet {
+                    actor: ActorId(5),
+                    timer: TimerId(i),
+                    tag: i * 1000,
+                    fire_at: SimTime(u64::MAX - i),
+                },
+                TimerFired {
+                    actor: ActorId(6),
+                    timer: TimerId(i),
+                    tag: 0,
+                },
+                Crashed { actor: ActorId(7) },
+                Restarted { actor: ActorId(8) },
+                Annotation {
+                    actor: ActorId(9),
+                    label: (*s).into(),
+                    data: (*s).to_string(),
+                },
+                SpanBegin {
+                    actor: ActorId(10),
+                    label: (*s).into(),
+                    detail: (*s).to_string(),
+                },
+                SpanEnd {
+                    actor: ActorId(11),
+                    label: (*s).into(),
+                },
+            ]);
+            for reason in [
+                DropReason::Partitioned,
+                DropReason::Loss,
+                DropReason::Interceptor,
+                DropReason::DestCrashed,
+                DropReason::Stale,
+            ] {
+                kinds.push(MessageDropped {
+                    id: MsgId(i),
+                    src: ActorId(12),
+                    dst: ActorId(13),
+                    kind: (*s).into(),
+                    reason,
+                });
+            }
+        }
+        kinds
+    }
+
+    /// The digest is defined over `format!("{:?}")` bytes; the streaming
+    /// renderer must reproduce them exactly for every variant and every
+    /// escape class.
+    #[test]
+    fn digest_render_matches_derived_debug() {
+        for kind in every_kind() {
+            let mut buf = Vec::new();
+            render_kind(&kind, &mut buf);
+            assert_eq!(
+                String::from_utf8(buf).unwrap(),
+                format!("{kind:?}"),
+                "streamed rendering diverged"
+            );
+        }
+    }
 
     fn sample() -> Trace {
         let mut t = Trace::new();

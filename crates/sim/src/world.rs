@@ -13,6 +13,7 @@ use crate::actor::{Actor, ActorObj, Ctx, Effect};
 use crate::event::{Event, Scheduled};
 use crate::ids::{ActorId, MsgId, TimerId};
 use crate::intercept::{Interceptor, NullInterceptor, Verdict};
+use crate::intern::{Interner, Name, Sym};
 use crate::metrics::{Metrics, MetricsReport};
 use crate::msg::{AnyMsg, Envelope};
 use crate::net::{NetConfig, Network, Partition, SendOutcome};
@@ -39,8 +40,37 @@ impl Default for WorldConfig {
     }
 }
 
+/// Recyclable backing storage for a [`World`]: the allocations that grow
+/// large over a trial (the event queue and the trace) plus the effect
+/// scratch vector. Pooling them lets back-to-back trials reuse warmed-up
+/// capacity instead of re-growing each buffer from empty.
+struct WorldBuffers {
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    trace: Vec<TraceEvent>,
+    effects: Vec<Effect>,
+}
+
+/// Cap on pooled buffer sets per thread. Worlds are almost always live
+/// one-at-a-time (an explorer runs trials sequentially per worker thread),
+/// so anything beyond a few entries would be dead weight.
+const BUFFER_POOL_MAX: usize = 4;
+
+thread_local! {
+    /// Per-thread free list of world buffers. [`World::new`] draws from it
+    /// and [`Drop`] returns cleared storage, so steady-state trial loops
+    /// allocate nothing for the queue, trace or effect scratch. Being
+    /// thread-local it needs no synchronization, and because only *capacity*
+    /// survives — contents are cleared on both paths — reuse cannot leak
+    /// state between trials or perturb the deterministic schedule.
+    static BUFFER_POOL: std::cell::RefCell<Vec<WorldBuffers>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 struct Slot {
-    name: String,
+    name: Name,
+    /// The actor's name pre-interned in the metrics registry, so metric
+    /// effects attribute without a lookup or allocation.
+    msym: Sym,
     actor: Box<dyn ActorObj>,
     rng: SimRng,
     crashed: bool,
@@ -69,8 +99,17 @@ pub struct World {
     interceptor: Box<dyn Interceptor>,
     trace: Trace,
     metrics: Metrics,
+    /// Interned trace strings (actor names, message kinds, labels): one
+    /// allocation per distinct string per world, shared by every event.
+    interner: Interner,
     /// Open span start times, LIFO per `(actor, label)`.
     open_spans: BTreeMap<(ActorId, &'static str), Vec<SimTime>>,
+    /// Pre-interned `"<label>.ns"` metric names, one per span label.
+    span_ns: BTreeMap<&'static str, Sym>,
+    /// Reusable effect buffer for [`World::run_callback`]; taken for the
+    /// duration of a callback and put back cleared, so steady-state
+    /// callbacks allocate no effect storage.
+    effects_scratch: Vec<Effect>,
 }
 
 impl World {
@@ -79,6 +118,13 @@ impl World {
     /// Two worlds created with equal configurations and seeds, populated and
     /// driven identically, produce identical traces.
     pub fn new(config: WorldConfig, seed: u64) -> World {
+        // Reuse pooled buffers from a previous world on this thread, if any.
+        // Capacity is the only thing that survives the round trip.
+        let (queue, trace, effects_scratch) = match BUFFER_POOL.with(|pool| pool.borrow_mut().pop())
+        {
+            Some(b) => (b.queue, Trace::with_buffer(b.trace), b.effects),
+            None => (BinaryHeap::new(), Trace::new(), Vec::new()),
+        };
         World {
             now: SimTime::ZERO,
             seed,
@@ -89,15 +135,18 @@ impl World {
             max_events: config.max_events,
             actors: Vec::new(),
             names: BTreeMap::new(),
-            queue: BinaryHeap::new(),
+            queue,
             timers: BTreeMap::new(),
             held: BTreeMap::new(),
             net: Network::new(config.net),
             net_rng: SimRng::derive(seed, u64::MAX),
             interceptor: Box::new(NullInterceptor),
-            trace: Trace::new(),
+            trace,
             metrics: Metrics::new(),
+            interner: Interner::new(),
             open_spans: BTreeMap::new(),
+            span_ns: BTreeMap::new(),
+            effects_scratch,
         }
     }
 
@@ -114,6 +163,13 @@ impl World {
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Takes ownership of the trace, leaving an empty one behind. For
+    /// harnesses that keep the trace after the world is torn down — taking
+    /// is free where cloning would deep-copy every event.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// The live metrics registry.
@@ -171,8 +227,10 @@ impl World {
         );
         let id = ActorId(self.actors.len() as u32);
         let rng = SimRng::derive(self.seed, id.0 as u64);
+        let interned = self.interner.intern_name(name);
         self.actors.push(Slot {
-            name: name.to_string(),
+            name: interned.clone(),
+            msym: self.metrics.sym(name),
             actor: Box::new(actor),
             rng,
             crashed: false,
@@ -183,7 +241,7 @@ impl World {
             self.now,
             TraceEventKind::Spawned {
                 actor: id,
-                name: name.to_string(),
+                name: interned,
             },
         );
         self.run_callback(id, |actor, ctx| actor.on_start(ctx));
@@ -204,9 +262,21 @@ impl World {
         &self.actors[id.index()].name
     }
 
-    /// Ids of all spawned actors, in spawn order.
-    pub fn actor_ids(&self) -> Vec<ActorId> {
-        (0..self.actors.len() as u32).map(ActorId).collect()
+    /// The actor's name as a cheaply clonable interned handle (an `Rc`
+    /// bump, where [`World::name_of`] would force callers that need
+    /// ownership to copy the string).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a spawned actor.
+    pub fn name_handle(&self, id: ActorId) -> Name {
+        self.actors[id.index()].name.clone()
+    }
+
+    /// Ids of all spawned actors, in spawn order. The iterator does not
+    /// borrow the world.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> {
+        (0..self.actors.len() as u32).map(ActorId)
     }
 
     /// `true` if the actor is currently crashed.
@@ -293,8 +363,8 @@ impl World {
     // ------------------------------------------------------------------
 
     /// Ids of all currently held messages, in hold order.
-    pub fn held_ids(&self) -> Vec<MsgId> {
-        self.held.keys().copied().collect()
+    pub fn held_ids(&self) -> impl Iterator<Item = MsgId> + '_ {
+        self.held.keys().copied()
     }
 
     /// Metadata of a held message: `(src, dst, short kind)`.
@@ -326,7 +396,7 @@ impl World {
 
     /// Releases every held message, in hold order.
     pub fn release_all_held(&mut self) {
-        for id in self.held_ids() {
+        while let Some((&id, _)) = self.held.first_key_value() {
             self.release_held(id);
         }
     }
@@ -342,7 +412,7 @@ impl World {
                 id: env.id,
                 src: env.src,
                 dst: env.dst,
-                kind: env.kind_short().to_string(),
+                kind: env.short,
                 reason: DropReason::Interceptor,
             },
         );
@@ -481,7 +551,7 @@ impl World {
                     id: env.id,
                     src: env.src,
                     dst: env.dst,
-                    kind: env.kind_short().to_string(),
+                    kind: env.short,
                     reason,
                 },
             );
@@ -493,7 +563,7 @@ impl World {
                 id: env.id,
                 src: env.src,
                 dst: env.dst,
-                kind: env.kind_short().to_string(),
+                kind: env.short.clone(),
             },
         );
         let Envelope { src, dst, msg, .. } = env;
@@ -525,9 +595,12 @@ impl World {
         self.run_callback(id, |a, ctx| a.on_restart(ctx));
     }
 
-    /// Runs one actor callback and applies its effects.
+    /// Runs one actor callback and applies its effects. The effect buffer
+    /// is a reusable scratch vector (taken for the duration of the callback,
+    /// put back cleared), so steady-state callbacks allocate nothing here.
     fn run_callback(&mut self, id: ActorId, f: impl FnOnce(&mut dyn ActorObj, &mut Ctx)) {
-        let mut effects = Vec::new();
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        debug_assert!(effects.is_empty());
         {
             let now = self.now;
             let next_timer_id = &mut self.next_timer;
@@ -541,11 +614,13 @@ impl World {
             };
             f(slot.actor.as_mut(), &mut ctx);
         }
-        self.apply_effects(id, effects);
+        self.apply_effects(id, &mut effects);
+        effects.clear();
+        self.effects_scratch = effects;
     }
 
-    fn apply_effects(&mut self, src: ActorId, effects: Vec<Effect>) {
-        for effect in effects {
+    fn apply_effects(&mut self, src: ActorId, effects: &mut Vec<Effect>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, kind, msg } => self.do_send(src, to, kind, msg),
                 Effect::SetTimer { id, after, tag } => {
@@ -573,37 +648,42 @@ impl World {
                     self.timers.remove(&id);
                 }
                 Effect::Annotate { label, data } => {
+                    let label = self.interner.intern_name(label);
                     self.trace.push(
                         self.now,
                         TraceEventKind::Annotation {
                             actor: src,
-                            label: label.to_string(),
+                            label,
                             data,
                         },
                     );
                 }
                 Effect::CounterAdd { name, delta } => {
-                    let component = self.actors[src.index()].name.clone();
-                    self.metrics.counter_add(&component, name, delta);
+                    let component = self.actors[src.index()].msym;
+                    let name = self.metrics.sym(name);
+                    self.metrics.counter_add_sym(component, name, delta);
                 }
                 Effect::GaugeSet { name, value } => {
-                    let component = self.actors[src.index()].name.clone();
-                    self.metrics.gauge_set(&component, name, value);
+                    let component = self.actors[src.index()].msym;
+                    let name = self.metrics.sym(name);
+                    self.metrics.gauge_set_sym(component, name, value);
                 }
                 Effect::Observe { name, value } => {
-                    let component = self.actors[src.index()].name.clone();
-                    self.metrics.observe(&component, name, value);
+                    let component = self.actors[src.index()].msym;
+                    let name = self.metrics.sym(name);
+                    self.metrics.observe_sym(component, name, value);
                 }
                 Effect::SpanBegin { label, detail } => {
                     self.open_spans
                         .entry((src, label))
                         .or_default()
                         .push(self.now);
+                    let label = self.interner.intern_name(label);
                     self.trace.push(
                         self.now,
                         TraceEventKind::SpanBegin {
                             actor: src,
-                            label: label.to_string(),
+                            label,
                             detail,
                         },
                     );
@@ -617,19 +697,25 @@ impl World {
                     // crash wipes the actor's open spans, and its restarted
                     // incarnation may close scopes it never opened.
                     if let Some(started) = started {
+                        let interned = self.interner.intern_name(label);
                         self.trace.push(
                             self.now,
                             TraceEventKind::SpanEnd {
                                 actor: src,
-                                label: label.to_string(),
+                                label: interned,
                             },
                         );
-                        let component = self.actors[src.index()].name.clone();
-                        self.metrics.observe(
-                            &component,
-                            &format!("{label}.ns"),
-                            self.now.0 - started.0,
-                        );
+                        let ns_sym = match self.span_ns.get(label) {
+                            Some(&s) => s,
+                            None => {
+                                let s = self.metrics.sym(&format!("{label}.ns"));
+                                self.span_ns.insert(label, s);
+                                s
+                            }
+                        };
+                        let component = self.actors[src.index()].msym;
+                        self.metrics
+                            .observe_sym(component, ns_sym, self.now.0 - started.0);
                     }
                 }
             }
@@ -643,12 +729,16 @@ impl World {
         );
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
+        let short = self
+            .interner
+            .intern_name(kind.rsplit("::").next().unwrap_or(kind));
         let env = Envelope {
             id,
             src,
             dst,
             sent_at: self.now,
             kind,
+            short,
             msg,
         };
         self.trace.push(
@@ -657,7 +747,7 @@ impl World {
                 id,
                 src,
                 dst,
-                kind: env.kind_short().to_string(),
+                kind: env.short.clone(),
             },
         );
         let verdict = self.interceptor.on_send(&env, self.now);
@@ -671,7 +761,7 @@ impl World {
                         id,
                         src,
                         dst,
-                        kind: env.kind_short().to_string(),
+                        kind: env.short,
                         reason: DropReason::Interceptor,
                     },
                 );
@@ -684,7 +774,7 @@ impl World {
                         id,
                         src,
                         dst,
-                        kind: env.kind_short().to_string(),
+                        kind: env.short.clone(),
                     },
                 );
                 self.held.insert(id, env);
@@ -709,12 +799,38 @@ impl World {
                         id,
                         src,
                         dst,
-                        kind: env.kind_short().to_string(),
+                        kind: env.short,
                         reason,
                     },
                 );
             }
         }
+    }
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        // Return the large buffers to the per-thread pool, cleared. Dropping
+        // the contents happens *before* the pool is borrowed, so payload
+        // destructors can never observe the pool mid-mutation.
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
+        let mut trace = self.trace.take_buffer();
+        trace.clear();
+        let mut effects = std::mem::take(&mut self.effects_scratch);
+        effects.clear();
+        // `try_with` so a world dropped during thread teardown (after the
+        // pool's TLS destructor ran) degrades to a plain free.
+        let _ = BUFFER_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < BUFFER_POOL_MAX {
+                pool.push(WorldBuffers {
+                    queue,
+                    trace,
+                    effects,
+                });
+            }
+        });
     }
 }
 
@@ -910,7 +1026,7 @@ mod tests {
         w.invoke::<Echo, _>(a, move |_, ctx| ctx.send(b, 2u32));
         w.run_until_quiescent(10_000_000);
         assert!(w.actor_ref::<Echo>(b).unwrap().received.is_empty());
-        assert_eq!(w.held_ids().len(), 1);
+        assert_eq!(w.held_ids().count(), 1);
         // Restart b, then release: the held message reaches the NEW incarnation.
         w.crash(b);
         w.restart(b);
@@ -993,6 +1109,26 @@ mod tests {
     }
 
     #[test]
+    fn pooled_buffer_reuse_is_digest_transparent() {
+        let run = || {
+            let mut w = World::new(WorldConfig::default(), 42);
+            let a = w.spawn("a", Echo { received: vec![] });
+            let b = w.spawn("b", Echo { received: vec![] });
+            w.invoke::<Echo, _>(a, move |_, ctx| ctx.send(b, 0u32));
+            w.run_until_quiescent(10_000_000);
+            (w.trace().digest(), w.trace().to_json(), w.metrics_report())
+        };
+        // First run grows fresh buffers; dropping the world parks them in
+        // the thread-local pool.
+        let first = run();
+        let pooled = BUFFER_POOL.with(|p| p.borrow().len());
+        assert!(pooled >= 1, "drop must return buffers to the pool");
+        // Second run draws the recycled buffers and must be byte-identical.
+        let second = run();
+        assert_eq!(first, second);
+    }
+
+    #[test]
     #[should_panic(expected = "already in use")]
     fn duplicate_names_panic() {
         let mut w = World::new(WorldConfig::default(), 1);
@@ -1007,6 +1143,6 @@ mod tests {
         assert_eq!(w.lookup("b"), Some(b));
         assert_eq!(w.lookup("zzz"), None);
         assert_eq!(w.name_of(a), "a");
-        assert_eq!(w.actor_ids(), vec![a, b]);
+        assert_eq!(w.actor_ids().collect::<Vec<_>>(), vec![a, b]);
     }
 }

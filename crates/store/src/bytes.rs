@@ -6,7 +6,7 @@
 //! Only the API surface the workspace actually uses is provided.
 
 use std::borrow::Cow;
-use std::sync::Arc;
+use std::rc::Rc;
 
 /// An immutable, reference-counted byte string.
 #[derive(Clone)]
@@ -17,7 +17,7 @@ enum Repr {
     /// Borrowed from the binary; clone is a pointer copy.
     Static(&'static [u8]),
     /// Shared heap allocation; clone bumps a refcount.
-    Shared(Arc<[u8]>),
+    Shared(Rc<[u8]>),
 }
 
 impl Bytes {
@@ -33,7 +33,7 @@ impl Bytes {
 
     /// Copies a slice into a shared buffer.
     pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
-        Bytes(Repr::Shared(Arc::from(bytes)))
+        Bytes(Repr::Shared(Rc::from(bytes)))
     }
 
     /// The bytes.
@@ -76,7 +76,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Repr::Shared(Arc::from(v.into_boxed_slice())))
+        Bytes(Repr::Shared(Rc::from(v.into_boxed_slice())))
     }
 }
 

@@ -66,8 +66,9 @@ pub enum Completion {
     WatchEvents {
         /// The watch id.
         watch: u64,
-        /// The events.
-        events: Vec<KvEvent>,
+        /// The events (shared, not deep-copied, along the whole
+        /// store → client → cache path).
+        events: Vec<std::rc::Rc<KvEvent>>,
         /// Resume point after this batch.
         revision: Revision,
     },
@@ -532,7 +533,7 @@ impl BasicClient {
     }
 
     /// All watch event batches received so far, flattened.
-    pub fn watch_events(&self, watch: u64) -> Vec<KvEvent> {
+    pub fn watch_events(&self, watch: u64) -> Vec<std::rc::Rc<KvEvent>> {
         self.completions
             .iter()
             .filter_map(|c| match c {

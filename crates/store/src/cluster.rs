@@ -59,7 +59,7 @@ impl StoreCluster {
 /// Panics if `n == 0`.
 pub fn spawn_store_cluster(world: &mut World, n: usize, cfg: StoreNodeConfig) -> StoreCluster {
     assert!(n > 0, "cluster must have at least one node");
-    let base = world.actor_ids().len() as u32;
+    let base = world.actor_ids().count() as u32;
     let peers: Vec<ActorId> = (0..n as u32).map(|i| ActorId(base + i)).collect();
     let mut nodes = Vec::with_capacity(n);
     for idx in 0..n {

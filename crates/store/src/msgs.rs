@@ -248,8 +248,9 @@ pub struct WatchNotify {
     /// must treat the stream as dead and reconnect from its last
     /// contiguous revision — never paper over the hole.
     pub stream_seq: u64,
-    /// New events, in revision order.
-    pub events: Vec<KvEvent>,
+    /// New events, in revision order (shared with the node's retained
+    /// log — fan-out to N watchers bumps refcounts, never deep-copies).
+    pub events: Vec<std::rc::Rc<KvEvent>>,
     /// The node's applied revision after this batch (watchers use it to
     /// resume: `after = revision`).
     pub revision: Revision,

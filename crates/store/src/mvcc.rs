@@ -9,6 +9,7 @@
 //! observability gaps (§4.2.3).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use crate::kv::{Key, KeyValue, KvEvent, LeaseId, Revision, Value};
 use crate::msgs::{Expect, Op, OpError, OpResult};
@@ -30,7 +31,7 @@ pub struct MvccStore {
     /// Retained events; `events[i]` committed at revision
     /// `compacted + 1 + i`. Only puts and deletes consume revisions, so the
     /// log is dense.
-    events: VecDeque<KvEvent>,
+    events: VecDeque<Rc<KvEvent>>,
     /// Highest compacted revision; events at or below it are gone.
     compacted: Revision,
     /// Latest committed revision.
@@ -103,7 +104,7 @@ impl MvccStore {
     /// [`OpError::Compacted`] if `after` is below the compaction floor —
     /// events in `(after, compacted]` are irrecoverably gone, so resuming
     /// from `after` would silently skip history.
-    pub fn events_since(&self, after: Revision) -> Result<Vec<KvEvent>, OpError> {
+    pub fn events_since(&self, after: Revision) -> Result<Vec<Rc<KvEvent>>, OpError> {
         if after < self.compacted {
             return Err(OpError::Compacted {
                 requested: after,
@@ -116,7 +117,7 @@ impl MvccStore {
 
     /// Applies one command, returning its result and the history events it
     /// produced (one per consumed revision).
-    pub fn apply(&mut self, op: &Op) -> (Result<OpResult, OpError>, Vec<KvEvent>) {
+    pub fn apply(&mut self, op: &Op) -> (Result<OpResult, OpError>, Vec<Rc<KvEvent>>) {
         match op {
             Op::Put {
                 key,
@@ -183,7 +184,7 @@ impl MvccStore {
         value: &Value,
         lease: Option<LeaseId>,
         expect: Expect,
-    ) -> (Result<OpResult, OpError>, Vec<KvEvent>) {
+    ) -> (Result<OpResult, OpError>, Vec<Rc<KvEvent>>) {
         if let Err(e) = self.check_expect(key, expect) {
             return (Err(e), Vec::new());
         }
@@ -221,8 +222,10 @@ impl MvccStore {
         };
         self.current.insert(key.clone(), kv.clone());
         self.revision = rev;
-        let ev = KvEvent::Put { kv, prev };
-        self.events.push_back(ev.clone());
+        // Construct the event once; the retained log and the notification
+        // batch share the allocation.
+        let ev = Rc::new(KvEvent::Put { kv, prev });
+        self.events.push_back(Rc::clone(&ev));
         (Ok(OpResult::Put { revision: rev }), vec![ev])
     }
 
@@ -230,7 +233,7 @@ impl MvccStore {
         &mut self,
         key: &Key,
         expect: Expect,
-    ) -> (Result<OpResult, OpError>, Vec<KvEvent>) {
+    ) -> (Result<OpResult, OpError>, Vec<Rc<KvEvent>>) {
         if let Err(e) = self.check_expect(key, expect) {
             return (Err(e), Vec::new());
         }
@@ -250,12 +253,12 @@ impl MvccStore {
         }
         let rev = self.revision.next();
         self.revision = rev;
-        let ev = KvEvent::Delete {
+        let ev = Rc::new(KvEvent::Delete {
             key: key.clone(),
             revision: rev,
             prev: Some(prev),
-        };
-        self.events.push_back(ev.clone());
+        });
+        self.events.push_back(Rc::clone(&ev));
         (
             Ok(OpResult::Delete {
                 revision: rev,
@@ -265,7 +268,7 @@ impl MvccStore {
         )
     }
 
-    fn apply_lease_revoke(&mut self, id: LeaseId) -> (Result<OpResult, OpError>, Vec<KvEvent>) {
+    fn apply_lease_revoke(&mut self, id: LeaseId) -> (Result<OpResult, OpError>, Vec<Rc<KvEvent>>) {
         let Some(info) = self.leases.remove(&id) else {
             return (Err(OpError::LeaseNotFound(id)), Vec::new());
         };

@@ -7,6 +7,7 @@
 //! delay and drop.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use ph_sim::ActorId;
 
@@ -93,12 +94,12 @@ impl WatchRegistry {
     /// after the batch.
     pub fn route(
         &mut self,
-        events: &[KvEvent],
+        events: &[Rc<KvEvent>],
         revision: Revision,
-    ) -> Vec<(Watcher, Vec<KvEvent>, Revision)> {
+    ) -> Vec<(Watcher, Vec<Rc<KvEvent>>, Revision)> {
         let mut out = Vec::new();
         for w in self.watchers.values_mut() {
-            let matching: Vec<KvEvent> = events
+            let matching: Vec<Rc<KvEvent>> = events
                 .iter()
                 .filter(|e| e.key().has_prefix(&w.prefix))
                 .cloned()
@@ -118,8 +119,8 @@ mod tests {
     use super::*;
     use crate::kv::{Key, KeyValue, Value};
 
-    fn put_event(key: &str, rev: u64) -> KvEvent {
-        KvEvent::Put {
+    fn put_event(key: &str, rev: u64) -> Rc<KvEvent> {
+        Rc::new(KvEvent::Put {
             kv: KeyValue {
                 key: Key::new(key),
                 value: Value::from_static(b"v"),
@@ -129,7 +130,7 @@ mod tests {
                 lease: None,
             },
             prev: None,
-        }
+        })
     }
 
     #[test]

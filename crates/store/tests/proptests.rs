@@ -95,12 +95,12 @@ fn mvcc_retained_events_replay_to_current_state() {
             let mut rebuilt: std::collections::BTreeMap<Key, Value> =
                 std::collections::BTreeMap::new();
             for e in events {
-                match e {
+                match e.as_ref() {
                     ph_store::KvEvent::Put { kv, .. } => {
-                        rebuilt.insert(kv.key, kv.value);
+                        rebuilt.insert(kv.key.clone(), kv.value.clone());
                     }
                     ph_store::KvEvent::Delete { key, .. } => {
-                        rebuilt.remove(&key);
+                        rebuilt.remove(key);
                     }
                 }
             }

@@ -1,0 +1,109 @@
+//! Buffer-pool transparency: trial-pool reuse must be invisible in every
+//! observable output.
+//!
+//! `ph-sim` keeps a per-thread free list of world buffers (event queue,
+//! trace storage, effect scratch) so back-to-back trials reuse warmed-up
+//! capacity instead of reallocating. Only *capacity* may survive the round
+//! trip — a run that draws recycled buffers must produce byte-identical
+//! results to one on a fresh thread whose pool has never been touched.
+//! This suite pins that for every registered scenario: trace digest, event
+//! count, oracle verdicts, metrics report (and its JSON rendering), and
+//! the divergence summary.
+
+use ph_core::harness::RunReport;
+use ph_core::perturb::Strategy;
+use ph_scenarios::{
+    cass_398, cass_400, cass_402, hbase_3136, k8s_56261, k8s_59848, node_fencing, volume_17,
+    Variant,
+};
+
+type RunFn = fn(u64, &mut dyn Strategy, Variant) -> RunReport;
+type GuidedFn = fn(u64) -> Box<dyn Strategy>;
+
+/// Every registered scenario, with its guided-strategy factory.
+fn scenarios() -> Vec<(&'static str, RunFn, GuidedFn)> {
+    vec![
+        (k8s_59848::NAME, k8s_59848::run, k8s_59848::guided),
+        (k8s_56261::NAME, k8s_56261::run, k8s_56261::guided),
+        (volume_17::NAME, volume_17::run, volume_17::guided),
+        (cass_398::NAME, cass_398::run, cass_398::guided),
+        (cass_400::NAME, cass_400::run, cass_400::guided),
+        (cass_402::NAME, cass_402::run, cass_402::guided),
+        (hbase_3136::NAME, hbase_3136::run, hbase_3136::guided),
+        (node_fencing::NAME, node_fencing::run, node_fencing::guided),
+    ]
+}
+
+fn run_once(run: RunFn, guided: GuidedFn, seed: u64, variant: Variant) -> RunReport {
+    let mut strategy = guided(seed);
+    run(seed, strategy.as_mut(), variant)
+}
+
+/// Runs on a brand-new thread, guaranteeing an untouched buffer pool.
+fn run_fresh(run: RunFn, guided: GuidedFn, seed: u64, variant: Variant) -> RunReport {
+    std::thread::spawn(move || run_once(run, guided, seed, variant))
+        .join()
+        .expect("fresh-pool run panicked")
+}
+
+fn assert_reports_identical(name: &str, variant: Variant, fresh: &RunReport, pooled: &RunReport) {
+    assert_eq!(
+        fresh.trace_digest, pooled.trace_digest,
+        "{name} ({variant:?}): trace digest differs between fresh and pooled buffers"
+    );
+    assert_eq!(
+        fresh.trace_events, pooled.trace_events,
+        "{name} ({variant:?}): event count differs"
+    );
+    assert_eq!(
+        fresh.violations, pooled.violations,
+        "{name} ({variant:?}): oracle verdicts differ"
+    );
+    assert_eq!(
+        fresh.sim_time, pooled.sim_time,
+        "{name} ({variant:?}): end time differs"
+    );
+    assert_eq!(
+        fresh.metrics, pooled.metrics,
+        "{name} ({variant:?}): metrics report differs"
+    );
+    assert_eq!(
+        fresh.metrics.to_json(),
+        pooled.metrics.to_json(),
+        "{name} ({variant:?}): metrics JSON rendering differs"
+    );
+    assert_eq!(
+        fresh.divergence, pooled.divergence,
+        "{name} ({variant:?}): divergence summary differs"
+    );
+}
+
+/// For every scenario: a run on a virgin pool equals a run that recycles
+/// the buffers of two earlier trials (of *different* scenarios among them,
+/// since the pool is shared across everything a thread runs).
+#[test]
+fn pooled_and_fresh_runs_are_identical_for_every_scenario() {
+    const SEED: u64 = 0xB0F;
+    for (name, run, guided) in scenarios() {
+        let fresh = run_fresh(run, guided, SEED, Variant::Buggy);
+        // Warm this thread's pool — every iteration after the first also
+        // inherits buffers recycled from previous scenarios' worlds.
+        let warm = run_once(run, guided, SEED, Variant::Buggy);
+        let pooled = run_once(run, guided, SEED, Variant::Buggy);
+        assert_reports_identical(name, Variant::Buggy, &fresh, &warm);
+        assert_reports_identical(name, Variant::Buggy, &fresh, &pooled);
+    }
+}
+
+/// The fixed variants must be equally transparent (their traces differ
+/// from the buggy ones, so this exercises different queue/trace shapes).
+#[test]
+fn pooled_and_fresh_runs_are_identical_for_fixed_variants() {
+    const SEED: u64 = 0x5EED;
+    for (name, run, guided) in scenarios() {
+        let fresh = run_fresh(run, guided, SEED, Variant::Fixed);
+        let _warm = run_once(run, guided, SEED, Variant::Fixed);
+        let pooled = run_once(run, guided, SEED, Variant::Fixed);
+        assert_reports_identical(name, Variant::Fixed, &fresh, &pooled);
+    }
+}

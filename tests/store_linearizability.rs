@@ -23,13 +23,13 @@ fn setup(seed: u64) -> (World, ph_store::StoreCluster, ph_sim::ActorId) {
 }
 
 /// Converts a store event stream into `ph-core` model changes.
-fn to_changes(events: &[KvEvent]) -> Vec<Change> {
+fn to_changes(events: &[std::rc::Rc<KvEvent>]) -> Vec<Change> {
     events
         .iter()
         .map(|e| Change {
             seq: e.revision().0,
             entity: e.key().as_str().to_string(),
-            op: match e {
+            op: match e.as_ref() {
                 KvEvent::Put { kv, .. } if kv.version == 1 => ChangeOp::Create,
                 KvEvent::Put { kv, .. } => ChangeOp::Update(kv.version),
                 KvEvent::Delete { .. } => ChangeOp::Delete,
