@@ -10,6 +10,8 @@
 //! benchmarks while building fully offline, with no third-party
 //! dependencies.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level harness handle, passed as `&mut Criterion` into each bench

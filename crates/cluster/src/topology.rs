@@ -227,6 +227,29 @@ pub fn access_summaries(cfg: &ClusterConfig) -> Vec<ph_lint::summary::AccessSumm
     out
 }
 
+/// The complete declared-summary set for the IR ↔ source conformance
+/// pass: every component the tree implements, in its fully-guarded
+/// (fixed) variant so all declared gates are present, plus the
+/// apiserver's own summary — which [`access_summaries`] omits because the
+/// apiserver performs no destructive actions, but the scanner still finds
+/// its informer-like store view and must see a matching declaration.
+pub fn declared_access_summaries() -> Vec<ph_lint::summary::AccessSummary> {
+    let cfg = ClusterConfig {
+        kubelet_fixed: true,
+        scheduler: Some(true),
+        volume_controller: Some(VcMode::FreshOrphan),
+        rs_controller: Some(true),
+        operator: Some(OperatorFlags::fixed()),
+        node_lifecycle: Some(true),
+        ..ClusterConfig::default()
+    };
+    let mut out = access_summaries(&cfg);
+    out.push(ApiServer::access_summary(&ApiServerConfig::new(
+        StoreClientConfig::new(Vec::new()),
+    )));
+    out
+}
+
 /// Spawns the full stack described by `cfg`.
 pub fn spawn_cluster(world: &mut World, cfg: &ClusterConfig) -> ClusterHandle {
     let store = spawn_store_cluster(world, cfg.store_nodes, cfg.store);

@@ -25,10 +25,78 @@
 
 use std::collections::BTreeSet;
 
+use ph_lint::modelcheck::{Letter, Witness};
 use ph_sim::{ActorId, Duration, Envelope, SimTime, Trace, TraceEventKind, Verdict, World};
 
 use crate::causality::CausalGraph;
 use crate::perturb::{Strategy, Targets};
+
+/// The abstract *shape* of perturbation a model-checker witness letter
+/// calls for, stripped of scenario specifics. The witness→strategy bridge
+/// (in ph-scenarios) maps each shape onto concrete, scenario-anchored
+/// [`Strategy`] instances; everything here is scenario-independent so the
+/// compilation is reusable and testable without a cluster.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriorShape {
+    /// Hold or delay a cache's view of `resource` past a write.
+    DelayCache {
+        /// The stale-able resource, e.g. `pods`.
+        resource: String,
+    },
+    /// Reorder a view update against the consuming decision — a shorter
+    /// hold placed right at a decision boundary.
+    ReorderUpdateConsume {
+        /// The raced resource.
+        resource: String,
+    },
+    /// Drop or black out notifications carrying `resource` updates.
+    DropNotification {
+        /// The silenced resource.
+        resource: String,
+    },
+    /// Land the component on a different (lagging) upstream.
+    UpstreamSwitch,
+    /// Crash the component so it restarts against a stale upstream and
+    /// replays its view from there.
+    CrashRestartReplay,
+}
+
+impl PriorShape {
+    /// Compiles one abstract letter to its shape.
+    pub fn from_letter(letter: &Letter) -> PriorShape {
+        match letter {
+            Letter::DelayCache(r) => PriorShape::DelayCache {
+                resource: r.clone(),
+            },
+            Letter::ReorderUpdateConsume(r) => PriorShape::ReorderUpdateConsume {
+                resource: r.clone(),
+            },
+            Letter::DropNotification(r) => PriorShape::DropNotification {
+                resource: r.clone(),
+            },
+            Letter::UpstreamSwitch => PriorShape::UpstreamSwitch,
+            Letter::CrashRestartReplay => PriorShape::CrashRestartReplay,
+        }
+    }
+}
+
+/// Compiles minimal witnesses into an ordered, deduplicated list of prior
+/// shapes: witnesses are already minimal and canonically ordered, so the
+/// first shapes are the ones the model checker considers shortest paths to
+/// a hazard — guided search tries them first.
+pub fn witness_priors(witnesses: &[&Witness]) -> Vec<PriorShape> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for w in witnesses {
+        for letter in &w.schedule {
+            let shape = PriorShape::from_letter(letter);
+            if seen.insert(shape.clone()) {
+                out.push(shape);
+            }
+        }
+    }
+    out
+}
 
 /// A concrete, replayable perturbation derived from a reference trace.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -399,6 +467,44 @@ mod tests {
             horizon: Duration::millis(200),
         };
         (w, targets, d)
+    }
+
+    #[test]
+    fn witness_priors_dedupe_in_witness_order() {
+        use ph_lint::summary::PatternClass;
+        let w = |schedule: Vec<Letter>, class| Witness {
+            component: "c".into(),
+            action: "a".into(),
+            class,
+            path: "p".into(),
+            schedule,
+            detail: "d".into(),
+        };
+        let w1 = w(
+            vec![Letter::DelayCache("pods".into())],
+            PatternClass::Staleness,
+        );
+        let w2 = w(
+            vec![Letter::DelayCache("pods".into()), Letter::UpstreamSwitch],
+            PatternClass::TimeTravel,
+        );
+        let w3 = w(
+            vec![Letter::DropNotification("leases".into())],
+            PatternClass::ObservabilityGap,
+        );
+        let priors = witness_priors(&[&w1, &w2, &w3]);
+        assert_eq!(
+            priors,
+            vec![
+                PriorShape::DelayCache {
+                    resource: "pods".into()
+                },
+                PriorShape::UpstreamSwitch,
+                PriorShape::DropNotification {
+                    resource: "leases".into()
+                },
+            ]
+        );
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct CrossCheckRow {
     pub dynamic_buggy_detected: Option<bool>,
     /// Was the guided dynamic run on the fixed variant clean?
     pub dynamic_fixed_clean: Option<bool>,
+    /// Components covered by the static pass (one summary each).
+    pub static_components: Vec<String>,
+    /// Components implicated dynamically that have *no* static row: an
+    /// oracle blamed them but `access_summaries` never declared them, so
+    /// the static side is silent for the wrong reason. Rendered as
+    /// `static=missing` and always a disagreement.
+    pub missing_static: Vec<String>,
+    /// Rendered minimal witnesses from the model checker for the buggy
+    /// variant (`ph_lint::modelcheck`), in canonical order.
+    pub buggy_witnesses: Vec<String>,
 }
 
 impl CrossCheckRow {
@@ -42,9 +52,25 @@ impl CrossCheckRow {
         out
     }
 
-    /// Static agreement: expected class flagged on buggy, fixed clean.
+    /// Records a component the dynamic side implicated. If the static
+    /// pass has no summary for it, the row gains a `static=missing` entry
+    /// — previously such components silently vanished from the table.
+    pub fn record_dynamic_component(&mut self, component: &str) {
+        if self.static_components.iter().any(|c| c == component)
+            || self.missing_static.iter().any(|c| c == component)
+        {
+            return;
+        }
+        self.missing_static.push(component.to_string());
+        self.missing_static.sort();
+    }
+
+    /// Static agreement: expected class flagged on buggy, fixed clean,
+    /// and no dynamically-implicated component missing a static row.
     pub fn static_agrees(&self) -> bool {
-        self.buggy_classes().contains(&self.expected) && self.fixed_hazards.is_empty()
+        self.buggy_classes().contains(&self.expected)
+            && self.fixed_hazards.is_empty()
+            && self.missing_static.is_empty()
     }
 
     /// Full agreement: static agreement plus (when the dynamic side ran)
@@ -93,7 +119,9 @@ impl CrossCheckTable {
             } else {
                 "FLAGGED"
             };
-            let verdict = if r.static_agrees() {
+            let verdict = if !r.missing_static.is_empty() {
+                "static=missing"
+            } else if r.static_agrees() {
                 "agree"
             } else {
                 "MISMATCH"
@@ -106,6 +134,15 @@ impl CrossCheckTable {
                 fixed,
                 verdict
             ));
+            for m in &r.missing_static {
+                out.push_str(&format!(
+                    "{:<16}   dynamic implicates `{m}` but access_summaries has no row\n",
+                    ""
+                ));
+            }
+            for w in &r.buggy_witnesses {
+                out.push_str(&format!("{:<16}   witness: {w}\n", ""));
+            }
         }
         out
     }
@@ -135,14 +172,29 @@ impl CrossCheckTable {
                 .map(|h| h.to_json())
                 .collect::<Vec<_>>()
                 .join(",");
+            let missing = r
+                .missing_static
+                .iter()
+                .map(|m| format!("\"{}\"", esc(m)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let witnesses = r
+                .buggy_witnesses
+                .iter()
+                .map(|w| format!("\"{}\"", esc(w)))
+                .collect::<Vec<_>>()
+                .join(",");
             out.push_str(&format!(
                 "{{\"scenario\":\"{}\",\"expected\":\"{}\",\"static_buggy_classes\":[{}],\
-                 \"buggy_hazards\":[{}],\"fixed_hazards\":[{}],\"static_agrees\":{}}}",
+                 \"buggy_hazards\":[{}],\"fixed_hazards\":[{}],\"missing_static\":[{}],\
+                 \"witnesses\":[{}],\"static_agrees\":{}}}",
                 esc(&r.scenario),
                 r.expected.as_str(),
                 classes,
                 hazards,
                 fixed_hazards,
+                missing,
+                witnesses,
                 r.static_agrees()
             ));
         }
@@ -179,6 +231,9 @@ mod tests {
             fixed_hazards: vec![],
             dynamic_buggy_detected: None,
             dynamic_fixed_clean: None,
+            static_components: vec!["c".into()],
+            missing_static: vec![],
+            buggy_witnesses: vec![],
         };
         assert!(row.static_agrees());
         assert_eq!(
@@ -196,6 +251,9 @@ mod tests {
             fixed_hazards: vec![hazard(PatternClass::Staleness)],
             dynamic_buggy_detected: None,
             dynamic_fixed_clean: None,
+            static_components: vec!["c".into()],
+            missing_static: vec![],
+            buggy_witnesses: vec![],
         };
         assert!(!row.static_agrees());
     }
@@ -209,10 +267,41 @@ mod tests {
             fixed_hazards: vec![],
             dynamic_buggy_detected: Some(true),
             dynamic_fixed_clean: Some(true),
+            static_components: vec!["c".into()],
+            missing_static: vec![],
+            buggy_witnesses: vec![],
         };
         assert!(row.agrees());
         row.dynamic_buggy_detected = Some(false);
         assert!(!row.agrees());
+    }
+
+    #[test]
+    fn dynamically_implicated_component_without_static_row_is_a_disagreement() {
+        // Regression: such a component used to vanish from the table.
+        let mut row = CrossCheckRow {
+            scenario: "s".into(),
+            expected: PatternClass::Staleness,
+            buggy_hazards: vec![hazard(PatternClass::Staleness)],
+            fixed_hazards: vec![],
+            dynamic_buggy_detected: Some(true),
+            dynamic_fixed_clean: Some(true),
+            static_components: vec!["c".into()],
+            missing_static: vec![],
+            buggy_witnesses: vec![],
+        };
+        assert!(row.static_agrees());
+        row.record_dynamic_component("c"); // covered — no change
+        assert!(row.static_agrees());
+        row.record_dynamic_component("rogue");
+        assert_eq!(row.missing_static, vec!["rogue".to_string()]);
+        assert!(!row.static_agrees());
+        assert!(!row.agrees());
+        let table = CrossCheckTable { rows: vec![row] };
+        let text = table.render_text();
+        assert!(text.contains("static=missing"), "{text}");
+        assert!(text.contains("`rogue`"), "{text}");
+        assert!(table.to_json().contains("\"missing_static\":[\"rogue\"]"));
     }
 
     #[test]
@@ -225,10 +314,14 @@ mod tests {
                 fixed_hazards: vec![],
                 dynamic_buggy_detected: None,
                 dynamic_fixed_clean: None,
+                static_components: vec!["c".into()],
+                missing_static: vec![],
+                buggy_witnesses: vec!["a [staleness] via [delay-cache(pods)]".into()],
             }],
         };
         let json = table.to_json();
         assert!(json.contains("\"expected\":\"observability-gap\""));
+        assert!(json.contains("\"witnesses\":[\"a [staleness] via [delay-cache(pods)]\"]"));
         assert!(json.contains("\"all_static_agree\":true"));
     }
 }

@@ -59,6 +59,15 @@ impl EpochPartition {
     pub fn is_sealed(&self, epoch: u64, committed: u64) -> bool {
         committed >= self.last_seq(epoch)
     }
+
+    /// The static worst-case staleness of a gap-free, eagerly-draining
+    /// consumer: up to `size - 1` committed events in the still-unsealed
+    /// epoch, plus the sealing event itself before release happens. This
+    /// is the bound the model checker's epoch-safety verdict leans on —
+    /// within it, divergence is coordination delay, not a hazard.
+    pub fn staleness_ceiling(&self) -> u64 {
+        self.size
+    }
 }
 
 /// Consumer-side enforcement of the all-or-nothing epoch guarantee.
@@ -323,6 +332,26 @@ mod tests {
         assert!(peaks.windows(2).all(|w| w[0] <= w[1]), "peaks {peaks:?}");
         assert_eq!(peaks[0], 1);
         assert_eq!(peaks[3], 64);
+    }
+
+    #[test]
+    fn staleness_ceiling_bounds_gap_free_eager_consumers() {
+        for size in [1u64, 2, 4, 8] {
+            let p = EpochPartition::new(size);
+            let mut b = EpochBuffer::new(p);
+            let mut tight = false;
+            for s in 1..=32 {
+                b.push(ch(s));
+                // Just before draining, the sealing event itself may sit
+                // at the ceiling — never beyond it.
+                assert!(b.staleness_bound(s) <= p.staleness_ceiling());
+                tight |= b.staleness_bound(s) == p.staleness_ceiling();
+                b.drain_ready(s);
+                // After an eager drain only the open epoch's prefix lags.
+                assert!(b.staleness_bound(s) < p.staleness_ceiling().max(1));
+            }
+            assert!(tight, "ceiling is reached for size {size}");
+        }
     }
 
     #[test]

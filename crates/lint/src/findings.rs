@@ -25,10 +25,14 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Sorts findings into their canonical deterministic order.
+    /// Sorts findings into their canonical deterministic order and drops
+    /// exact duplicates, so rendered output is independent of directory
+    /// walk order and of the same file being scanned via two passes.
     pub fn sort(&mut self) {
-        self.findings
-            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+        });
+        self.findings.dedup();
     }
 
     /// Findings not covered by a suppression — these gate CI.

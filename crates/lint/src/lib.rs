@@ -12,20 +12,34 @@
 //!    Suppressions (`// ph-lint: allow(<rule>, <reason>)`) require a
 //!    reason.
 //!
-//! 2. **Partial-history hazard analysis** ([`summary`]): each ph-cluster
-//!    component exports an [`summary::AccessSummary`] of how it reads
-//!    (cache vs. quorum lists, watches, resyncs) and what gates its
-//!    destructive actions; a checker flags the paper's §4.2 patterns —
-//!    staleness, time travel, observability gap — *before anything runs*.
+//! 2. **Partial-history hazard analysis** ([`summary`], [`modelcheck`]):
+//!    each ph-cluster component exports an [`summary::AccessSummary`] of
+//!    how it reads (cache vs. quorum lists, watches, resyncs) and what
+//!    gates its destructive actions; a bounded explicit-state model
+//!    checker explores the IR's freshness state space under an alphabet of
+//!    abstract perturbations and, per destructive action, either emits a
+//!    **minimal hazard witness** (the shortest schedule reaching a §4.2
+//!    pattern — staleness, time travel, observability gap) or proves the
+//!    action **epoch-safe** — *before anything runs*.
 //!
-//! Both passes are wired into `phtool lint`; the hazard pass is
-//! cross-checked against the dynamic explorer over all eight scenarios.
+//! 3. **IR ↔ source conformance** ([`conformance`]): a lightweight item
+//!    scanner over the ph-cluster sources extracts the access protocol the
+//!    code actually implements and diffs it against the declared
+//!    summaries, so the IR can never silently rot.
+//!
+//! All passes are wired into `phtool lint` / `phtool check`; the hazard
+//! pass is cross-checked against the dynamic explorer over all eight
+//! scenarios, and its witnesses seed the explorer's guided search.
 //!
 //! This crate has **no dependencies** (std only) and sits below every
 //! other workspace crate so they can export summaries in its IR.
 
+#![forbid(unsafe_code)]
+
+pub mod conformance;
 pub mod findings;
 pub mod lexer;
+pub mod modelcheck;
 pub mod rules;
 pub mod summary;
 

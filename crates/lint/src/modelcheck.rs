@@ -1,0 +1,931 @@
+//! Bounded explicit-state model checking over the [`AccessSummary`] IR.
+//!
+//! [`check_summary`](crate::summary::check_summary) pattern-matches the IR
+//! and says *whether* a §4.2 hazard class is possible. This module answers
+//! the stronger question: *which perturbation schedule reaches it*. It
+//! tracks, per view, a small symbolic freshness state — how many epochs the
+//! view lags truth (capped at [`STALE_BOUND`], the §6.2 epoch counter),
+//! whether an upstream switch has made it time-traveled, whether a watch
+//! event was irrecoverably lost, and whether the component is hearing a
+//! false silence — and explores the closure of that state space under an
+//! alphabet of abstract perturbations ([`Letter`]).
+//!
+//! For every destructive action the checker either
+//!
+//! * emits a **minimal hazard witness** ([`Witness`]): the shortest
+//!   perturbation schedule, in canonical alphabet order, after which some
+//!   gate path admits the action while its guarding view is hazardous —
+//!   classified with the §4.2 taxonomy; or
+//! * proves the action **epoch-safe**: the *entire* reachable state space
+//!   (every interleaving of every perturbation, staleness bounded by
+//!   [`STALE_BOUND`]) contains no state satisfying any unfenced path, so
+//!   every route to the action is fenced within epoch bounds.
+//!
+//! The exploration is exhaustive and the witness search breadth-first, so
+//! the verdict is *complete* relative to the abstraction: a hazard class
+//! has a witness **iff** `check_summary` flags it (the transition relation
+//! was derived from the same four rules), and the witness is the shortest
+//! schedule in the deterministic letter order. That containment is what
+//! lets [`ModelCheckReport::hazards`] replace `check_summary` as the
+//! static verdict source for the cross-check table, while the schedules
+//! additionally seed the dynamic explorer (`ph-core::autoguide`).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::findings::esc;
+use crate::summary::{AccessSummary, Gate, GatePath, Hazard, PatternClass, ReadKind};
+
+/// Cap on the per-view staleness counter: views lagging by more than this
+/// many epochs are indistinguishable to every gate, so the state space is
+/// finite without losing any hazard (the gates only test *lag > 0*).
+pub const STALE_BOUND: u8 = 3;
+
+/// One abstract perturbation. The declaration order is the canonical
+/// alphabet order: witnesses are minimal first by schedule length, then
+/// lexicographically by letter index, so the same IR always yields the
+/// same witness bytes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Letter {
+    /// Delay the cache feeding the view over this resource by one epoch
+    /// (§4.2.1: an apiserver watch cache falls behind the store).
+    DelayCache(String),
+    /// Reorder an update against its consumption: the component reads the
+    /// view one epoch before the write it races with lands (a bounded
+    /// special case of [`Letter::DelayCache`], kept for schedule realism).
+    ReorderUpdateConsume(String),
+    /// Drop a notification carrying an event or a liveness signal for this
+    /// resource (§4.2.3: the event is missed; silence turns false).
+    DropNotification(String),
+    /// The component re-lists from a different — possibly older — upstream
+    /// (§4.2.2: restart under `ByInstance`, or a retry detour).
+    UpstreamSwitch,
+    /// Crash, restart against a stale upstream, replay: the upstream
+    /// switch plus the loss of any queued non-replayable watch events.
+    CrashRestartReplay,
+}
+
+impl Letter {
+    /// Stable serialized name, e.g. `delay-cache(pods)`.
+    pub fn label(&self) -> String {
+        match self {
+            Letter::DelayCache(r) => format!("delay-cache({r})"),
+            Letter::ReorderUpdateConsume(r) => format!("reorder-update-consume({r})"),
+            Letter::DropNotification(r) => format!("drop-notification({r})"),
+            Letter::UpstreamSwitch => "upstream-switch".to_string(),
+            Letter::CrashRestartReplay => "crash-restart-replay".to_string(),
+        }
+    }
+
+    /// The resource the letter perturbs, if it targets one.
+    pub fn resource(&self) -> Option<&str> {
+        match self {
+            Letter::DelayCache(r)
+            | Letter::ReorderUpdateConsume(r)
+            | Letter::DropNotification(r) => Some(r),
+            Letter::UpstreamSwitch | Letter::CrashRestartReplay => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Letter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A minimal hazard witness: the shortest perturbation schedule after
+/// which `action` is admitted by `path` while the guarding view is
+/// hazardous.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Component the hazard lives in.
+    pub component: String,
+    /// The gated destructive action.
+    pub action: String,
+    /// §4.2 classification of the witnessed state.
+    pub class: PatternClass,
+    /// The admitting gate path (`*` for action-level missed-trigger
+    /// hazards, which quantify over every path).
+    pub path: String,
+    /// The schedule, in canonical alphabet order.
+    pub schedule: Vec<Letter>,
+    /// Human explanation of the witnessed state.
+    pub detail: String,
+}
+
+impl Witness {
+    /// Deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"component\":\"");
+        s.push_str(&esc(&self.component));
+        s.push_str("\",\"action\":\"");
+        s.push_str(&esc(&self.action));
+        s.push_str("\",\"class\":\"");
+        s.push_str(self.class.as_str());
+        s.push_str("\",\"path\":\"");
+        s.push_str(&esc(&self.path));
+        s.push_str("\",\"schedule\":[");
+        for (i, l) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(&esc(&l.label()));
+            s.push('"');
+        }
+        s.push_str("],\"detail\":\"");
+        s.push_str(&esc(&self.detail));
+        s.push_str("\"}");
+        s
+    }
+
+    /// One-line rendering: `action [class] via letter1 ; letter2`.
+    pub fn render(&self) -> String {
+        let sched: Vec<String> = self.schedule.iter().map(Letter::label).collect();
+        format!(
+            "{} [{}] via [{}]",
+            self.action,
+            self.class.as_str(),
+            sched.join(" ; ")
+        )
+    }
+}
+
+/// The checker's verdict on one destructive action.
+#[derive(Debug, Clone)]
+pub enum ActionVerdict {
+    /// At least one reachable hazardous admission; minimal witnesses, one
+    /// per hazard class, in class order.
+    Hazardous(Vec<Witness>),
+    /// Every reachable state that admits the action is fenced: the action
+    /// is safe within epoch bounds.
+    EpochSafe,
+}
+
+/// Verdict for one destructive action of the component.
+#[derive(Debug, Clone)]
+pub struct ActionReport {
+    /// The action's declared name.
+    pub action: String,
+    /// Its verdict.
+    pub verdict: ActionVerdict,
+}
+
+/// The full model-checking result for one component.
+#[derive(Debug, Clone)]
+pub struct ModelCheckReport {
+    /// Component name.
+    pub component: String,
+    /// Size of the explored (= entire reachable) state space.
+    pub states_explored: usize,
+    /// The staleness cap the epoch-safety proof is relative to.
+    pub stale_bound: u8,
+    /// One entry per destructive action, in declaration order.
+    pub actions: Vec<ActionReport>,
+}
+
+impl ModelCheckReport {
+    /// `true` when every destructive action is epoch-safe.
+    pub fn is_epoch_safe(&self) -> bool {
+        self.actions
+            .iter()
+            .all(|a| matches!(a.verdict, ActionVerdict::EpochSafe))
+    }
+
+    /// All witnesses, in (action declaration, class) order.
+    pub fn witnesses(&self) -> Vec<&Witness> {
+        self.actions
+            .iter()
+            .filter_map(|a| match &a.verdict {
+                ActionVerdict::Hazardous(ws) => Some(ws.iter()),
+                ActionVerdict::EpochSafe => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Adapts witnesses to the [`Hazard`] shape the cross-check table
+    /// consumes, carrying the witness schedule in the detail.
+    pub fn hazards(&self) -> Vec<Hazard> {
+        self.witnesses()
+            .into_iter()
+            .map(|w| Hazard {
+                component: w.component.clone(),
+                action: w.action.clone(),
+                class: w.class,
+                detail: {
+                    let sched: Vec<String> = w.schedule.iter().map(Letter::label).collect();
+                    format!("{} [witness: {}]", w.detail, sched.join(" ; "))
+                },
+            })
+            .collect()
+    }
+
+    /// Deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"component\":\"");
+        s.push_str(&esc(&self.component));
+        s.push_str("\",\"states_explored\":");
+        s.push_str(&self.states_explored.to_string());
+        s.push_str(",\"stale_bound\":");
+        s.push_str(&self.stale_bound.to_string());
+        s.push_str(",\"actions\":[");
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"action\":\"");
+            s.push_str(&esc(&a.action));
+            s.push('"');
+            match &a.verdict {
+                ActionVerdict::EpochSafe => {
+                    s.push_str(",\"verdict\":\"epoch-safe\"}");
+                }
+                ActionVerdict::Hazardous(ws) => {
+                    s.push_str(",\"verdict\":\"hazardous\",\"witnesses\":[");
+                    for (j, w) in ws.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&w.to_json());
+                    }
+                    s.push_str("]}");
+                }
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// The symbolic state
+// ---------------------------------------------------------------------
+
+const F_TIME_TRAVELED: u8 = 1 << 2;
+const F_EVENT_LOST: u8 = 1 << 3;
+const F_FALSE_SILENCE: u8 = 1 << 4;
+const STALE_MASK: u8 = 0b11;
+
+/// Per-resource packed freshness state: 2 bits of epoch lag plus the three
+/// hazard flags. All transitions are monotone (lag saturates, flags only
+/// set), which is what makes the reachable space small and the BFS total.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State(Vec<u8>);
+
+impl State {
+    fn fresh(n: usize) -> State {
+        State(vec![0; n])
+    }
+
+    fn stale(&self, r: usize) -> u8 {
+        self.0[r] & STALE_MASK
+    }
+
+    fn add_stale(&mut self, r: usize, by: u8) {
+        let lag = (self.stale(r) + by).min(STALE_BOUND);
+        self.0[r] = (self.0[r] & !STALE_MASK) | lag;
+    }
+
+    fn flag(&self, r: usize, f: u8) -> bool {
+        self.0[r] & f != 0
+    }
+
+    fn set_flag(&mut self, r: usize, f: u8) {
+        self.0[r] |= f;
+    }
+}
+
+/// The model: the summary, its sorted resource universe, and the enabled
+/// alphabet in canonical order.
+struct Model<'a> {
+    summary: &'a AccessSummary,
+    resources: Vec<String>,
+    alphabet: Vec<Letter>,
+}
+
+impl<'a> Model<'a> {
+    fn new(summary: &'a AccessSummary) -> Model<'a> {
+        let mut resources: BTreeSet<String> = BTreeSet::new();
+        for v in &summary.views {
+            resources.insert(v.resource.clone());
+        }
+        for a in &summary.actions {
+            for p in &a.paths {
+                for g in &p.gates {
+                    resources.insert(g.resource().to_string());
+                }
+            }
+        }
+        let resources: Vec<String> = resources.into_iter().collect();
+
+        // The enabled alphabet. A letter is included only when the IR says
+        // its perturbation can affect this component, so no-op letters
+        // never pad a witness.
+        let mut alphabet = Vec::new();
+        for r in &resources {
+            if stale_able(summary, r) {
+                alphabet.push(Letter::DelayCache(r.clone()));
+            }
+        }
+        for r in &resources {
+            if stale_able(summary, r) {
+                alphabet.push(Letter::ReorderUpdateConsume(r.clone()));
+            }
+        }
+        for r in &resources {
+            if droppable(summary, r) {
+                alphabet.push(Letter::DropNotification(r.clone()));
+            }
+        }
+        if summary.upstream_switch {
+            alphabet.push(Letter::UpstreamSwitch);
+            alphabet.push(Letter::CrashRestartReplay);
+        }
+        Model {
+            summary,
+            resources,
+            alphabet,
+        }
+    }
+
+    fn idx(&self, resource: &str) -> usize {
+        self.resources
+            .iter()
+            .position(|r| r == resource)
+            .expect("gate resources are in the universe by construction")
+    }
+
+    /// The successor of `state` under `letter`.
+    fn apply(&self, state: &State, letter: &Letter) -> State {
+        let mut next = state.clone();
+        match letter {
+            Letter::DelayCache(r) => next.add_stale(self.idx(r), 1),
+            Letter::ReorderUpdateConsume(r) => {
+                let i = self.idx(r);
+                if next.stale(i) == 0 {
+                    next.add_stale(i, 1);
+                }
+            }
+            Letter::DropNotification(r) => {
+                let i = self.idx(r);
+                next.set_flag(i, F_FALSE_SILENCE);
+                if event_loss_possible(self.summary, r) {
+                    next.set_flag(i, F_EVENT_LOST);
+                }
+            }
+            Letter::UpstreamSwitch => self.switch_upstream(&mut next),
+            Letter::CrashRestartReplay => {
+                self.switch_upstream(&mut next);
+                // The crash additionally loses queued watch notifications
+                // for every view that cannot replay history.
+                for v in &self.summary.views {
+                    if v.watch && !v.event_replay {
+                        next.set_flag(self.idx(&v.resource), F_EVENT_LOST);
+                    }
+                }
+            }
+        }
+        next
+    }
+
+    /// Re-list from a potentially older upstream: every stale-able view
+    /// may come back at least one epoch behind *and* behind state the
+    /// component already consumed (time travel). Quorum-listed and
+    /// resynced views re-list fresh, so they are untouched — exactly why
+    /// the fixed variants prove epoch-safe.
+    fn switch_upstream(&self, state: &mut State) {
+        for (i, r) in self.resources.iter().enumerate() {
+            if stale_able(self.summary, r) {
+                if state.stale(i) == 0 {
+                    state.add_stale(i, 1);
+                }
+                state.set_flag(i, F_TIME_TRAVELED);
+            }
+        }
+    }
+
+    /// Hazardous admissions in `state`, in (action, path, gate) order.
+    fn hazards_in(&self, state: &State) -> Vec<(usize, PatternClass, String, String)> {
+        let mut out = Vec::new();
+        for (ai, action) in self.summary.actions.iter().enumerate() {
+            if !action.destructive {
+                continue;
+            }
+            for path in &action.paths {
+                // Silence gap: the silence gate is satisfied *because* the
+                // liveness signal was dropped, and no fence orders the
+                // action after the peer's true state.
+                for g in &path.gates {
+                    if let Gate::ObservedSilence(r) = g {
+                        let hard_fenced = path
+                            .gates
+                            .iter()
+                            .any(|f| matches!(f, Gate::Fence(x) if x == r));
+                        if !hard_fenced && state.flag(self.idx(r), F_FALSE_SILENCE) {
+                            out.push((
+                                ai,
+                                PatternClass::ObservabilityGap,
+                                path.name.clone(),
+                                format!(
+                                    "silence over {r} is false (the liveness signal was \
+                                     dropped) and path `{}` has no fence on {r}",
+                                    path.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+
+                // Staleness / time travel: only snapshot paths — a path
+                // with event or silence evidence is sound against
+                // staleness (events cannot claim a state that never
+                // existed).
+                let has_evidence = path
+                    .gates
+                    .iter()
+                    .any(|g| matches!(g, Gate::ObservedEvent(_) | Gate::ObservedSilence(_)));
+                if has_evidence {
+                    continue;
+                }
+                for g in &path.gates {
+                    let r = match g {
+                        Gate::CachePresence(r) | Gate::CacheAbsence(r) => r,
+                        _ => continue,
+                    };
+                    if fenced(path, r) {
+                        continue;
+                    }
+                    let i = self.idx(r);
+                    if state.flag(i, F_TIME_TRAVELED) {
+                        out.push((
+                            ai,
+                            PatternClass::TimeTravel,
+                            path.name.clone(),
+                            format!(
+                                "the view over {r} re-listed from an older upstream; the \
+                                 unfenced {r} gate in path `{}` consumes state older than \
+                                 what the component already acted on",
+                                path.name
+                            ),
+                        ));
+                    } else if state.stale(i) > 0 {
+                        out.push((
+                            ai,
+                            PatternClass::Staleness,
+                            path.name.clone(),
+                            format!(
+                                "the view over {r} lags truth by {} epoch(s) and path `{}` \
+                                 admits the action with no fresh-confirm or fence on {r}",
+                                state.stale(i),
+                                path.name
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // Missed trigger: every justification requires an event that
+            // the state has irrecoverably lost — the action never fires.
+            let all_lost = !action.paths.is_empty()
+                && action.paths.iter().all(|p| {
+                    p.gates.iter().any(|g| {
+                        matches!(g, Gate::ObservedEvent(r)
+                            if state.flag(self.idx(r), F_EVENT_LOST))
+                    })
+                });
+            if all_lost {
+                out.push((
+                    ai,
+                    PatternClass::ObservabilityGap,
+                    "*".to_string(),
+                    "every path requires observing an event the schedule has lost over a \
+                     view that does not replay history; the trigger is gone and the \
+                     action never fires"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Can a cache gate on `resource` be stale? Mirrors the checker's rule:
+/// cache-backed list with no periodic resync, or no declared view at all.
+fn stale_able(s: &AccessSummary, resource: &str) -> bool {
+    match s.views.iter().find(|v| v.resource == resource) {
+        Some(v) => v.list == ReadKind::Cache && !v.periodic_resync,
+        None => true,
+    }
+}
+
+/// Is dropping a notification about `resource` meaningful? Yes when some
+/// gate listens for events or silence on it, or a watch feeds its view.
+fn droppable(s: &AccessSummary, resource: &str) -> bool {
+    let gated = s.actions.iter().any(|a| {
+        a.paths.iter().any(|p| {
+            p.gates.iter().any(
+                |g| matches!(g, Gate::ObservedEvent(r) | Gate::ObservedSilence(r) if r == resource),
+            )
+        })
+    });
+    let watched = s.views.iter().any(|v| v.resource == resource && v.watch);
+    gated || watched
+}
+
+/// Does dropping an event on `resource` lose it forever? Yes unless the
+/// declared view replays history on reconnect (undeclared views are
+/// unmanaged and lose everything).
+fn event_loss_possible(s: &AccessSummary, resource: &str) -> bool {
+    s.views
+        .iter()
+        .find(|v| v.resource == resource)
+        .map(|v| !v.event_replay)
+        .unwrap_or(true)
+}
+
+/// A gate path discharges staleness on `r` when it re-confirms or fences.
+fn fenced(path: &GatePath, r: &str) -> bool {
+    path.gates
+        .iter()
+        .any(|g| matches!(g, Gate::FreshConfirm(x) | Gate::Fence(x) if x == r))
+}
+
+/// Model-checks one summary: exhaustive BFS over the perturbation closure,
+/// recording the minimal witness per (destructive action, hazard class).
+pub fn model_check(summary: &AccessSummary) -> ModelCheckReport {
+    let model = Model::new(summary);
+    let mut visited: BTreeSet<State> = BTreeSet::new();
+    let mut queue: VecDeque<(State, Vec<usize>)> = VecDeque::new();
+    let init = State::fresh(model.resources.len());
+    visited.insert(init.clone());
+    queue.push_back((init, Vec::new()));
+
+    // Minimal witnesses, keyed by (action index, class). BFS dequeues
+    // states in (schedule length, lexicographic letter index) order, so
+    // first insertion wins minimality deterministically.
+    let mut found: BTreeMap<(usize, PatternClass), Witness> = BTreeMap::new();
+
+    while let Some((state, schedule)) = queue.pop_front() {
+        for (ai, class, path, detail) in model.hazards_in(&state) {
+            found.entry((ai, class)).or_insert_with(|| Witness {
+                component: summary.component.clone(),
+                action: summary.actions[ai].name.clone(),
+                class,
+                path,
+                schedule: schedule
+                    .iter()
+                    .map(|&li| model.alphabet[li].clone())
+                    .collect(),
+                detail,
+            });
+        }
+        for (li, letter) in model.alphabet.iter().enumerate() {
+            let next = model.apply(&state, letter);
+            if visited.insert(next.clone()) {
+                let mut sched = schedule.clone();
+                sched.push(li);
+                queue.push_back((next, sched));
+            }
+        }
+    }
+
+    let actions = summary
+        .actions
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.destructive)
+        .map(|(ai, a)| {
+            let ws: Vec<Witness> = found
+                .range((ai, PatternClass::Staleness)..=(ai, PatternClass::ObservabilityGap))
+                .map(|(_, w)| w.clone())
+                .collect();
+            ActionReport {
+                action: a.name.clone(),
+                verdict: if ws.is_empty() {
+                    ActionVerdict::EpochSafe
+                } else {
+                    ActionVerdict::Hazardous(ws)
+                },
+            }
+        })
+        .collect();
+
+    ModelCheckReport {
+        component: summary.component.clone(),
+        states_explored: visited.len(),
+        stale_bound: STALE_BOUND,
+        actions,
+    }
+}
+
+/// Model-checks a set of summaries, in input order.
+pub fn model_check_all(summaries: &[AccessSummary]) -> Vec<ModelCheckReport> {
+    summaries.iter().map(model_check).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{check_summary, ActionDecl, ViewDecl};
+
+    fn cache_view(resource: &str) -> ViewDecl {
+        ViewDecl {
+            resource: resource.to_string(),
+            list: ReadKind::Cache,
+            watch: true,
+            relist_on_gap: true,
+            periodic_resync: false,
+            event_replay: false,
+        }
+    }
+
+    fn summary(upstream_switch: bool, views: Vec<ViewDecl>, paths: Vec<GatePath>) -> AccessSummary {
+        AccessSummary {
+            component: "c".into(),
+            upstream_switch,
+            views,
+            actions: vec![ActionDecl {
+                name: "delete".into(),
+                destructive: true,
+                paths,
+            }],
+        }
+    }
+
+    /// (action, class) pairs from the heuristic checker.
+    fn heuristic_pairs(s: &AccessSummary) -> BTreeSet<(String, PatternClass)> {
+        check_summary(s)
+            .into_iter()
+            .map(|h| (h.action, h.class))
+            .collect()
+    }
+
+    /// (action, class) pairs from the model checker's witnesses.
+    fn model_pairs(s: &AccessSummary) -> BTreeSet<(String, PatternClass)> {
+        model_check(s)
+            .witnesses()
+            .into_iter()
+            .map(|w| (w.action.clone(), w.class))
+            .collect()
+    }
+
+    #[test]
+    fn unfenced_cache_gate_has_a_one_letter_staleness_witness() {
+        let s = summary(
+            false,
+            vec![cache_view("pods")],
+            vec![GatePath::new(
+                "orphan",
+                vec![Gate::CacheAbsence("pods".into())],
+            )],
+        );
+        let report = model_check(&s);
+        let ws = report.witnesses();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].class, PatternClass::Staleness);
+        assert_eq!(ws[0].schedule, vec![Letter::DelayCache("pods".into())]);
+        assert_eq!(ws[0].path, "orphan");
+    }
+
+    #[test]
+    fn upstream_switch_yields_a_time_travel_witness_too() {
+        let s = summary(
+            true,
+            vec![cache_view("pods")],
+            vec![GatePath::new(
+                "orphan",
+                vec![Gate::CacheAbsence("pods".into())],
+            )],
+        );
+        let report = model_check(&s);
+        let classes: Vec<PatternClass> = report.witnesses().iter().map(|w| w.class).collect();
+        assert_eq!(
+            classes,
+            vec![PatternClass::Staleness, PatternClass::TimeTravel]
+        );
+        let tt = report
+            .witnesses()
+            .into_iter()
+            .find(|w| w.class == PatternClass::TimeTravel)
+            .unwrap()
+            .clone();
+        assert_eq!(tt.schedule, vec![Letter::UpstreamSwitch]);
+    }
+
+    #[test]
+    fn fenced_paths_prove_epoch_safe() {
+        let s = summary(
+            true,
+            vec![cache_view("pods")],
+            vec![GatePath::new(
+                "orphan-confirmed",
+                vec![
+                    Gate::CacheAbsence("pods".into()),
+                    Gate::FreshConfirm("pods".into()),
+                ],
+            )],
+        );
+        let report = model_check(&s);
+        assert!(report.is_epoch_safe());
+        assert!(report.states_explored > 1, "exploration actually ran");
+    }
+
+    #[test]
+    fn quorum_views_prove_epoch_safe_under_upstream_switch() {
+        let mut v = cache_view("pods");
+        v.list = ReadKind::Quorum;
+        let s = summary(
+            true,
+            vec![v],
+            vec![GatePath::new(
+                "orphan",
+                vec![Gate::CacheAbsence("pods".into())],
+            )],
+        );
+        assert!(model_check(&s).is_epoch_safe());
+    }
+
+    #[test]
+    fn event_only_action_has_a_drop_notification_witness() {
+        let s = summary(
+            false,
+            vec![cache_view("pods")],
+            vec![GatePath::new(
+                "observed-terminating",
+                vec![Gate::ObservedEvent("pods".into())],
+            )],
+        );
+        let report = model_check(&s);
+        let ws = report.witnesses();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].class, PatternClass::ObservabilityGap);
+        assert_eq!(
+            ws[0].schedule,
+            vec![Letter::DropNotification("pods".into())]
+        );
+        assert_eq!(ws[0].path, "*");
+    }
+
+    #[test]
+    fn silence_gate_without_fence_has_a_gap_witness() {
+        let s = summary(
+            false,
+            vec![cache_view("leases"), cache_view("pods")],
+            vec![GatePath::new(
+                "missed-leases",
+                vec![
+                    Gate::ObservedSilence("leases".into()),
+                    Gate::CachePresence("pods".into()),
+                ],
+            )],
+        );
+        let report = model_check(&s);
+        let ws = report.witnesses();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].class, PatternClass::ObservabilityGap);
+        assert_eq!(
+            ws[0].schedule,
+            vec![Letter::DropNotification("leases".into())]
+        );
+    }
+
+    #[test]
+    fn event_replay_views_survive_dropped_notifications() {
+        let mut v = cache_view("pods");
+        v.event_replay = true;
+        let s = summary(
+            false,
+            vec![v],
+            vec![GatePath::new(
+                "observed-terminating",
+                vec![Gate::ObservedEvent("pods".into())],
+            )],
+        );
+        assert!(model_check(&s).is_epoch_safe());
+    }
+
+    /// Exhaustive agreement with the heuristic checker over an enumerated
+    /// IR space: every combination of list kind, resync, replay, upstream
+    /// switch, and gate-path shape must produce the same (action, class)
+    /// hazard set — witnesses are strictly *more* information, never a
+    /// different verdict.
+    #[test]
+    fn model_checker_agrees_with_check_summary_everywhere() {
+        let path_shapes: Vec<Vec<GatePath>> = vec![
+            vec![GatePath::new("p", vec![Gate::CacheAbsence("r".into())])],
+            vec![GatePath::new("p", vec![Gate::CachePresence("r".into())])],
+            vec![GatePath::new(
+                "p",
+                vec![
+                    Gate::CacheAbsence("r".into()),
+                    Gate::FreshConfirm("r".into()),
+                ],
+            )],
+            vec![GatePath::new(
+                "p",
+                vec![Gate::CachePresence("r".into()), Gate::Fence("r".into())],
+            )],
+            vec![GatePath::new("p", vec![Gate::ObservedEvent("r".into())])],
+            vec![GatePath::new(
+                "p",
+                vec![
+                    Gate::ObservedSilence("r".into()),
+                    Gate::CachePresence("r".into()),
+                ],
+            )],
+            vec![GatePath::new(
+                "p",
+                vec![Gate::ObservedSilence("r".into()), Gate::Fence("r".into())],
+            )],
+            vec![
+                GatePath::new("e", vec![Gate::ObservedEvent("r".into())]),
+                GatePath::new(
+                    "s",
+                    vec![
+                        Gate::CacheAbsence("r".into()),
+                        Gate::FreshConfirm("r".into()),
+                    ],
+                ),
+            ],
+            vec![
+                GatePath::new("e", vec![Gate::ObservedEvent("r".into())]),
+                GatePath::new("s", vec![Gate::CacheAbsence("r".into())]),
+            ],
+        ];
+        let mut cases = 0;
+        for declare_view in [false, true] {
+            for list in [ReadKind::Cache, ReadKind::Quorum] {
+                for periodic_resync in [false, true] {
+                    for event_replay in [false, true] {
+                        for upstream_switch in [false, true] {
+                            for paths in &path_shapes {
+                                let views = if declare_view {
+                                    vec![ViewDecl {
+                                        resource: "r".into(),
+                                        list,
+                                        watch: true,
+                                        relist_on_gap: true,
+                                        periodic_resync,
+                                        event_replay,
+                                    }]
+                                } else {
+                                    Vec::new()
+                                };
+                                let s = summary(upstream_switch, views, paths.clone());
+                                assert_eq!(
+                                    heuristic_pairs(&s),
+                                    model_pairs(&s),
+                                    "divergence: view={declare_view} list={list:?} \
+                                     resync={periodic_resync} replay={event_replay} \
+                                     switch={upstream_switch} paths={paths:?}"
+                                );
+                                cases += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(cases, 2 * 2 * 2 * 2 * 2 * path_shapes.len());
+    }
+
+    #[test]
+    fn report_json_is_deterministic_across_runs() {
+        let s = summary(
+            true,
+            vec![cache_view("pods"), cache_view("leases")],
+            vec![
+                GatePath::new("snap", vec![Gate::CacheAbsence("pods".into())]),
+                GatePath::new("silence", vec![Gate::ObservedSilence("leases".into())]),
+            ],
+        );
+        let a = model_check(&s).to_json();
+        let b = model_check(&s).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"verdict\":\"hazardous\""));
+        assert!(a.contains("delay-cache(pods)"));
+    }
+
+    #[test]
+    fn non_destructive_actions_are_not_reported() {
+        let s = AccessSummary {
+            component: "c".into(),
+            upstream_switch: true,
+            views: vec![cache_view("pods")],
+            actions: vec![ActionDecl {
+                name: "create".into(),
+                destructive: false,
+                paths: vec![GatePath::new(
+                    "missing",
+                    vec![Gate::CacheAbsence("pods".into())],
+                )],
+            }],
+        };
+        let report = model_check(&s);
+        assert!(report.actions.is_empty());
+        assert!(report.is_epoch_safe());
+    }
+}

@@ -13,6 +13,7 @@
 //! | `unseeded-rng`     | `thread_rng`, `from_entropy`, `OsRng`, anywhere   |
 //! | `thread-primitive` | threads/atomics/locks/`Arc` outside `ph-core::parallel` |
 //! | `stray-print`      | `println!`/`eprintln!`/`dbg!` in libraries        |
+//! | `unsafe-block`     | `unsafe` anywhere — backstop behind `forbid(unsafe_code)` |
 //! | `bad-suppression`  | `ph-lint:` directives without a reason            |
 
 use crate::findings::Finding;
@@ -109,6 +110,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "stray-print",
         summary: "println!/eprintln!/dbg! in library code — output belongs in metrics or the trace",
+    },
+    RuleInfo {
+        id: "unsafe-block",
+        summary: "unsafe code anywhere in the workspace — backstop behind #![forbid(unsafe_code)]",
     },
     RuleInfo {
         id: "bad-suppression",
@@ -265,6 +270,18 @@ pub fn lint_file(meta: &FileMeta, src: &str) -> Vec<Finding> {
                 &mut findings,
             );
         }
+
+        // unsafe-block: everywhere, every file kind, tests included —
+        // every crate carries #![forbid(unsafe_code)], so this only fires
+        // if someone also removes the attribute; a textual backstop keeps
+        // the two honest against each other.
+        if has_ident(&line, "unsafe") {
+            emit(
+                "unsafe-block",
+                "unsafe code; the workspace forbids unsafe_code in every crate".to_string(),
+                &mut findings,
+            );
+        }
     }
 
     // Malformed directives are findings themselves and cannot be
@@ -358,6 +375,15 @@ mod tests {
         assert!(fs
             .iter()
             .any(|f| f.rule == "wall-clock" && f.suppressed.is_none()));
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere_even_in_tests() {
+        let src = "unsafe { std::mem::transmute::<u32, f32>(x) }\n";
+        assert_eq!(lint("bench", FileKind::Test, src).len(), 1);
+        assert_eq!(lint("sim", FileKind::Lib, src).len(), 1);
+        // The forbid attribute itself must not trip the backstop.
+        assert!(lint("sim", FileKind::Lib, "#![forbid(unsafe_code)]\n").is_empty());
     }
 
     #[test]

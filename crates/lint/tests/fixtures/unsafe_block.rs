@@ -1,0 +1,19 @@
+//! Fixture: unsafe code must be flagged everywhere, including in code
+//! that would otherwise be exempt from library-only rules.
+
+pub fn reinterpret(x: u32) -> f32 {
+    unsafe { std::mem::transmute::<u32, f32>(x) }
+}
+
+pub unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_cannot_go_unsafe() {
+        let x = 1u32;
+        let _ = unsafe { std::mem::transmute::<u32, f32>(x) };
+    }
+}

@@ -119,6 +119,16 @@ fn suppression_without_reason_gates_twice() {
 }
 
 #[test]
+fn unsafe_block_golden() {
+    let fs = check("unsafe_block", "crates/sim/src/fixture.rs");
+    assert_eq!(
+        rules_of(&fs),
+        ["unsafe-block", "unsafe-block", "unsafe-block"]
+    );
+    assert!(fs.iter().all(|f| f.suppressed.is_none()));
+}
+
+#[test]
 fn cfg_test_module_golden_is_empty() {
     let fs = check("cfg_test_clean", "crates/sim/src/fixture.rs");
     assert!(fs.is_empty(), "{fs:?}");

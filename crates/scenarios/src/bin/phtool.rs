@@ -17,8 +17,14 @@
 //!                                     the §7 detection matrix
 //! phtool hunt --scenario <name> [--budget N] [--depth N] [--seed N]
 //!        [--threads N]               causality-guided auto-discovery
+//!        [--witnesses]               model-checker witness priors first,
+//!                                     then the unguided strategy cycle
 //! phtool lint [--json] [--root DIR]  static determinism lint + §4.2
 //!                                     partial-history hazard analysis
+//! phtool check [--json] [--root DIR] symbolic model check (minimal
+//!                                     witnesses / epoch-safety per
+//!                                     destructive action) + IR↔source
+//!                                     conformance
 //! ```
 //!
 //! Everything is deterministic: `--seed` fully determines a run, including
@@ -177,7 +183,7 @@ fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Result<Box<dyn Stra
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["metrics", "json"];
+const BOOL_FLAGS: &[&str] = &["metrics", "json", "witnesses"];
 
 /// Minimal `--key value` flag parser (plus valueless boolean flags).
 struct Args {
@@ -237,8 +243,8 @@ fn usage() -> &'static str {
      [--scenario <name>] [--strategy <name>] [--variant buggy|fixed] [--seed N] \
      [--threads N]\n  \
      phtool matrix [--trials N] [--seed N] [--threads N]\n  phtool hunt \
-     --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N]\n  \
-     phtool lint [--json] [--root DIR]\n\
+     --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N] [--witnesses]\n  \
+     phtool lint [--json] [--root DIR]\n  phtool check [--json] [--root DIR]\n\
      exit codes: 0 clean, 1 error, 2 usage, 3 violation detected"
 }
 
@@ -422,6 +428,17 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
         println!("\n-- {} divergence --", r.scenario);
         print!("{}", r.divergence.render());
     }
+    let table = ph_scenarios::static_crosscheck();
+    println!("\n-- static witnesses (model checker, buggy variants) --");
+    for row in table
+        .rows
+        .iter()
+        .filter(|r| selected.contains(&r.scenario.as_str()))
+    {
+        for w in &row.buggy_witnesses {
+            println!("{}  {}", row.scenario, w);
+        }
+    }
     if reports.iter().any(|r| r.failed()) {
         return Ok(EXIT_VIOLATION);
     }
@@ -461,9 +478,43 @@ fn cmd_matrix(args: &Args) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Witness-guided hunt: try the model checker's compiled witness priors
+/// first, then fall back to the unguided strategy cycle. Works for every
+/// scenario (no causal trace needed — the priors come from the IR).
+fn cmd_hunt_witnesses(args: &Args, scenario: &str) -> Result<i32, String> {
+    use ph_scenarios::witness_bridge;
+    let entry = witness_bridge::entry_for(scenario)
+        .ok_or_else(|| format!("unknown scenario {scenario:?} (phtool list)"))?;
+    let budget = args.get_u64("budget", 30)? as usize;
+    let base_seed = args.get_u64("seed", 1)?;
+
+    let priors = witness_bridge::witness_strategies(&entry);
+    println!(
+        "witness-guided hunt for {} ({} prior(s) compiled from model-check witnesses)",
+        entry.name,
+        priors.len()
+    );
+    for (i, p) in priors.iter().enumerate() {
+        println!("  prior {}: {}", i + 1, p.name());
+    }
+    match witness_bridge::first_detection_guided(&entry, budget, base_seed) {
+        Some(t) => {
+            println!("first detection at trial {t} of {budget} (priors lead the schedule)");
+            Ok(EXIT_VIOLATION)
+        }
+        None => {
+            println!("no detection within {budget} trials");
+            Ok(0)
+        }
+    }
+}
+
 fn cmd_hunt(args: &Args) -> Result<i32, String> {
     let reg = registry();
     let scenario = args.get("scenario").ok_or("--scenario is required")?;
+    if args.has("witnesses") {
+        return cmd_hunt_witnesses(args, scenario);
+    }
     let entry = lookup(&reg, scenario)?;
     let Some((run_with_trace, labels, targets_fn)) = entry.hunt else {
         let huntable: Vec<&str> = reg
@@ -472,7 +523,8 @@ fn cmd_hunt(args: &Args) -> Result<i32, String> {
             .map(|(n, _)| *n)
             .collect();
         return Err(format!(
-            "scenario {scenario:?} is not wired for hunting (huntable: {huntable:?})"
+            "scenario {scenario:?} is not wired for causal hunting (huntable: {huntable:?}; \
+             every scenario supports --witnesses)"
         ));
     };
     let seed = args.get_u64("seed", 1)?;
@@ -585,6 +637,162 @@ fn cmd_lint(args: &Args) -> Result<i32, String> {
     }
 }
 
+/// `phtool check` — the symbolic side on its own: per-scenario model-check
+/// verdicts (minimal witnesses on buggy variants, epoch-safety proofs on
+/// fixed ones) plus the IR ↔ source conformance diff over the cluster
+/// sources. Exits 3 when a buggy variant lacks a witness of its documented
+/// class, a fixed variant fails to prove epoch-safe, or unsuppressed
+/// conformance drift exists.
+fn cmd_check(args: &Args) -> Result<i32, String> {
+    use ph_lint::conformance;
+    use ph_lint::findings::esc as jesc;
+    use ph_lint::modelcheck::model_check_all;
+
+    let root = workspace_root(args)?;
+    let json = args.has("json");
+
+    // Model-check every scenario's buggy and fixed summaries.
+    struct ScenarioVerdict {
+        name: &'static str,
+        expected: ph_lint::summary::PatternClass,
+        buggy: Vec<ph_lint::modelcheck::ModelCheckReport>,
+        fixed: Vec<ph_lint::modelcheck::ModelCheckReport>,
+    }
+    let verdicts: Vec<ScenarioVerdict> = ph_scenarios::scenario_statics()
+        .into_iter()
+        .map(|e| ScenarioVerdict {
+            name: e.name,
+            expected: e.pattern,
+            buggy: model_check_all(&(e.summaries)(Variant::Buggy)),
+            fixed: model_check_all(&(e.summaries)(Variant::Fixed)),
+        })
+        .collect();
+
+    let class_witnessed = |v: &ScenarioVerdict| {
+        v.buggy
+            .iter()
+            .flat_map(|r| r.witnesses())
+            .any(|w| w.class == v.expected)
+    };
+    let fixed_safe = |v: &ScenarioVerdict| v.fixed.iter().all(|r| r.is_epoch_safe());
+
+    // IR ↔ source conformance over the cluster sources.
+    let cluster_src = root.join("crates/cluster/src");
+    let scans = conformance::scan_dir(&cluster_src, "crates/cluster/src")
+        .map_err(|e| format!("scanning {}: {e}", cluster_src.display()))?;
+    let declared = ph_cluster::topology::declared_access_summaries();
+    let drift = conformance::check_conformance(&scans, &declared);
+    let unsuppressed_drift = drift.iter().filter(|f| f.suppressed.is_none()).count();
+
+    let model_ok = verdicts.iter().all(|v| class_witnessed(v) && fixed_safe(v));
+    let violated = !model_ok || unsuppressed_drift > 0;
+
+    if json {
+        let mut out = String::from("{\"modelcheck\":[");
+        for (i, v) in verdicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buggy = v
+                .buggy
+                .iter()
+                .map(|r| r.to_json())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"expected\":\"{}\",\"class_witnessed\":{},\
+                 \"fixed_epoch_safe\":{},\"buggy\":[{}]}}",
+                jesc(v.name),
+                v.expected.as_str(),
+                class_witnessed(v),
+                fixed_safe(v),
+                buggy
+            ));
+        }
+        out.push_str("],\"conformance\":{\"findings\":[");
+        for (i, f) in drift.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\
+                 \"suppressed\":{}}}",
+                jesc(&f.rule),
+                jesc(&f.file),
+                f.line,
+                jesc(&f.message),
+                match &f.suppressed {
+                    Some(r) => format!("\"{}\"", jesc(r)),
+                    None => "null".into(),
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "],\"unsuppressed\":{unsuppressed_drift}}},\"violated\":{violated}}}"
+        ));
+        println!("{out}");
+        return Ok(if violated { EXIT_VIOLATION } else { 0 });
+    }
+
+    println!("-- symbolic model check (witnesses / epoch-safety) --");
+    for v in &verdicts {
+        let states: usize = v.buggy.iter().map(|r| r.states_explored).sum();
+        println!(
+            "{}  expected {}  ({} state(s) explored)",
+            v.name,
+            v.expected.as_str(),
+            states
+        );
+        for r in &v.buggy {
+            for w in r.witnesses() {
+                println!("  buggy  witness: {}", w.render());
+            }
+        }
+        for r in &v.fixed {
+            if r.is_epoch_safe() {
+                println!("  fixed  {}: epoch-safe (all actions)", r.component);
+            } else {
+                for w in r.witnesses() {
+                    println!("  fixed  UNEXPECTED witness: {}", w.render());
+                }
+            }
+        }
+        if !class_witnessed(v) {
+            println!("  MISMATCH: no witness of the documented class");
+        }
+    }
+
+    println!(
+        "\n-- IR ↔ source conformance ({}) --",
+        cluster_src.display()
+    );
+    if drift.is_empty() {
+        println!(
+            "zero drift: {} impl(s) scanned against {} declared summaries",
+            scans.iter().map(|s| s.components.len()).sum::<usize>(),
+            declared.len()
+        );
+    } else {
+        for f in &drift {
+            match &f.suppressed {
+                Some(reason) => println!(
+                    "allowed   {}:{} [{}] {} (reason: {})",
+                    f.file, f.line, f.rule, f.message, reason
+                ),
+                None => println!("drift     {}:{} [{}] {}", f.file, f.line, f.rule, f.message),
+            }
+        }
+    }
+
+    if violated {
+        println!("\nverdict: VIOLATION (model-check mismatch or conformance drift)");
+        Ok(EXIT_VIOLATION)
+    } else {
+        println!("\nverdict: clean");
+        Ok(0)
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -601,6 +809,7 @@ fn main() {
         "matrix" => Args::parse(rest).and_then(|a| cmd_matrix(&a)),
         "hunt" => Args::parse(rest).and_then(|a| cmd_hunt(&a)),
         "lint" => Args::parse(rest).and_then(|a| cmd_lint(&a)),
+        "check" => Args::parse(rest).and_then(|a| cmd_check(&a)),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)

@@ -39,6 +39,7 @@ pub mod node_fencing;
 pub mod oracles;
 pub mod strategies;
 pub mod volume_17;
+pub mod witness_bridge;
 
 pub use common::{Runner, Variant};
 
@@ -124,29 +125,33 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
     ]
 }
 
-/// Runs the static hazard pass over every scenario: checks each buggy
-/// variant's summaries for hazards and each fixed variant's for
-/// cleanliness, with no dynamic runs. `phtool lint` renders the result;
-/// the agreement test additionally fills in the dynamic columns.
+/// Runs the static hazard pass over every scenario, with the bounded
+/// model checker ([`ph_lint::modelcheck`]) as the verdict source: each
+/// buggy variant's summaries are explored for minimal hazard witnesses,
+/// each fixed variant's must prove epoch-safe. `phtool lint`/`check`
+/// render the result; the agreement test additionally fills in the
+/// dynamic columns.
 pub fn static_crosscheck() -> CrossCheckTable {
     let rows = scenario_statics()
         .into_iter()
         .map(|e| {
             let buggy = (e.summaries)(Variant::Buggy);
             let fixed = (e.summaries)(Variant::Fixed);
+            let buggy_reports = ph_lint::modelcheck::model_check_all(&buggy);
+            let fixed_reports = ph_lint::modelcheck::model_check_all(&fixed);
             CrossCheckRow {
                 scenario: e.name.to_string(),
                 expected: e.pattern,
-                buggy_hazards: buggy
-                    .iter()
-                    .flat_map(ph_lint::summary::check_summary)
-                    .collect(),
-                fixed_hazards: fixed
-                    .iter()
-                    .flat_map(ph_lint::summary::check_summary)
-                    .collect(),
+                buggy_hazards: buggy_reports.iter().flat_map(|r| r.hazards()).collect(),
+                fixed_hazards: fixed_reports.iter().flat_map(|r| r.hazards()).collect(),
                 dynamic_buggy_detected: None,
                 dynamic_fixed_clean: None,
+                static_components: buggy.iter().map(|s| s.component.clone()).collect(),
+                missing_static: Vec::new(),
+                buggy_witnesses: buggy_reports
+                    .iter()
+                    .flat_map(|r| r.witnesses().into_iter().map(|w| w.render()))
+                    .collect(),
             }
         })
         .collect();

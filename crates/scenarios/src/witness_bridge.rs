@@ -1,0 +1,307 @@
+//! From static witnesses to guided search: compiles the model checker's
+//! minimal hazard witnesses into concrete perturbation schedules.
+//!
+//! The model checker ([`ph_lint::modelcheck`]) speaks in abstract letters
+//! (`delay-cache(pods)`, `upstream-switch`, …) over the IR; the explorer
+//! speaks in concrete injectors anchored to a scenario's keys, component
+//! indices, and phase times. This module is the translation layer:
+//!
+//! 1. model-check the scenario's buggy summaries → minimal witnesses;
+//! 2. compile witness schedules into ordered [`PriorShape`]s
+//!    ([`ph_core::autoguide::witness_priors`]);
+//! 3. realize each shape as the scenario-anchored injector(s) that
+//!    perturb the run the way the abstract letter perturbs the model.
+//!
+//! Witness-guided exploration then tries these realizations *first*, in
+//! witness order (shortest schedules lead), before falling back to the
+//! unguided strategy cycle — measured in EXPERIMENTS.md E6 as a
+//! trials-to-first-detection reduction on all eight scenarios.
+
+use ph_core::autoguide::{witness_priors, PriorShape};
+use ph_core::parallel::derive_trial_seed;
+use ph_core::perturb::{
+    CoFiPartitions, CrashTunerCrashes, RandomCrashes, StalenessInjector, Strategy,
+    TimeTravelInjector,
+};
+use ph_lint::modelcheck::model_check_all;
+use ph_sim::Duration;
+
+use crate::common::Variant;
+use crate::strategies::{
+    Compose, CrashOnAnnotation, DropMatching, EventSelector, HoldMatching, PartitionComponent,
+    TargetRef,
+};
+use crate::{scenario_statics, StaticEntry};
+
+/// The prior shapes the scenario's witnesses compile to, in witness order
+/// (shortest schedule first). Empty when the model checker proves every
+/// action epoch-safe.
+pub fn scenario_prior_shapes(entry: &StaticEntry) -> Vec<PriorShape> {
+    let summaries = (entry.summaries)(Variant::Buggy);
+    let reports = model_check_all(&summaries);
+    let witnesses: Vec<_> = reports.iter().flat_map(|r| r.witnesses()).collect();
+    witness_priors(&witnesses)
+}
+
+/// Realizes one abstract shape as concrete injectors for `scenario`.
+///
+/// The anchors (which cache, which key, which phase window) come from the
+/// scenario's workload schedule — the same knowledge its tuned `guided`
+/// injector uses; the *choice* of which perturbation family to anchor is
+/// what the witness contributes. Shapes with no sensible realization in a
+/// scenario (e.g. an upstream switch where every component is pinned)
+/// yield nothing.
+fn realize(scenario: &str, shape: &PriorShape) -> Vec<Box<dyn Strategy>> {
+    match (scenario, shape) {
+        // kubelet restarts onto the lagging apiserver-2 and acts on the
+        // pre-rollout world: both the delay-cache and the switch letters
+        // concretize against cache 1 / kubelet-node-1.
+        ("k8s-59848", PriorShape::DelayCache { .. }) => vec![Box::new(StalenessInjector {
+            cache: 1,
+            delay: Duration::millis(900),
+            after: Duration::millis(1500),
+        })],
+        ("k8s-59848", PriorShape::UpstreamSwitch | PriorShape::CrashRestartReplay) => {
+            vec![Box::new(TimeTravelInjector::new(
+                1,
+                0,
+                Duration::millis(1500),
+                Duration::millis(2200),
+                Duration::millis(2400),
+                Some(Duration::millis(3500)),
+            ))]
+        }
+
+        // The scheduler's stale `nodes` view is concretely a swallowed
+        // node-deletion notification; the reorder letter is the same race
+        // held shorter.
+        (
+            "k8s-56261",
+            PriorShape::DelayCache { resource } | PriorShape::DropNotification { resource },
+        ) if resource == "nodes" => {
+            vec![Box::new(DropMatching {
+                dst: TargetRef::Component(2),
+                selector: EventSelector::deletes_of("nodes/node-2"),
+                from: Duration::millis(1500),
+                max: 4,
+            })]
+        }
+        ("k8s-56261", PriorShape::ReorderUpdateConsume { resource }) if resource == "nodes" => {
+            vec![Box::new(HoldMatching::new(
+                TargetRef::Component(2),
+                EventSelector::deletes_of("nodes/node-2"),
+                Duration::millis(1500),
+                Some(Duration::millis(1200)),
+            ))]
+        }
+
+        // The volume controller misses the pod's termination mark.
+        ("volume-ctrl-17", PriorShape::DropNotification { resource }) if resource == "pods" => {
+            vec![Box::new(DropMatching {
+                dst: TargetRef::Component(2),
+                selector: EventSelector::termination_mark_of("pods/p1"),
+                from: Duration::millis(1500),
+                max: 4,
+            })]
+        }
+        ("volume-ctrl-17", PriorShape::DelayCache { resource }) if resource == "pods" => {
+            vec![Box::new(HoldMatching::new(
+                TargetRef::Component(2),
+                EventSelector::termination_mark_of("pods/p1"),
+                Duration::millis(1500),
+                Some(Duration::millis(1800)),
+            ))]
+        }
+
+        // The operator's decommission acknowledgement is lost across its
+        // crash-restart: the drop-notification letter lands as a crash in
+        // the decision window (the restart wipes the in-flight event).
+        ("cass-op-398", PriorShape::DropNotification { .. } | PriorShape::CrashRestartReplay) => {
+            vec![Box::new(CrashOnAnnotation::new(
+                "operator.decommission",
+                None,
+                Duration::millis(100),
+                Duration::millis(400),
+                1,
+            ))]
+        }
+
+        // The operator lands on the lagging apiserver-2 mid-scale-down.
+        (
+            "cass-op-400",
+            PriorShape::DelayCache { .. }
+            | PriorShape::UpstreamSwitch
+            | PriorShape::CrashRestartReplay,
+        ) => vec![Box::new(TimeTravelInjector::new(
+            1,
+            3,
+            Duration::millis(3050),
+            Duration::millis(3300),
+            Duration::millis(3600),
+            Some(Duration::millis(5000)),
+        ))],
+
+        // Hold the pod-created update away from the operator's cache while
+        // a restart makes it act on the held (stale) view.
+        ("cass-op-402", PriorShape::DelayCache { resource }) if resource == "pods" => {
+            vec![Box::new(Compose::new(
+                "witness[delay-cache(pods) ; crash-restart]",
+                vec![
+                    Box::new(HoldMatching::new(
+                        TargetRef::Cache(1),
+                        EventSelector::key("pods/dc1-2"),
+                        Duration::millis(2400),
+                        None,
+                    )),
+                    Box::new(CrashOnAnnotation::new(
+                        "operator.create_pod",
+                        None,
+                        Duration::millis(300),
+                        Duration::millis(300),
+                        1,
+                    )),
+                ],
+            ))]
+        }
+
+        // The region manager reads the lagging follower.
+        ("hbase-3136", PriorShape::DelayCache { .. }) => vec![Box::new(StalenessInjector {
+            cache: 0,
+            delay: Duration::millis(90),
+            after: Duration::millis(1500),
+        })],
+
+        // Silent lease expiry: partitioning the kubelet drops its renewals
+        // — exactly the false-silence the drop-notification letter models.
+        ("node-fencing", PriorShape::DropNotification { resource }) if resource == "leases" => {
+            vec![Box::new(PartitionComponent::new(
+                1,
+                Duration::millis(2500),
+                Duration::millis(5500),
+            ))]
+        }
+
+        _ => Vec::new(),
+    }
+}
+
+/// The ordered witness-derived strategies for `entry`: each prior shape's
+/// realizations, deduplicated by strategy name, witness order preserved.
+pub fn witness_strategies(entry: &StaticEntry) -> Vec<Box<dyn Strategy>> {
+    let mut out: Vec<Box<dyn Strategy>> = Vec::new();
+    for shape in scenario_prior_shapes(entry) {
+        for s in realize(entry.name, &shape) {
+            if !out.iter().any(|have| have.name() == s.name()) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// The unguided baseline: the generic strategy cycle every hunt falls
+/// back to, with per-trial seeds.
+pub fn unguided_strategy(trial: usize, seed: u64) -> Box<dyn Strategy> {
+    match trial % 3 {
+        0 => Box::new(RandomCrashes {
+            seed,
+            count: 3,
+            down: Duration::millis(300),
+        }),
+        1 => Box::new(CrashTunerCrashes::new(seed, 0.02, 3, Duration::millis(300))),
+        _ => Box::new(CoFiPartitions::new(seed, 0.02, 3, Duration::millis(500))),
+    }
+}
+
+/// One measured hunt: runs buggy-variant trials until the first
+/// detection, returning the 1-based trial count, or `None` within
+/// `budget`. `make` picks the strategy for each trial (0-based) given its
+/// derived seed.
+pub fn first_detection(
+    entry: &StaticEntry,
+    budget: usize,
+    base_seed: u64,
+    mut make: impl FnMut(usize, u64) -> Box<dyn Strategy>,
+) -> Option<u32> {
+    for trial in 0..budget {
+        let seed = derive_trial_seed(base_seed, trial as u32);
+        let mut strategy = make(trial, seed);
+        let report = (entry.run)(seed, strategy.as_mut(), Variant::Buggy);
+        if report.failed() {
+            return Some(trial as u32 + 1);
+        }
+    }
+    None
+}
+
+/// Trials to first detection with witness priors leading (then the
+/// unguided cycle).
+pub fn first_detection_guided(entry: &StaticEntry, budget: usize, base_seed: u64) -> Option<u32> {
+    let priors = witness_strategies(entry);
+    let lead = priors.len();
+    let mut priors = priors.into_iter();
+    first_detection(entry, budget, base_seed, move |trial, seed| {
+        priors
+            .next()
+            .unwrap_or_else(|| unguided_strategy(trial - lead, seed))
+    })
+}
+
+/// Trials to first detection for the unguided cycle alone.
+pub fn first_detection_unguided(entry: &StaticEntry, budget: usize, base_seed: u64) -> Option<u32> {
+    first_detection(entry, budget, base_seed, |trial, seed| {
+        unguided_strategy(trial, seed)
+    })
+}
+
+/// Looks up a scenario's static entry by name (`-`/`_` tolerant).
+pub fn entry_for(name: &str) -> Option<StaticEntry> {
+    let dashed = name.replace('_', "-");
+    scenario_statics().into_iter().find(|e| e.name == dashed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_buggy_scenario_compiles_to_at_least_one_strategy() {
+        for entry in scenario_statics() {
+            let shapes = scenario_prior_shapes(&entry);
+            assert!(
+                !shapes.is_empty(),
+                "{}: buggy variant should produce witnesses",
+                entry.name
+            );
+            let strategies = witness_strategies(&entry);
+            assert!(
+                !strategies.is_empty(),
+                "{}: witnesses must realize as concrete strategies (shapes {shapes:?})",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_variants_produce_no_witnesses() {
+        for entry in scenario_statics() {
+            let summaries = (entry.summaries)(Variant::Fixed);
+            let reports = model_check_all(&summaries);
+            for r in &reports {
+                assert!(
+                    r.is_epoch_safe(),
+                    "{}: fixed {} not epoch-safe",
+                    entry.name,
+                    r.component
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unguided_cycle_is_deterministic_per_trial() {
+        let a = unguided_strategy(4, 99).name();
+        let b = unguided_strategy(4, 99).name();
+        assert_eq!(a, b);
+    }
+}

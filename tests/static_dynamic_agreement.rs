@@ -1,48 +1,43 @@
 //! Static/dynamic agreement over all eight scenarios (the acceptance
 //! gate of the hazard analysis).
 //!
-//! For every scenario the static pass must flag the buggy variant's
-//! access summaries with the documented §4.2 class and leave the fixed
-//! variant's summaries clean — and the dynamic explorer must confirm
-//! both verdicts: the guided run on the buggy variant detects a
-//! violation, the same injection on the fixed variant stays clean. One
-//! [`CrossCheckTable`] holds all four columns; `all_agree()` is the
-//! theorem.
+//! For every scenario the symbolic model checker must produce a minimal
+//! hazard witness of the documented §4.2 class for the buggy variant's
+//! access summaries and prove the fixed variant's epoch-safe — and the
+//! dynamic explorer must confirm both verdicts: the guided run on the
+//! buggy variant detects a violation, the same injection on the fixed
+//! variant stays clean. One [`CrossCheckTable`] holds all four columns;
+//! `all_agree()` is the theorem.
+//!
+//! The file also pins the determinism contract of the checker itself:
+//! the same IR yields byte-identical witness JSON across repeated
+//! in-process runs and across any worker count of the parallel runner —
+//! and the IR↔source conformance pass reports zero drift on the real
+//! `ph-cluster` tree.
 
-use ph_core::crosscheck::{CrossCheckRow, CrossCheckTable};
-use ph_lint::summary::check_summary;
+use std::collections::BTreeSet;
+
+use ph_core::crosscheck::CrossCheckTable;
+use ph_core::parallel::run_indexed;
+use ph_lint::modelcheck::model_check_all;
 use ph_scenarios::{scenario_statics, Variant};
 
-/// Builds the full table: static verdicts from the access summaries,
-/// dynamic verdicts from one guided trial per variant (seed 1 — every
-/// scenario's tuned injection is deterministic and seed-stable).
+/// Builds the full table: static verdicts from the model checker (via
+/// [`ph_scenarios::static_crosscheck`], the same source `phtool lint`
+/// renders), dynamic verdicts from one guided trial per variant (seed 1 —
+/// every scenario's tuned injection is deterministic and seed-stable).
 fn full_table() -> CrossCheckTable {
-    let rows = scenario_statics()
-        .into_iter()
-        .map(|e| {
-            let buggy_hazards: Vec<_> = (e.summaries)(Variant::Buggy)
-                .iter()
-                .flat_map(check_summary)
-                .collect();
-            let fixed_hazards: Vec<_> = (e.summaries)(Variant::Fixed)
-                .iter()
-                .flat_map(check_summary)
-                .collect();
-            let mut buggy_strategy = (e.guided)(1);
-            let buggy_report = (e.run)(1, buggy_strategy.as_mut(), Variant::Buggy);
-            let mut fixed_strategy = (e.guided)(1);
-            let fixed_report = (e.run)(1, fixed_strategy.as_mut(), Variant::Fixed);
-            CrossCheckRow {
-                scenario: e.name.to_string(),
-                expected: e.pattern,
-                buggy_hazards,
-                fixed_hazards,
-                dynamic_buggy_detected: Some(buggy_report.failed()),
-                dynamic_fixed_clean: Some(!fixed_report.failed()),
-            }
-        })
-        .collect();
-    CrossCheckTable { rows }
+    let mut table = ph_scenarios::static_crosscheck();
+    for (row, e) in table.rows.iter_mut().zip(scenario_statics()) {
+        assert_eq!(row.scenario, e.name, "row order must match scenario order");
+        let mut buggy_strategy = (e.guided)(1);
+        let buggy_report = (e.run)(1, buggy_strategy.as_mut(), Variant::Buggy);
+        let mut fixed_strategy = (e.guided)(1);
+        let fixed_report = (e.run)(1, fixed_strategy.as_mut(), Variant::Fixed);
+        row.dynamic_buggy_detected = Some(buggy_report.failed());
+        row.dynamic_fixed_clean = Some(!fixed_report.failed());
+    }
+    table
 }
 
 #[test]
@@ -62,6 +57,11 @@ fn static_analysis_agrees_with_dynamic_exploration_on_all_scenarios() {
             "{}: fixed variant statically flagged: {:?}",
             row.scenario,
             row.fixed_hazards
+        );
+        assert!(
+            !row.buggy_witnesses.is_empty(),
+            "{}: model checker produced no witness for the buggy variant",
+            row.scenario
         );
         assert_eq!(
             row.dynamic_buggy_detected,
@@ -87,4 +87,92 @@ fn static_only_table_from_the_library_agrees() {
     assert!(table.all_static_agree(), "\n{}", table.render_text());
     let json = table.to_json();
     assert!(json.contains("\"all_static_agree\":true"));
+    assert!(json.contains("\"witnesses\":["));
+}
+
+#[test]
+fn model_checker_witnesses_the_documented_class_and_proves_fixed_safe() {
+    for e in scenario_statics() {
+        let buggy = model_check_all(&(e.summaries)(Variant::Buggy));
+        let classes: BTreeSet<_> = buggy
+            .iter()
+            .flat_map(|r| r.witnesses())
+            .map(|w| w.class)
+            .collect();
+        assert!(
+            classes.contains(&e.pattern),
+            "{}: no minimal witness of class {} (witnessed: {:?})",
+            e.name,
+            e.pattern,
+            classes
+        );
+        let fixed = model_check_all(&(e.summaries)(Variant::Fixed));
+        for r in &fixed {
+            assert!(
+                r.is_epoch_safe(),
+                "{}: fixed component {} not proved epoch-safe:\n{}",
+                e.name,
+                r.component,
+                r.to_json()
+            );
+        }
+    }
+}
+
+/// All eight scenarios' buggy-variant model-check reports as one JSON
+/// blob, produced across `threads` workers of the deterministic runner.
+fn witness_blob(threads: usize) -> String {
+    let entries = scenario_statics();
+    run_indexed(threads, entries.len(), |i| {
+        model_check_all(&(entries[i].summaries)(Variant::Buggy))
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+    .join("\n")
+}
+
+#[test]
+fn witness_json_is_byte_identical_across_runs_and_thread_counts() {
+    // Two in-process runs: the checker has no hidden state.
+    let first = witness_blob(1);
+    let second = witness_blob(1);
+    assert_eq!(first, second, "repeated runs must agree byte-for-byte");
+    // Worker count must be invisible: `--threads 1` vs N.
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            first,
+            witness_blob(threads),
+            "witness JSON diverged at {threads} threads"
+        );
+    }
+    // Sanity: the blob actually carries witnesses for every scenario.
+    assert!(first.matches("\"verdict\":\"hazardous\"").count() >= 8);
+}
+
+#[test]
+fn conformance_pass_reports_zero_drift_on_the_real_tree() {
+    // `phtool check` runs exactly this scan; keep the tree clean.
+    let cluster_src = concat!(env!("CARGO_MANIFEST_DIR"), "/../cluster/src");
+    let scans =
+        ph_lint::conformance::scan_dir(std::path::Path::new(cluster_src), "crates/cluster/src")
+            .expect("cluster sources must be readable");
+    assert!(
+        !scans.is_empty(),
+        "scanner found no sources under {cluster_src}"
+    );
+    let declared = ph_cluster::topology::declared_access_summaries();
+    assert_eq!(declared.len(), 8, "every component must declare a summary");
+    let findings = ph_lint::conformance::check_conformance(&scans, &declared);
+    let unsuppressed: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "IR drift against the real tree:\n{}",
+        unsuppressed
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
