@@ -348,6 +348,23 @@ pub struct AutoFinding {
     pub violated: bool,
     /// The violations' descriptions, if any.
     pub violations: Vec<String>,
+    /// Trace events the candidate's run generated (hunt telemetry).
+    pub events: u64,
+    /// Simulated nanoseconds the run covered — the time of the last trace
+    /// event (hunt telemetry).
+    pub sim_ns: u64,
+}
+
+impl AutoFinding {
+    fn from_run(candidate: Candidate, violations: Vec<String>, trace: &Trace) -> AutoFinding {
+        AutoFinding {
+            candidate,
+            violated: !violations.is_empty(),
+            violations,
+            events: trace.events().len() as u64,
+            sim_ns: trace.events().last().map(|e| e.at.0).unwrap_or(0),
+        }
+    }
 }
 
 /// Runs the full §7 loop: reference run → candidates → one run per
@@ -374,12 +391,8 @@ where
     let mut findings = Vec::new();
     for candidate in all.into_iter().take(budget) {
         let mut strategy = CandidateStrategy::new(candidate.clone());
-        let (violations, _) = run(&mut strategy);
-        findings.push(AutoFinding {
-            candidate,
-            violated: !violations.is_empty(),
-            violations,
-        });
+        let (violations, trace) = run(&mut strategy);
+        findings.push(AutoFinding::from_run(candidate, violations, &trace));
     }
     (findings, total)
 }
@@ -410,12 +423,8 @@ where
     let findings = crate::parallel::run_indexed(threads, tried.len(), |i| {
         let candidate = tried[i].clone();
         let mut strategy = CandidateStrategy::new(candidate.clone());
-        let (violations, _) = run(&mut strategy);
-        AutoFinding {
-            candidate,
-            violated: !violations.is_empty(),
-            violations,
-        }
+        let (violations, trace) = run(&mut strategy);
+        AutoFinding::from_run(candidate, violations, &trace)
     });
     (findings, total)
 }

@@ -216,6 +216,38 @@ impl CausalGraph {
     pub fn actor_of(&self, seq: u64) -> Option<ActorId> {
         self.nodes.get(&seq).map(|n| n.actor)
     }
+
+    /// The vector clock of a clocked event (indexed by dense actor id).
+    /// Exposed so callers — and the partial-order law tests — can reason
+    /// about clocks directly via [`CausalGraph::clock_leq`].
+    pub fn clock(&self, seq: u64) -> Option<&[u64]> {
+        self.nodes.get(&seq).map(|n| n.clock.as_slice())
+    }
+
+    /// The vector-clock partial order: `true` iff `a[i] <= b[i]` for every
+    /// component (missing components read as 0). This is the order
+    /// [`CausalGraph::happens_before`] is defined over.
+    pub fn clock_leq(a: &[u64], b: &[u64]) -> bool {
+        a.iter()
+            .enumerate()
+            .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+    }
+
+    /// The backward causal slice of `sink`: every clocked event that
+    /// happens-before `sink`, plus `sink` itself, in trace order. This is
+    /// the "minimal causal chain" a blame explanation is carved from — by
+    /// construction every member except the sink causally precedes the
+    /// sink (closure), which `tests` in `crates/core/tests` pin as a law.
+    /// Unknown sinks yield an empty slice.
+    pub fn slice(&self, sink: u64) -> Vec<u64> {
+        if !self.nodes.contains_key(&sink) {
+            return Vec::new();
+        }
+        let mut out = self.causes_of(sink);
+        out.push(sink);
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -9,11 +9,12 @@
 //! paper's §7 claims ("our tool has reproduced two known bugs … and
 //! detected three new bugs") plus the §5/§6.1 guided-vs-random comparison.
 
-use ph_sim::{MetricsReport, SimTime};
+use ph_sim::{MetricsReport, SimTime, Trace};
 
 use crate::divergence::DivergenceSummary;
 use crate::oracle::Violation;
 use crate::perturb::Strategy;
+use crate::provenance::{self, BlameSpec, BlameSummary};
 
 /// The outcome of one simulated run of a scenario under a strategy.
 #[derive(Debug, Clone)]
@@ -37,12 +38,23 @@ pub struct RunReport {
     pub metrics: MetricsReport,
     /// Sampled per-view lag (`|H| − |H′|`) over the run.
     pub divergence: DivergenceSummary,
+    /// Compact blame-chain summary for failing runs (set by scenarios that
+    /// know their [`BlameSpec`]; `None` for passing runs).
+    pub blame: Option<BlameSummary>,
 }
 
 impl RunReport {
     /// `true` if any oracle fired.
     pub fn failed(&self) -> bool {
         !self.violations.is_empty()
+    }
+
+    /// Computes and attaches the blame-chain summary for a failing run
+    /// (no-op on passing runs: a clean trace has nothing to blame).
+    pub fn attach_blame(&mut self, trace: &Trace, spec: &BlameSpec) {
+        if self.failed() {
+            self.blame = Some(provenance::explain(trace, spec, &self.violations).summary());
+        }
     }
 
     /// Renders the full report as deterministic JSON (key order fixed, no
@@ -75,10 +87,20 @@ impl RunReport {
                 )
             })
             .collect();
+        let blame = match &self.blame {
+            Some(b) => format!(
+                "{{\"class\":\"{}\",\"links\":{},\"injected\":{},\"in_chain\":{}}}",
+                b.class.as_str(),
+                b.links,
+                b.injected,
+                b.in_chain
+            ),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"scenario\":\"{}\",\"strategy\":\"{}\",\"seed\":{},\"sim_time_ns\":{},\
              \"trace_events\":{},\"trace_digest\":\"{:#018x}\",\"violations\":[{}],\
-             \"metrics\":{},\"divergence\":{}}}",
+             \"metrics\":{},\"divergence\":{},\"blame\":{}}}",
             esc(&self.scenario),
             esc(&self.strategy),
             self.seed,
@@ -88,6 +110,7 @@ impl RunReport {
             violations.join(","),
             self.metrics.to_json(),
             self.divergence.to_json(),
+            blame,
         )
     }
 }
@@ -115,6 +138,10 @@ pub struct TrialOutcome {
     pub total_events: u64,
     /// Total simulated nanoseconds across all trials (effort proxy).
     pub total_sim_ns: u64,
+    /// Per-trial simulated nanoseconds, in trial order — the raw samples
+    /// behind the hunt-telemetry latency histograms
+    /// ([`crate::telemetry::HuntReport`]).
+    pub trial_sim_ns: Vec<u64>,
 }
 
 impl TrialOutcome {
@@ -161,6 +188,7 @@ impl Explorer {
         let mut strategy_name = String::new();
         let mut total_events = 0u64;
         let mut total_sim_ns = 0u64;
+        let mut trial_sim_ns = Vec::new();
         for t in 0..self.max_trials {
             let seed = self.trial_seed(t);
             let mut strategy = factory(seed);
@@ -170,6 +198,7 @@ impl Explorer {
             let report = scenario(seed, strategy.as_mut());
             total_events += report.trace_events as u64;
             total_sim_ns += report.sim_time.0;
+            trial_sim_ns.push(report.sim_time.0);
             if report.failed() {
                 return TrialOutcome {
                     scenario: scenario_name.to_string(),
@@ -179,6 +208,7 @@ impl Explorer {
                     example: Some(report),
                     total_events,
                     total_sim_ns,
+                    trial_sim_ns,
                 };
             }
         }
@@ -190,6 +220,7 @@ impl Explorer {
             example: None,
             total_events,
             total_sim_ns,
+            trial_sim_ns,
         }
     }
 }
@@ -279,8 +310,8 @@ impl DetectionMatrix {
             .unwrap_or(8)
             .max("cell".len());
         let mut out = format!(
-            "{:<first_col$}  {:>7}  {:>12}  {:>12}  {:>10}\n",
-            "cell", "trials", "events", "sim-time", "detected"
+            "{:<first_col$}  {:>7}  {:>12}  {:>12}  {:>10}  {:>17}\n",
+            "cell", "trials", "events", "sim-time", "detected", "blame"
         );
         for c in &self.cells {
             let label = format!("{} / {}", c.scenario, c.strategy);
@@ -289,8 +320,14 @@ impl DetectionMatrix {
                 Some(n) => format!("trial {n}"),
                 None => "no".to_string(),
             };
+            let blame = c
+                .example
+                .as_ref()
+                .and_then(|r| r.blame.as_ref())
+                .map(|b| b.class.as_str())
+                .unwrap_or("-");
             out.push_str(&format!(
-                "{label:<first_col$}  {:>7}  {:>12}  {sim:>12}  {det:>10}\n",
+                "{label:<first_col$}  {:>7}  {:>12}  {sim:>12}  {det:>10}  {blame:>17}\n",
                 c.trials_run, c.total_events,
             ));
         }
@@ -327,6 +364,7 @@ mod tests {
                 trace_digest: seed,
                 metrics: MetricsReport::default(),
                 divergence: DivergenceSummary::default(),
+                blame: None,
             }
         }
     }

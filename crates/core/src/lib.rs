@@ -38,11 +38,21 @@
 //! * [`parallel`] — the deterministic work-stealing trial scheduler:
 //!   positional splitmix64 seed derivation, order-stable merge by trial
 //!   index, and cooperative early-cancel, so `explore_parallel(n)` is
-//!   byte-identical to the sequential explorer at any thread count.
+//!   byte-identical to the sequential explorer at any thread count;
+//! * [`provenance`] — the backward trace slicer: from a violating
+//!   destructive action, walk the happens-before graph back to the injected
+//!   perturbation and classify the resulting **blame chain** with the §4.2
+//!   taxonomy (staleness / time-travel / observability-gap), cross-checkable
+//!   against the static witness class from `ph-lint`;
+//! * [`telemetry`] — hunt observability: per-(scenario, strategy) trial
+//!   counters, per-trial latency histograms, events per simulated second,
+//!   time-to-detection, and injection effectiveness, exportable in
+//!   Prometheus text-exposition format.
 //!
-//! The crate deliberately depends only on [`ph_sim`]: the model and tool are
-//! substrate-agnostic, and `ph-scenarios` wires them to the Kubernetes-like
-//! stack in `ph-cluster`.
+//! The crate depends only on [`ph_sim`] (the substrate) and `ph_lint` (the
+//! shared §4.2 [`ph_lint::summary::PatternClass`] taxonomy): the model and
+//! tool are substrate-agnostic, and `ph-scenarios` wires them to the
+//! Kubernetes-like stack in `ph-cluster`.
 //!
 //! ## The model in five lines
 //!
@@ -74,6 +84,8 @@ pub mod observe;
 pub mod oracle;
 pub mod parallel;
 pub mod perturb;
+pub mod provenance;
+pub mod telemetry;
 
 pub use autoguide::{
     candidates, explore, explore_parallel, AutoFinding, Candidate, CandidateStrategy,
@@ -90,3 +102,5 @@ pub use perturb::{
     CoFiPartitions, CrashTunerCrashes, NoFault, NotificationDropper, RandomCrashes,
     StalenessInjector, Strategy, Targets, TimeTravelInjector,
 };
+pub use provenance::{explain, BlameChain, BlameLink, BlameSpec, BlameSummary};
+pub use telemetry::{print_prometheus, HuntReport, StrategyStats};

@@ -237,6 +237,7 @@ impl Explorer {
         let mut example = None;
         let mut total_events = 0u64;
         let mut total_sim_ns = 0u64;
+        let mut trial_sim_ns = Vec::with_capacity(upto as usize);
         for t in 0..upto {
             let rec = records[t as usize]
                 .take()
@@ -246,6 +247,7 @@ impl Explorer {
             }
             total_events += rec.report.trace_events as u64;
             total_sim_ns += rec.report.sim_time.0;
+            trial_sim_ns.push(rec.report.sim_time.0);
             if Some(t) == first_fail {
                 example = Some(rec.report);
             }
@@ -258,6 +260,7 @@ impl Explorer {
             example,
             total_events,
             total_sim_ns,
+            trial_sim_ns,
         }
     }
 }
@@ -291,6 +294,7 @@ mod tests {
             trace_digest: seed,
             metrics: MetricsReport::default(),
             divergence: DivergenceSummary::default(),
+            blame: None,
         }
     }
 
@@ -312,6 +316,7 @@ mod tests {
         assert_eq!(a.first_violation, b.first_violation);
         assert_eq!(a.total_events, b.total_events);
         assert_eq!(a.total_sim_ns, b.total_sim_ns);
+        assert_eq!(a.trial_sim_ns, b.trial_sim_ns);
         match (&a.example, &b.example) {
             (None, None) => {}
             (Some(x), Some(y)) => assert_eq!(x.to_json(), y.to_json()),

@@ -1,0 +1,202 @@
+//! Property tests for [`ph_core::causality::CausalGraph`], generated from
+//! fixed-seed [`SimRng`] gossip worlds (no external proptest crate — the
+//! simulator itself is the generator, so every case is replayable).
+//!
+//! Laws pinned here:
+//! * the vector-clock order is a partial order — reflexive, antisymmetric
+//!   (on clocks), transitive;
+//! * `happens_before` agrees with `clock_leq` and every send precedes its
+//!   own delivery;
+//! * backward slices are causally closed: every member except the sink
+//!   happens-before the sink (the invariant the blame slicer rides on).
+
+use ph_core::causality::CausalGraph;
+use ph_sim::{
+    Actor, ActorId, AnyMsg, Ctx, Duration, SimRng, TimerId, TraceEventKind, World, WorldConfig,
+};
+
+/// A gossiping actor: kicks off with a timer, then forwards a hop-limited
+/// token to seeded-random peers, annotating every receipt.
+struct Gossip {
+    rng: SimRng,
+    peers: Vec<ActorId>,
+    kicks: u64,
+}
+
+#[derive(Debug)]
+struct Token(u64);
+
+impl Actor for Gossip {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        for k in 0..self.kicks {
+            ctx.set_timer(Duration::millis(1 + k), k);
+        }
+    }
+    fn on_message(&mut self, _from: ActorId, msg: AnyMsg, ctx: &mut Ctx) {
+        ctx.annotate("gossip.got", "token");
+        let Some(&Token(hops)) = msg.downcast_ref::<Token>() else {
+            return;
+        };
+        if hops > 0 && !self.peers.is_empty() {
+            let peer = self.peers[self.rng.below(self.peers.len() as u64) as usize];
+            ctx.send(peer, Token(hops - 1));
+        }
+    }
+    fn on_timer(&mut self, _t: TimerId, _tag: u64, ctx: &mut Ctx) {
+        if !self.peers.is_empty() {
+            let peer = self.peers[self.rng.below(self.peers.len() as u64) as usize];
+            ctx.send(peer, Token(1 + self.rng.below(4)));
+        }
+    }
+}
+
+/// Builds a quiesced gossip world: `n` actors, all-to-all peer lists,
+/// per-actor seeded RNGs, 1–2 kick timers each.
+fn gossip_world(seed: u64, n: usize) -> World {
+    let mut world = World::new(WorldConfig::default(), seed);
+    let all: Vec<ActorId> = (0..n).map(|i| ActorId(i as u32)).collect();
+    for i in 0..n {
+        let peers: Vec<ActorId> = all.iter().copied().filter(|a| a.index() != i).collect();
+        let spawned = world.spawn(
+            &format!("g{i}"),
+            Gossip {
+                rng: SimRng::from_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9)),
+                peers,
+                kicks: 1 + (i as u64 % 2),
+            },
+        );
+        assert_eq!(spawned, all[i], "spawn order must yield dense ids");
+    }
+    world.run_until_quiescent(10_000_000_000);
+    world
+}
+
+#[test]
+fn vector_clock_order_is_a_partial_order() {
+    for seed in [1u64, 7, 42, 1337] {
+        let world = gossip_world(seed, 4);
+        let graph = CausalGraph::from_trace(world.trace());
+        let seqs: Vec<u64> = world
+            .trace()
+            .iter()
+            .map(|e| e.seq)
+            .filter(|&s| graph.clock(s).is_some())
+            .collect();
+        assert!(seqs.len() > 8, "seed {seed}: world too quiet to test");
+        // Reflexivity: every clock ≤ itself (and happens_before stays
+        // irreflexive by the explicit a != b guard).
+        for &s in &seqs {
+            let c = graph.clock(s).unwrap();
+            assert!(
+                CausalGraph::clock_leq(c, c),
+                "seed {seed}: leq not reflexive"
+            );
+            assert!(!graph.happens_before(s, s));
+        }
+        // Antisymmetry on distinct events: a ≤ b and b ≤ a force equal
+        // clocks (two trace events may share a clock only via the join on
+        // delivery; happens_before then holds in both directions, which is
+        // why the slicer keys on seqs, not clocks).
+        for &a in &seqs {
+            for &b in &seqs {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (graph.clock(a).unwrap(), graph.clock(b).unwrap());
+                if CausalGraph::clock_leq(ca, cb) && CausalGraph::clock_leq(cb, ca) {
+                    let mut ca = ca.to_vec();
+                    let mut cb = cb.to_vec();
+                    let width = ca.len().max(cb.len());
+                    ca.resize(width, 0);
+                    cb.resize(width, 0);
+                    assert_eq!(ca, cb, "seed {seed}: antisymmetry violated");
+                }
+            }
+        }
+        // Transitivity: a ≤ b ≤ c ⇒ a ≤ c, checked on a bounded triple
+        // product to keep the quadratic loop honest.
+        let sample: Vec<u64> = seqs.iter().copied().take(24).collect();
+        for &a in &sample {
+            for &b in &sample {
+                for &c in &sample {
+                    let (ca, cb, cc) = (
+                        graph.clock(a).unwrap(),
+                        graph.clock(b).unwrap(),
+                        graph.clock(c).unwrap(),
+                    );
+                    if CausalGraph::clock_leq(ca, cb) && CausalGraph::clock_leq(cb, cc) {
+                        assert!(
+                            CausalGraph::clock_leq(ca, cc),
+                            "seed {seed}: transitivity violated"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_send_happens_before_its_own_delivery() {
+    for seed in [3u64, 11, 99] {
+        let world = gossip_world(seed, 5);
+        let graph = CausalGraph::from_trace(world.trace());
+        let mut pairs = 0;
+        for e in world.trace().iter() {
+            let TraceEventKind::MessageDelivered { id, .. } = &e.kind else {
+                continue;
+            };
+            let send = world
+                .trace()
+                .iter()
+                .find(
+                    |s| matches!(&s.kind, TraceEventKind::MessageSent { id: sid, .. } if sid == id),
+                )
+                .expect("delivered message was sent");
+            pairs += 1;
+            assert!(
+                graph.happens_before(send.seq, e.seq),
+                "seed {seed}: send {} must precede delivery {}",
+                send.seq,
+                e.seq
+            );
+            assert!(!graph.happens_before(e.seq, send.seq));
+        }
+        assert!(pairs > 4, "seed {seed}: too few send→deliver pairs");
+    }
+}
+
+#[test]
+fn backward_slices_are_causally_closed() {
+    for seed in [2u64, 13, 77] {
+        let world = gossip_world(seed, 4);
+        let graph = CausalGraph::from_trace(world.trace());
+        let decisions = graph.decisions("gossip.got");
+        assert!(!decisions.is_empty(), "seed {seed}: no decisions to slice");
+        for &sink in &decisions {
+            let slice = graph.slice(sink);
+            assert!(slice.contains(&sink), "slice must contain its sink");
+            for &s in &slice {
+                if s == sink {
+                    continue;
+                }
+                assert!(
+                    graph.happens_before(s, sink),
+                    "seed {seed}: slice member {s} does not precede sink {sink}"
+                );
+            }
+            // Closure: the slice IS causes_of(sink) ∪ {sink} — nothing a
+            // member depends on is missing.
+            for &s in &slice {
+                for cause in graph.causes_of(s) {
+                    assert!(
+                        slice.contains(&cause),
+                        "seed {seed}: {cause} causes {s} but is missing from the slice of {sink}"
+                    );
+                }
+            }
+        }
+        // Unknown sinks slice to nothing.
+        assert!(graph.slice(u64::MAX).is_empty());
+    }
+}

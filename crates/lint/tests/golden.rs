@@ -100,6 +100,24 @@ fn stray_print_golden() {
 }
 
 #[test]
+fn prometheus_writer_suppression_golden() {
+    // The telemetry layer's one sanctioned stdout use: the Prometheus
+    // text-exposition writer. Its reasoned allow must suppress exactly the
+    // exposition println and nothing else.
+    let fs = check("prometheus_writer", "crates/core/src/fixture.rs");
+    assert_eq!(rules_of(&fs), ["stray-print", "stray-print"]);
+    let (writer, leak) = (&fs[0], &fs[1]);
+    assert!(
+        writer
+            .suppressed
+            .as_deref()
+            .is_some_and(|r| r.contains("Prometheus text exposition")),
+        "{writer:?}"
+    );
+    assert!(leak.suppressed.is_none(), "{leak:?}");
+}
+
+#[test]
 fn suppression_with_reason_reports_but_does_not_gate() {
     let fs = check("suppression_ok", "crates/sim/src/fixture.rs");
     assert_eq!(fs.len(), 2);

@@ -10,11 +10,25 @@
 //!        [--metrics]                  print the metrics + divergence tables
 //!        [--json]                     print the full report as JSON
 //!        [--threads N]                worker pool size
+//! phtool explain --scenario <name> | --all
+//!        [--strategy <name>] [--variant buggy|fixed] [--seed N]
+//!        [--json] [--threads N]      blame chain: the minimal causal
+//!                                     story behind a violation (injected
+//!                                     perturbation → store commit →
+//!                                     suppressed view update → stale read
+//!                                     → action), classified per §4.2 and
+//!                                     cross-checked against the static
+//!                                     witness class (exit 3 on
+//!                                     disagreement)
 //! phtool report [--scenario <name>] [--strategy <name>]
 //!        [--variant buggy|fixed] [--seed N] [--threads N]
 //!                                     divergence & effort dashboard
+//!                                     (now with p95 read-staleness and
+//!                                     blame-class columns)
 //! phtool matrix [--trials N] [--seed N] [--threads N]
-//!                                     the §7 detection matrix
+//!        [--prom <file>]             the §7 detection matrix + per-cell
+//!                                     hunt telemetry (optionally exported
+//!                                     in Prometheus text exposition)
 //! phtool hunt --scenario <name> [--budget N] [--depth N] [--seed N]
 //!        [--threads N]               causality-guided auto-discovery
 //!        [--witnesses]               model-checker witness priors first,
@@ -46,23 +60,26 @@ use ph_core::harness::{DetectionMatrix, Explorer, RunReport};
 use ph_core::perturb::{
     CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy, Targets,
 };
-use ph_scenarios::{
-    cass_398, cass_400, cass_402, hbase_3136, k8s_56261, k8s_59848, node_fencing, volume_17,
-    Variant,
-};
+use ph_core::provenance::{explain, BlameSpec};
+use ph_core::telemetry::HuntReport;
+use ph_lint::summary::PatternClass;
+use ph_scenarios::{k8s_56261, volume_17, Variant};
 use ph_sim::{Duration, Trace};
 
 type RunFn = fn(u64, &mut dyn Strategy, Variant) -> RunReport;
 type TraceRunFn = fn(u64, &mut dyn Strategy, Variant) -> (RunReport, Trace);
 type GuidedFn = fn(u64) -> Box<dyn Strategy>;
 
-/// Trace-returning runner + decision labels + targets builder, for
-/// scenarios wired into the auto-explorer.
-type HuntSpec = (TraceRunFn, &'static [&'static str], fn() -> Targets);
+/// Decision labels + targets builder, for scenarios wired into the
+/// auto-explorer (the trace-returning runner lives on every [`Entry`]).
+type HuntSpec = (&'static [&'static str], fn() -> Targets);
 
 /// Everything the CLI knows about one scenario.
 struct Entry {
     run: RunFn,
+    run_traced: TraceRunFn,
+    blame: fn() -> BlameSpec,
+    pattern: PatternClass,
     guided: GuidedFn,
     hunt: Option<HuntSpec>,
 }
@@ -90,78 +107,24 @@ fn scheduler_targets() -> Targets {
 
 fn registry() -> BTreeMap<&'static str, Entry> {
     let mut m: BTreeMap<&'static str, Entry> = BTreeMap::new();
-    m.insert(
-        k8s_59848::NAME,
-        Entry {
-            run: k8s_59848::run,
-            guided: k8s_59848::guided,
-            hunt: None,
-        },
-    );
-    m.insert(
-        k8s_56261::NAME,
-        Entry {
-            run: k8s_56261::run,
-            guided: k8s_56261::guided,
-            hunt: Some((
-                k8s_56261::run_with_trace,
-                &["scheduler.bind"],
-                scheduler_targets,
-            )),
-        },
-    );
-    m.insert(
-        volume_17::NAME,
-        Entry {
-            run: volume_17::run,
-            guided: volume_17::guided,
-            hunt: Some((
-                volume_17::run_with_trace,
-                &["vc.release_pvc"],
-                volume_targets,
-            )),
-        },
-    );
-    m.insert(
-        cass_398::NAME,
-        Entry {
-            run: cass_398::run,
-            guided: cass_398::guided,
-            hunt: None,
-        },
-    );
-    m.insert(
-        cass_400::NAME,
-        Entry {
-            run: cass_400::run,
-            guided: cass_400::guided,
-            hunt: None,
-        },
-    );
-    m.insert(
-        cass_402::NAME,
-        Entry {
-            run: cass_402::run,
-            guided: cass_402::guided,
-            hunt: None,
-        },
-    );
-    m.insert(
-        hbase_3136::NAME,
-        Entry {
-            run: hbase_3136::run,
-            guided: hbase_3136::guided,
-            hunt: None,
-        },
-    );
-    m.insert(
-        node_fencing::NAME,
-        Entry {
-            run: node_fencing::run,
-            guided: node_fencing::guided,
-            hunt: None,
-        },
-    );
+    for e in ph_scenarios::scenario_statics() {
+        m.insert(
+            e.name,
+            Entry {
+                run: e.run,
+                run_traced: e.run_traced,
+                blame: e.blame,
+                pattern: e.pattern,
+                guided: e.guided,
+                hunt: None,
+            },
+        );
+    }
+    // Causal-hunt wiring (the scenarios with a stable reference schedule).
+    m.get_mut(k8s_56261::NAME).expect("registered").hunt =
+        Some((&["scheduler.bind"], scheduler_targets));
+    m.get_mut(volume_17::NAME).expect("registered").hunt =
+        Some((&["vc.release_pvc"], volume_targets));
     m
 }
 
@@ -183,7 +146,7 @@ fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Result<Box<dyn Stra
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["metrics", "json", "witnesses"];
+const BOOL_FLAGS: &[&str] = &["metrics", "json", "witnesses", "all"];
 
 /// Minimal `--key value` flag parser (plus valueless boolean flags).
 struct Args {
@@ -239,10 +202,12 @@ impl Args {
 fn usage() -> &'static str {
     "usage:\n  phtool list\n  phtool run --scenario <name> [--strategy <name>] \
      [--variant buggy|fixed] [--seed N] [--trace out.json] \
-     [--format json|jsonl|chrome] [--metrics] [--json] [--threads N]\n  phtool report \
+     [--format json|jsonl|chrome] [--metrics] [--json] [--threads N]\n  phtool explain \
+     --scenario <name> | --all [--strategy <name>] [--variant buggy|fixed] [--seed N] \
+     [--json] [--threads N]\n  phtool report \
      [--scenario <name>] [--strategy <name>] [--variant buggy|fixed] [--seed N] \
      [--threads N]\n  \
-     phtool matrix [--trials N] [--seed N] [--threads N]\n  phtool hunt \
+     phtool matrix [--trials N] [--seed N] [--threads N] [--prom <file>]\n  phtool hunt \
      --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N] [--witnesses]\n  \
      phtool lint [--json] [--root DIR]\n  phtool check [--json] [--root DIR]\n\
      exit codes: 0 clean, 1 error, 2 usage, 3 violation detected"
@@ -299,15 +264,7 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
     let threads = args.threads()?;
 
     let report = if let Some(path) = args.get("trace") {
-        // Only trace-capable scenarios can dump (the rest run normally).
-        let run_with_trace = if let Some((f, ..)) = entry.hunt {
-            f
-        } else if scenario.replace('_', "-") == k8s_59848::NAME {
-            k8s_59848::run_with_trace
-        } else {
-            return Err(format!("scenario {scenario:?} cannot dump traces"));
-        };
-        let (report, trace) = run_with_trace(seed, strategy.as_mut(), variant);
+        let (report, trace) = (entry.run_traced)(seed, strategy.as_mut(), variant);
         std::fs::write(path, format_trace(&trace, format)?)
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("trace written to {path} ({} events, {format})", trace.len());
@@ -345,6 +302,12 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
     } else {
         println!("VERDICT  : clean");
     }
+    if let Some(b) = report.blame {
+        println!(
+            "blame    : {} ({} link(s); {}/{} injected artifacts in chain)",
+            b.class, b.links, b.in_chain, b.injected
+        );
+    }
     if args.has("metrics") {
         println!("\n-- metrics --");
         print!("{}", report.metrics.render());
@@ -352,6 +315,99 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
         print!("{}", report.divergence.render());
     }
     Ok(exit)
+}
+
+/// `phtool explain` — run a scenario and print the violation's blame chain:
+/// the minimal causal story `injected perturbation → store commit →
+/// suppressed view update → stale read → action`, classified with the §4.2
+/// taxonomy and cross-checked against the scenario's static witness class.
+///
+/// Exit 3 when the dynamic class disagrees with the static one (or the run
+/// produced no violation to explain while one was statically predicted) —
+/// CI gates on it.
+fn cmd_explain(args: &Args) -> Result<i32, String> {
+    let reg = registry();
+    let seed = args.get_u64("seed", 1)?;
+    let variant = match args.get("variant").unwrap_or("buggy") {
+        "buggy" => Variant::Buggy,
+        "fixed" => Variant::Fixed,
+        other => return Err(format!("unknown variant {other:?}")),
+    };
+    let strategy_name = args.get("strategy").unwrap_or("guided");
+    if !STRATEGIES.contains(&strategy_name) {
+        return Err(format!(
+            "unknown strategy {strategy_name:?} (try: {STRATEGIES:?})"
+        ));
+    }
+    let threads = args.threads()?;
+    let selected: Vec<&'static str> = if args.has("all") {
+        reg.keys().copied().collect()
+    } else {
+        let s = args
+            .get("scenario")
+            .ok_or("--scenario <name> or --all is required")?;
+        lookup(&reg, s)?;
+        let dashed = s.replace('_', "-");
+        reg.keys().copied().filter(|k| *k == dashed).collect()
+    };
+
+    // One run per scenario through the deterministic pool: output bytes are
+    // identical at any --threads value.
+    type ExplainCell = (TraceRunFn, GuidedFn, fn() -> BlameSpec);
+    let cells: Vec<ExplainCell> = selected
+        .iter()
+        .map(|n| (reg[n].run_traced, reg[n].guided, reg[n].blame))
+        .collect();
+    let chains = ph_core::run_indexed(threads, cells.len(), |i| {
+        let (run_traced, guided, blame) = cells[i];
+        let mut strategy = make_strategy(strategy_name, guided, seed).expect("validated above");
+        let (report, trace) = run_traced(seed, strategy.as_mut(), variant);
+        let chain = explain(&trace, &blame(), &report.violations);
+        (report.failed(), chain)
+    });
+
+    let mut disagreements = 0usize;
+    for (name, (failed, chain)) in selected.iter().zip(&chains) {
+        let expected = reg[name].pattern;
+        if args.has("json") {
+            println!("{}", chain.to_json());
+        } else {
+            print!("{}", chain.render());
+        }
+        if !*failed {
+            if variant == Variant::Buggy {
+                disagreements += 1;
+                if !args.has("json") {
+                    println!(
+                        "  DISAGREEMENT: statically predicted {expected} but the run produced \
+                         no violation to explain"
+                    );
+                }
+            }
+            continue;
+        }
+        if chain.class != expected {
+            disagreements += 1;
+            if !args.has("json") {
+                println!(
+                    "  DISAGREEMENT: dynamic class {} vs static witness class {expected}",
+                    chain.class
+                );
+            }
+        } else if !args.has("json") {
+            println!("  static cross-check: agrees ({expected})");
+        }
+        if !args.has("json") {
+            println!();
+        }
+    }
+    if disagreements > 0 {
+        if !args.has("json") {
+            println!("{disagreements} dynamic/static disagreement(s)");
+        }
+        return Ok(EXIT_VIOLATION);
+    }
+    Ok(0)
 }
 
 /// The observability dashboard: run every scenario (or one) once and
@@ -401,8 +457,16 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
         .unwrap_or(8)
         .max("scenario".len());
     println!(
-        "{:<wide$}  {:>8}  {:>8}  {:>9}  {:>7}  {:>8}  {:>6}",
-        "scenario", "verdict", "events", "sim-time", "max-lag", "mean-lag", "gap%"
+        "{:<wide$}  {:>8}  {:>8}  {:>9}  {:>7}  {:>8}  {:>6}  {:>12}  {:>17}",
+        "scenario",
+        "verdict",
+        "events",
+        "sim-time",
+        "max-lag",
+        "mean-lag",
+        "gap%",
+        "p95-stale-ms",
+        "blame"
     );
     for r in &reports {
         let gap = r
@@ -410,8 +474,17 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
             .iter()
             .map(|(_, v)| v.gap_fraction())
             .fold(0.0f64, f64::max);
+        // Worst observed cache-read staleness (p95) across components.
+        let p95_stale_ns = r
+            .metrics
+            .iter()
+            .filter(|(_, name, _)| *name == "apiserver.read_staleness_ns")
+            .filter_map(|(c, n, _)| r.metrics.histogram(c, n))
+            .map(|h| h.quantile(0.95))
+            .max()
+            .unwrap_or(0);
         println!(
-            "{:<wide$}  {:>8}  {:>8}  {:>8.2}s  {:>7}  {:>8.2}  {:>5.1}%",
+            "{:<wide$}  {:>8}  {:>8}  {:>8.2}s  {:>7}  {:>8.2}  {:>5.1}%  {:>12.1}  {:>17}",
             r.scenario,
             if r.failed() { "VIOLATED" } else { "clean" },
             r.trace_events,
@@ -419,6 +492,11 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
             r.divergence.max_lag(),
             r.divergence.mean_lag(),
             gap * 100.0,
+            p95_stale_ns as f64 / 1e6,
+            match &r.blame {
+                Some(b) => b.class.as_str(),
+                None => "-",
+            },
         );
     }
     for r in &reports {
@@ -455,6 +533,7 @@ fn cmd_matrix(args: &Args) -> Result<i32, String> {
     };
     let reg = registry();
     let mut matrix = DetectionMatrix::new();
+    let mut hunt_report = HuntReport::new();
     for (name, entry) in &reg {
         for strategy_name in STRATEGIES {
             let run = entry.run;
@@ -468,10 +547,18 @@ fn cmd_matrix(args: &Args) -> Result<i32, String> {
             if *strategy_name == "guided" {
                 outcome.strategy = "guided".into();
             }
+            hunt_report.push(ph_core::telemetry::StrategyStats::from_outcome(&outcome));
             matrix.add(outcome);
         }
     }
     println!("{}", matrix.render());
+    println!("-- hunt telemetry (per scenario × strategy cell) --");
+    print!("{}", hunt_report.render());
+    if let Some(path) = args.get("prom") {
+        std::fs::write(path, hunt_report.to_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("prometheus exposition written to {path}");
+    }
     if matrix.cells().iter().any(|c| c.detected()) {
         return Ok(EXIT_VIOLATION);
     }
@@ -516,7 +603,7 @@ fn cmd_hunt(args: &Args) -> Result<i32, String> {
         return cmd_hunt_witnesses(args, scenario);
     }
     let entry = lookup(&reg, scenario)?;
-    let Some((run_with_trace, labels, targets_fn)) = entry.hunt else {
+    let Some((labels, targets_fn)) = entry.hunt else {
         let huntable: Vec<&str> = reg
             .iter()
             .filter(|(_, e)| e.hunt.is_some())
@@ -532,6 +619,7 @@ fn cmd_hunt(args: &Args) -> Result<i32, String> {
     let depth = args.get_u64("depth", 8)? as usize;
     let threads = args.threads()?;
 
+    let run_with_trace = entry.run_traced;
     let run = |strategy: &mut dyn Strategy| {
         let (report, trace) = run_with_trace(seed, strategy, Variant::Buggy);
         (
@@ -548,15 +636,33 @@ fn cmd_hunt(args: &Args) -> Result<i32, String> {
         autoguide::explore_parallel(run, |_| targets_fn(), labels, depth, budget, threads);
     println!("{total} candidates derived; {} tried", findings.len());
     let mut found = 0;
-    for f in &findings {
+    let mut first_violating: Option<usize> = None;
+    for (i, f) in findings.iter().enumerate() {
         if f.violated {
             found += 1;
+            first_violating.get_or_insert(i + 1);
             println!("✗ {}", f.candidate);
             for v in &f.violations {
                 println!("    → {v}");
             }
         }
     }
+    // Hunt telemetry: simulated work done across all tried candidates.
+    let events: u64 = findings.iter().map(|f| f.events).sum();
+    let sim_ns: u64 = findings.iter().map(|f| f.sim_ns).sum();
+    let rate = events
+        .saturating_mul(1_000_000_000)
+        .checked_div(sim_ns)
+        .unwrap_or(0);
+    println!(
+        "telemetry: {events} events over {:.2}s simulated ({rate} events/sim-sec); \
+         first violating candidate: {}",
+        sim_ns as f64 / 1e9,
+        match first_violating {
+            Some(i) => format!("#{i}"),
+            None => "none".into(),
+        }
+    );
     println!("{found} violating candidate(s); re-run any with the same seed to replay");
     if found > 0 {
         return Ok(EXIT_VIOLATION);
@@ -805,6 +911,7 @@ fn main() {
             Ok(0)
         }
         "run" => Args::parse(rest).and_then(|a| cmd_run(&a)),
+        "explain" => Args::parse(rest).and_then(|a| cmd_explain(&a)),
         "report" => Args::parse(rest).and_then(|a| cmd_report(&a)),
         "matrix" => Args::parse(rest).and_then(|a| cmd_matrix(&a)),
         "hunt" => Args::parse(rest).and_then(|a| cmd_hunt(&a)),

@@ -58,6 +58,18 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
 pub const PATTERN: ph_lint::summary::PatternClass =
     ph_lint::summary::PatternClass::ObservabilityGap;
 
+/// What the blame slicer needs to know: the operator must delete the
+/// decommissioned node's PVC (`operator.delete_pvc`); in the buggy run it
+/// never does — an omission sink across its crash/restart.
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "cassandra-operator",
+        action_labels: &["operator.delete_pvc"],
+        caches: &["apiserver-1", "apiserver-2"],
+    }
+}
+
 /// The cluster this scenario spawns (shared by [`run`] and the static
 /// hazard pass, so the analysis sees exactly what executes).
 fn cluster_config(variant: Variant) -> ClusterConfig {
@@ -82,6 +94,16 @@ pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary
 
 /// Runs one trial under `strategy`.
 pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace (consumed by the blame
+/// slicer and the causality-guided auto-explorer).
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
     let cfg = cluster_config(variant);
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(7));
     runner.seed(&Object::node("node-1"));
@@ -108,7 +130,10 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
         oracles::no_wrongful_pvc_delete(cluster.clone()),
         oracles::cassdc_converged(cluster, "dc1", 2),
     ];
-    runner.finish(strategy, Duration::millis(500), &mut oracles)
+    let (mut report, trace) =
+        runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles);
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
 }
 
 #[cfg(test)]

@@ -68,6 +68,18 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
 /// The §4.2 pattern class this scenario's buggy variant exercises.
 pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::Staleness;
 
+/// What the blame slicer needs to know: the operator's decommission mark
+/// (`operator.decommission`) is the destructive action taken on a stale
+/// datacenter view.
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "cassandra-operator",
+        action_labels: &["operator.decommission"],
+        caches: &["apiserver-1", "apiserver-2"],
+    }
+}
+
 /// The cluster this scenario spawns (shared by [`run`] and the static
 /// hazard pass, so the analysis sees exactly what executes).
 fn cluster_config(variant: Variant) -> ClusterConfig {
@@ -92,6 +104,16 @@ pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary
 
 /// Runs one trial under `strategy`.
 pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace (consumed by the blame
+/// slicer and the causality-guided auto-explorer).
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
     let cfg = cluster_config(variant);
     let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(8));
     runner.seed(&Object::node("node-1"));
@@ -117,7 +139,10 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
         oracles::cassdc_converged(cluster.clone(), "dc1", 1),
         oracles::no_wrongful_pvc_delete(cluster),
     ];
-    runner.finish(strategy, Duration::millis(500), &mut oracles)
+    let (mut report, trace) =
+        runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles);
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
 }
 
 #[cfg(test)]

@@ -243,6 +243,7 @@ impl Runner {
             trace_digest: self.world.trace().digest(),
             metrics: self.world.metrics_report(),
             divergence: std::mem::take(&mut self.divergence),
+            blame: None,
         }
     }
 }

@@ -43,6 +43,18 @@ const TAG_NEXT: u64 = 2;
 /// The §4.2 pattern class this scenario's buggy variant exercises.
 pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::Staleness;
 
+/// What the blame slicer needs to know: the region manager aborts a region
+/// (`hbase.aborted`) after a CAS built on a stale follower read; its view
+/// caches are the store nodes themselves (replication is the update feed).
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "region-manager",
+        action_labels: &["hbase.aborted"],
+        caches: &["store-0", "store-1", "store-2"],
+    }
+}
+
 /// Static access summary of the region manager.
 ///
 /// This scenario has no informer stack, so the summary is written by hand:
@@ -244,6 +256,16 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
 /// `notify_kinds` = the Raft replication stream (`RaftWire`) — at the store
 /// layer, replication *is* the view-update feed.
 pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace (consumed by the blame
+/// slicer and the causality-guided auto-explorer).
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
     let mut world = World::new(WorldConfig::default(), seed);
     let cluster = spawn_store_cluster(&mut world, 3, StoreNodeConfig::default());
     let leader = cluster
@@ -300,7 +322,7 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
         let lag = l.mvcc().revision().0.saturating_sub(f.mvcc().revision().0);
         divergence.record(world.name_of(follower), lag);
     }
-    RunReport {
+    let mut report = RunReport {
         scenario: NAME.into(),
         strategy: strategy.name(),
         seed,
@@ -310,7 +332,11 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
         trace_digest: world.trace().digest(),
         metrics: world.metrics_report(),
         divergence,
-    }
+        blame: None,
+    };
+    let trace = world.take_trace();
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
 }
 
 #[cfg(test)]

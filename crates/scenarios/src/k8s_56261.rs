@@ -51,6 +51,17 @@ pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunRepor
 /// The §4.2 pattern class this scenario's buggy variant exercises.
 pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::Staleness;
 
+/// What the blame slicer needs to know: the scheduler acts (binds pods)
+/// on a node view fed through the apiservers.
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "scheduler",
+        action_labels: &["scheduler.bind"],
+        caches: &["apiserver-1", "apiserver-2"],
+    }
+}
+
 /// The cluster this scenario spawns (shared by [`run`] and the static
 /// hazard pass, so the analysis sees exactly what executes).
 fn cluster_config(variant: Variant) -> ClusterConfig {
@@ -105,7 +116,10 @@ pub fn run_with_trace(
     let cluster = runner.cluster.clone();
     let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> =
         vec![oracles::all_pods_running(cluster)];
-    runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles)
+    let (mut report, trace) =
+        runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles);
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
 }
 
 #[cfg(test)]

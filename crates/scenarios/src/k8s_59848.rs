@@ -52,6 +52,18 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
 /// The §4.2 pattern class this scenario's buggy variant exercises.
 pub const PATTERN: ph_lint::summary::PatternClass = ph_lint::summary::PatternClass::TimeTravel;
 
+/// What the blame slicer needs to know: the restarted kubelet-node-1 is the
+/// acting component, its destructive action is starting a pod, and its view
+/// flows through the two apiservers.
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "kubelet-node-1",
+        action_labels: &["kubelet.pod_start"],
+        caches: &["apiserver-1", "apiserver-2"],
+    }
+}
+
 /// The cluster this scenario spawns (shared by [`run`] and the static
 /// hazard pass, so the analysis sees exactly what executes).
 fn cluster_config(variant: Variant) -> ClusterConfig {
@@ -105,7 +117,10 @@ pub fn run_with_trace(
 
     runner.drive(strategy, Duration::secs(4), Duration::millis(10));
     let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> = vec![oracles::unique_pod_execution()];
-    runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles)
+    let (mut report, trace) =
+        runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles);
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
 }
 
 #[cfg(test)]

@@ -59,6 +59,11 @@ pub struct StaticEntry {
     pub summaries: fn(Variant) -> Vec<AccessSummary>,
     /// One dynamic trial.
     pub run: fn(u64, &mut dyn Strategy, Variant) -> RunReport,
+    /// One dynamic trial that also hands back the full trace (for the blame
+    /// slicer and trace exports).
+    pub run_traced: fn(u64, &mut dyn Strategy, Variant) -> (RunReport, ph_sim::Trace),
+    /// What the blame slicer needs to know about this scenario.
+    pub blame: fn() -> ph_core::provenance::BlameSpec,
     /// The tuned guided injector.
     pub guided: fn(u64) -> Box<dyn Strategy>,
 }
@@ -71,6 +76,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: k8s_59848::PATTERN,
             summaries: k8s_59848::access_summaries,
             run: k8s_59848::run,
+            run_traced: k8s_59848::run_with_trace,
+            blame: k8s_59848::blame_spec,
             guided: k8s_59848::guided,
         },
         StaticEntry {
@@ -78,6 +85,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: k8s_56261::PATTERN,
             summaries: k8s_56261::access_summaries,
             run: k8s_56261::run,
+            run_traced: k8s_56261::run_with_trace,
+            blame: k8s_56261::blame_spec,
             guided: k8s_56261::guided,
         },
         StaticEntry {
@@ -85,6 +94,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: volume_17::PATTERN,
             summaries: volume_17::access_summaries,
             run: volume_17::run,
+            run_traced: volume_17::run_with_trace,
+            blame: volume_17::blame_spec,
             guided: volume_17::guided,
         },
         StaticEntry {
@@ -92,6 +103,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: cass_398::PATTERN,
             summaries: cass_398::access_summaries,
             run: cass_398::run,
+            run_traced: cass_398::run_with_trace,
+            blame: cass_398::blame_spec,
             guided: cass_398::guided,
         },
         StaticEntry {
@@ -99,6 +112,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: cass_400::PATTERN,
             summaries: cass_400::access_summaries,
             run: cass_400::run,
+            run_traced: cass_400::run_with_trace,
+            blame: cass_400::blame_spec,
             guided: cass_400::guided,
         },
         StaticEntry {
@@ -106,6 +121,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: cass_402::PATTERN,
             summaries: cass_402::access_summaries,
             run: cass_402::run,
+            run_traced: cass_402::run_with_trace,
+            blame: cass_402::blame_spec,
             guided: cass_402::guided,
         },
         StaticEntry {
@@ -113,6 +130,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: hbase_3136::PATTERN,
             summaries: hbase_3136::access_summaries,
             run: hbase_3136::run,
+            run_traced: hbase_3136::run_with_trace,
+            blame: hbase_3136::blame_spec,
             guided: hbase_3136::guided,
         },
         StaticEntry {
@@ -120,6 +139,8 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             pattern: node_fencing::PATTERN,
             summaries: node_fencing::access_summaries,
             run: node_fencing::run,
+            run_traced: node_fencing::run_with_trace,
+            blame: node_fencing::blame_spec,
             guided: node_fencing::guided,
         },
     ]

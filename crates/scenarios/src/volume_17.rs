@@ -50,6 +50,18 @@ pub fn guided(_seed: u64) -> Box<dyn Strategy> {
 pub const PATTERN: ph_lint::summary::PatternClass =
     ph_lint::summary::PatternClass::ObservabilityGap;
 
+/// What the blame slicer needs to know: the volume controller must release
+/// the PVC (`vc.release_pvc`); in the buggy run it never does — an omission
+/// sink — because the termination mark was dropped from its apiserver feed.
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "volume-controller",
+        action_labels: &["vc.release_pvc"],
+        caches: &["apiserver-1", "apiserver-2"],
+    }
+}
+
 /// The cluster this scenario spawns (shared by [`run`] and the static
 /// hazard pass, so the analysis sees exactly what executes).
 fn cluster_config(variant: Variant) -> ClusterConfig {
@@ -110,7 +122,10 @@ pub fn run_with_trace(
         oracles::no_orphan_pvcs(cluster.clone()),
         oracles::no_wrongful_pvc_delete(cluster),
     ];
-    runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles)
+    let (mut report, trace) =
+        runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles);
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
 }
 
 #[cfg(test)]

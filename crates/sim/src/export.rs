@@ -78,6 +78,22 @@ pub fn trace_to_jsonl(trace: &Trace) -> String {
                     json_string(kind)
                 ));
             }
+            TraceEventKind::MessageDelayed {
+                id,
+                src,
+                dst,
+                kind,
+                by,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"delayed\",\"id\":{},\"src\":{},\"dst\":{},\"kind\":{},\"by_ns\":{}",
+                    id.0,
+                    src.0,
+                    dst.0,
+                    json_string(kind),
+                    by.0
+                ));
+            }
             TraceEventKind::MessageReleased { id } => {
                 out.push_str(&format!("\"type\":\"released\",\"id\":{}", id.0));
             }
@@ -157,7 +173,22 @@ fn actor_names(trace: &Trace) -> BTreeMap<ActorId, crate::intern::Name> {
 /// Renders the trace in the Chrome `trace_event` JSON object format
 /// (`{"traceEvents": [...]}`), suitable for Perfetto. The export is
 /// self-contained: thread names come from the trace's `Spawned` events.
+///
+/// Every send→deliver message pair additionally emits a flow-event pair
+/// (`"ph":"s"` at the send, `"ph":"f","bp":"e"` at the delivery, bound by
+/// the message id) so Perfetto draws causality arrows between the two
+/// timelines — the visual counterpart of the happens-before edges
+/// `ph-core::causality` derives from the same trace.
 pub fn trace_to_chrome(trace: &Trace) -> String {
+    // Flow starts with no matching finish render as dangling arrows, so
+    // only messages that were actually delivered get a flow pair.
+    let delivered: std::collections::BTreeSet<u64> = trace
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::MessageDelivered { id, .. } => Some(id.0),
+            _ => None,
+        })
+        .collect();
     let mut events: Vec<String> = Vec::with_capacity(trace.len() + 8);
     for (actor, name) in actor_names(trace) {
         events.push(format!(
@@ -213,6 +244,18 @@ pub fn trace_to_chrome(trace: &Trace) -> String {
                     json_string(&format!("{reason:?}"))
                 ),
             ),
+            TraceEventKind::MessageDelayed {
+                id,
+                src,
+                dst,
+                kind,
+                by,
+            } => instant(
+                dst.0,
+                &ts,
+                &format!("delay {kind}"),
+                &format!("{{\"id\":{},\"src\":{},\"by_ns\":{}}}", id.0, src.0, by.0),
+            ),
             TraceEventKind::Crashed { actor } => instant(actor.0, &ts, "crash", "{}"),
             TraceEventKind::Restarted { actor } => instant(actor.0, &ts, "restart", "{}"),
             TraceEventKind::Annotation { actor, label, data } => instant(
@@ -226,6 +269,15 @@ pub fn trace_to_chrome(trace: &Trace) -> String {
             _ => continue,
         };
         events.push(ev);
+        match &e.kind {
+            TraceEventKind::MessageSent { id, src, .. } if delivered.contains(&id.0) => {
+                events.push(flow("s", src.0, &ts, id.0));
+            }
+            TraceEventKind::MessageDelivered { id, dst, .. } => {
+                events.push(flow("f", dst.0, &ts, id.0));
+            }
+            _ => {}
+        }
     }
     format!(
         "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
@@ -237,6 +289,16 @@ fn instant(tid: u32, ts: &str, name: &str, args: &str) -> String {
     format!(
         "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"name\":{},\"args\":{args}}}",
         json_string(name)
+    )
+}
+
+/// One half of a flow-event pair binding a send to its delivery. `bp:"e"`
+/// on the finishing half attaches the arrowhead to the enclosing event
+/// rather than the next slice, which is what instants need.
+fn flow(ph: &str, tid: u32, ts: &str, msg_id: u64) -> String {
+    let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+    format!(
+        "{{\"ph\":\"{ph}\"{bp},\"cat\":\"msg\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"name\":\"msg\",\"id\":{msg_id}}}"
     )
 }
 
@@ -302,6 +364,59 @@ mod tests {
         assert_eq!(chrome_ts(0), "0.000");
         assert_eq!(chrome_ts(1_500), "1.500");
         assert_eq!(chrome_ts(2_000_007), "2000.007");
+    }
+
+    struct Pinger {
+        peer: ActorId,
+    }
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.send(self.peer, 1u32);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: AnyMsg, _c: &mut Ctx) {}
+    }
+
+    struct Sink;
+    impl Actor for Sink {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_message(&mut self, _f: ActorId, _m: AnyMsg, _c: &mut Ctx) {}
+    }
+
+    #[test]
+    fn chrome_flow_events_pair_every_delivery() {
+        let mut w = World::new(WorldConfig::default(), 5);
+        let sink = w.spawn("sink", Sink);
+        w.spawn("pinger", Pinger { peer: sink });
+        w.run_for(Duration::millis(5));
+        let chrome = trace_to_chrome(w.trace());
+        let starts = chrome.matches("\"ph\":\"s\"").count();
+        let finishes = chrome.matches("\"ph\":\"f\"").count();
+        assert!(starts > 0, "no flow starts emitted");
+        assert_eq!(starts, finishes, "every flow start needs a finish");
+        assert_eq!(finishes, chrome.matches("\"bp\":\"e\"").count());
+    }
+
+    #[test]
+    fn delayed_messages_appear_in_both_exports() {
+        use crate::intercept::Verdict;
+        use crate::msg::Envelope;
+        use crate::time::SimTime;
+        let mut w = World::new(WorldConfig::default(), 6);
+        let sink = w.spawn("sink", Sink);
+        w.set_interceptor(move |env: &Envelope, _t: SimTime| {
+            if env.dst == sink {
+                Verdict::Delay(Duration::millis(3))
+            } else {
+                Verdict::Pass
+            }
+        });
+        w.spawn("pinger", Pinger { peer: sink });
+        w.run_for(Duration::millis(10));
+        let jsonl = trace_to_jsonl(w.trace());
+        assert!(jsonl.contains("\"type\":\"delayed\""), "{jsonl}");
+        assert!(jsonl.contains("\"by_ns\":3000000"), "{jsonl}");
+        let chrome = trace_to_chrome(w.trace());
+        assert!(chrome.contains("delay u32"), "{chrome}");
     }
 
     #[test]

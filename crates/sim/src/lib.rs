@@ -74,10 +74,10 @@ pub use export::{trace_to_chrome, trace_to_jsonl};
 pub use ids::{ActorId, MsgId, TimerId};
 pub use intercept::{Interceptor, NullInterceptor, Verdict};
 pub use intern::{Interner, Name, Sym};
-pub use metrics::{Histogram, MetricValue, Metrics, MetricsReport};
+pub use metrics::{Histogram, MetricValue, Metrics, MetricsReport, DEFAULT_LATENCY_BOUNDS_NS};
 pub use msg::{AnyMsg, Envelope};
 pub use net::{LinkConfig, NetConfig, Network, Partition};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceEventKind};
+pub use trace::{DropReason, Trace, TraceEvent, TraceEventKind};
 pub use world::{World, WorldConfig};

@@ -80,6 +80,32 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 < q <= 1.0`): the
+    /// inclusive upper bound of the bucket containing the `ceil(q * count)`-th
+    /// observation, computed purely from integer bucket counts so the result
+    /// is deterministic. Observations past the last bound report the last
+    /// bound (the histogram records nothing finer). Returns 0 with no
+    /// observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // ceil(q * count) without float rounding surprises at the seam:
+        // rank is clamped into [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => *self.bounds.last().unwrap_or(&0),
+                };
+            }
+        }
+        *self.bounds.last().unwrap_or(&0)
+    }
 }
 
 /// One metric's current value.
@@ -318,7 +344,15 @@ impl MetricsReport {
                 MetricValue::Counter(x) => x.to_string(),
                 MetricValue::Gauge(x) => x.to_string(),
                 MetricValue::Histogram(h) => {
-                    format!("count {} sum {} mean {:.1}", h.count, h.sum, h.mean())
+                    format!(
+                        "count {} sum {} mean {:.1} p50 {} p95 {} p99 {}",
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99)
+                    )
                 }
             };
             out.push_str(&format!("{c:<24} {n:<28} {rendered}\n"));
@@ -347,8 +381,12 @@ impl MetricsReport {
                 MetricValue::Histogram(h) => {
                     let _ = write!(
                         out,
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"bounds\":[",
-                        h.count, h.sum
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"bounds\":[",
+                        h.count,
+                        h.sum,
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99)
                     );
                     for (j, b) in h.bounds.iter().enumerate() {
                         if j > 0 {
@@ -416,6 +454,36 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(Histogram::new(&[1]).mean(), 0.0);
+        assert_eq!(Histogram::new(&[1]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_pick_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.observe(5); // bucket <=10
+        }
+        for _ in 0..9 {
+            h.observe(50); // bucket <=100
+        }
+        h.observe(5000); // overflow
+        assert_eq!(h.quantile(0.50), 10);
+        assert_eq!(h.quantile(0.90), 10);
+        assert_eq!(h.quantile(0.95), 100);
+        assert_eq!(h.quantile(0.99), 100);
+        // Overflow observations report the last finite bound.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn report_renderings_carry_quantiles() {
+        let mut m = Metrics::new();
+        m.observe("c", "lat", 2_000);
+        let r = m.report();
+        assert!(r.render().contains("p50 10000 p95 10000 p99 10000"));
+        assert!(r
+            .to_json()
+            .contains("\"p50\":10000,\"p95\":10000,\"p99\":10000"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::ids::{ActorId, MsgId, TimerId};
 use crate::intern::Name;
-use crate::time::SimTime;
+use crate::time::{Duration, SimTime};
 
 /// Why a message failed to reach its destination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,21 @@ pub enum TraceEventKind {
         dst: ActorId,
         /// Short payload type name (interned; prints like a `String`).
         kind: Name,
+    },
+    /// An interceptor delayed a message in flight ([`crate::Verdict::Delay`]).
+    /// The message is still expected to arrive, `by` later than the network
+    /// alone would have delivered it — the staleness injector's signature.
+    MessageDelayed {
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        src: ActorId,
+        /// Destination.
+        dst: ActorId,
+        /// Short payload type name (interned; prints like a `String`).
+        kind: Name,
+        /// Extra in-flight latency added by the interceptor.
+        by: Duration,
     },
     /// A held message was released back into the network.
     MessageReleased {
@@ -366,6 +381,25 @@ fn render_kind(kind: &TraceEventKind, buf: &mut Vec<u8>) {
             buf.extend_from_slice(b"MessageHeld { id: ");
             push_msg_header(buf, *id, *src, *dst, kind);
         }
+        MessageDelayed {
+            id,
+            src,
+            dst,
+            kind,
+            by,
+        } => {
+            buf.extend_from_slice(b"MessageDelayed { id: ");
+            push_id(buf, b"MsgId", id.0);
+            buf.extend_from_slice(b", src: ");
+            push_id(buf, b"ActorId", src.0 as u64);
+            buf.extend_from_slice(b", dst: ");
+            push_id(buf, b"ActorId", dst.0 as u64);
+            buf.extend_from_slice(b", kind: ");
+            push_str_debug(buf, kind);
+            buf.extend_from_slice(b", by: ");
+            push_id(buf, b"Duration", by.0);
+            buf.extend_from_slice(b" }");
+        }
         MessageDropped {
             id,
             src,
@@ -547,6 +581,13 @@ mod tests {
                     src: ActorId(3),
                     dst: ActorId(4),
                     kind: (*s).into(),
+                },
+                MessageDelayed {
+                    id: MsgId(i),
+                    src: ActorId(3),
+                    dst: ActorId(4),
+                    kind: (*s).into(),
+                    by: Duration(i * 90_000_000),
                 },
                 MessageReleased { id: MsgId(i) },
                 TimerSet {

@@ -753,7 +753,19 @@ impl World {
         let verdict = self.interceptor.on_send(&env, self.now);
         let extra = match verdict {
             Verdict::Pass => Duration::ZERO,
-            Verdict::Delay(d) => d,
+            Verdict::Delay(d) => {
+                self.trace.push(
+                    self.now,
+                    TraceEventKind::MessageDelayed {
+                        id,
+                        src,
+                        dst,
+                        kind: env.short.clone(),
+                        by: d,
+                    },
+                );
+                d
+            }
             Verdict::Drop => {
                 self.trace.push(
                     self.now,

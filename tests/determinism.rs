@@ -140,6 +140,37 @@ fn autoguide_candidates_are_identical_at_any_thread_count() {
 }
 
 #[test]
+fn blame_chains_are_identical_across_same_seed_runs_and_thread_counts() {
+    // The provenance layer rides on the trace, so it inherits the replay
+    // guarantee: the same (seed, strategy, variant) must yield the same
+    // blame chain — byte for byte in its JSON form — whether the runs fan
+    // out over 1 worker or 4. This is what makes `phtool explain --json`
+    // diffable in CI.
+    use ph_core::provenance::explain;
+    const SEED: u64 = 7;
+    let entries = ph_scenarios::scenario_statics();
+    let explain_all = |threads: usize| -> Vec<String> {
+        ph_core::run_indexed(threads, entries.len(), |i| {
+            let e = &entries[i];
+            let mut strategy = (e.guided)(SEED);
+            let (report, trace) = (e.run_traced)(SEED, strategy.as_mut(), Variant::Buggy);
+            explain(&trace, &(e.blame)(), &report.violations).to_json()
+        })
+    };
+    let single = explain_all(1);
+    let pooled = explain_all(4);
+    assert_eq!(single, pooled, "explain JSON diverges across thread counts");
+    assert_eq!(single, explain_all(1), "explain JSON diverges across runs");
+    for (e, json) in entries.iter().zip(&single) {
+        assert!(
+            json.contains(&format!("\"class\":\"{}\"", e.pattern.as_str())),
+            "{}: chain JSON lost its class: {json}",
+            e.name
+        );
+    }
+}
+
+#[test]
 fn telemetry_reports_are_populated() {
     // The instrumentation layer must actually produce data: lag samples
     // for every view and watch-delivery counts at the apiservers.

@@ -1,0 +1,85 @@
+//! Blame-chain provenance: dynamic class vs static witness class, and
+//! byte-identical explanations across same-seed runs and thread counts.
+//!
+//! For every buggy scenario under its guided injection, the backward trace
+//! slicer ([`ph_core::provenance::explain`]) must classify the violation
+//! with the same §4.2 class the scenario documents (its `PATTERN`, which
+//! `static_dynamic_agreement` already ties to the model checker's
+//! witnesses) — the end-to-end check that static prediction and dynamic
+//! provenance tell one story.
+
+use ph_core::provenance::explain;
+use ph_scenarios::{scenario_statics, Variant};
+
+#[test]
+fn blame_class_matches_the_static_pattern_for_every_scenario() {
+    for e in scenario_statics() {
+        let mut strategy = (e.guided)(1);
+        let (report, trace) = (e.run_traced)(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "{}: guided buggy run must violate", e.name);
+        let chain = explain(&trace, &(e.blame)(), &report.violations);
+        assert_eq!(
+            chain.class,
+            e.pattern,
+            "{}: dynamic blame class {} disagrees with the static class {}\nrationale: {}\n{}",
+            e.name,
+            chain.class,
+            e.pattern,
+            chain.rationale,
+            chain.render()
+        );
+        // The chain is non-trivial: it names at least one injected artifact
+        // or an omission rationale, and the report summary agrees.
+        let summary = report.blame.expect("failing run carries a blame summary");
+        assert_eq!(summary.class, chain.class, "{}", e.name);
+        assert_eq!(summary.injected, chain.injected, "{}", e.name);
+        assert!(
+            chain.injected > 0,
+            "{}: guided injection must leave artifacts",
+            e.name
+        );
+        assert!(
+            chain.in_chain > 0,
+            "{}: at least one injected artifact must be causally implicated",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn explanations_are_byte_identical_across_same_seed_runs() {
+    for e in scenario_statics() {
+        let json = |_: ()| {
+            let mut strategy = (e.guided)(9);
+            let (report, trace) = (e.run_traced)(9, strategy.as_mut(), Variant::Buggy);
+            explain(&trace, &(e.blame)(), &report.violations).to_json()
+        };
+        assert_eq!(json(()), json(()), "{}", e.name);
+    }
+}
+
+#[test]
+fn blame_summaries_are_identical_across_thread_counts() {
+    use ph_core::harness::Explorer;
+    // One representative per §4.2 class keeps the test fast.
+    for name in ["k8s-59848", "volume-ctrl-17", "hbase-3136"] {
+        let e = scenario_statics()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("scenario");
+        let explorer = Explorer {
+            max_trials: 3,
+            base_seed: 5,
+        };
+        let run =
+            |seed: u64, s: &mut dyn ph_core::perturb::Strategy| (e.run)(seed, s, Variant::Buggy);
+        let guided = e.guided;
+        let factory = move |seed: u64| guided(seed);
+        let seq = explorer.explore(name, &run, &factory);
+        let par4 = explorer.explore_parallel(4, name, &run, &factory);
+        let b1 = seq.example.as_ref().and_then(|r| r.blame);
+        let b4 = par4.example.as_ref().and_then(|r| r.blame);
+        assert_eq!(b1, b4, "{name}: blame summary must not depend on threads");
+        assert_eq!(seq.trial_sim_ns, par4.trial_sim_ns, "{name}");
+    }
+}
