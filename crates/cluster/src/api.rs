@@ -72,6 +72,14 @@ impl Verb {
     }
 }
 
+/// Nominal wire framing per message (headers, ids, revisions). The sim's
+/// network only reads these sizes on finite-bandwidth links; on the default
+/// infinite-bandwidth links they are inert.
+pub const WIRE_OVERHEAD: u64 = 64;
+/// Nominal encoded size of one object item beyond its value bytes (key,
+/// revision, type tag).
+pub const ITEM_OVERHEAD: u64 = 48;
+
 /// A request to an apiserver.
 #[derive(Debug, Clone)]
 pub struct ApiRequest {
@@ -79,6 +87,19 @@ pub struct ApiRequest {
     pub req: u64,
     /// The operation.
     pub verb: Verb,
+}
+
+impl ApiRequest {
+    /// Estimated encoded size, for finite-bandwidth links.
+    pub fn wire_bytes(&self) -> u64 {
+        WIRE_OVERHEAD
+            + match &self.verb {
+                Verb::Create { key, value } | Verb::Update { key, value, .. } => {
+                    ITEM_OVERHEAD + key.len() as u64 + value.len() as u64
+                }
+                v => v.target().len() as u64,
+            }
+    }
 }
 
 /// Successful outcome of an [`ApiRequest`].
@@ -139,6 +160,23 @@ pub struct ApiResponse {
     pub result: Result<ApiOk, ApiError>,
 }
 
+impl ApiResponse {
+    /// Estimated encoded size, for finite-bandwidth links. List replies
+    /// dominate: they carry every object in the prefix, which is what makes
+    /// relist storms saturate a throttled feed.
+    pub fn wire_bytes(&self) -> u64 {
+        WIRE_OVERHEAD
+            + match &self.result {
+                Ok(ApiOk::List { items, .. }) => items
+                    .iter()
+                    .map(|(k, v, _)| ITEM_OVERHEAD + k.len() as u64 + v.len() as u64)
+                    .sum(),
+                Ok(ApiOk::Obj(Some((v, _)))) => ITEM_OVERHEAD + v.len() as u64,
+                _ => 0,
+            }
+    }
+}
+
 /// One object-level change on a watch stream.
 #[derive(Debug, Clone)]
 pub struct ObjEvent {
@@ -154,6 +192,13 @@ impl ObjEvent {
     /// `true` for deletions.
     pub fn is_delete(&self) -> bool {
         self.value.is_none()
+    }
+
+    /// Estimated encoded size, for finite-bandwidth links.
+    pub fn wire_bytes(&self) -> u64 {
+        ITEM_OVERHEAD
+            + self.key.len() as u64
+            + self.value.as_ref().map(|v| v.len() as u64).unwrap_or(0)
     }
 }
 
@@ -190,6 +235,13 @@ pub struct ApiWatchEvent {
     pub events: Vec<std::rc::Rc<ObjEvent>>,
     /// The serving apiserver's cache revision after this batch.
     pub revision: Revision,
+}
+
+impl ApiWatchEvent {
+    /// Estimated encoded size, for finite-bandwidth links.
+    pub fn wire_bytes(&self) -> u64 {
+        WIRE_OVERHEAD + self.events.iter().map(|e| e.wire_bytes()).sum::<u64>()
+    }
 }
 
 /// Idle-stream progress notification.

@@ -174,13 +174,12 @@ impl ApiClient {
         let req = self.next_req;
         self.next_req += 1;
         let target = self.upstream();
-        ctx.send(
-            target,
-            ApiRequest {
-                req,
-                verb: verb.clone(),
-            },
-        );
+        let wire = ApiRequest {
+            req,
+            verb: verb.clone(),
+        };
+        let bytes = wire.wire_bytes();
+        ctx.send_sized(target, wire, bytes);
         self.pending.insert(
             req,
             Pending {
@@ -429,7 +428,9 @@ impl ApiClient {
         p.target = target;
         p.deadline = ctx.now() + timeout;
         let verb = p.verb.clone();
-        ctx.send(target, ApiRequest { req, verb });
+        let wire = ApiRequest { req, verb };
+        let bytes = wire.wire_bytes();
+        ctx.send_sized(target, wire, bytes);
     }
 
     /// Periodic maintenance: retries timed-out requests (rotating upstream)

@@ -180,6 +180,7 @@ impl ApiServer {
                 relist_on_gap: true,
                 periodic_resync: false,
                 event_replay: false,
+                congestible: false,
             }],
             actions: vec![
                 ActionDecl {
@@ -230,7 +231,8 @@ impl ApiServer {
         );
         ctx.gauge_set("apiserver.cache_revision", self.cache_rev.0 as i64);
         if self.cfg.read_service == Duration::ZERO {
-            ctx.send(to, resp);
+            let bytes = resp.wire_bytes();
+            ctx.send_sized(to, resp, bytes);
             return;
         }
         let now = ctx.now();
@@ -302,15 +304,14 @@ impl ApiServer {
                 let seq = *next_seq;
                 *next_seq += 1;
                 ctx.counter_add("apiserver.watch_delivered", matching.len() as u64);
-                ctx.send(
-                    *client,
-                    ApiWatchEvent {
-                        watch: *watch,
-                        stream_seq: seq,
-                        events: matching,
-                        revision: cache_rev,
-                    },
-                );
+                let batch = ApiWatchEvent {
+                    watch: *watch,
+                    stream_seq: seq,
+                    events: matching,
+                    revision: cache_rev,
+                };
+                let bytes = batch.wire_bytes();
+                ctx.send_sized(*client, batch, bytes);
             }
         }
     }
@@ -375,7 +376,9 @@ impl ApiServer {
                     )),
                     _ => Err(ApiError::Unavailable),
                 };
-                ctx.send(client, ApiResponse { req, result });
+                let resp = ApiResponse { req, result };
+                let bytes = resp.wire_bytes();
+                ctx.send_sized(client, resp, bytes);
             }
             PendingApi::FreshList { client, req } => {
                 let result = match result {
@@ -388,7 +391,9 @@ impl ApiServer {
                     }),
                     _ => Err(ApiError::Unavailable),
                 };
-                ctx.send(client, ApiResponse { req, result });
+                let resp = ApiResponse { req, result };
+                let bytes = resp.wire_bytes();
+                ctx.send_sized(client, resp, bytes);
             }
             PendingApi::Write {
                 client,
@@ -761,7 +766,8 @@ impl Actor for ApiServer {
     fn on_timer(&mut self, _t: TimerId, tag: u64, ctx: &mut Ctx) {
         if tag >= TAG_DEFER_BASE {
             if let Some((to, resp)) = self.deferred.remove(&tag) {
-                ctx.send(to, resp);
+                let bytes = resp.wire_bytes();
+                ctx.send_sized(to, resp, bytes);
             }
             return;
         }

@@ -29,6 +29,12 @@ pub struct InformerConfig {
     /// Periodically force a re-list even while the watch is healthy
     /// (heals interior gaps at the cost of load). `None` disables.
     pub resync_interval: Option<Duration>,
+    /// `true` when the feed from the apiserver to this informer rides a
+    /// finite-bandwidth link, so offered load alone (queueing delay, tail
+    /// drops) can age the view without any injected fault. Purely a static
+    /// declaration for the hazard checker — the link itself is configured
+    /// on the [`ph_sim::net::Network`].
+    pub congestible: bool,
 }
 
 impl InformerConfig {
@@ -38,6 +44,7 @@ impl InformerConfig {
             prefix: prefix.into(),
             fresh_lists: false,
             resync_interval: None,
+            congestible: false,
         }
     }
 
@@ -58,6 +65,7 @@ impl InformerConfig {
             relist_on_gap: true,
             periodic_resync: self.resync_interval.is_some(),
             event_replay: false,
+            congestible: self.congestible,
         }
     }
 }

@@ -79,6 +79,7 @@ impl Kubelet {
             prefix: "pods/".into(),
             fresh_lists: cfg.fixed,
             resync_interval: None,
+            congestible: false,
         });
         Kubelet {
             cfg,
@@ -107,6 +108,7 @@ impl Kubelet {
             prefix: "pods/".into(),
             fresh_lists: cfg.fixed,
             resync_interval: None,
+            congestible: false,
         };
         AccessSummary {
             component: format!("kubelet-{}", cfg.node),
@@ -259,6 +261,7 @@ impl Actor for Kubelet {
             prefix: "pods/".into(),
             fresh_lists: self.cfg.fixed,
             resync_interval: None,
+            congestible: false,
         });
         self.status_written.clear();
         self.terminating_since.clear();

@@ -31,6 +31,11 @@ pub struct SchedulerConfig {
     pub fixed: bool,
     /// Node-informer re-list period in the fixed variant.
     pub resync_interval: Duration,
+    /// `true` when the apiserver→scheduler feed rides a finite-bandwidth
+    /// link, so offered load alone can age this scheduler's views. Purely a
+    /// static declaration (threaded into [`InformerConfig::congestible`]);
+    /// the link itself is configured on the world's network.
+    pub congestible_feed: bool,
 }
 
 const TAG_TICK: u64 = 1;
@@ -60,11 +65,13 @@ impl Scheduler {
             prefix: "pods/".into(),
             fresh_lists: false,
             resync_interval: cfg.fixed.then_some(cfg.resync_interval),
+            congestible: cfg.congestible_feed,
         });
         let nodes = Informer::new(InformerConfig {
             prefix: "nodes/".into(),
             fresh_lists: cfg.fixed,
             resync_interval: cfg.fixed.then_some(cfg.resync_interval),
+            congestible: cfg.congestible_feed,
         });
         Scheduler {
             cfg,
@@ -89,11 +96,13 @@ impl Scheduler {
             prefix: "pods/".into(),
             fresh_lists: false,
             resync_interval: cfg.fixed.then_some(cfg.resync_interval),
+            congestible: cfg.congestible_feed,
         };
         let nodes = InformerConfig {
             prefix: "nodes/".into(),
             fresh_lists: cfg.fixed,
             resync_interval: cfg.fixed.then_some(cfg.resync_interval),
+            congestible: cfg.congestible_feed,
         };
         let mut actions = vec![ActionDecl {
             name: "bind-pod".into(),
@@ -291,6 +300,7 @@ mod tests {
             sync_interval: Duration::millis(50),
             fixed: true,
             resync_interval: Duration::millis(500),
+            congestible_feed: false,
         });
         assert!(s.cached_nodes().is_empty());
     }

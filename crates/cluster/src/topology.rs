@@ -50,6 +50,11 @@ pub struct ClusterConfig {
     pub kubelet_fixed: bool,
     /// Spawn a scheduler? (`Some(fixed)`)
     pub scheduler: Option<bool>,
+    /// Declare the scheduler's apiserver feed congestible (finite
+    /// bandwidth). Static declaration only — scenarios that set this must
+    /// also throttle the corresponding network link so the dynamic world
+    /// matches what the hazard checker is told.
+    pub scheduler_congestible: bool,
     /// Spawn a volume controller with this release policy?
     pub volume_controller: Option<VcMode>,
     /// Spawn a replica-set controller? (`Some(with_pvcs)`)
@@ -77,6 +82,7 @@ impl Default for ClusterConfig {
             kubelet_stagger: true,
             kubelet_fixed: false,
             scheduler: None,
+            scheduler_congestible: false,
             volume_controller: None,
             rs_controller: None,
             operator: None,
@@ -171,6 +177,7 @@ pub fn component_configs(cfg: &ClusterConfig, apiservers: &[ActorId]) -> Compone
             sync_interval: cfg.sync_interval,
             fixed,
             resync_interval: Duration::millis(500),
+            congestible_feed: cfg.scheduler_congestible,
         }),
         volume_controller: cfg.volume_controller.map(|mode| VolumeControllerConfig {
             api: api_cfg(PickPolicy::Pinned(apiservers.len().saturating_sub(1))),

@@ -59,6 +59,12 @@ pub enum PriorShape {
     /// Crash the component so it restarts against a stale upstream and
     /// replays its view from there.
     CrashRestartReplay,
+    /// Saturate the links feeding `resource`'s view with offered load so
+    /// queueing delay and tail drops age it — no fault injection at all.
+    TrafficSurge {
+        /// The congestible resource.
+        resource: String,
+    },
 }
 
 impl PriorShape {
@@ -76,6 +82,9 @@ impl PriorShape {
             },
             Letter::UpstreamSwitch => PriorShape::UpstreamSwitch,
             Letter::CrashRestartReplay => PriorShape::CrashRestartReplay,
+            Letter::TrafficSurge(r) => PriorShape::TrafficSurge {
+                resource: r.clone(),
+            },
         }
     }
 }

@@ -258,6 +258,134 @@ impl Strategy for TimeTravelInjector {
     }
 }
 
+/// The `traffic-surge` axis: for a window, every link into one cache is
+/// reconfigured to a finite bandwidth with a drop-tail queue, modeling a
+/// burst of competing traffic that eats the feed's capacity. Unlike every
+/// other guided strategy this injects **no fault at all** — no message is
+/// dropped, held or reordered by the harness; staleness emerges from
+/// queueing delay and tail drops computed by [`ph_sim::net`]'s queue
+/// discipline, which is exactly the congestion-staleness hazard class.
+#[derive(Debug, Clone)]
+pub struct TrafficSurge {
+    /// Index into [`Targets::caches`] of the congested cache: its fan-out
+    /// links — the watch feed toward every component's view — are
+    /// throttled, so updates from this cache queue (and, past the queue
+    /// capacity, tail-drop) instead of arriving on schedule.
+    pub cache: usize,
+    /// Available bandwidth during the surge, bytes per second.
+    pub bandwidth: u64,
+    /// Drop-tail queue capacity during the surge (0 = unbounded, pure
+    /// queueing delay).
+    pub queue: usize,
+    /// When the surge begins.
+    pub from: Duration,
+    /// When the surge ends and the links are restored (`None` = never).
+    pub until: Option<Duration>,
+    /// When set, only the feed toward this component (an index into
+    /// [`Targets::components`]) is throttled — a surge of traffic that
+    /// competes with one victim's watch stream while the rest of the
+    /// fan-out keeps its capacity. `None` squeezes the whole fan-out.
+    pub only: Option<usize>,
+    saved: Vec<(ActorId, ActorId, ph_sim::LinkConfig)>,
+    applied: bool,
+    restored: bool,
+}
+
+impl TrafficSurge {
+    /// Convenience constructor with internal state initialized.
+    pub fn new(
+        cache: usize,
+        bandwidth: u64,
+        queue: usize,
+        from: Duration,
+        until: Option<Duration>,
+    ) -> TrafficSurge {
+        TrafficSurge {
+            cache,
+            bandwidth,
+            queue,
+            from,
+            until,
+            only: None,
+            saved: Vec::new(),
+            applied: false,
+            restored: false,
+        }
+    }
+
+    /// Narrows the surge to a single victim component's feed.
+    pub fn focused(mut self, component: usize) -> TrafficSurge {
+        self.only = Some(component);
+        self
+    }
+
+    fn apply(&mut self, world: &mut World, targets: &Targets) {
+        let cache = targets.caches[self.cache];
+        let victims: Vec<ActorId> = match self.only {
+            Some(i) => vec![targets.components[i]],
+            None => targets.components.clone(),
+        };
+        for comp in victims {
+            if comp == cache {
+                continue;
+            }
+            let old = world.net().link(cache, comp);
+            self.saved.push((cache, comp, old));
+            world.net_mut().set_link(
+                cache,
+                comp,
+                ph_sim::LinkConfig {
+                    bandwidth: self.bandwidth,
+                    queue: self.queue,
+                    ..old
+                },
+            );
+        }
+        self.applied = true;
+    }
+
+    fn restore(&mut self, world: &mut World) {
+        for (src, dst, cfg) in self.saved.drain(..) {
+            world.net_mut().set_link(src, dst, cfg);
+        }
+        self.restored = true;
+    }
+}
+
+impl Strategy for TrafficSurge {
+    fn name(&self) -> String {
+        match self.only {
+            Some(i) => format!("traffic-surge({}B/s,q{},@{i})", self.bandwidth, self.queue),
+            None => format!("traffic-surge({}B/s,q{})", self.bandwidth, self.queue),
+        }
+    }
+
+    fn setup(&mut self, world: &mut World, targets: &Targets) {
+        if self.from == Duration::ZERO {
+            self.apply(world, targets);
+        }
+    }
+
+    fn tick(&mut self, world: &mut World, targets: &Targets) {
+        let now = world.now();
+        if !self.applied && now >= SimTime(self.from.as_nanos()) {
+            self.apply(world, targets);
+        }
+        if let Some(until) = self.until {
+            if self.applied && !self.restored && now >= SimTime(until.as_nanos()) {
+                self.restore(world);
+            }
+        }
+    }
+
+    fn teardown(&mut self, world: &mut World) {
+        if self.applied && !self.restored {
+            self.restore(world);
+        }
+        world.clear_interceptor();
+    }
+}
+
 // ---------------------------------------------------------------------
 // Baselines (§5 / §6.1 comparators)
 // ---------------------------------------------------------------------
@@ -612,6 +740,73 @@ mod tests {
         // And there must be a gap from the partition window.
         let missing = (0..max).filter(|n| !seen.contains(n)).count();
         assert!(missing >= 3, "partition should have cost messages");
+    }
+
+    /// Like [`Feeder`] but each update carries real bytes, so finite-
+    /// bandwidth links actually queue.
+    struct SizedFeeder {
+        peer: ActorId,
+        size: u64,
+    }
+    impl Actor for SizedFeeder {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(Duration::millis(10), 0);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: AnyMsg, _c: &mut Ctx) {}
+        fn on_timer(&mut self, _t: TimerId, tag: u64, ctx: &mut Ctx) {
+            ctx.send_sized(self.peer, ViewUpdate(tag), self.size);
+            ctx.set_timer(Duration::millis(10), tag + 1);
+        }
+    }
+
+    #[test]
+    fn traffic_surge_starves_the_view_without_injected_faults() {
+        let mut w = World::new(WorldConfig::default(), 11);
+        let view = w.spawn("component", Cache { seen: vec![] });
+        // The feeder plays the cache (apiserver): the surge throttles its
+        // fan-out link toward the component's view.
+        let feeder = w.spawn(
+            "cache",
+            SizedFeeder {
+                peer: view,
+                size: 8 * 1024,
+            },
+        );
+        let cache = view;
+        let t = Targets {
+            store_nodes: vec![],
+            caches: vec![feeder],
+            components: vec![view],
+            notify_kinds: vec!["ViewUpdate".into()],
+            horizon: Duration::millis(500),
+        };
+        // 8 KB every 10 ms offered to a 10 KB/s link: ~80× over capacity
+        // for the first 100 ms.
+        let mut s = TrafficSurge::new(0, 10_000, 2, Duration::ZERO, Some(Duration::millis(100)));
+        s.setup(&mut w, &t);
+        for _ in 0..10 {
+            w.run_for(Duration::millis(10));
+            s.tick(&mut w, &t);
+        }
+        let during = w.actor_ref::<Cache>(cache).unwrap().seen.len();
+        assert!(during <= 2, "surge must starve the feed, saw {during}");
+        // After restore, new sends take the legacy path again — but FIFO
+        // keeps them behind the messages still queued from the surge, so
+        // give the tail room to drain.
+        for _ in 0..30 {
+            w.run_for(Duration::millis(100));
+            s.tick(&mut w, &t);
+        }
+        s.teardown(&mut w);
+        let after = w.actor_ref::<Cache>(cache).unwrap().seen.len();
+        assert!(after >= 15, "flow must resume after the surge, saw {after}");
+        // Every loss is a queue tail-drop — the strategy itself never
+        // dropped, held or reordered a message.
+        for e in w.trace().iter() {
+            if let TraceEventKind::MessageDropped { reason, .. } = &e.kind {
+                assert_eq!(*reason, ph_sim::DropReason::QueueFull, "{e:?}");
+            }
+        }
     }
 
     #[test]

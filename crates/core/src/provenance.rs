@@ -14,10 +14,13 @@
 //! classifying it with the same §4.2 taxonomy the model checker uses
 //! ([`PatternClass`]): **staleness** (acted on an old-but-once-true view),
 //! **time-travel** (re-entered a state it had provably moved past, across a
-//! crash/restart), or **observability-gap** (the required fact never reached
+//! crash/restart), **observability-gap** (the required fact never reached
 //! the view — including omission sinks, where the component never acted at
-//! all). The dynamic class is cross-checked against the static witness
-//! class for every scenario in CI.
+//! all), or **congestion-staleness** (no perturbation was injected at all:
+//! queue-delay and queue-drop artifacts from `ph_sim::net`'s finite-
+//! bandwidth queues aged the view under offered load alone). The dynamic
+//! class is cross-checked against the static witness class for every
+//! scenario in CI.
 //!
 //! Everything here is a pure function of the trace, so same-seed runs
 //! produce byte-identical explanations (`BlameChain::to_json`) at any
@@ -327,6 +330,10 @@ pub fn explain(trace: &Trace, spec: &BlameSpec, violations: &[Violation]) -> Bla
     let mut suppressed_ids: BTreeSet<u64> = BTreeSet::new();
     let mut any_suppression = false;
     let mut any_partition = false;
+    // Congestion artifacts are *emergent*, not injected: the network's
+    // queue discipline produced them from offered load, so they count
+    // toward neither `injected` nor `in_chain`.
+    let mut any_congestion = false;
 
     let toward_view = |dst: ActorId| -> bool { Some(dst) == victim || caches.contains(&dst) };
 
@@ -399,8 +406,55 @@ pub fn explain(trace: &Trace, spec: &BlameSpec, violations: &[Violation]) -> Bla
                         });
                     }
                 }
+                // Emergent: a drop-tail queue on the feed overflowed
+                // under offered load. Not an injected artifact.
+                DropReason::QueueFull if toward_view(*dst) && e.at <= class_bound => {
+                    any_congestion = true;
+                    suppressed_ids.insert(id.0);
+                    let g = groups.entry(id.0).or_insert_with(|| ArtifactGroup {
+                        first_seq: e.seq,
+                        links: Vec::new(),
+                    });
+                    g.links.push(BlameLink {
+                        seq: e.seq,
+                        at: e.at,
+                        role: "queue-drop",
+                        detail: format!(
+                            "{kind} {} → {} tail-dropped by a full transmit queue",
+                            name_of(*src),
+                            name_of(*dst)
+                        ),
+                    });
+                }
                 _ => {}
             },
+            // Emergent queueing delay on the feed (recorded only when
+            // the message actually waited). Not an injected artifact.
+            TraceEventKind::MessageQueued {
+                id,
+                src,
+                dst,
+                kind,
+                depth,
+                waited,
+            } if toward_view(*dst) && e.at <= class_bound => {
+                any_congestion = true;
+                suppressed_ids.insert(id.0);
+                let g = groups.entry(id.0).or_insert_with(|| ArtifactGroup {
+                    first_seq: e.seq,
+                    links: Vec::new(),
+                });
+                g.links.push(BlameLink {
+                    seq: e.seq,
+                    at: e.at,
+                    role: "queue-delay",
+                    detail: format!(
+                        "{kind} {} → {} waited {waited} in a transmit queue (depth {depth})",
+                        name_of(*src),
+                        name_of(*dst)
+                    ),
+                });
+            }
             TraceEventKind::Crashed { actor } if Some(*actor) == victim => {
                 injected += 1;
                 if e.at <= class_bound {
@@ -579,6 +633,15 @@ pub fn explain(trace: &Trace, spec: &BlameSpec, violations: &[Violation]) -> Bla
                 spec.component
             ),
         )
+    } else if any_congestion && sink.is_some() {
+        (
+            PatternClass::CongestionStaleness,
+            format!(
+                "offered load alone aged {}'s view — updates toward it sat in (or were \
+                 tail-dropped by) a saturated queue, with no injected perturbation",
+                spec.component
+            ),
+        )
     } else if sink.is_none() {
         (
             PatternClass::ObservabilityGap,
@@ -701,6 +764,57 @@ mod tests {
             explain(w.trace(), &SPEC, &violations).to_json()
         );
         assert!(chain.to_json().contains("\"class\":\"staleness\""));
+    }
+
+    /// Sends a burst of sized messages so a finite-bandwidth link queues
+    /// (and, past capacity, tail-drops) them. Fires from a timer so the
+    /// test can configure the link after spawning (`on_start` runs at
+    /// spawn time, before `set_link`).
+    struct Burst {
+        peer: ph_sim::ActorId,
+    }
+    impl ph_sim::Actor for Burst {
+        fn on_start(&mut self, ctx: &mut ph_sim::Ctx) {
+            ctx.set_timer(Duration::micros(10), 0);
+        }
+        fn on_message(&mut self, _f: ph_sim::ActorId, _m: ph_sim::AnyMsg, _c: &mut ph_sim::Ctx) {}
+        fn on_timer(&mut self, _t: ph_sim::TimerId, _tag: u64, ctx: &mut ph_sim::Ctx) {
+            for i in 0..5u32 {
+                ctx.send_sized(self.peer, i, 64 * 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn congested_feed_with_action_classifies_as_congestion_staleness() {
+        let mut w = ph_sim::World::new(ph_sim::WorldConfig::default(), 4);
+        let worker = w.spawn("worker", Echo);
+        let pinger = w.spawn("pinger", Burst { peer: worker });
+        w.net_mut().set_link(
+            pinger,
+            worker,
+            ph_sim::LinkConfig {
+                bandwidth: 10_000,
+                queue: 3,
+                ..ph_sim::LinkConfig::default()
+            },
+        );
+        w.run_for(Duration::millis(60_000));
+        let violations = vec![Violation {
+            oracle: "test".into(),
+            at: w.now(),
+            details: "acted on a congestion-aged view".into(),
+        }];
+        let chain = explain(w.trace(), &SPEC, &violations);
+        assert_eq!(chain.class, PatternClass::CongestionStaleness);
+        assert_eq!(chain.injected, 0, "queue artifacts are emergent");
+        assert_eq!(chain.in_chain, 0);
+        assert!(chain.links.iter().any(|l| l.role == "queue-delay"));
+        assert!(chain.links.iter().any(|l| l.role == "queue-drop"));
+        assert!(chain.links.iter().any(|l| l.role == "action"));
+        assert!(chain
+            .to_json()
+            .contains("\"class\":\"congestion-staleness\""));
     }
 
     #[test]

@@ -584,6 +584,7 @@ impl Actor for Widget {
             relist_on_gap: true,
             periodic_resync: false,
             event_replay: false,
+            congestible: false,
         }
     }
 

@@ -62,6 +62,11 @@ pub enum Letter {
     /// Crash, restart against a stale upstream, replay: the upstream
     /// switch plus the loss of any queued non-replayable watch events.
     CrashRestartReplay,
+    /// Saturate the link feeding the view over this resource (§4.1): the
+    /// offered load exceeds modeled capacity, so queueing delay and tail
+    /// drops age the view with zero injected faults. Only enabled for
+    /// views declared congestible.
+    TrafficSurge(String),
 }
 
 impl Letter {
@@ -73,6 +78,7 @@ impl Letter {
             Letter::DropNotification(r) => format!("drop-notification({r})"),
             Letter::UpstreamSwitch => "upstream-switch".to_string(),
             Letter::CrashRestartReplay => "crash-restart-replay".to_string(),
+            Letter::TrafficSurge(r) => format!("traffic-surge({r})"),
         }
     }
 
@@ -81,7 +87,8 @@ impl Letter {
         match self {
             Letter::DelayCache(r)
             | Letter::ReorderUpdateConsume(r)
-            | Letter::DropNotification(r) => Some(r),
+            | Letter::DropNotification(r)
+            | Letter::TrafficSurge(r) => Some(r),
             Letter::UpstreamSwitch | Letter::CrashRestartReplay => None,
         }
     }
@@ -267,6 +274,7 @@ impl ModelCheckReport {
 const F_TIME_TRAVELED: u8 = 1 << 2;
 const F_EVENT_LOST: u8 = 1 << 3;
 const F_FALSE_SILENCE: u8 = 1 << 4;
+const F_CONGESTED: u8 = 1 << 5;
 const STALE_MASK: u8 = 0b11;
 
 /// Per-resource packed freshness state: 2 bits of epoch lag plus the three
@@ -344,6 +352,11 @@ impl<'a> Model<'a> {
             alphabet.push(Letter::UpstreamSwitch);
             alphabet.push(Letter::CrashRestartReplay);
         }
+        for r in &resources {
+            if stale_able(summary, r) && congestible(summary, r) {
+                alphabet.push(Letter::TrafficSurge(r.clone()));
+            }
+        }
         Model {
             summary,
             resources,
@@ -375,6 +388,11 @@ impl<'a> Model<'a> {
                 if event_loss_possible(self.summary, r) {
                     next.set_flag(i, F_EVENT_LOST);
                 }
+            }
+            Letter::TrafficSurge(r) => {
+                let i = self.idx(r);
+                next.set_flag(i, F_CONGESTED);
+                next.add_stale(i, 1);
             }
             Letter::UpstreamSwitch => self.switch_upstream(&mut next),
             Letter::CrashRestartReplay => {
@@ -484,6 +502,20 @@ impl<'a> Model<'a> {
                             ),
                         ));
                     }
+                    if state.flag(i, F_CONGESTED) {
+                        out.push((
+                            ai,
+                            PatternClass::CongestionStaleness,
+                            path.name.clone(),
+                            format!(
+                                "offered load past the capacity of the link feeding the \
+                                 view over {r} aged it organically (no injected fault), \
+                                 and path `{}` admits the action with no fresh-confirm \
+                                 or fence on {r}",
+                                path.name
+                            ),
+                        ));
+                    }
                 }
             }
 
@@ -519,6 +551,16 @@ fn stale_able(s: &AccessSummary, resource: &str) -> bool {
         Some(v) => v.list == ReadKind::Cache && !v.periodic_resync,
         None => true,
     }
+}
+
+/// Does the view over `resource` ride a saturable link? Mirrors rule 5:
+/// only a *declared* congestible view enables the traffic-surge letter —
+/// undeclared reads assume an uncontended feed.
+fn congestible(s: &AccessSummary, resource: &str) -> bool {
+    s.views
+        .iter()
+        .find(|v| v.resource == resource)
+        .is_some_and(|v| v.congestible)
 }
 
 /// Is dropping a notification about `resource` meaningful? Yes when some
@@ -599,7 +641,7 @@ pub fn model_check(summary: &AccessSummary) -> ModelCheckReport {
         .filter(|(_, a)| a.destructive)
         .map(|(ai, a)| {
             let ws: Vec<Witness> = found
-                .range((ai, PatternClass::Staleness)..=(ai, PatternClass::ObservabilityGap))
+                .range((ai, PatternClass::Staleness)..=(ai, PatternClass::CongestionStaleness))
                 .map(|(_, w)| w.clone())
                 .collect();
             ActionReport {
@@ -639,6 +681,7 @@ mod tests {
             relist_on_gap: true,
             periodic_resync: false,
             event_replay: false,
+            congestible: false,
         }
     }
 
@@ -860,36 +903,88 @@ mod tests {
             for list in [ReadKind::Cache, ReadKind::Quorum] {
                 for periodic_resync in [false, true] {
                     for event_replay in [false, true] {
-                        for upstream_switch in [false, true] {
-                            for paths in &path_shapes {
-                                let views = if declare_view {
-                                    vec![ViewDecl {
-                                        resource: "r".into(),
-                                        list,
-                                        watch: true,
-                                        relist_on_gap: true,
-                                        periodic_resync,
-                                        event_replay,
-                                    }]
-                                } else {
-                                    Vec::new()
-                                };
-                                let s = summary(upstream_switch, views, paths.clone());
-                                assert_eq!(
-                                    heuristic_pairs(&s),
-                                    model_pairs(&s),
-                                    "divergence: view={declare_view} list={list:?} \
-                                     resync={periodic_resync} replay={event_replay} \
-                                     switch={upstream_switch} paths={paths:?}"
-                                );
-                                cases += 1;
+                        for congestible in [false, true] {
+                            for upstream_switch in [false, true] {
+                                for paths in &path_shapes {
+                                    let views = if declare_view {
+                                        vec![ViewDecl {
+                                            resource: "r".into(),
+                                            list,
+                                            watch: true,
+                                            relist_on_gap: true,
+                                            periodic_resync,
+                                            event_replay,
+                                            congestible,
+                                        }]
+                                    } else {
+                                        Vec::new()
+                                    };
+                                    let s = summary(upstream_switch, views, paths.clone());
+                                    assert_eq!(
+                                        heuristic_pairs(&s),
+                                        model_pairs(&s),
+                                        "divergence: view={declare_view} list={list:?} \
+                                         resync={periodic_resync} replay={event_replay} \
+                                         congestible={congestible} \
+                                         switch={upstream_switch} paths={paths:?}"
+                                    );
+                                    cases += 1;
+                                }
                             }
                         }
                     }
                 }
             }
         }
-        assert_eq!(cases, 2 * 2 * 2 * 2 * 2 * path_shapes.len());
+        assert_eq!(cases, 2 * 2 * 2 * 2 * 2 * 2 * path_shapes.len());
+    }
+
+    #[test]
+    fn congestible_view_has_a_one_letter_traffic_surge_witness() {
+        let mut v = cache_view("pods");
+        v.congestible = true;
+        let s = summary(
+            false,
+            vec![v],
+            vec![GatePath::new(
+                "orphan",
+                vec![Gate::CacheAbsence("pods".into())],
+            )],
+        );
+        let report = model_check(&s);
+        let classes: Vec<PatternClass> = report.witnesses().iter().map(|w| w.class).collect();
+        assert_eq!(
+            classes,
+            vec![PatternClass::Staleness, PatternClass::CongestionStaleness]
+        );
+        let cw = report
+            .witnesses()
+            .into_iter()
+            .find(|w| w.class == PatternClass::CongestionStaleness)
+            .unwrap()
+            .clone();
+        assert_eq!(
+            cw.schedule,
+            vec![Letter::TrafficSurge("pods".into())],
+            "minimal congestion witness is the surge alone — no injected fault"
+        );
+        assert_eq!(cw.path, "orphan");
+    }
+
+    #[test]
+    fn resynced_congestible_view_proves_epoch_safe() {
+        let mut v = cache_view("pods");
+        v.congestible = true;
+        v.periodic_resync = true;
+        let s = summary(
+            false,
+            vec![v],
+            vec![GatePath::new(
+                "orphan",
+                vec![Gate::CacheAbsence("pods".into())],
+            )],
+        );
+        assert!(model_check(&s).is_epoch_safe());
     }
 
     #[test]

@@ -24,9 +24,9 @@
 //! on eventually), while reading which pods exist is an observation whose
 //! staleness the checker reasons about.
 //!
-//! [`check_summary`] then applies four rules (see the module-level rules in
-//! `DESIGN.md`): wrongful-action staleness, time travel, silence gaps, and
-//! missed-trigger gaps. The checker is deliberately conservative in one
+//! [`check_summary`] then applies five rules (see the module-level rules in
+//! `DESIGN.md`): wrongful-action staleness, time travel, silence gaps,
+//! missed-trigger gaps, and congestion staleness. The checker is deliberately conservative in one
 //! direction only: paths gated on an observed *event* are sound evidence
 //! (events, unlike snapshots, cannot claim a state that never existed), so
 //! they are exempt from the staleness rules but are exactly what the
@@ -34,7 +34,11 @@
 
 use crate::findings::esc;
 
-/// The §4.2 bug-pattern taxonomy.
+/// The §4.2 bug-pattern taxonomy (plus the load-emergent refinement).
+///
+/// Kept in this declaration order — new classes append at the end — because
+/// the derived `Ord` is what the model checker's found-class ranges and the
+/// crosscheck tables sort by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum PatternClass {
     /// §4.2.1 — acting on an old-but-once-true view.
@@ -43,6 +47,10 @@ pub enum PatternClass {
     TimeTravel,
     /// §4.2.3 — a state or liveness fact the view can never show.
     ObservabilityGap,
+    /// §4.1 — staleness that *emerges from load*: the view's feed rides a
+    /// saturable link, so queueing delay/tail drops alone (no injected
+    /// fault) can age the view past an unfenced destructive action.
+    CongestionStaleness,
 }
 
 impl PatternClass {
@@ -52,6 +60,7 @@ impl PatternClass {
             PatternClass::Staleness => "staleness",
             PatternClass::TimeTravel => "time-travel",
             PatternClass::ObservabilityGap => "observability-gap",
+            PatternClass::CongestionStaleness => "congestion-staleness",
         }
     }
 }
@@ -88,6 +97,10 @@ pub struct ViewDecl {
     /// Are historical events replayed on (re)connect? `false` means a
     /// relist jumps to a snapshot: intermediate states are unobservable.
     pub event_replay: bool,
+    /// Does this view's feed traverse a finite-bandwidth (saturable) link?
+    /// When true, offered load alone can delay or drop the feed — the
+    /// congestion-staleness vector. `false` models an uncontended feed.
+    pub congestible: bool,
 }
 
 /// A single precondition on an action.
@@ -242,6 +255,10 @@ fn stale_able(s: &AccessSummary, resource: &str) -> bool {
 ///    `ObservedEvent(r)` whose view does not replay history: a relist
 ///    jumps over the event, the trigger is missed forever, and the action
 ///    (often a cleanup) never fires.
+/// 5. **Congestion staleness (§4.1)** — rule 2's condition holds *and* the
+///    view is declared [`ViewDecl::congestible`]: its feed rides a
+///    saturable link, so pure offered load — queueing delay and tail
+///    drops, zero injected faults — can age the view past the action.
 pub fn check_summary(s: &AccessSummary) -> Vec<Hazard> {
     let mut hazards = Vec::new();
     for action in &s.actions {
@@ -322,6 +339,18 @@ pub fn check_summary(s: &AccessSummary) -> Vec<Hazard> {
                             ),
                         );
                     }
+                    if view(s, r).is_some_and(|v| v.congestible) {
+                        push(
+                            PatternClass::CongestionStaleness,
+                            format!(
+                                "the view feeding the {} gate in path `{}` rides a \
+                                 saturable link: offered load alone (queueing delay or \
+                                 tail drops, no injected fault) can age it past the action",
+                                g.label(),
+                                path.name
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -370,6 +399,7 @@ mod tests {
             relist_on_gap: true,
             periodic_resync: false,
             event_replay: false,
+            congestible: false,
         }
     }
 
@@ -541,6 +571,75 @@ mod tests {
         };
         let cs: Vec<_> = check_summary(&s).into_iter().map(|h| h.class).collect();
         assert_eq!(cs, vec![PatternClass::ObservabilityGap]);
+    }
+
+    #[test]
+    fn congestible_view_adds_congestion_staleness() {
+        let mut v = cache_view("pods");
+        v.congestible = true;
+        let s = AccessSummary {
+            component: "c".into(),
+            upstream_switch: false,
+            views: vec![v],
+            actions: vec![ActionDecl {
+                name: "delete".into(),
+                destructive: true,
+                paths: vec![GatePath::new(
+                    "orphan",
+                    vec![Gate::CacheAbsence("pods".into())],
+                )],
+            }],
+        };
+        let cs: Vec<_> = check_summary(&s).into_iter().map(|h| h.class).collect();
+        assert_eq!(
+            cs,
+            vec![PatternClass::Staleness, PatternClass::CongestionStaleness],
+            "congestion staleness rides along with plain staleness"
+        );
+    }
+
+    #[test]
+    fn resynced_congestible_view_is_safe() {
+        // A periodic resync bounds how long congestion can age the view,
+        // discharging both rule 2 and rule 5.
+        let mut v = cache_view("pods");
+        v.congestible = true;
+        v.periodic_resync = true;
+        let s = AccessSummary {
+            component: "c".into(),
+            upstream_switch: false,
+            views: vec![v],
+            actions: vec![ActionDecl {
+                name: "delete".into(),
+                destructive: true,
+                paths: vec![GatePath::new(
+                    "orphan",
+                    vec![Gate::CacheAbsence("pods".into())],
+                )],
+            }],
+        };
+        assert!(check_summary(&s).is_empty());
+    }
+
+    #[test]
+    fn undeclared_views_never_claim_congestion() {
+        // No declared view over `pods`: rule 2 still fires (unmanaged
+        // read), but congestibility cannot be assumed.
+        let s = AccessSummary {
+            component: "c".into(),
+            upstream_switch: false,
+            views: vec![],
+            actions: vec![ActionDecl {
+                name: "delete".into(),
+                destructive: true,
+                paths: vec![GatePath::new(
+                    "orphan",
+                    vec![Gate::CacheAbsence("pods".into())],
+                )],
+            }],
+        };
+        let cs: Vec<_> = check_summary(&s).into_iter().map(|h| h.class).collect();
+        assert_eq!(cs, vec![PatternClass::Staleness]);
     }
 
     #[test]

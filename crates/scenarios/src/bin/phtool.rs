@@ -7,6 +7,9 @@
 //!        [--trace <file>] [--format json|jsonl|chrome]
 //!                                     dump the full trace (chrome = load
 //!                                     in Perfetto / chrome://tracing)
+//!        [--prom <file>]             export the run's metrics (queue
+//!                                     depths, drops, waits, staleness) in
+//!                                     Prometheus text exposition
 //!        [--metrics]                  print the metrics + divergence tables
 //!        [--json]                     print the full report as JSON
 //!        [--threads N]                worker pool size
@@ -58,7 +61,7 @@ use std::collections::BTreeMap;
 use ph_core::autoguide;
 use ph_core::harness::{DetectionMatrix, Explorer, RunReport};
 use ph_core::perturb::{
-    CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy, Targets,
+    CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy, Targets, TrafficSurge,
 };
 use ph_core::provenance::{explain, BlameSpec};
 use ph_core::telemetry::HuntReport;
@@ -128,7 +131,14 @@ fn registry() -> BTreeMap<&'static str, Entry> {
     m
 }
 
-const STRATEGIES: &[&str] = &["guided", "random-crash", "crashtuner", "cofi", "no-fault"];
+const STRATEGIES: &[&str] = &[
+    "guided",
+    "random-crash",
+    "crashtuner",
+    "cofi",
+    "traffic-surge",
+    "no-fault",
+];
 
 fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Result<Box<dyn Strategy>, String> {
     Ok(match name {
@@ -140,6 +150,17 @@ fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Result<Box<dyn Stra
         }),
         "crashtuner" => Box::new(CrashTunerCrashes::new(seed, 0.02, 3, Duration::millis(300))),
         "cofi" => Box::new(CoFiPartitions::new(seed, 0.02, 3, Duration::millis(500))),
+        // The generic load axis: squeeze the primary cache's whole fan-out
+        // to a scarce trickle mid-run. The congestion scenario's tuned form
+        // (via `guided`) focuses this on one component; the generic axis is
+        // for probing every other scenario under load.
+        "traffic-surge" => Box::new(TrafficSurge::new(
+            0,
+            2_000,
+            4,
+            Duration::millis(1100),
+            Some(Duration::millis(3600)),
+        )),
         "no-fault" => Box::new(NoFault),
         other => return Err(format!("unknown strategy {other:?} (try: {STRATEGIES:?})")),
     })
@@ -282,6 +303,13 @@ fn cmd_run(args: &Args) -> Result<i32, String> {
         .pop()
         .expect("one job, one report")
     };
+
+    if let Some(path) = args.get("prom") {
+        std::fs::write(path, report.metrics.to_prometheus())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        // Status goes to stderr so `--json --prom` keeps stdout diffable.
+        eprintln!("metrics written to {path} (Prometheus text exposition)");
+    }
 
     let exit = if report.failed() { EXIT_VIOLATION } else { 0 };
     if args.has("json") {

@@ -1,0 +1,285 @@
+//! Load-emergent staleness — congestion on the scheduler's watch feed.
+//!
+//! Unlike the other scenarios, no upstream ticket and no injected fault:
+//! this is the §4.2 staleness pattern arising from *offered load alone*.
+//! The apiserver→scheduler link has finite bandwidth and a drop-tail
+//! queue (the scenario's modeled capacity). A churn workload — rapid
+//! rewrites of `node-1` — saturates that feed: watch events queue, the
+//! tail drops, and the apiserver's rolling event window slides past the
+//! scheduler's resume point, so recovery needs a full relist whose
+//! response crawls through the same congested queue. A `node-2` deletion
+//! committed mid-surge therefore reaches every component *except* the
+//! scheduler; when the `web` replica set scales up after the surge, the
+//! pods list heals first (it was requested first) and the scheduler binds
+//! fresh pods to the ghost node it still caches.
+//!
+//! * **buggy** scheduler: no resync, no rebind — pods on the ghost node
+//!   stay `Pending` forever (the Kubernetes-56261 outcome, reached with
+//!   zero injected perturbations);
+//! * **fixed** scheduler: periodic quorum relists + rebinding off ghost
+//!   nodes — converges once the queue drains.
+//!
+//! The canonical link capacity is ample, so [`run`] under `NoFault` is
+//! clean; [`guided`] throttles the feed mid-run (the traffic-surge
+//! perturbation axis), and [`run_emergent`] pins the *static* capacity
+//! below the churn's offered load — the zero-perturbation emergence the
+//! top-level regression test checks.
+//!
+//! Schedule: `1.0s` seed nodes + `web` rs (replicas 0) → `1.2–2.3s`
+//! churn `node-1` every 8 ms → `2.05s` delete `node-2` (+ crash its
+//! kubelet) → `2.6s` scale `web` to 3 → `7.0s` end.
+
+use ph_cluster::objects::{Body, Object, PodPhase};
+use ph_cluster::topology::ClusterConfig;
+use ph_core::harness::RunReport;
+use ph_core::perturb::{NoFault, Strategy, TrafficSurge};
+use ph_sim::Duration;
+
+use crate::common::{Runner, Variant};
+use crate::oracles;
+
+/// Scenario name used in reports and matrices.
+pub const NAME: &str = "congestion";
+
+/// The §4.2 pattern class this scenario's buggy variant exercises.
+pub const PATTERN: ph_lint::summary::PatternClass =
+    ph_lint::summary::PatternClass::CongestionStaleness;
+
+/// Canonical modeled capacity of the apiserver→scheduler feed (bytes per
+/// second): ample for the churn workload, so congestion needs a surge.
+pub const CAPACITY_AMPLE: u64 = 256_000;
+/// A capacity the churn workload's offered load clearly exceeds.
+pub const CAPACITY_SCARCE: u64 = 2_000;
+/// Drop-tail queue depth of the feed link, in messages.
+pub const FEED_QUEUE: usize = 4;
+
+/// The tuned perturbation: a traffic surge squeezing the scheduler's feed
+/// to [`CAPACITY_SCARCE`] across the churn window — the concrete form of
+/// the model checker's `traffic-surge` letter. It reconfigures link
+/// capacity only; every lost or late message is the queue's own doing.
+pub fn guided(_seed: u64) -> Box<dyn Strategy> {
+    // Component 2 is the scheduler (targets list kubelets first): the
+    // surge competes with its feed alone, so the controllers that *drive*
+    // the workload keep seeing the world on time.
+    Box::new(
+        TrafficSurge::new(
+            0,
+            CAPACITY_SCARCE,
+            FEED_QUEUE,
+            Duration::millis(1100),
+            Some(Duration::millis(3600)),
+        )
+        .focused(2),
+    )
+}
+
+/// Runs one trial under `strategy`.
+pub fn run(seed: u64, strategy: &mut dyn Strategy, variant: Variant) -> RunReport {
+    run_with_trace(seed, strategy, variant).0
+}
+
+/// Like [`run`], but also returns the full trace.
+pub fn run_with_trace(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+) -> (RunReport, ph_sim::Trace) {
+    run_shaped(seed, strategy, variant, CAPACITY_AMPLE)
+}
+
+/// A zero-perturbation trial with the feed's *static* capacity set below
+/// (`above_capacity`) or comfortably above the churn's offered load — the
+/// emergence regression: staleness must appear past capacity and must not
+/// appear under it, with no strategy in play at all.
+pub fn run_emergent(
+    seed: u64,
+    variant: Variant,
+    above_capacity: bool,
+) -> (RunReport, ph_sim::Trace) {
+    let capacity = if above_capacity {
+        CAPACITY_SCARCE
+    } else {
+        CAPACITY_AMPLE
+    };
+    run_at_capacity(seed, variant, capacity)
+}
+
+/// A zero-perturbation trial at an arbitrary static feed capacity — the
+/// sweep axis of the E8 lag-vs-offered-load experiment
+/// (`cargo bench -p ph-bench --bench e8_congestion`).
+pub fn run_at_capacity(seed: u64, variant: Variant, capacity: u64) -> (RunReport, ph_sim::Trace) {
+    let mut nf = NoFault;
+    run_shaped(seed, &mut nf, variant, capacity)
+}
+
+/// What the blame slicer needs to know: the scheduler binds pods on a
+/// view fed through the single apiserver.
+pub fn blame_spec() -> ph_core::provenance::BlameSpec {
+    ph_core::provenance::BlameSpec {
+        scenario: NAME,
+        component: "scheduler",
+        action_labels: &["scheduler.bind"],
+        caches: &["apiserver-1"],
+    }
+}
+
+/// The cluster this scenario spawns: one apiserver (the scheduler's
+/// pinned upstream, whose fan-out link is the congestible feed), two
+/// nodes, the scheduler, and a replica-set controller.
+fn cluster_config(variant: Variant) -> ClusterConfig {
+    ClusterConfig {
+        store_nodes: 3,
+        apiservers: 1,
+        nodes: vec!["node-1".into(), "node-2".into()],
+        scheduler: Some(!variant.is_buggy()),
+        scheduler_congestible: true,
+        rs_controller: Some(false),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Static access summaries of the focal component (the scheduler, whose
+/// congestible, never-resynced views are the staleness vector).
+pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary> {
+    ph_cluster::topology::access_summaries(&cluster_config(variant))
+        .into_iter()
+        .filter(|s| s.component == "scheduler")
+        .collect()
+}
+
+/// The churn object: a long-running pod on `node-1`, rewritten every few
+/// milliseconds with a padded `owner` field so each watch event carries
+/// real bytes onto the finite-bandwidth feed. Churning *pods* (and only
+/// pods) splits the scheduler's two watches onto different recovery paths:
+/// the chattering pods stream reveals its gaps as soon as one event
+/// squeezes through the full queue (fast break → relist), while the silent
+/// nodes stream — whose progress beacons all tail-drop — is only caught by
+/// the 1.2 s watch timeout. That asymmetry is the ghost window: the pods
+/// view heals while the nodes view still holds the deleted node. The
+/// padding also keeps the pod out of the `web` replica set's count.
+fn chaff() -> Object {
+    let mut obj = Object::new(
+        "warm",
+        Body::Pod {
+            node: Some("node-1".into()),
+            phase: PodPhase::Running,
+            pvc: None,
+        },
+    );
+    obj.meta.owner = Some("x".repeat(200));
+    obj
+}
+
+fn run_shaped(
+    seed: u64,
+    strategy: &mut dyn Strategy,
+    variant: Variant,
+    capacity: u64,
+) -> (RunReport, ph_sim::Trace) {
+    let cfg = cluster_config(variant);
+    let mut runner = Runner::new(NAME, seed, &cfg, Duration::secs(1), Duration::secs(7));
+
+    // The modeled network: the scheduler's watch feed has finite capacity
+    // and a drop-tail queue. This is topology, not perturbation — it is in
+    // place for every variant and every strategy, NoFault included.
+    let api = runner.cluster.apiservers[0];
+    let sched = runner
+        .cluster
+        .scheduler
+        .expect("scenario spawns a scheduler");
+    let base = runner.world.net().link(api, sched);
+    runner.world.net_mut().set_link(
+        api,
+        sched,
+        ph_sim::LinkConfig {
+            bandwidth: capacity,
+            queue: FEED_QUEUE,
+            ..base
+        },
+    );
+
+    // node-1 carries a padded owner blob: the nodes *list* that finally
+    // heals the scheduler's ghost view has to move these bytes through
+    // whatever bandwidth the feed has left, so past capacity the heal
+    // lands measurably after the pods view (and the binds) — the far edge
+    // of the ghost window is itself a queueing artifact.
+    let mut node1 = Object::node("node-1");
+    node1.meta.owner = Some("y".repeat(800));
+    runner.seed(&node1);
+    runner.seed(&Object::node("node-2"));
+    runner.seed(&chaff());
+    runner.seed(&Object::new("web", Body::ReplicaSet { replicas: 0 }));
+
+    strategy.setup(&mut runner.world, &runner.targets);
+    runner.drive(strategy, Duration::millis(1200), Duration::millis(10));
+
+    // Churn phase: rewrite node-1 every 8 ms. At ample capacity this is
+    // noise; past capacity it fills the feed queue, tail-drops the watch
+    // stream, and pushes the apiserver's event window past the
+    // scheduler's resume point. Mid-churn, node-2 dies for real.
+    let churn = chaff();
+    let step = Duration::millis(8);
+    let mut t = Duration::millis(1200);
+    let mut deleted = false;
+    while t < Duration::millis(2304) {
+        runner.seed(&churn);
+        if !deleted && t >= Duration::millis(2048) {
+            let k2 = runner.cluster.kubelets[1];
+            runner.world.crash(k2);
+            let dl = runner.admin_deadline();
+            runner
+                .cluster
+                .delete_key(&mut runner.world, "nodes/node-2", dl);
+            deleted = true;
+        }
+        t = Duration(t.0 + step.0);
+        runner.drive(strategy, t, step);
+    }
+
+    runner.drive(strategy, Duration::millis(2600), Duration::millis(10));
+    // Scale up: the scheduler must place 3 new pods.
+    runner.seed(&Object::new("web", Body::ReplicaSet { replicas: 3 }));
+
+    runner.drive(strategy, Duration::millis(6500), Duration::millis(10));
+    let cluster = runner.cluster.clone();
+    let mut oracles: Vec<Box<dyn ph_core::oracle::Oracle>> =
+        vec![oracles::all_pods_running(cluster)];
+    let (mut report, trace) =
+        runner.finish_with_trace(strategy, Duration::millis(500), &mut oracles);
+    report.attach_blame(&trace, &blame_spec());
+    (report, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surge_starves_the_buggy_scheduler_into_a_ghost_bind() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Buggy);
+        assert!(report.failed(), "expected pods wedged on the ghost node");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.details.contains("node-2") || v.details.contains("stuck")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn fixed_scheduler_recovers_from_the_same_surge() {
+        let mut strategy = guided(1);
+        let report = run(1, strategy.as_mut(), Variant::Fixed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn no_fault_run_is_clean_even_when_buggy() {
+        let mut strategy = NoFault;
+        let report = run(1, &mut strategy, Variant::Buggy);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

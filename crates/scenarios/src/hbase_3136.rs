@@ -81,6 +81,7 @@ pub fn access_summaries(variant: Variant) -> Vec<ph_lint::summary::AccessSummary
             relist_on_gap: false,
             periodic_resync: false,
             event_replay: false,
+            congestible: false,
         }],
         actions: vec![ActionDecl {
             name: "cas-region-transition".into(),

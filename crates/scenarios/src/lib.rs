@@ -15,6 +15,7 @@
 //! | [`cass_402`] | cassandra-operator-402 | stale view deletes live data |
 //! | [`hbase_3136`] | HBASE-3136 / 3137 | stale follower CAS |
 //! | [`node_fencing`] | the class behind \[5\] (pod safety vs HA) | unobservable liveness |
+//! | [`congestion`] | watch-feed saturation (no single ticket) | load-emergent staleness |
 //!
 //! [`common`] holds the shared runner; [`strategies`] holds the
 //! payload-aware injectors scenarios tune (they extend the generic
@@ -32,6 +33,7 @@ pub mod cass_398;
 pub mod cass_400;
 pub mod cass_402;
 pub mod common;
+pub mod congestion;
 pub mod hbase_3136;
 pub mod k8s_56261;
 pub mod k8s_59848;
@@ -142,6 +144,15 @@ pub fn scenario_statics() -> Vec<StaticEntry> {
             run_traced: node_fencing::run_with_trace,
             blame: node_fencing::blame_spec,
             guided: node_fencing::guided,
+        },
+        StaticEntry {
+            name: congestion::NAME,
+            pattern: congestion::PATTERN,
+            summaries: congestion::access_summaries,
+            run: congestion::run,
+            run_traced: congestion::run_with_trace,
+            blame: congestion::blame_spec,
+            guided: congestion::guided,
         },
     ]
 }

@@ -15,7 +15,7 @@
 //! Witness-guided exploration then tries these realizations *first*, in
 //! witness order (shortest schedules lead), before falling back to the
 //! unguided strategy cycle — measured in EXPERIMENTS.md E6 as a
-//! trials-to-first-detection reduction on all eight scenarios.
+//! trials-to-first-detection reduction on the scenario suite.
 
 use ph_core::autoguide::{witness_priors, PriorShape};
 use ph_core::parallel::derive_trial_seed;
@@ -180,6 +180,12 @@ fn realize(scenario: &str, shape: &PriorShape) -> Vec<Box<dyn Strategy>> {
                 Duration::millis(5500),
             ))]
         }
+
+        // The traffic-surge letter lands literally: squeeze the
+        // scheduler's watch feed below the churn workload's offered load
+        // across the surge window. The strategy only reconfigures link
+        // capacity — every late or lost message is the queue's own doing.
+        ("congestion", PriorShape::TrafficSurge { .. }) => vec![crate::congestion::guided(0)],
 
         _ => Vec::new(),
     }

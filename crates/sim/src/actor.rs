@@ -76,6 +76,7 @@ pub(crate) enum Effect {
     Send {
         to: ActorId,
         kind: &'static str,
+        bytes: u64,
         msg: AnyMsg,
     },
     SetTimer {
@@ -140,11 +141,22 @@ impl Ctx<'_> {
     }
 
     /// Sends `payload` to `to`. Delivery time (or loss) is decided by the
-    /// network model and any installed interceptor.
+    /// network model and any installed interceptor. The message has no
+    /// modelled wire size — use [`Ctx::send_sized`] for traffic that should
+    /// contend on finite-bandwidth links.
     pub fn send<T: Any + std::fmt::Debug>(&mut self, to: ActorId, payload: T) {
+        self.send_sized(to, payload, 0);
+    }
+
+    /// Like [`Ctx::send`], but declares the message's wire size in bytes.
+    /// On links with [`crate::LinkConfig::bandwidth`] configured, `bytes`
+    /// determines transmission time and queue pressure; elsewhere it is
+    /// carried but ignored.
+    pub fn send_sized<T: Any + std::fmt::Debug>(&mut self, to: ActorId, payload: T, bytes: u64) {
         self.effects.push(Effect::Send {
             to,
             kind: std::any::type_name::<T>(),
+            bytes,
             msg: AnyMsg::new(payload),
         });
     }

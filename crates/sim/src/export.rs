@@ -94,6 +94,24 @@ pub fn trace_to_jsonl(trace: &Trace) -> String {
                     by.0
                 ));
             }
+            TraceEventKind::MessageQueued {
+                id,
+                src,
+                dst,
+                kind,
+                depth,
+                waited,
+            } => {
+                out.push_str(&format!(
+                    "\"type\":\"queued\",\"id\":{},\"src\":{},\"dst\":{},\"kind\":{},\"depth\":{},\"waited_ns\":{}",
+                    id.0,
+                    src.0,
+                    dst.0,
+                    json_string(kind),
+                    depth,
+                    waited.0
+                ));
+            }
             TraceEventKind::MessageReleased { id } => {
                 out.push_str(&format!("\"type\":\"released\",\"id\":{}", id.0));
             }
@@ -255,6 +273,22 @@ pub fn trace_to_chrome(trace: &Trace) -> String {
                 &ts,
                 &format!("delay {kind}"),
                 &format!("{{\"id\":{},\"src\":{},\"by_ns\":{}}}", id.0, src.0, by.0),
+            ),
+            TraceEventKind::MessageQueued {
+                id,
+                src,
+                dst,
+                kind,
+                depth,
+                waited,
+            } => instant(
+                src.0,
+                &ts,
+                &format!("queue {kind}"),
+                &format!(
+                    "{{\"id\":{},\"dst\":{},\"depth\":{},\"waited_ns\":{}}}",
+                    id.0, dst.0, depth, waited.0
+                ),
             ),
             TraceEventKind::Crashed { actor } => instant(actor.0, &ts, "crash", "{}"),
             TraceEventKind::Restarted { actor } => instant(actor.0, &ts, "restart", "{}"),

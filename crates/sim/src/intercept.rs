@@ -66,6 +66,7 @@ mod tests {
             sent_at: SimTime::ZERO,
             kind: "test::Msg",
             short: crate::intern::Name::from("Msg"),
+            bytes: 0,
             msg: AnyMsg::new(1u8),
         }
     }

@@ -6,7 +6,8 @@
 //!
 //! * a logical clock with nanosecond resolution ([`SimTime`]),
 //! * an actor model ([`Actor`], [`Ctx`]) with timers, crashes and restarts,
-//! * a message network ([`net`]) with per-link latency, loss and partitions,
+//! * a message network ([`net`]) with per-link latency, loss, partitions and
+//!   optional finite-bandwidth drop-tail queues (congestion-emergent delay),
 //! * a pluggable message [`Interceptor`] — the hook used by `ph-core`'s
 //!   perturbation strategies to delay, drop, hold and replay notifications,
 //! * a structured [`Trace`] of everything that happened, from which
@@ -76,7 +77,7 @@ pub use intercept::{Interceptor, NullInterceptor, Verdict};
 pub use intern::{Interner, Name, Sym};
 pub use metrics::{Histogram, MetricValue, Metrics, MetricsReport, DEFAULT_LATENCY_BOUNDS_NS};
 pub use msg::{AnyMsg, Envelope};
-pub use net::{LinkConfig, NetConfig, Network, Partition};
+pub use net::{LinkConfig, NetConfig, Network, Partition, SendOutcome};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
 pub use trace::{DropReason, Trace, TraceEvent, TraceEventKind};

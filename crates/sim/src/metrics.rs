@@ -408,11 +408,109 @@ impl MetricsReport {
         out.push('}');
         out
     }
+
+    /// Renders the report in Prometheus text-exposition format,
+    /// deterministically: metric families in name order, series in
+    /// component order, fixed label order, no timestamps. Metric names map
+    /// into the `ph_` namespace with dots as underscores (counters gain
+    /// the conventional `_total` suffix), the recording component becomes
+    /// the `component` label, and histograms render as cumulative
+    /// `_bucket` lines with an explicit `+Inf` bound — so the same
+    /// `net.queue_*` series a test reads programmatically can be scraped
+    /// or diffed as text.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        // Prometheus wants every series of a family contiguous under one
+        // TYPE header, so regroup the (component, metric)-ordered map by
+        // metric name first.
+        let mut families: BTreeMap<&str, Vec<(&str, &MetricValue)>> = BTreeMap::new();
+        for ((c, n), v) in &self.metrics {
+            families
+                .entry(n.as_str())
+                .or_default()
+                .push((c.as_str(), v));
+        }
+        let mut out = String::new();
+        for (name, series) in families {
+            let base = format!("ph_{}", name.replace(['.', '-'], "_"));
+            match series[0].1 {
+                MetricValue::Counter(_) => {
+                    let _ = writeln!(out, "# TYPE {base}_total counter");
+                    for (c, v) in series {
+                        if let MetricValue::Counter(x) = v {
+                            let _ = writeln!(out, "{base}_total{{component=\"{c}\"}} {x}");
+                        }
+                    }
+                }
+                MetricValue::Gauge(_) => {
+                    let _ = writeln!(out, "# TYPE {base} gauge");
+                    for (c, v) in series {
+                        if let MetricValue::Gauge(x) = v {
+                            let _ = writeln!(out, "{base}{{component=\"{c}\"}} {x}");
+                        }
+                    }
+                }
+                MetricValue::Histogram(_) => {
+                    let _ = writeln!(out, "# TYPE {base} histogram");
+                    for (c, v) in series {
+                        if let MetricValue::Histogram(h) = v {
+                            let mut cumulative = 0u64;
+                            for (i, &count) in h.counts.iter().enumerate() {
+                                cumulative += count;
+                                let le = match h.bounds.get(i) {
+                                    Some(b) => b.to_string(),
+                                    None => "+Inf".to_string(),
+                                };
+                                let _ = writeln!(
+                                    out,
+                                    "{base}_bucket{{component=\"{c}\",le=\"{le}\"}} {cumulative}"
+                                );
+                            }
+                            let _ = writeln!(out, "{base}_sum{{component=\"{c}\"}} {}", h.sum);
+                            let _ = writeln!(out, "{base}_count{{component=\"{c}\"}} {}", h.count);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prometheus_rendering_is_grouped_and_cumulative() {
+        let mut m = Metrics::new();
+        m.counter_add("b", "net.queue_dropped", 2);
+        m.counter_add("a", "net.queue_dropped", 1);
+        m.gauge_set("a", "net.queue_depth", 4);
+        m.observe("a", "net.queue_wait_ns", 5);
+        m.observe("a", "net.queue_wait_ns", 20_000_000_000);
+        let text = m.report().to_prometheus();
+        let expected = "\
+# TYPE ph_net_queue_depth gauge
+ph_net_queue_depth{component=\"a\"} 4
+# TYPE ph_net_queue_dropped_total counter
+ph_net_queue_dropped_total{component=\"a\"} 1
+ph_net_queue_dropped_total{component=\"b\"} 2
+# TYPE ph_net_queue_wait_ns histogram
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"1000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"10000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"100000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"1000000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"10000000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"100000000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"1000000000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"10000000000\"} 1
+ph_net_queue_wait_ns_bucket{component=\"a\",le=\"+Inf\"} 2
+ph_net_queue_wait_ns_sum{component=\"a\"} 20000000005
+ph_net_queue_wait_ns_count{component=\"a\"} 2
+";
+        assert_eq!(text, expected);
+    }
 
     #[test]
     fn counters_accumulate_and_total_across_components() {

@@ -92,6 +92,9 @@ pub struct Envelope {
     /// [`Envelope::kind_short`] interned at send time, so every trace event
     /// about this message shares one allocation.
     pub(crate) short: Name,
+    /// Modelled wire size in bytes. Only finite-bandwidth links read it;
+    /// `0` (the [`crate::Ctx::send`] default) costs nothing to transmit.
+    pub bytes: u64,
     /// The payload itself.
     pub msg: AnyMsg,
 }
@@ -145,6 +148,7 @@ mod tests {
             sent_at: SimTime::ZERO,
             kind: "ph_store::raft::AppendEntries",
             short: Name::from("AppendEntries"),
+            bytes: 0,
             msg: AnyMsg::new(Foo(1)),
         };
         assert_eq!(env.kind_short(), "AppendEntries");

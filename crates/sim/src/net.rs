@@ -1,4 +1,4 @@
-//! The message network: latency, loss, FIFO links and partitions.
+//! The message network: latency, loss, FIFO links, queues and partitions.
 //!
 //! Links are FIFO by default (modelling TCP-backed RPC/watch streams: a later
 //! message never overtakes an earlier one on the same link), with configurable
@@ -6,8 +6,20 @@
 //! direction; healing restores them. Partitions and loss are how the
 //! *unintentional* part of a partial history arises — the `ph-core`
 //! interceptors add the *targeted* part on top.
+//!
+//! Links may additionally model **finite capacity**: setting
+//! [`LinkConfig::bandwidth`] gives the link a serial transmitter
+//! (`bytes/sec`) fronted by a drop-tail queue of at most
+//! [`LinkConfig::queue`] in-flight messages. Latency and loss then *emerge*
+//! from occupancy — offered load past the transmitter's rate queues up (and
+//! eventually tail-drops as [`DropReason::QueueFull`]) with no interceptor
+//! involved. This is the §4.1 story: partial histories exist because the
+//! store saturates, not only because someone injected a fault. Links with
+//! `bandwidth == 0` (the default) keep the legacy infinite-capacity
+//! behaviour bit-for-bit, including the RNG draw sequence, so existing
+//! scenario digests are unchanged.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::ids::ActorId;
 use crate::rng::SimRng;
@@ -25,6 +37,13 @@ pub struct LinkConfig {
     pub loss: f64,
     /// If `true` (the default), deliveries on this link never reorder.
     pub fifo: bool,
+    /// Transmission rate in bytes/sec. `0` (the default) means infinite:
+    /// the link behaves exactly as before queueing existed.
+    pub bandwidth: u64,
+    /// Drop-tail queue capacity in messages (counting the one being
+    /// transmitted). `0` means unbounded. Only meaningful when
+    /// `bandwidth > 0`.
+    pub queue: usize,
 }
 
 impl Default for LinkConfig {
@@ -34,8 +53,21 @@ impl Default for LinkConfig {
             jitter: Duration::micros(100),
             loss: 0.0,
             fifo: true,
+            bandwidth: 0,
+            queue: 0,
         }
     }
+}
+
+/// Per-link transmitter state for finite-bandwidth links: when the serial
+/// transmitter frees up and the departure time of every message still
+/// occupying the queue (head included). Drained lazily against `now` on
+/// each offer — no dequeue events are ever scheduled, which keeps the
+/// queue model invisible to the event loop and trivially deterministic.
+#[derive(Debug, Default)]
+struct QueueState {
+    busy_until: SimTime,
+    departures: VecDeque<SimTime>,
 }
 
 /// Network-wide defaults.
@@ -64,6 +96,19 @@ impl Partition {
 pub enum SendOutcome {
     /// Deliver at the given time.
     DeliverAt(SimTime),
+    /// Accepted by a finite-bandwidth link's queue; deliver at `at`. The
+    /// extra fields let the world record congestion telemetry without
+    /// re-deriving queue state.
+    Queued {
+        /// Delivery time (departure + propagation + jitter).
+        at: SimTime,
+        /// Queue occupancy right after this message was admitted
+        /// (this message included).
+        depth: u32,
+        /// Time this message waited behind earlier traffic before its own
+        /// transmission began. Zero on an idle link.
+        waited: Duration,
+    },
     /// Lost; the reason is recorded in the trace.
     Lost(DropReason),
 }
@@ -76,6 +121,8 @@ pub struct Network {
     blocked: BTreeSet<(ActorId, ActorId)>,
     /// Last scheduled delivery per directed link, for FIFO clamping.
     fifo_horizon: BTreeMap<(ActorId, ActorId), SimTime>,
+    /// Transmitter/queue state per finite-bandwidth directed link.
+    queues: BTreeMap<(ActorId, ActorId), QueueState>,
 }
 
 impl Network {
@@ -86,6 +133,7 @@ impl Network {
             overrides: BTreeMap::new(),
             blocked: BTreeSet::new(),
             fifo_horizon: BTreeMap::new(),
+            queues: BTreeMap::new(),
         }
     }
 
@@ -161,16 +209,30 @@ impl Network {
         self.blocked.clear();
     }
 
-    /// Decides the fate of a message offered to the network at `now`.
+    /// Messages still occupying the `src → dst` queue at `now` (queued or
+    /// mid-transmission). Zero for links without bandwidth modelling.
+    pub fn queue_occupancy(&self, src: ActorId, dst: ActorId, now: SimTime) -> usize {
+        self.queues
+            .get(&(src, dst))
+            .map_or(0, |q| q.departures.iter().filter(|&&d| d > now).count())
+    }
+
+    /// Decides the fate of a message of `size` bytes offered to the network
+    /// at `now`.
     ///
     /// On delivery, advances the link's FIFO horizon so later messages on the
-    /// same link cannot overtake this one.
+    /// same link cannot overtake this one. On finite-bandwidth links the
+    /// message first claims the serial transmitter — waiting behind earlier
+    /// traffic, or tail-dropping as [`DropReason::QueueFull`] when the queue
+    /// is at capacity — and only then accrues propagation delay; `size` is
+    /// ignored on infinite-bandwidth links.
     pub fn offer(
         &mut self,
         src: ActorId,
         dst: ActorId,
         now: SimTime,
         rng: &mut SimRng,
+        size: u64,
         extra_delay: Duration,
     ) -> SendOutcome {
         if self.is_blocked(src, dst) {
@@ -185,7 +247,41 @@ impl Network {
         } else {
             Duration::nanos(rng.below(link.jitter.as_nanos() + 1))
         };
-        let mut at = now + link.latency + jitter + extra_delay;
+        if link.bandwidth == 0 {
+            // Legacy infinite-capacity path. The draws above happen in the
+            // exact pre-queueing order, keeping historical digests stable.
+            let mut at = now + link.latency + jitter + extra_delay;
+            if link.fifo {
+                let horizon = self.fifo_horizon.entry((src, dst)).or_insert(SimTime::ZERO);
+                if at <= *horizon {
+                    at = SimTime(horizon.0 + 1);
+                }
+                *horizon = at;
+            }
+            return SendOutcome::DeliverAt(at);
+        }
+        let q = self.queues.entry((src, dst)).or_default();
+        while q.departures.front().is_some_and(|&d| d <= now) {
+            q.departures.pop_front();
+        }
+        if link.queue > 0 && q.departures.len() >= link.queue {
+            return SendOutcome::Lost(DropReason::QueueFull);
+        }
+        let start = if q.busy_until > now {
+            q.busy_until
+        } else {
+            now
+        };
+        // Ceiling division in u128: a 1-byte message on a 1 GB/s link still
+        // occupies the transmitter for a full nanosecond.
+        let service =
+            Duration::nanos((size as u128 * 1_000_000_000).div_ceil(link.bandwidth as u128) as u64);
+        let depart = start + service;
+        q.busy_until = depart;
+        q.departures.push_back(depart);
+        let depth = q.departures.len() as u32;
+        let waited = Duration(start.0 - now.0);
+        let mut at = depart + link.latency + jitter + extra_delay;
         if link.fifo {
             let horizon = self.fifo_horizon.entry((src, dst)).or_insert(SimTime::ZERO);
             if at <= *horizon {
@@ -193,7 +289,7 @@ impl Network {
             }
             *horizon = at;
         }
-        SendOutcome::DeliverAt(at)
+        SendOutcome::Queued { at, depth, waited }
     }
 }
 
@@ -216,7 +312,7 @@ mod tests {
     fn default_link_delivers_with_latency() {
         let mut n = net();
         let mut rng = SimRng::from_seed(1);
-        match n.offer(a(), b(), SimTime(0), &mut rng, Duration::ZERO) {
+        match n.offer(a(), b(), SimTime(0), &mut rng, 0, Duration::ZERO) {
             SendOutcome::DeliverAt(t) => {
                 assert!(t >= SimTime(Duration::micros(200).as_nanos()));
                 assert!(t <= SimTime(Duration::micros(300).as_nanos()));
@@ -231,7 +327,7 @@ mod tests {
         let mut rng = SimRng::from_seed(2);
         let mut last = SimTime::ZERO;
         for i in 0..200 {
-            match n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO) {
+            match n.offer(a(), b(), SimTime(i), &mut rng, 0, Duration::ZERO) {
                 SendOutcome::DeliverAt(t) => {
                     assert!(t > last, "message {i} overtook its predecessor");
                     last = t;
@@ -252,13 +348,14 @@ mod tests {
                 jitter: Duration::micros(500),
                 loss: 0.0,
                 fifo: false,
+                ..LinkConfig::default()
             },
         );
         let mut rng = SimRng::from_seed(3);
         let mut times = Vec::new();
         for i in 0..100 {
             if let SendOutcome::DeliverAt(t) =
-                n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO)
+                n.offer(a(), b(), SimTime(i), &mut rng, 0, Duration::ZERO)
             {
                 times.push(t);
             }
@@ -292,12 +389,12 @@ mod tests {
         n.block(a(), b());
         let mut rng = SimRng::from_seed(4);
         assert_eq!(
-            n.offer(a(), b(), SimTime(0), &mut rng, Duration::ZERO),
+            n.offer(a(), b(), SimTime(0), &mut rng, 0, Duration::ZERO),
             SendOutcome::Lost(DropReason::Partitioned)
         );
         // Reverse direction unaffected.
         assert!(matches!(
-            n.offer(b(), a(), SimTime(0), &mut rng, Duration::ZERO),
+            n.offer(b(), a(), SimTime(0), &mut rng, 0, Duration::ZERO),
             SendOutcome::DeliverAt(_)
         ));
     }
@@ -317,7 +414,7 @@ mod tests {
         let lost = (0..2000)
             .filter(|&i| {
                 matches!(
-                    n.offer(a(), b(), SimTime(i), &mut rng, Duration::ZERO),
+                    n.offer(a(), b(), SimTime(i), &mut rng, 0, Duration::ZERO),
                     SendOutcome::Lost(DropReason::Loss)
                 )
             })
@@ -336,17 +433,18 @@ mod tests {
                 jitter: Duration::ZERO,
                 loss: 0.0,
                 fifo: true,
+                ..LinkConfig::default()
             },
         );
         let mut rng = SimRng::from_seed(6);
-        let base = match n.offer(a(), b(), SimTime(0), &mut rng, Duration::ZERO) {
+        let base = match n.offer(a(), b(), SimTime(0), &mut rng, 0, Duration::ZERO) {
             SendOutcome::DeliverAt(t) => t,
             other => panic!("unexpected {other:?}"),
         };
         let mut n2 = net();
         n2.set_link(a(), b(), n.link(a(), b()));
         let mut rng2 = SimRng::from_seed(6);
-        let delayed = match n2.offer(a(), b(), SimTime(0), &mut rng2, Duration::millis(5)) {
+        let delayed = match n2.offer(a(), b(), SimTime(0), &mut rng2, 0, Duration::millis(5)) {
             SendOutcome::DeliverAt(t) => t,
             other => panic!("unexpected {other:?}"),
         };
@@ -361,5 +459,150 @@ mod tests {
         n.heal_all();
         assert!(!n.is_blocked(a(), b()));
         assert!(!n.is_blocked(b(), a()));
+    }
+
+    /// 1 KB/ms transmitter, no jitter, 100 µs propagation.
+    fn queued_link(queue: usize) -> LinkConfig {
+        LinkConfig {
+            latency: Duration::micros(100),
+            jitter: Duration::ZERO,
+            loss: 0.0,
+            fifo: true,
+            bandwidth: 1_000_000,
+            queue,
+        }
+    }
+
+    #[test]
+    fn idle_queued_link_adds_only_transmission_to_propagation() {
+        let mut n = net();
+        n.set_link(a(), b(), queued_link(0));
+        let mut rng = SimRng::from_seed(7);
+        // 1000 bytes at 1_000_000 B/s = exactly 1 ms of transmission.
+        match n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO) {
+            SendOutcome::Queued { at, depth, waited } => {
+                assert_eq!(at, SimTime(Duration::millis(1).0 + Duration::micros(100).0));
+                assert_eq!(depth, 1);
+                assert_eq!(waited, Duration::ZERO);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_size_message_on_idle_queued_link_sees_pure_propagation() {
+        let mut n = net();
+        n.set_link(a(), b(), queued_link(0));
+        let mut rng = SimRng::from_seed(8);
+        match n.offer(a(), b(), SimTime(0), &mut rng, 0, Duration::ZERO) {
+            SendOutcome::Queued { at, waited, .. } => {
+                assert_eq!(at, SimTime(Duration::micros(100).0));
+                assert_eq!(waited, Duration::ZERO);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_offers_serialize_on_the_transmitter() {
+        let mut n = net();
+        n.set_link(a(), b(), queued_link(0));
+        let mut rng = SimRng::from_seed(9);
+        let first = n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO);
+        let second = n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO);
+        let (
+            SendOutcome::Queued { at: t1, .. },
+            SendOutcome::Queued {
+                at: t2,
+                waited,
+                depth,
+            },
+        ) = (first, second)
+        else {
+            panic!("unexpected {first:?} / {second:?}");
+        };
+        assert_eq!(t2, t1 + Duration::millis(1), "second waits out the first");
+        assert_eq!(waited, Duration::millis(1));
+        assert_eq!(depth, 2);
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        let mut n = net();
+        n.set_link(a(), b(), queued_link(2));
+        let mut rng = SimRng::from_seed(10);
+        assert!(matches!(
+            n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO),
+            SendOutcome::Queued { .. }
+        ));
+        assert!(matches!(
+            n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO),
+            SendOutcome::Queued { .. }
+        ));
+        assert_eq!(
+            n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO),
+            SendOutcome::Lost(DropReason::QueueFull)
+        );
+        assert_eq!(n.queue_occupancy(a(), b(), SimTime(0)), 2);
+        // Once the head departs, the queue admits traffic again.
+        let later = SimTime(Duration::millis(1).0);
+        assert!(matches!(
+            n.offer(a(), b(), later, &mut rng, 1000, Duration::ZERO),
+            SendOutcome::Queued { depth: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn queue_drains_fully_when_idle() {
+        let mut n = net();
+        n.set_link(a(), b(), queued_link(4));
+        let mut rng = SimRng::from_seed(11);
+        for _ in 0..4 {
+            n.offer(a(), b(), SimTime(0), &mut rng, 1000, Duration::ZERO);
+        }
+        assert_eq!(n.queue_occupancy(a(), b(), SimTime(0)), 4);
+        let drained = SimTime(Duration::millis(10).0);
+        assert_eq!(n.queue_occupancy(a(), b(), drained), 0);
+        assert!(matches!(
+            n.offer(a(), b(), drained, &mut rng, 1000, Duration::ZERO),
+            SendOutcome::Queued {
+                depth: 1,
+                waited: Duration::ZERO,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_bandwidth_links_keep_the_legacy_path_and_rng_sequence() {
+        // Same seed, same offers: a bandwidth-0 link must produce exactly
+        // the delivery times the pre-queueing network produced (pinned
+        // values so a behavioural change in the legacy path fails loudly).
+        let mut n = net();
+        let mut rng = SimRng::from_seed(12);
+        let mut ats = Vec::new();
+        for i in 0..8u64 {
+            match n.offer(
+                a(),
+                b(),
+                SimTime(i * 1000),
+                &mut rng,
+                1 << 20,
+                Duration::ZERO,
+            ) {
+                SendOutcome::DeliverAt(t) => ats.push(t),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let mut n2 = net();
+        let mut rng2 = SimRng::from_seed(12);
+        let mut ats2 = Vec::new();
+        for i in 0..8u64 {
+            match n2.offer(a(), b(), SimTime(i * 1000), &mut rng2, 0, Duration::ZERO) {
+                SendOutcome::DeliverAt(t) => ats2.push(t),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ats, ats2, "message size must not perturb legacy links");
     }
 }

@@ -24,6 +24,9 @@ pub enum DropReason {
     /// The destination was crashed between the original delivery time and the
     /// release of a held message.
     Stale,
+    /// A finite-bandwidth link's drop-tail queue was at capacity — organic
+    /// congestion loss, not an injected fault.
+    QueueFull,
 }
 
 /// One thing that happened during the run.
@@ -96,6 +99,24 @@ pub enum TraceEventKind {
         kind: Name,
         /// Extra in-flight latency added by the interceptor.
         by: Duration,
+    },
+    /// A message was admitted to a finite-bandwidth link's queue and had to
+    /// wait behind earlier traffic — congestion made it later than
+    /// propagation alone would have. Only recorded when `waited > 0`; an
+    /// idle queued link delivers without ceremony.
+    MessageQueued {
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        src: ActorId,
+        /// Destination.
+        dst: ActorId,
+        /// Short payload type name (interned; prints like a `String`).
+        kind: Name,
+        /// Queue occupancy at admission (this message included).
+        depth: u32,
+        /// Time spent queued before transmission began.
+        waited: Duration,
     },
     /// A held message was released back into the network.
     MessageReleased {
@@ -201,6 +222,17 @@ impl Trace {
     pub(crate) fn push(&mut self, at: SimTime, kind: TraceEventKind) {
         let seq = self.events.len() as u64;
         self.events.push(TraceEvent { seq, at, kind });
+    }
+
+    /// A copy of this trace containing only the events matching `pred`,
+    /// with original sequence numbers and timestamps preserved. For
+    /// carving a focused export — say, the queue-physics slice of a
+    /// congested run — out of a full record; the result is an export
+    /// source, not a replayable run.
+    pub fn filtered(&self, pred: impl Fn(&TraceEvent) -> bool) -> Trace {
+        Trace {
+            events: self.events.iter().filter(|e| pred(e)).cloned().collect(),
+        }
     }
 
     /// Number of recorded events.
@@ -422,7 +454,30 @@ fn render_kind(kind: &TraceEventKind, buf: &mut Vec<u8>) {
                 DropReason::Interceptor => b"Interceptor",
                 DropReason::DestCrashed => b"DestCrashed",
                 DropReason::Stale => b"Stale",
+                DropReason::QueueFull => b"QueueFull",
             });
+            buf.extend_from_slice(b" }");
+        }
+        MessageQueued {
+            id,
+            src,
+            dst,
+            kind,
+            depth,
+            waited,
+        } => {
+            buf.extend_from_slice(b"MessageQueued { id: ");
+            push_id(buf, b"MsgId", id.0);
+            buf.extend_from_slice(b", src: ");
+            push_id(buf, b"ActorId", src.0 as u64);
+            buf.extend_from_slice(b", dst: ");
+            push_id(buf, b"ActorId", dst.0 as u64);
+            buf.extend_from_slice(b", kind: ");
+            push_str_debug(buf, kind);
+            buf.extend_from_slice(b", depth: ");
+            push_u64(buf, *depth as u64);
+            buf.extend_from_slice(b", waited: ");
+            push_id(buf, b"Duration", waited.0);
             buf.extend_from_slice(b" }");
         }
         MessageReleased { id } => {
@@ -589,6 +644,14 @@ mod tests {
                     kind: (*s).into(),
                     by: Duration(i * 90_000_000),
                 },
+                MessageQueued {
+                    id: MsgId(i),
+                    src: ActorId(3),
+                    dst: ActorId(4),
+                    kind: (*s).into(),
+                    depth: i as u32 + 1,
+                    waited: Duration(i * 70_000),
+                },
                 MessageReleased { id: MsgId(i) },
                 TimerSet {
                     actor: ActorId(5),
@@ -624,6 +687,7 @@ mod tests {
                 DropReason::Interceptor,
                 DropReason::DestCrashed,
                 DropReason::Stale,
+                DropReason::QueueFull,
             ] {
                 kinds.push(MessageDropped {
                     id: MsgId(i),

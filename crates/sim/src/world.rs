@@ -622,7 +622,12 @@ impl World {
     fn apply_effects(&mut self, src: ActorId, effects: &mut Vec<Effect>) {
         for effect in effects.drain(..) {
             match effect {
-                Effect::Send { to, kind, msg } => self.do_send(src, to, kind, msg),
+                Effect::Send {
+                    to,
+                    kind,
+                    bytes,
+                    msg,
+                } => self.do_send(src, to, kind, bytes, msg),
                 Effect::SetTimer { id, after, tag } => {
                     let fire_at = self.now + after;
                     self.timers.insert(id, src);
@@ -722,7 +727,7 @@ impl World {
         }
     }
 
-    fn do_send(&mut self, src: ActorId, dst: ActorId, kind: &'static str, msg: AnyMsg) {
+    fn do_send(&mut self, src: ActorId, dst: ActorId, kind: &'static str, bytes: u64, msg: AnyMsg) {
         assert!(
             dst.index() < self.actors.len(),
             "send to unknown actor {dst}"
@@ -739,6 +744,7 @@ impl World {
             sent_at: self.now,
             kind,
             short,
+            bytes,
             msg,
         };
         self.trace.push(
@@ -793,7 +799,10 @@ impl World {
                 return;
             }
         };
-        match self.net.offer(src, dst, self.now, &mut self.net_rng, extra) {
+        match self
+            .net
+            .offer(src, dst, self.now, &mut self.net_rng, env.bytes, extra)
+        {
             SendOutcome::DeliverAt(at) => {
                 let dst_incarnation = self.actors[dst.index()].incarnation;
                 self.schedule(
@@ -804,7 +813,44 @@ impl World {
                     },
                 );
             }
+            SendOutcome::Queued { at, depth, waited } => {
+                // Congestion telemetry, attributed to the sender: queue
+                // depth gauge, wait histogram, and — only when the message
+                // actually waited — a trace event provenance can blame.
+                let component = self.actors[src.index()].msym;
+                let depth_sym = self.metrics.sym("net.queue_depth");
+                self.metrics
+                    .gauge_set_sym(component, depth_sym, depth as i64);
+                let wait_sym = self.metrics.sym("net.queue_wait_ns");
+                self.metrics.observe_sym(component, wait_sym, waited.0);
+                if waited.0 > 0 {
+                    self.trace.push(
+                        self.now,
+                        TraceEventKind::MessageQueued {
+                            id,
+                            src,
+                            dst,
+                            kind: env.short.clone(),
+                            depth,
+                            waited,
+                        },
+                    );
+                }
+                let dst_incarnation = self.actors[dst.index()].incarnation;
+                self.schedule(
+                    at,
+                    Event::Deliver {
+                        env,
+                        dst_incarnation,
+                    },
+                );
+            }
             SendOutcome::Lost(reason) => {
+                if reason == DropReason::QueueFull {
+                    let component = self.actors[src.index()].msym;
+                    let sym = self.metrics.sym("net.queue_dropped");
+                    self.metrics.counter_add_sym(component, sym, 1);
+                }
                 self.trace.push(
                     self.now,
                     TraceEventKind::MessageDropped {

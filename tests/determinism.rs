@@ -10,8 +10,8 @@
 use ph_core::harness::RunReport;
 use ph_core::perturb::Strategy;
 use ph_scenarios::{
-    cass_398, cass_400, cass_402, hbase_3136, k8s_56261, k8s_59848, node_fencing, volume_17,
-    Variant,
+    cass_398, cass_400, cass_402, congestion, hbase_3136, k8s_56261, k8s_59848, node_fencing,
+    volume_17, Variant,
 };
 
 type RunFn = fn(u64, &mut dyn Strategy, Variant) -> RunReport;
@@ -28,6 +28,7 @@ fn scenarios() -> Vec<(&'static str, RunFn, GuidedFn)> {
         (cass_402::NAME, cass_402::run, cass_402::guided),
         (hbase_3136::NAME, hbase_3136::run, hbase_3136::guided),
         (node_fencing::NAME, node_fencing::run, node_fencing::guided),
+        (congestion::NAME, congestion::run, congestion::guided),
     ]
 }
 

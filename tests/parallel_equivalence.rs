@@ -9,10 +9,12 @@
 //! pinned forever and runs with zero third-party dependencies.
 
 use ph_core::harness::{DetectionMatrix, Explorer, RunReport, TrialOutcome};
-use ph_core::perturb::{CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy};
+use ph_core::perturb::{
+    CoFiPartitions, CrashTunerCrashes, NoFault, RandomCrashes, Strategy, TrafficSurge,
+};
 use ph_scenarios::{
-    cass_398, cass_400, cass_402, hbase_3136, k8s_56261, k8s_59848, node_fencing, volume_17,
-    Variant,
+    cass_398, cass_400, cass_402, congestion, hbase_3136, k8s_56261, k8s_59848, node_fencing,
+    volume_17, Variant,
 };
 use ph_sim::{Duration, SimRng};
 
@@ -29,10 +31,18 @@ fn scenarios() -> Vec<(&'static str, RunFn, GuidedFn)> {
         (cass_402::NAME, cass_402::run, cass_402::guided),
         (hbase_3136::NAME, hbase_3136::run, hbase_3136::guided),
         (node_fencing::NAME, node_fencing::run, node_fencing::guided),
+        (congestion::NAME, congestion::run, congestion::guided),
     ]
 }
 
-const STRATEGIES: &[&str] = &["guided", "random-crash", "crashtuner", "cofi", "no-fault"];
+const STRATEGIES: &[&str] = &[
+    "guided",
+    "random-crash",
+    "crashtuner",
+    "cofi",
+    "traffic-surge",
+    "no-fault",
+];
 
 fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Box<dyn Strategy> {
     match name {
@@ -44,6 +54,13 @@ fn make_strategy(name: &str, guided: GuidedFn, seed: u64) -> Box<dyn Strategy> {
         }),
         "crashtuner" => Box::new(CrashTunerCrashes::new(seed, 0.02, 3, Duration::millis(300))),
         "cofi" => Box::new(CoFiPartitions::new(seed, 0.02, 3, Duration::millis(500))),
+        "traffic-surge" => Box::new(TrafficSurge::new(
+            0,
+            2_000,
+            4,
+            Duration::millis(1100),
+            Some(Duration::millis(3600)),
+        )),
         "no-fault" => Box::new(NoFault),
         other => panic!("unknown strategy {other:?}"),
     }

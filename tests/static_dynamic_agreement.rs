@@ -1,4 +1,4 @@
-//! Static/dynamic agreement over all eight scenarios (the acceptance
+//! Static/dynamic agreement over all nine scenarios (the acceptance
 //! gate of the hazard analysis).
 //!
 //! For every scenario the symbolic model checker must produce a minimal
@@ -43,7 +43,7 @@ fn full_table() -> CrossCheckTable {
 #[test]
 fn static_analysis_agrees_with_dynamic_exploration_on_all_scenarios() {
     let table = full_table();
-    assert_eq!(table.rows.len(), 8, "all eight scenarios must be wired");
+    assert_eq!(table.rows.len(), 9, "all nine scenarios must be wired");
     for row in &table.rows {
         assert!(
             row.buggy_classes().contains(&row.expected),
@@ -83,7 +83,7 @@ fn static_analysis_agrees_with_dynamic_exploration_on_all_scenarios() {
 fn static_only_table_from_the_library_agrees() {
     // `phtool lint` renders exactly this table; keep its verdict pinned.
     let table = ph_scenarios::static_crosscheck();
-    assert_eq!(table.rows.len(), 8);
+    assert_eq!(table.rows.len(), 9);
     assert!(table.all_static_agree(), "\n{}", table.render_text());
     let json = table.to_json();
     assert!(json.contains("\"all_static_agree\":true"));
@@ -119,7 +119,7 @@ fn model_checker_witnesses_the_documented_class_and_proves_fixed_safe() {
     }
 }
 
-/// All eight scenarios' buggy-variant model-check reports as one JSON
+/// All nine scenarios' buggy-variant model-check reports as one JSON
 /// blob, produced across `threads` workers of the deterministic runner.
 fn witness_blob(threads: usize) -> String {
     let entries = scenario_statics();
@@ -148,7 +148,7 @@ fn witness_json_is_byte_identical_across_runs_and_thread_counts() {
         );
     }
     // Sanity: the blob actually carries witnesses for every scenario.
-    assert!(first.matches("\"verdict\":\"hazardous\"").count() >= 8);
+    assert!(first.matches("\"verdict\":\"hazardous\"").count() >= 9);
 }
 
 #[test]
