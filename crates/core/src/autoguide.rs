@@ -137,6 +137,30 @@ pub enum Candidate {
     },
 }
 
+impl Candidate {
+    /// The candidate's planned schedule for canonical-class
+    /// fingerprinting ([`crate::canon::plan_class`]): one op whose anchor
+    /// carries every behavioral parameter, so equal classes mean
+    /// behaviorally identical candidates.
+    pub fn planned_ops(&self) -> Vec<crate::canon::PlannedOp> {
+        match self {
+            Candidate::DropNth { dst, n, burst } => vec![crate::canon::PlannedOp::new(
+                Letter::DropNotification(format!("component:{dst}")),
+                format!("#{n}+{burst}"),
+            )],
+            Candidate::CrashAfterDecision {
+                actor,
+                label,
+                n,
+                down_ms,
+            } => vec![crate::canon::PlannedOp::new(
+                Letter::CrashRestartReplay,
+                format!("component:{actor}@{label}#{n}+{down_ms}ms"),
+            )],
+        }
+    }
+}
+
 impl std::fmt::Display for Candidate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -273,6 +297,10 @@ impl Strategy for CandidateStrategy {
         format!("auto[{}]", self.candidate)
     }
 
+    fn planned_schedule(&self) -> Option<Vec<crate::canon::PlannedOp>> {
+        Some(self.candidate.planned_ops())
+    }
+
     fn setup(&mut self, world: &mut World, targets: &Targets) {
         if let Candidate::DropNth { dst, n, burst } = self.candidate {
             let kinds = targets.notify_kinds.clone();
@@ -376,19 +404,53 @@ impl AutoFinding {
     }
 }
 
-/// Runs the full §7 loop: reference run → candidates → one run per
-/// candidate (up to `budget`), collecting what each found.
+/// Canonical-class census of one autoguide run's candidate batch: how
+/// many distinct [`crate::canon::plan_class`] fingerprints the derived
+/// candidates span, and how many candidates were skipped as duplicates of
+/// an already-kept class before spending any run budget on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCensus {
+    /// Distinct canonical schedule classes among the derived candidates.
+    pub distinct_classes: u32,
+    /// Candidates skipped as canonical duplicates of an earlier class.
+    pub deduped_trials: u32,
+}
+
+/// Keeps one representative candidate per canonical schedule class, in
+/// first-seen order, and counts what was collapsed.
+fn dedup_by_class(all: Vec<Candidate>) -> (Vec<Candidate>, ClassCensus) {
+    let mut census = ClassCensus::default();
+    let mut seen = BTreeSet::new();
+    let kept = all
+        .into_iter()
+        .filter(|c| {
+            if seen.insert(crate::canon::plan_class(&c.planned_ops())) {
+                census.distinct_classes += 1;
+                true
+            } else {
+                census.deduped_trials += 1;
+                false
+            }
+        })
+        .collect();
+    (kept, census)
+}
+
+/// Runs the full §7 loop: reference run → candidates → canonical-class
+/// dedup → one run per surviving candidate (up to `budget`), collecting
+/// what each found.
 ///
 /// `run` executes the scenario under a strategy and returns
 /// `(violations, trace)`; the first call uses [`crate::perturb::NoFault`]
-/// to obtain the reference trace.
+/// to obtain the reference trace. The returned `usize` is the total
+/// number of candidates derived before dedup and budgeting.
 pub fn explore<R>(
     run: R,
     targets_of: impl Fn(&Trace) -> Targets,
     decision_labels: &[&str],
     depth: usize,
     budget: usize,
-) -> (Vec<AutoFinding>, usize)
+) -> (Vec<AutoFinding>, usize, ClassCensus)
 where
     R: Fn(&mut dyn Strategy) -> (Vec<String>, Trace),
 {
@@ -397,13 +459,14 @@ where
     let targets = targets_of(&reference);
     let all = candidates(&reference, &targets, decision_labels, depth, 300);
     let total = all.len();
+    let (unique, census) = dedup_by_class(all);
     let mut findings = Vec::new();
-    for candidate in all.into_iter().take(budget) {
+    for candidate in unique.into_iter().take(budget) {
         let mut strategy = CandidateStrategy::new(candidate.clone());
         let (violations, trace) = run(&mut strategy);
         findings.push(AutoFinding::from_run(candidate, violations, &trace));
     }
-    (findings, total)
+    (findings, total, census)
 }
 
 /// Parallel twin of [`explore`]: the reference run stays sequential (it is
@@ -419,7 +482,7 @@ pub fn explore_parallel<R>(
     depth: usize,
     budget: usize,
     threads: usize,
-) -> (Vec<AutoFinding>, usize)
+) -> (Vec<AutoFinding>, usize, ClassCensus)
 where
     R: Fn(&mut dyn Strategy) -> (Vec<String>, Trace) + Sync,
 {
@@ -428,14 +491,15 @@ where
     let targets = targets_of(&reference);
     let all = candidates(&reference, &targets, decision_labels, depth, 300);
     let total = all.len();
-    let tried: Vec<Candidate> = all.into_iter().take(budget).collect();
+    let (unique, census) = dedup_by_class(all);
+    let tried: Vec<Candidate> = unique.into_iter().take(budget).collect();
     let findings = crate::parallel::run_indexed(threads, tried.len(), |i| {
         let candidate = tried[i].clone();
         let mut strategy = CandidateStrategy::new(candidate.clone());
         let (violations, trace) = run(&mut strategy);
         AutoFinding::from_run(candidate, violations, &trace)
     });
-    (findings, total)
+    (findings, total, census)
 }
 
 #[cfg(test)]
@@ -614,11 +678,49 @@ mod tests {
             drop(w);
             targets
         };
-        let (findings, total) = explore(run, targets_of, &["acted"], 2, 10);
+        let (findings, total, census) = explore(run, targets_of, &["acted"], 2, 10);
         assert!(total >= 3);
+        // Anchors carry every parameter, so exact-deduped candidates all
+        // land in distinct classes; the census must agree.
+        assert_eq!(census.distinct_classes as usize, total);
+        assert_eq!(census.deduped_trials, 0);
         assert!(
             findings.iter().any(|f| f.violated),
             "some candidate must suppress the decision: {findings:?}"
         );
+    }
+
+    #[test]
+    fn candidate_classes_track_every_behavioral_parameter() {
+        let (w, _, d) = build();
+        drop(w);
+        let drop_a = Candidate::DropNth {
+            dst: d,
+            n: 3,
+            burst: 4,
+        };
+        let drop_b = Candidate::DropNth {
+            dst: d,
+            n: 3,
+            burst: u64::MAX,
+        };
+        let crash = Candidate::CrashAfterDecision {
+            actor: d,
+            label: "acted".into(),
+            n: 0,
+            down_ms: 300,
+        };
+        let class = |c: &Candidate| crate::canon::plan_class(&c.planned_ops());
+        assert_eq!(class(&drop_a), class(&drop_a.clone()));
+        assert_ne!(class(&drop_a), class(&drop_b), "burst is behavioral");
+        assert_ne!(class(&drop_a), class(&crash));
+        assert_eq!(
+            CandidateStrategy::new(crash.clone()).planned_schedule(),
+            Some(crash.planned_ops())
+        );
+        let (kept, census) = dedup_by_class(vec![drop_a.clone(), drop_b, drop_a.clone(), crash]);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(census.distinct_classes, 3);
+        assert_eq!(census.deduped_trials, 1);
     }
 }

@@ -128,9 +128,19 @@ pub struct TrialOutcome {
     pub scenario: String,
     /// Strategy name (from the first built strategy).
     pub strategy: String,
-    /// Trials actually executed.
+    /// Trials actually executed (canonical-schedule duplicates are
+    /// skipped and counted in [`TrialOutcome::deduped_trials`] instead).
     pub trials_run: u32,
-    /// 1-based index of the first failing trial, `None` if none failed.
+    /// Distinct canonical schedule classes among the considered trials
+    /// ([`crate::canon::plan_class`] over each trial's planned schedule;
+    /// a strategy that plans no schedule counts as its own class).
+    pub distinct_classes: u32,
+    /// Trials skipped because their (canonical class, seed) pair already
+    /// ran — provably identical runs whose verdict is already known.
+    pub deduped_trials: u32,
+    /// 1-based index of the first failing trial (numbered over
+    /// *considered* trials, so seeds and indices match the non-deduped
+    /// explorer), `None` if none failed.
     pub first_violation: Option<u32>,
     /// The failing run's report (evidence), if any.
     pub example: Option<RunReport>,
@@ -179,6 +189,16 @@ impl Explorer {
     }
 
     /// Runs up to `max_trials` trials, stopping at the first violation.
+    ///
+    /// Trials whose (canonical schedule class, seed) pair already ran are
+    /// skipped: with identical planned injections *and* an identical root
+    /// seed the run is bit-for-bit the same simulation, so its verdict is
+    /// already known — the dedup is verdict-preserving by construction.
+    /// The seed stays in the key because scenario workloads are
+    /// seed-sensitive (jitter derives from the trial seed): equal plans
+    /// under different seeds are genuinely different runs and both
+    /// execute. Strategies without a planned schedule (the random
+    /// baselines) are never deduplicated.
     pub fn explore(
         &self,
         scenario_name: &str,
@@ -189,12 +209,31 @@ impl Explorer {
         let mut total_events = 0u64;
         let mut total_sim_ns = 0u64;
         let mut trial_sim_ns = Vec::new();
+        let mut classes: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut ran: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
+        let mut distinct_classes = 0u32;
+        let mut deduped_trials = 0u32;
+        let mut executed = 0u32;
         for t in 0..self.max_trials {
             let seed = self.trial_seed(t);
             let mut strategy = factory(seed);
             if t == 0 {
                 strategy_name = strategy.name();
             }
+            match strategy.planned_schedule() {
+                Some(ops) => {
+                    let class = crate::canon::plan_class(&ops);
+                    if classes.insert(class) {
+                        distinct_classes += 1;
+                    }
+                    if !ran.insert((class, seed)) {
+                        deduped_trials += 1;
+                        continue;
+                    }
+                }
+                None => distinct_classes += 1,
+            }
+            executed += 1;
             let report = scenario(seed, strategy.as_mut());
             total_events += report.trace_events as u64;
             total_sim_ns += report.sim_time.0;
@@ -203,7 +242,9 @@ impl Explorer {
                 return TrialOutcome {
                     scenario: scenario_name.to_string(),
                     strategy: strategy_name,
-                    trials_run: t + 1,
+                    trials_run: executed,
+                    distinct_classes,
+                    deduped_trials,
                     first_violation: Some(t + 1),
                     example: Some(report),
                     total_events,
@@ -215,7 +256,9 @@ impl Explorer {
         TrialOutcome {
             scenario: scenario_name.to_string(),
             strategy: strategy_name,
-            trials_run: self.max_trials,
+            trials_run: executed,
+            distinct_classes,
+            deduped_trials,
             first_violation: None,
             example: None,
             total_events,

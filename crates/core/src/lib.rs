@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod autoguide;
+pub mod canon;
 pub mod causality;
 pub mod crosscheck;
 pub mod divergence;
@@ -88,8 +89,9 @@ pub mod provenance;
 pub mod telemetry;
 
 pub use autoguide::{
-    candidates, explore, explore_parallel, AutoFinding, Candidate, CandidateStrategy,
+    candidates, explore, explore_parallel, AutoFinding, Candidate, CandidateStrategy, ClassCensus,
 };
+pub use canon::{canonicalize, canonicalize_ops, plan_class, PlannedOp};
 pub use causality::CausalGraph;
 pub use divergence::{DivergenceSummary, ViewLag};
 pub use epoch::{EpochBuffer, EpochPartition};

@@ -206,8 +206,46 @@ impl Explorer {
         factory: &SyncStrategyFactory<'_>,
     ) -> TrialOutcome {
         let n = self.max_trials;
+
+        // Canonical-schedule dedup decisions are precomputed positionally
+        // — a sequential walk over planned schedules (cheap: no
+        // simulation runs) — so every worker agrees with the sequential
+        // explorer on which trials are duplicates, regardless of
+        // completion order. `*_prefix[t]` hold the counter values after
+        // considering trials `0..=t`, mirroring the sequential loop's
+        // counters at its early-return points.
+        let mut classes: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut ran: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
+        let mut skip = vec![false; n as usize];
+        let mut distinct_prefix = vec![0u32; n as usize];
+        let mut deduped_prefix = vec![0u32; n as usize];
+        let mut distinct = 0u32;
+        let mut deduped = 0u32;
+        for t in 0..n {
+            let seed = self.trial_seed(t);
+            match factory(seed).planned_schedule() {
+                Some(ops) => {
+                    let class = crate::canon::plan_class(&ops);
+                    if classes.insert(class) {
+                        distinct += 1;
+                    }
+                    if !ran.insert((class, seed)) {
+                        deduped += 1;
+                        skip[t as usize] = true;
+                    }
+                }
+                None => distinct += 1,
+            }
+            distinct_prefix[t as usize] = distinct;
+            deduped_prefix[t as usize] = deduped;
+        }
+        let skip = &skip;
+
         let cutoff = AtomicU32::new(u32::MAX);
         let slots = run_pool(threads, n, Some(&cutoff), |t| {
+            if skip[t as usize] {
+                return None;
+            }
             let seed = self.trial_seed(t);
             let mut strategy = factory(seed);
             let strategy_name = strategy.name();
@@ -217,34 +255,40 @@ impl Explorer {
                 // cutoff at the lowest failure seen so far.
                 cutoff.fetch_min(t, Ordering::AcqRel);
             }
-            TrialRecord {
+            Some(TrialRecord {
                 strategy_name,
                 report,
-            }
+            })
         });
 
         // Merge in trial order, mirroring the sequential loop exactly.
-        let mut records: Vec<Option<TrialRecord>> = slots
+        let mut records: Vec<Option<Option<TrialRecord>>> = slots
             .into_iter()
             .map(|s| s.into_inner().expect("slot poisoned"))
             .collect();
-        let first_fail = records
-            .iter()
-            .enumerate()
-            .find_map(|(t, r)| r.as_ref().filter(|r| r.report.failed()).map(|_| t as u32));
+        let first_fail = records.iter().enumerate().find_map(|(t, r)| match r {
+            Some(Some(rec)) if rec.report.failed() => Some(t as u32),
+            _ => None,
+        });
         let upto = first_fail.map_or(n, |f| f + 1);
         let mut strategy_name = String::new();
         let mut example = None;
+        let mut executed = 0u32;
         let mut total_events = 0u64;
         let mut total_sim_ns = 0u64;
         let mut trial_sim_ns = Vec::with_capacity(upto as usize);
         for t in 0..upto {
+            if skip[t as usize] {
+                continue;
+            }
             let rec = records[t as usize]
                 .take()
-                .expect("trials at or before the first failure always run");
+                .expect("trials at or before the first failure always run")
+                .expect("non-skipped trials always record");
             if t == 0 {
                 strategy_name = rec.strategy_name;
             }
+            executed += 1;
             total_events += rec.report.trace_events as u64;
             total_sim_ns += rec.report.sim_time.0;
             trial_sim_ns.push(rec.report.sim_time.0);
@@ -252,10 +296,21 @@ impl Explorer {
                 example = Some(rec.report);
             }
         }
+        let considered = first_fail.map_or(n, |f| f + 1);
+        let (distinct_classes, deduped_trials) = if considered == 0 {
+            (0, 0)
+        } else {
+            (
+                distinct_prefix[considered as usize - 1],
+                deduped_prefix[considered as usize - 1],
+            )
+        };
         TrialOutcome {
             scenario: scenario_name.to_string(),
             strategy: strategy_name,
-            trials_run: upto,
+            trials_run: executed,
+            distinct_classes,
+            deduped_trials,
             first_violation: first_fail.map(|f| f + 1),
             example,
             total_events,
@@ -313,6 +368,8 @@ mod tests {
         assert_eq!(a.scenario, b.scenario);
         assert_eq!(a.strategy, b.strategy);
         assert_eq!(a.trials_run, b.trials_run);
+        assert_eq!(a.distinct_classes, b.distinct_classes);
+        assert_eq!(a.deduped_trials, b.deduped_trials);
         assert_eq!(a.first_violation, b.first_violation);
         assert_eq!(a.total_events, b.total_events);
         assert_eq!(a.total_sim_ns, b.total_sim_ns);
@@ -356,6 +413,53 @@ mod tests {
                 outcomes_equal(&seq, &par);
             }
         }
+    }
+
+    /// A strategy with a planned schedule whose anchor buckets the seed,
+    /// so a handful of canonical classes recur across trials.
+    struct Planned(u64);
+    impl Strategy for Planned {
+        fn name(&self) -> String {
+            "planned".into()
+        }
+        fn planned_schedule(&self) -> Option<Vec<crate::canon::PlannedOp>> {
+            Some(vec![crate::canon::PlannedOp::new(
+                ph_lint::modelcheck::Letter::DelayCache("cache:0".into()),
+                format!("bucket:{}", self.0 % 4),
+            )])
+        }
+    }
+
+    #[test]
+    fn planned_strategies_agree_across_paths_and_count_classes() {
+        let planned_factory = |seed: u64| Box::new(Planned(seed)) as Box<dyn Strategy>;
+        for modulus in [5, 1_000_000_007] {
+            let ex = Explorer {
+                max_trials: 24,
+                base_seed: modulus,
+            };
+            let scenario = fake(modulus);
+            let seq = ex.explore("fake", &scenario, &planned_factory);
+            // Seeds are distinct, so every bucket is a fresh (class, seed)
+            // pair: nothing dedups, but the class census collapses to the
+            // bucket count.
+            assert_eq!(seq.deduped_trials, 0);
+            assert!(seq.distinct_classes <= 4);
+            assert!(seq.distinct_classes >= 1);
+            for threads in [1, 2, 4, 8] {
+                let par = ex.explore_parallel(threads, "fake", &scenario, &planned_factory);
+                outcomes_equal(&seq, &par);
+            }
+        }
+        // Strategies without a plan are never deduplicated: each trial is
+        // its own class.
+        let ex = Explorer {
+            max_trials: 9,
+            base_seed: 1_000_003,
+        };
+        let out = ex.explore("fake", &fake(1_000_000_007), &factory);
+        assert_eq!(out.distinct_classes, out.trials_run);
+        assert_eq!(out.deduped_trials, 0);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! carry view updates. Strategies refer to targets by index so they can be
 //! constructed before the world exists (the harness builds them per trial).
 
+use crate::canon::PlannedOp;
+use ph_lint::modelcheck::Letter;
 use ph_sim::{
     ActorId, Duration, Envelope, Partition, SimRng, SimTime, TraceEventKind, Verdict, World,
 };
@@ -66,6 +68,18 @@ pub trait Strategy {
     /// Human-readable name (appears in reports and EXPERIMENTS.md tables).
     fn name(&self) -> String;
 
+    /// The injections this strategy will perform, as abstract alphabet
+    /// letters with behavioral anchors — the input to canonical-schedule
+    /// deduplication ([`crate::canon`]). The contract: every parameter
+    /// that can change the strategy's effect on a run must appear in a
+    /// letter or an anchor, so two strategies with equal planned
+    /// schedules are behaviorally identical. Strategies whose injections
+    /// depend on the trace or on a per-trial RNG (the random baselines)
+    /// return `None` and are never deduplicated.
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        None
+    }
+
     /// Install interceptors / schedule faults.
     fn setup(&mut self, world: &mut World, targets: &Targets) {
         let _ = (world, targets);
@@ -93,6 +107,10 @@ pub struct NoFault;
 impl Strategy for NoFault {
     fn name(&self) -> String {
         "no-fault".into()
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(Vec::new())
     }
 }
 
@@ -122,6 +140,13 @@ pub struct StalenessInjector {
 impl Strategy for StalenessInjector {
     fn name(&self) -> String {
         format!("staleness(+{})", self.delay)
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(vec![PlannedOp::new(
+            Letter::DelayCache(format!("cache:{}", self.cache)),
+            format!("+{}@{}", self.delay, self.after),
+        )])
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -154,6 +179,13 @@ pub struct NotificationDropper {
 impl Strategy for NotificationDropper {
     fn name(&self) -> String {
         format!("obs-gap(skip {}, drop {})", self.skip, self.count)
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(vec![PlannedOp::new(
+            Letter::DropNotification(format!("cache:{}", self.cache)),
+            format!("skip{}+drop{}", self.skip, self.count),
+        )])
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -197,6 +229,7 @@ pub struct TimeTravelInjector {
 
 impl TimeTravelInjector {
     /// Convenience constructor with `released` initialized.
+    #[must_use]
     pub fn new(
         stale_upstream: usize,
         victim: usize,
@@ -220,6 +253,26 @@ impl TimeTravelInjector {
 impl Strategy for TimeTravelInjector {
     fn name(&self) -> String {
         "time-travel".into()
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        let release = match self.release_at {
+            Some(r) => format!("+release@{r}"),
+            None => String::new(),
+        };
+        Some(vec![
+            PlannedOp::new(
+                Letter::DelayCache(format!("cache:{}", self.stale_upstream)),
+                format!("hold@{}", self.hold_at),
+            ),
+            PlannedOp::new(
+                Letter::CrashRestartReplay,
+                format!(
+                    "component:{}@{}..{}{release}",
+                    self.victim, self.crash_at, self.restart_at
+                ),
+            ),
+        ])
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -293,6 +346,7 @@ pub struct TrafficSurge {
 
 impl TrafficSurge {
     /// Convenience constructor with internal state initialized.
+    #[must_use]
     pub fn new(
         cache: usize,
         bandwidth: u64,
@@ -313,7 +367,11 @@ impl TrafficSurge {
         }
     }
 
-    /// Narrows the surge to a single victim component's feed.
+    /// Narrows the surge to a single victim component's feed. Chainable,
+    /// consuming builder — the same shape as every other perturbation
+    /// builder, so `TrafficSurge::new(..).focused(2)` reads like one
+    /// declaration.
+    #[must_use]
     pub fn focused(mut self, component: usize) -> TrafficSurge {
         self.only = Some(component);
         self
@@ -358,6 +416,24 @@ impl Strategy for TrafficSurge {
             Some(i) => format!("traffic-surge({}B/s,q{},@{i})", self.bandwidth, self.queue),
             None => format!("traffic-surge({}B/s,q{})", self.bandwidth, self.queue),
         }
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        let until = match self.until {
+            Some(u) => format!("..{u}"),
+            None => String::new(),
+        };
+        let focus = match self.only {
+            Some(i) => format!("->component:{i}"),
+            None => String::new(),
+        };
+        Some(vec![PlannedOp::new(
+            Letter::TrafficSurge(format!("cache:{}", self.cache)),
+            format!(
+                "{}B/s,q{}@{}{until}{focus}",
+                self.bandwidth, self.queue, self.from
+            ),
+        )])
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -441,6 +517,7 @@ pub struct CrashTunerCrashes {
 
 impl CrashTunerCrashes {
     /// Convenience constructor with internal cursors initialized.
+    #[must_use]
     pub fn new(seed: u64, p: f64, max_crashes: u32, down: Duration) -> CrashTunerCrashes {
         CrashTunerCrashes {
             seed,
@@ -512,6 +589,7 @@ pub struct CoFiPartitions {
 
 impl CoFiPartitions {
     /// Convenience constructor with internal cursors initialized.
+    #[must_use]
     pub fn new(seed: u64, p: f64, max_partitions: u32, duration: Duration) -> CoFiPartitions {
         CoFiPartitions {
             seed,

@@ -30,6 +30,11 @@ pub struct StrategyStats {
     pub strategy: String,
     /// Trials executed.
     pub trials: u32,
+    /// Distinct canonical schedule classes among the considered trials.
+    pub distinct_classes: u32,
+    /// Trials skipped as canonical-schedule duplicates of an already-run
+    /// (class, seed) pair.
+    pub deduped_trials: u32,
     /// 1-based index of the first violating trial, if any.
     pub first_violation: Option<u32>,
     /// Total trace events generated across all trials.
@@ -67,6 +72,8 @@ impl StrategyStats {
             scenario: outcome.scenario.clone(),
             strategy: outcome.strategy.clone(),
             trials: outcome.trials_run,
+            distinct_classes: outcome.distinct_classes,
+            deduped_trials: outcome.deduped_trials,
             first_violation: outcome.first_violation,
             total_events: outcome.total_events,
             total_sim_ns: outcome.total_sim_ns,
@@ -140,8 +147,16 @@ impl HuntReport {
             .unwrap_or(8)
             .max("cell".len());
         let mut out = format!(
-            "{:<first_col$}  {:>6}  {:>9}  {:>11}  {:>12}  {:>12}  {:>9}\n",
-            "cell", "trials", "events", "events/sec", "p95-trial", "detect-ns", "inj-eff"
+            "{:<first_col$}  {:>6}  {:>7}  {:>7}  {:>9}  {:>11}  {:>12}  {:>12}  {:>9}\n",
+            "cell",
+            "trials",
+            "classes",
+            "deduped",
+            "events",
+            "events/sec",
+            "p95-trial",
+            "detect-ns",
+            "inj-eff"
         );
         for r in &self.rows {
             let label = format!("{} / {}", r.scenario, r.strategy);
@@ -155,8 +170,11 @@ impl HuntReport {
             };
             let _ = writeln!(
                 out,
-                "{label:<first_col$}  {:>6}  {:>9}  {:>11}  {:>12}  {ttd:>12}  {eff:>9}",
+                "{label:<first_col$}  {:>6}  {:>7}  {:>7}  {:>9}  {:>11}  {:>12}  {ttd:>12}  \
+                 {eff:>9}",
                 r.trials,
+                r.distinct_classes,
+                r.deduped_trials,
                 r.total_events,
                 r.events_per_sim_sec(),
                 r.trial_latency.quantile(0.95),
@@ -176,6 +194,32 @@ impl HuntReport {
         out.push_str("# TYPE ph_hunt_trials_total counter\n");
         for r in &self.rows {
             let _ = writeln!(out, "ph_hunt_trials_total{{{}}} {}", labels(r), r.trials);
+        }
+        out.push_str(
+            "# HELP ph_hunt_distinct_classes Distinct canonical schedule classes considered \
+             per cell.\n",
+        );
+        out.push_str("# TYPE ph_hunt_distinct_classes gauge\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "ph_hunt_distinct_classes{{{}}} {}",
+                labels(r),
+                r.distinct_classes
+            );
+        }
+        out.push_str(
+            "# HELP ph_hunt_deduped_trials_total Trials skipped as canonical-schedule \
+             duplicates per cell.\n",
+        );
+        out.push_str("# TYPE ph_hunt_deduped_trials_total counter\n");
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "ph_hunt_deduped_trials_total{{{}}} {}",
+                labels(r),
+                r.deduped_trials
+            );
         }
         out.push_str("# HELP ph_hunt_events_total Trace events generated per cell.\n");
         out.push_str("# TYPE ph_hunt_events_total counter\n");
@@ -276,6 +320,8 @@ mod tests {
             scenario: "s".into(),
             strategy: "guided".into(),
             trials_run: 3,
+            distinct_classes: 2,
+            deduped_trials: 1,
             first_violation: first,
             example: None,
             total_events: 300,
@@ -288,6 +334,8 @@ mod tests {
     fn stats_derive_rates_and_detection_time() {
         let s = StrategyStats::from_outcome(&outcome(Some(2)));
         assert_eq!(s.trials, 3);
+        assert_eq!(s.distinct_classes, 2);
+        assert_eq!(s.deduped_trials, 1);
         assert_eq!(s.events_per_sim_sec(), 100);
         assert_eq!(s.time_to_detection_ns, Some(2_000_000_000));
         assert_eq!(s.trial_latency.count, 3);
@@ -311,6 +359,10 @@ mod tests {
         );
         assert!(prom.contains("# TYPE ph_hunt_trials_total counter"));
         assert!(prom.contains("ph_hunt_trials_total{scenario=\"s\",strategy=\"guided\"} 3"));
+        assert!(prom.contains("# TYPE ph_hunt_distinct_classes gauge"));
+        assert!(prom.contains("ph_hunt_distinct_classes{scenario=\"s\",strategy=\"guided\"} 2"));
+        assert!(prom.contains("# TYPE ph_hunt_deduped_trials_total counter"));
+        assert!(prom.contains("ph_hunt_deduped_trials_total{scenario=\"s\",strategy=\"guided\"} 1"));
         assert!(prom.contains("le=\"+Inf\""));
         assert!(prom.contains("ph_hunt_trial_sim_ns_count{scenario=\"s\",strategy=\"guided\"} 3"));
         // Both rows appear; the undetected one contributes no detection gauge.

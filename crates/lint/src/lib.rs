@@ -20,7 +20,15 @@
 //!    abstract perturbations and, per destructive action, either emits a
 //!    **minimal hazard witness** (the shortest schedule reaching a §4.2
 //!    pattern — staleness, time travel, observability gap) or proves the
-//!    action **epoch-safe** — *before anything runs*.
+//!    action **epoch-safe** — *before anything runs*. The checker's
+//!    search is pruned by a static **independence relation**
+//!    ([`independence`]): letters on disjoint views commute unless a
+//!    declared gate path reads both, so a sleep-set partial-order
+//!    reduction expands one representative per commutation class —
+//!    provably without changing any verdict or witness. The same
+//!    auditable [`independence::IndependenceMatrix`] drives
+//!    canonical-schedule dedup in the dynamic explorer
+//!    (`ph_core::canon`).
 //!
 //! 3. **IR ↔ source conformance** ([`conformance`]): a lightweight item
 //!    scanner over the ph-cluster sources extracts the access protocol the
@@ -38,6 +46,7 @@
 
 pub mod conformance;
 pub mod findings;
+pub mod independence;
 pub mod lexer;
 pub mod modelcheck;
 pub mod rules;

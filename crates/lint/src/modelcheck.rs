@@ -21,18 +21,29 @@
 //!   [`STALE_BOUND`]) contains no state satisfying any unfenced path, so
 //!   every route to the action is fenced within epoch bounds.
 //!
-//! The exploration is exhaustive and the witness search breadth-first, so
-//! the verdict is *complete* relative to the abstraction: a hazard class
-//! has a witness **iff** `check_summary` flags it (the transition relation
-//! was derived from the same four rules), and the witness is the shortest
-//! schedule in the deterministic letter order. That containment is what
-//! lets [`ModelCheckReport::hazards`] replace `check_summary` as the
-//! static verdict source for the cross-check table, while the schedules
-//! additionally seed the dynamic explorer (`ph-core::autoguide`).
+//! The exploration covers the full reachable space and the witness search
+//! is breadth-first, so the verdict is *complete* relative to the
+//! abstraction: a hazard class has a witness **iff** `check_summary` flags
+//! it (the transition relation was derived from the same four rules), and
+//! the witness is the shortest schedule in the deterministic letter order.
+//! That containment is what lets [`ModelCheckReport::hazards`] replace
+//! `check_summary` as the static verdict source for the cross-check table,
+//! while the schedules additionally seed the dynamic explorer
+//! (`ph-core::autoguide`).
+//!
+//! By default the BFS runs with **partial-order reduction**
+//! ([`Expansion::Reduced`]): the resource universe is sliced to the cone
+//! of influence, permanently-absorbed letters are skipped, and sleep sets
+//! driven by the static independence relation ([`crate::independence`])
+//! prune commuting interleavings — with witnesses and epoch-safety
+//! verdicts provably (and test-pinned) identical to the reference
+//! [`model_check_exhaustive`], at a fraction of the expansion work
+//! (reported as [`ModelCheckReport::states_expanded`]).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::findings::esc;
+use crate::independence::{pair_status, PairStatus};
 use crate::summary::{AccessSummary, Gate, GatePath, Hazard, PatternClass, ReadKind};
 
 /// Cap on the per-view staleness counter: views lagging by more than this
@@ -179,13 +190,50 @@ pub struct ActionReport {
     pub verdict: ActionVerdict,
 }
 
+/// How the BFS expands the perturbation closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    /// Every enabled letter from every reachable state over the full
+    /// resource universe — the reference semantics.
+    Exhaustive,
+    /// Partial-order reduction: the resource universe is sliced to the
+    /// cone of influence (resources some destructive gate actually
+    /// reads), permanently-no-op letters are skipped (stutter
+    /// elimination), and sleep sets prune commuting interleavings using
+    /// the static independence relation ([`crate::independence`]) —
+    /// only [`PairStatus::Independent`] pairs are ever commuted, so the
+    /// conservative gate-coupled pairs stay ordered. Witnesses and
+    /// epoch-safety verdicts are provably identical to exhaustive: a
+    /// minimal witness never contains a no-op or an irrelevant letter,
+    /// and pruned words always have a same-length lexicographically
+    /// smaller equivalent that survives.
+    Reduced,
+}
+
+impl Expansion {
+    /// Stable serialized name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Expansion::Exhaustive => "exhaustive",
+            Expansion::Reduced => "reduced",
+        }
+    }
+}
+
 /// The full model-checking result for one component.
 #[derive(Debug, Clone)]
 pub struct ModelCheckReport {
     /// Component name.
     pub component: String,
-    /// Size of the explored (= entire reachable) state space.
+    /// Size of the explored (= entire reachable, over the expansion's
+    /// resource universe) state space.
     pub states_explored: usize,
+    /// Successor expansions performed (one per `apply` of a letter to a
+    /// dequeued state) — the work metric the reduction shrinks.
+    /// `states_explored · |alphabet|` when exhaustive.
+    pub states_expanded: usize,
+    /// Which expansion strategy produced this report.
+    pub expansion: Expansion,
     /// The staleness cap the epoch-safety proof is relative to.
     pub stale_bound: u8,
     /// One entry per destructive action, in declaration order.
@@ -236,7 +284,11 @@ impl ModelCheckReport {
         s.push_str(&esc(&self.component));
         s.push_str("\",\"states_explored\":");
         s.push_str(&self.states_explored.to_string());
-        s.push_str(",\"stale_bound\":");
+        s.push_str(",\"states_expanded\":");
+        s.push_str(&self.states_expanded.to_string());
+        s.push_str(",\"reduction\":\"");
+        s.push_str(self.expansion.as_str());
+        s.push_str("\",\"stale_bound\":");
         s.push_str(&self.stale_bound.to_string());
         s.push_str(",\"actions\":[");
         for (i, a) in self.actions.iter().enumerate() {
@@ -315,48 +367,19 @@ struct Model<'a> {
 }
 
 impl<'a> Model<'a> {
-    fn new(summary: &'a AccessSummary) -> Model<'a> {
-        let mut resources: BTreeSet<String> = BTreeSet::new();
-        for v in &summary.views {
-            resources.insert(v.resource.clone());
-        }
-        for a in &summary.actions {
-            for p in &a.paths {
-                for g in &p.gates {
-                    resources.insert(g.resource().to_string());
-                }
-            }
-        }
-        let resources: Vec<String> = resources.into_iter().collect();
-
-        // The enabled alphabet. A letter is included only when the IR says
-        // its perturbation can affect this component, so no-op letters
-        // never pad a witness.
-        let mut alphabet = Vec::new();
-        for r in &resources {
-            if stale_able(summary, r) {
-                alphabet.push(Letter::DelayCache(r.clone()));
-            }
-        }
-        for r in &resources {
-            if stale_able(summary, r) {
-                alphabet.push(Letter::ReorderUpdateConsume(r.clone()));
-            }
-        }
-        for r in &resources {
-            if droppable(summary, r) {
-                alphabet.push(Letter::DropNotification(r.clone()));
-            }
-        }
-        if summary.upstream_switch {
-            alphabet.push(Letter::UpstreamSwitch);
-            alphabet.push(Letter::CrashRestartReplay);
-        }
-        for r in &resources {
-            if stale_able(summary, r) && congestible(summary, r) {
-                alphabet.push(Letter::TrafficSurge(r.clone()));
-            }
-        }
+    fn new(summary: &'a AccessSummary, expansion: Expansion) -> Model<'a> {
+        let resources = match expansion {
+            Expansion::Exhaustive => resource_universe(summary),
+            // Cone of influence: the hazard predicates only read state
+            // over resources some destructive gate path mentions, so the
+            // reduced model drops every other coordinate — and with it
+            // every letter that only perturbs irrelevant views. Minimal
+            // witnesses never contain such a letter (dropping it would
+            // shorten the witness), so verdicts and witness bytes are
+            // unchanged while the state space shrinks multiplicatively.
+            Expansion::Reduced => relevant_resources(summary),
+        };
+        let alphabet = alphabet_over(summary, &resources);
         Model {
             summary,
             resources,
@@ -369,6 +392,49 @@ impl<'a> Model<'a> {
             .iter()
             .position(|r| r == resource)
             .expect("gate resources are in the universe by construction")
+    }
+
+    fn find(&self, resource: &str) -> Option<usize> {
+        self.resources.iter().position(|r| r == resource)
+    }
+
+    /// Is `letter` a permanent no-op in `state`? Every transition is
+    /// monotone (lag saturates, flags only set), so once a letter's whole
+    /// effect is already absorbed it stays absorbed: applying it is a
+    /// self-loop forever after, and no minimal path contains it. Cheap
+    /// bit tests — no clone, no apply.
+    fn is_noop(&self, state: &State, letter: &Letter) -> bool {
+        match letter {
+            Letter::DelayCache(r) => state.stale(self.idx(r)) == STALE_BOUND,
+            Letter::ReorderUpdateConsume(r) => state.stale(self.idx(r)) > 0,
+            Letter::DropNotification(r) => {
+                let i = self.idx(r);
+                state.flag(i, F_FALSE_SILENCE)
+                    && (!event_loss_possible(self.summary, r) || state.flag(i, F_EVENT_LOST))
+            }
+            Letter::TrafficSurge(r) => {
+                let i = self.idx(r);
+                state.flag(i, F_CONGESTED) && state.stale(i) == STALE_BOUND
+            }
+            Letter::UpstreamSwitch => self.switch_is_noop(state),
+            Letter::CrashRestartReplay => {
+                self.switch_is_noop(state)
+                    && self.summary.views.iter().all(|v| {
+                        !v.watch
+                            || v.event_replay
+                            || self
+                                .find(&v.resource)
+                                .map(|i| state.flag(i, F_EVENT_LOST))
+                                .unwrap_or(true)
+                    })
+            }
+        }
+    }
+
+    fn switch_is_noop(&self, state: &State) -> bool {
+        self.resources.iter().enumerate().all(|(i, r)| {
+            !stale_able(self.summary, r) || (state.stale(i) > 0 && state.flag(i, F_TIME_TRAVELED))
+        })
     }
 
     /// The successor of `state` under `letter`.
@@ -398,10 +464,14 @@ impl<'a> Model<'a> {
             Letter::CrashRestartReplay => {
                 self.switch_upstream(&mut next);
                 // The crash additionally loses queued watch notifications
-                // for every view that cannot replay history.
+                // for every view that cannot replay history. (A sliced
+                // universe may not track the view's resource at all; its
+                // coordinate is then irrelevant to every hazard.)
                 for v in &self.summary.views {
                     if v.watch && !v.event_replay {
-                        next.set_flag(self.idx(&v.resource), F_EVENT_LOST);
+                        if let Some(i) = self.find(&v.resource) {
+                            next.set_flag(i, F_EVENT_LOST);
+                        }
                     }
                 }
             }
@@ -544,6 +614,97 @@ impl<'a> Model<'a> {
     }
 }
 
+/// The full resource universe: every declared view plus every gate
+/// resource of every action, sorted.
+fn resource_universe(summary: &AccessSummary) -> Vec<String> {
+    let mut resources: BTreeSet<String> = BTreeSet::new();
+    for v in &summary.views {
+        resources.insert(v.resource.clone());
+    }
+    for a in &summary.actions {
+        for p in &a.paths {
+            for g in &p.gates {
+                resources.insert(g.resource().to_string());
+            }
+        }
+    }
+    resources.into_iter().collect()
+}
+
+/// The cone of influence: resources read by some gate path of a
+/// *destructive* action — the only coordinates any hazard predicate
+/// inspects.
+fn relevant_resources(summary: &AccessSummary) -> Vec<String> {
+    let mut resources: BTreeSet<String> = BTreeSet::new();
+    for a in summary.actions.iter().filter(|a| a.destructive) {
+        for p in &a.paths {
+            for g in &p.gates {
+                resources.insert(g.resource().to_string());
+            }
+        }
+    }
+    resources.into_iter().collect()
+}
+
+/// The alphabet enabled over a resource universe, in canonical order. A
+/// letter is included only when the IR says its perturbation can affect
+/// this component, so no-op letters never pad a witness.
+fn alphabet_over(summary: &AccessSummary, resources: &[String]) -> Vec<Letter> {
+    let mut alphabet = Vec::new();
+    for r in resources {
+        if stale_able(summary, r) {
+            alphabet.push(Letter::DelayCache(r.clone()));
+        }
+    }
+    for r in resources {
+        if stale_able(summary, r) {
+            alphabet.push(Letter::ReorderUpdateConsume(r.clone()));
+        }
+    }
+    for r in resources {
+        if droppable(summary, r) {
+            alphabet.push(Letter::DropNotification(r.clone()));
+        }
+    }
+    if summary.upstream_switch {
+        alphabet.push(Letter::UpstreamSwitch);
+        alphabet.push(Letter::CrashRestartReplay);
+    }
+    for r in resources {
+        if stale_able(summary, r) && congestible(summary, r) {
+            alphabet.push(Letter::TrafficSurge(r.clone()));
+        }
+    }
+    alphabet
+}
+
+/// The full enabled perturbation alphabet of `summary`, in canonical
+/// order — the alphabet the exhaustive checker explores and the
+/// [`crate::independence::IndependenceMatrix`] is derived over.
+pub fn enabled_alphabet(summary: &AccessSummary) -> Vec<Letter> {
+    alphabet_over(summary, &resource_universe(summary))
+}
+
+/// Applies `schedule` to the fresh state of the exhaustive model and
+/// returns the packed per-resource bytes (sorted resource order). Letters
+/// over resources outside the component's universe are ignored. This is
+/// the observable the canonical-equivalence property tests compare: two
+/// schedules the independence relation calls equivalent must land on
+/// byte-identical model state.
+pub fn apply_schedule(summary: &AccessSummary, schedule: &[Letter]) -> Vec<u8> {
+    let model = Model::new(summary, Expansion::Exhaustive);
+    let mut state = State::fresh(model.resources.len());
+    for letter in schedule {
+        if let Some(r) = letter.resource() {
+            if model.find(r).is_none() {
+                continue;
+            }
+        }
+        state = model.apply(&state, letter);
+    }
+    state.0
+}
+
 /// Can a cache gate on `resource` be stale? Mirrors the checker's rule:
 /// cache-backed list with no periodic resync, or no declared view at all.
 fn stale_able(s: &AccessSummary, resource: &str) -> bool {
@@ -595,22 +756,84 @@ fn fenced(path: &GatePath, r: &str) -> bool {
         .any(|g| matches!(g, Gate::FreshConfirm(x) | Gate::Fence(x) if x == r))
 }
 
-/// Model-checks one summary: exhaustive BFS over the perturbation closure,
+/// Model-checks one summary with the reduced expansion (the default):
+/// BFS over the perturbation closure with partial-order reduction,
 /// recording the minimal witness per (destructive action, hazard class).
+/// Verdicts and witness bytes match [`model_check_exhaustive`] — the
+/// equivalence tests pin this over the enumerated IR grid and every
+/// scenario component.
 pub fn model_check(summary: &AccessSummary) -> ModelCheckReport {
-    let model = Model::new(summary);
+    model_check_with(summary, Expansion::Reduced)
+}
+
+/// Model-checks one summary with the reference exhaustive expansion:
+/// every enabled letter from every reachable state over the full
+/// resource universe.
+pub fn model_check_exhaustive(summary: &AccessSummary) -> ModelCheckReport {
+    model_check_with(summary, Expansion::Exhaustive)
+}
+
+/// The BFS both expansions share.
+///
+/// Reduction soundness rests on one lemma: with state dedup, the path the
+/// BFS records for a state is its (length, then lexicographic-by-letter-
+/// index) minimal word, and *the prefix of a minimal word is the minimal
+/// word of its intermediate state* (a smaller word to the intermediate
+/// state would extend to a smaller word overall). Each pruning rule only
+/// ever discards words that are not minimal for their endpoint:
+///
+/// * **stutter** — a minimal word never contains a permanent no-op step
+///   (dropping it gives a shorter word to the same state);
+/// * **sleep sets** — `sleep(p·m) = {l < m : indep(l, m)} ∪ {s ∈ sleep(p)
+///   : indep(s, m)}`; a word taking a slept letter has a same-length,
+///   lexicographically smaller equivalent (bubble the slept letter left
+///   across the letters it commutes with), and our independence is
+///   *semantic* commutation of the transition functions — state-
+///   independent — so the equivalent word reaches the same state and
+///   survives. Only [`PairStatus::Independent`] pairs are slept; the
+///   conservatively dependent gate-coupled pairs are never commuted.
+///
+/// Hence every state keeps its minimal word, the dequeue order of the
+/// survivors is the same global (length, lex) order, and the first-wins
+/// witness per (action, class) is byte-identical to exhaustive.
+fn model_check_with(summary: &AccessSummary, expansion: Expansion) -> ModelCheckReport {
+    let model = Model::new(summary, expansion);
+    let n = model.alphabet.len();
+    // Per-letter bitmask of the letters it commutes with. Sleep sets are
+    // only consulted under reduction, and only fit a u64 mask; a wider
+    // alphabet (never seen in practice) just forfeits the sleep pruning.
+    let indep: Vec<u64> = if expansion == Expansion::Reduced && n <= 64 {
+        (0..n)
+            .map(|i| {
+                let mut mask = 0u64;
+                for j in 0..n {
+                    if j != i
+                        && pair_status(summary, &model.alphabet[i], &model.alphabet[j])
+                            == PairStatus::Independent
+                    {
+                        mask |= 1 << j;
+                    }
+                }
+                mask
+            })
+            .collect()
+    } else {
+        vec![0; n]
+    };
+
     let mut visited: BTreeSet<State> = BTreeSet::new();
-    let mut queue: VecDeque<(State, Vec<usize>)> = VecDeque::new();
+    let mut queue: VecDeque<(State, Vec<usize>, u64)> = VecDeque::new();
     let init = State::fresh(model.resources.len());
     visited.insert(init.clone());
-    queue.push_back((init, Vec::new()));
+    queue.push_back((init, Vec::new(), 0));
+    let mut expanded: usize = 0;
 
     // Minimal witnesses, keyed by (action index, class). BFS dequeues
     // states in (schedule length, lexicographic letter index) order, so
     // first insertion wins minimality deterministically.
     let mut found: BTreeMap<(usize, PatternClass), Witness> = BTreeMap::new();
 
-    while let Some((state, schedule)) = queue.pop_front() {
+    while let Some((state, schedule, sleep)) = queue.pop_front() {
         for (ai, class, path, detail) in model.hazards_in(&state) {
             found.entry((ai, class)).or_insert_with(|| Witness {
                 component: summary.component.clone(),
@@ -625,11 +848,19 @@ pub fn model_check(summary: &AccessSummary) -> ModelCheckReport {
             });
         }
         for (li, letter) in model.alphabet.iter().enumerate() {
+            let bit = 1u64.checked_shl(li as u32).unwrap_or(0);
+            if expansion == Expansion::Reduced
+                && (sleep & bit != 0 || model.is_noop(&state, letter))
+            {
+                continue;
+            }
+            expanded += 1;
             let next = model.apply(&state, letter);
             if visited.insert(next.clone()) {
                 let mut sched = schedule.clone();
                 sched.push(li);
-                queue.push_back((next, sched));
+                let child_sleep = indep[li] & (bit.wrapping_sub(1) | sleep);
+                queue.push_back((next, sched, child_sleep));
             }
         }
     }
@@ -658,6 +889,8 @@ pub fn model_check(summary: &AccessSummary) -> ModelCheckReport {
     ModelCheckReport {
         component: summary.component.clone(),
         states_explored: visited.len(),
+        states_expanded: expanded,
+        expansion,
         stale_bound: STALE_BOUND,
         actions,
     }
@@ -985,6 +1218,183 @@ mod tests {
             )],
         );
         assert!(model_check(&s).is_epoch_safe());
+    }
+
+    /// JSON of the actions array alone — the verdict-and-witness payload
+    /// both expansions must agree on byte for byte (the report header
+    /// legitimately differs in `states_*` and `reduction`).
+    fn actions_json(report: &ModelCheckReport) -> String {
+        let mut s = String::new();
+        for a in &report.actions {
+            s.push_str(&a.action);
+            match &a.verdict {
+                ActionVerdict::EpochSafe => s.push_str(":epoch-safe;"),
+                ActionVerdict::Hazardous(ws) => {
+                    for w in ws {
+                        s.push_str(&w.to_json());
+                    }
+                    s.push(';');
+                }
+            }
+        }
+        s
+    }
+
+    /// The reduction-soundness pin over the same enumerated IR grid as
+    /// the heuristic-agreement test: identical witnesses and verdicts,
+    /// never more expansion work.
+    #[test]
+    fn reduced_and_exhaustive_agree_on_the_enumerated_grid() {
+        let path_shapes: Vec<Vec<GatePath>> = vec![
+            vec![GatePath::new("p", vec![Gate::CacheAbsence("r".into())])],
+            vec![GatePath::new(
+                "p",
+                vec![Gate::CachePresence("r".into()), Gate::Fence("r".into())],
+            )],
+            vec![GatePath::new("p", vec![Gate::ObservedEvent("r".into())])],
+            vec![GatePath::new(
+                "p",
+                vec![
+                    Gate::ObservedSilence("r".into()),
+                    Gate::CachePresence("r".into()),
+                ],
+            )],
+            vec![
+                GatePath::new("e", vec![Gate::ObservedEvent("r".into())]),
+                GatePath::new("s", vec![Gate::CacheAbsence("r".into())]),
+            ],
+        ];
+        for declare_view in [false, true] {
+            for list in [ReadKind::Cache, ReadKind::Quorum] {
+                for event_replay in [false, true] {
+                    for congestible in [false, true] {
+                        for upstream_switch in [false, true] {
+                            for paths in &path_shapes {
+                                let views = if declare_view {
+                                    vec![ViewDecl {
+                                        resource: "r".into(),
+                                        list,
+                                        watch: true,
+                                        relist_on_gap: true,
+                                        periodic_resync: false,
+                                        event_replay,
+                                        congestible,
+                                    }]
+                                } else {
+                                    Vec::new()
+                                };
+                                let s = summary(upstream_switch, views, paths.clone());
+                                let reduced = model_check(&s);
+                                let full = model_check_exhaustive(&s);
+                                assert_eq!(
+                                    actions_json(&reduced),
+                                    actions_json(&full),
+                                    "witness divergence: view={declare_view} list={list:?} \
+                                     replay={event_replay} congestible={congestible} \
+                                     switch={upstream_switch} paths={paths:?}"
+                                );
+                                assert!(reduced.states_expanded <= full.states_expanded);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two views, one of which no destructive gate ever reads: the
+    /// reduction slices it away and must cut both state count and
+    /// expansion work while keeping the witnesses byte-identical.
+    #[test]
+    fn irrelevant_views_are_sliced_without_changing_witnesses() {
+        let s = summary(
+            true,
+            vec![cache_view("pods"), cache_view("metrics")],
+            vec![GatePath::new(
+                "orphan",
+                vec![Gate::CacheAbsence("pods".into())],
+            )],
+        );
+        let reduced = model_check(&s);
+        let full = model_check_exhaustive(&s);
+        assert_eq!(actions_json(&reduced), actions_json(&full));
+        assert!(reduced.states_explored < full.states_explored);
+        assert!(
+            reduced.states_expanded * 2 <= full.states_expanded,
+            "slicing an unread view should at least halve the work: {} vs {}",
+            reduced.states_expanded,
+            full.states_expanded
+        );
+        assert_eq!(reduced.expansion, Expansion::Reduced);
+        assert_eq!(full.expansion, Expansion::Exhaustive);
+        // Exhaustive work is exactly |V|·|alphabet|: two stale-able
+        // watched views enable delay/reorder/drop each, plus the two
+        // global letters.
+        assert_eq!(full.states_expanded, full.states_explored * 8);
+    }
+
+    /// The diamond the sleep sets rely on: letters the static relation
+    /// calls independent commute *semantically* — both orders land on the
+    /// same packed state from any reachable point.
+    #[test]
+    fn independent_letters_commute_on_model_state() {
+        let s = AccessSummary {
+            component: "c".into(),
+            upstream_switch: true,
+            views: vec![cache_view("nodes"), cache_view("pods")],
+            actions: vec![
+                ActionDecl {
+                    name: "evict".into(),
+                    destructive: true,
+                    paths: vec![GatePath::new(
+                        "gone",
+                        vec![Gate::CacheAbsence("pods".into())],
+                    )],
+                },
+                ActionDecl {
+                    name: "fence".into(),
+                    destructive: true,
+                    paths: vec![GatePath::new(
+                        "dead",
+                        vec![Gate::CachePresence("nodes".into())],
+                    )],
+                },
+            ],
+        };
+        let matrix = crate::independence::IndependenceMatrix::derive(&s);
+        let letters = matrix.letters().to_vec();
+        // A few reachable prefixes to start the diamond from.
+        let prefixes: Vec<Vec<Letter>> = vec![
+            vec![],
+            vec![Letter::DelayCache("pods".into())],
+            vec![Letter::UpstreamSwitch],
+            vec![
+                Letter::DropNotification("nodes".into()),
+                Letter::DelayCache("nodes".into()),
+            ],
+        ];
+        for a in &letters {
+            for b in &letters {
+                if !matrix.independent(a, b) {
+                    continue;
+                }
+                for p in &prefixes {
+                    let mut ab = p.clone();
+                    ab.push(a.clone());
+                    ab.push(b.clone());
+                    let mut ba = p.clone();
+                    ba.push(b.clone());
+                    ba.push(a.clone());
+                    assert_eq!(
+                        apply_schedule(&s, &ab),
+                        apply_schedule(&s, &ba),
+                        "{} and {} marked independent but do not commute after {p:?}",
+                        a.label(),
+                        b.label()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `stray-print`      | `println!`/`eprintln!`/`dbg!` in libraries        |
 //! | `unsafe-block`     | `unsafe` anywhere — backstop behind `forbid(unsafe_code)` |
 //! | `bad-suppression`  | `ph-lint:` directives without a reason            |
+//! | `schedule-canon`   | hand-built perturbation schedules fed to the explorer without canonicalization |
 
 use crate::findings::Finding;
 use crate::lexer::{clean, test_line_mask};
@@ -118,6 +119,10 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "bad-suppression",
         summary: "ph-lint: allow(...) without a reason — every suppression must say why",
+    },
+    RuleInfo {
+        id: "schedule-canon",
+        summary: "Letter/PlannedOp schedule built by hand in a file that feeds the explorer without canonicalize/plan_class — duplicate commutation classes burn trials",
     },
 ];
 
@@ -284,6 +289,57 @@ pub fn lint_file(meta: &FileMeta, src: &str) -> Vec<Finding> {
         }
     }
 
+    // schedule-canon: a whole-file rule. Library or binary code that both
+    // hand-builds perturbation schedules (`vec![Letter::…]`,
+    // `.push(Letter::…)`, or their `PlannedOp` twins) and feeds the
+    // explorer (`.explore(`, `explore_parallel(`, `first_detection`) must
+    // canonicalize them (`canonicalize`/`plan_class`) — otherwise
+    // schedules differing only by commuting swaps run as separate trials.
+    if matches!(meta.kind, FileKind::Lib | FileKind::Bin) {
+        let mut first_build: Option<usize> = None;
+        let mut feeds_explorer = false;
+        let mut canonicalizes = false;
+        for (idx, raw_line) in cleaned.lines.iter().enumerate() {
+            if test_mask[idx] {
+                continue;
+            }
+            let packed: String = raw_line.split_whitespace().collect();
+            if first_build.is_none()
+                && (packed.contains("vec![Letter::")
+                    || packed.contains(".push(Letter::")
+                    || packed.contains("vec![PlannedOp::")
+                    || packed.contains(".push(PlannedOp::"))
+            {
+                first_build = Some(idx + 1);
+            }
+            if packed.contains(".explore(")
+                || packed.contains("explore_parallel(")
+                || packed.contains("first_detection")
+            {
+                feeds_explorer = true;
+            }
+            if packed.contains("canonicalize") || packed.contains("plan_class") {
+                canonicalizes = true;
+            }
+        }
+        if let Some(line_no) = first_build {
+            if feeds_explorer && !canonicalizes {
+                let suppressed = cleaned
+                    .suppression("schedule-canon", line_no)
+                    .map(|d| d.reason.clone());
+                findings.push(Finding {
+                    rule: "schedule-canon".to_string(),
+                    file: meta.path.clone(),
+                    line: line_no,
+                    message: "hand-built schedule feeds the explorer without canonicalization; \
+                              pass it through canonicalize()/plan_class()"
+                        .to_string(),
+                    suppressed,
+                });
+            }
+        }
+    }
+
     // Malformed directives are findings themselves and cannot be
     // suppressed — otherwise a reasonless allow could allow itself.
     for bad in &cleaned.bad_directives {
@@ -384,6 +440,48 @@ mod tests {
         assert_eq!(lint("sim", FileKind::Lib, src).len(), 1);
         // The forbid attribute itself must not trip the backstop.
         assert!(lint("sim", FileKind::Lib, "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn schedule_canon_needs_both_signals_and_no_canonicalize() {
+        let build = "let s = vec![Letter::UpstreamSwitch];\n";
+        let feed = "let out = explorer.explore(\"x\", &run, &factory);\n";
+        // Build + feed, no canonicalize → flagged (in Lib and Bin alike).
+        let both = format!("{build}{feed}");
+        let fs = lint("scenarios", FileKind::Lib, &both);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "schedule-canon");
+        assert_eq!(fs[0].line, 1, "anchors on the construction site");
+        let meta = FileMeta {
+            krate: "scenarios".into(),
+            path: "crates/scenarios/src/bin/x.rs".into(),
+            kind: FileKind::Bin,
+        };
+        assert_eq!(lint_file(&meta, &both).len(), 1);
+        // Either signal alone is fine.
+        assert!(lint("scenarios", FileKind::Lib, build).is_empty());
+        assert!(lint("scenarios", FileKind::Lib, feed).is_empty());
+        // Canonicalizing anywhere in the file clears it.
+        let fixed = format!("{build}let c = canonicalize(&s, &matrix);\n{feed}");
+        assert!(lint("scenarios", FileKind::Lib, &fixed).is_empty());
+        let classed = format!("{build}let k = plan_class(&ops);\n{feed}");
+        assert!(lint("scenarios", FileKind::Lib, &classed).is_empty());
+        // Tests may hand-roll schedules (that is how equivalence is pinned).
+        assert!(lint("scenarios", FileKind::Test, &both).is_empty());
+        // PlannedOp construction counts too.
+        let planned = format!("ops.push(PlannedOp::new(letter, anchor));\n{feed}");
+        assert_eq!(lint("scenarios", FileKind::Lib, &planned).len(), 1);
+    }
+
+    #[test]
+    fn schedule_canon_is_suppressible_with_reason() {
+        let src =
+            "// ph-lint: allow(schedule-canon, witnesses are already canonical minimal words)\n\
+                   let s = vec![Letter::UpstreamSwitch];\n\
+                   let out = explorer.explore(\"x\", &run, &factory);\n";
+        let fs = lint("scenarios", FileKind::Lib, src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].suppressed.is_some());
     }
 
     #[test]

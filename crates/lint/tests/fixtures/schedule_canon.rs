@@ -1,0 +1,13 @@
+//! Fixture: a hand-built perturbation schedule fed straight to the
+//! explorer — schedules differing only by commuting swaps would each burn
+//! a trial.
+
+fn plan() -> Vec<Letter> {
+    let mut schedule = vec![Letter::DelayCache("pods".into())];
+    schedule.push(Letter::UpstreamSwitch);
+    schedule
+}
+
+fn hunt(explorer: &Explorer) -> TrialOutcome {
+    explorer.explore("scenario", &run_one, &strategy_factory)
+}

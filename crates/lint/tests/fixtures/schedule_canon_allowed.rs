@@ -1,0 +1,14 @@
+//! Fixture: the same shape with a reasoned suppression — the schedule is
+//! a model-checker witness, which is already the canonical minimal word
+//! of its commutation class.
+
+fn plan() -> Vec<Letter> {
+    // ph-lint: allow(schedule-canon, witness schedules are already canonical minimal words)
+    let mut schedule = vec![Letter::DelayCache("pods".into())];
+    schedule.push(Letter::UpstreamSwitch);
+    schedule
+}
+
+fn hunt(explorer: &Explorer) -> TrialOutcome {
+    explorer.explore("scenario", &run_one, &strategy_factory)
+}

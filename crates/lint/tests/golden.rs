@@ -147,6 +147,37 @@ fn unsafe_block_golden() {
 }
 
 #[test]
+fn schedule_canon_golden() {
+    let fs = check("schedule_canon", "crates/scenarios/src/fixture.rs");
+    assert_eq!(rules_of(&fs), ["schedule-canon"]);
+    assert!(fs[0].suppressed.is_none());
+    assert_eq!(fs[0].line, 6, "anchors on the first construction site");
+}
+
+#[test]
+fn schedule_canon_allowed_golden() {
+    let fs = check("schedule_canon_allowed", "crates/scenarios/src/fixture.rs");
+    assert_eq!(rules_of(&fs), ["schedule-canon"]);
+    assert!(
+        fs[0]
+            .suppressed
+            .as_deref()
+            .is_some_and(|r| r.contains("canonical minimal words")),
+        "{fs:?}"
+    );
+}
+
+#[test]
+fn schedule_canon_in_tests_is_clean() {
+    let src = fs::read_to_string(fixtures_dir().join("schedule_canon.rs")).unwrap();
+    let fs = lint_file(
+        &FileMeta::from_path("crates/scenarios/tests/fixture.rs"),
+        &src,
+    );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
 fn cfg_test_module_golden_is_empty() {
     let fs = check("cfg_test_clean", "crates/sim/src/fixture.rs");
     assert!(fs.is_empty(), "{fs:?}");

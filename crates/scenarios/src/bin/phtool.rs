@@ -603,7 +603,7 @@ fn cmd_hunt_witnesses(args: &Args, scenario: &str) -> Result<i32, String> {
     let budget = args.get_u64("budget", 30)? as usize;
     let base_seed = args.get_u64("seed", 1)?;
 
-    let priors = witness_bridge::witness_strategies(&entry);
+    let (priors, stats) = witness_bridge::witness_plan(&entry);
     println!(
         "witness-guided hunt for {} ({} prior(s) compiled from model-check witnesses)",
         entry.name,
@@ -612,6 +612,10 @@ fn cmd_hunt_witnesses(args: &Args, scenario: &str) -> Result<i32, String> {
     for (i, p) in priors.iter().enumerate() {
         println!("  prior {}: {}", i + 1, p.name());
     }
+    println!(
+        "canonical schedule dedup: distinct_classes={} deduped_trials={}",
+        stats.distinct_classes, stats.deduped_trials
+    );
     match witness_bridge::first_detection_guided(&entry, budget, base_seed) {
         Some(t) => {
             println!("first detection at trial {t} of {budget} (priors lead the schedule)");
@@ -660,9 +664,14 @@ fn cmd_hunt(args: &Args) -> Result<i32, String> {
         )
     };
     println!("hunting {scenario} (decisions {labels:?}, depth {depth}, budget {budget})…");
-    let (findings, total) =
+    let (findings, total, census) =
         autoguide::explore_parallel(run, |_| targets_fn(), labels, depth, budget, threads);
-    println!("{total} candidates derived; {} tried", findings.len());
+    println!(
+        "{total} candidates derived; {} distinct classes, {} deduplicated; {} tried",
+        census.distinct_classes,
+        census.deduped_trials,
+        findings.len()
+    );
     let mut found = 0;
     let mut first_violating: Option<usize> = None;
     for (i, f) in findings.iter().enumerate() {
@@ -734,17 +743,45 @@ fn cmd_lint(args: &Args) -> Result<i32, String> {
     let table = ph_scenarios::static_crosscheck();
     let violated = report.unsuppressed_count() > 0 || !table.all_static_agree();
 
+    // Static independence matrices over every scenario's perturbation
+    // alphabet (buggy variants — the alphabets the hunts actually use).
+    let matrices: Vec<(&'static str, ph_lint::independence::IndependenceMatrix)> =
+        ph_scenarios::scenario_statics()
+            .iter()
+            .flat_map(|e| {
+                ph_lint::independence::derive_all(&(e.summaries)(Variant::Buggy))
+                    .into_iter()
+                    .map(|m| (e.name, m))
+            })
+            .collect();
+
     if args.has("json") {
+        let independence = matrices
+            .iter()
+            .map(|(scenario, m)| {
+                format!(
+                    "{{\"scenario\":\"{}\",\"matrix\":{}}}",
+                    ph_lint::findings::esc(scenario),
+                    m.to_json()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         println!(
-            "{{\"determinism\":{},\"hazards\":{}}}",
+            "{{\"determinism\":{},\"hazards\":{},\"independence\":[{}]}}",
             report.to_json(),
-            table.to_json()
+            table.to_json(),
+            independence
         );
         return Ok(if violated { EXIT_VIOLATION } else { 0 });
     }
 
     println!("-- determinism lint ({}) --", root.display());
     print!("{}", report.render_text());
+    println!("\n-- independence matrices (perturbation alphabets, buggy variants) --");
+    for (scenario, m) in &matrices {
+        print!("{scenario} {}", m.render());
+    }
     println!("\n-- partial-history hazards (§4.2, buggy variants) --");
     for row in &table.rows {
         for h in &row.buggy_hazards {

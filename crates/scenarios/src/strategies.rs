@@ -8,7 +8,9 @@
 
 use ph_cluster::api::ApiWatchEvent;
 use ph_cluster::objects::Object;
+use ph_core::canon::PlannedOp;
 use ph_core::perturb::{Strategy, Targets};
+use ph_lint::modelcheck::Letter;
 use ph_sim::{ActorId, Duration, Envelope, SimTime, TraceEventKind, Verdict, World};
 use ph_store::kv::KvEvent;
 use ph_store::msgs::WatchNotify;
@@ -58,6 +60,15 @@ pub enum TargetRef {
 }
 
 impl TargetRef {
+    /// A stable textual anchor for canonical-schedule fingerprints.
+    fn token(self) -> String {
+        match self {
+            TargetRef::Cache(i) => format!("cache:{i}"),
+            TargetRef::Component(i) => format!("component:{i}"),
+            TargetRef::Actor(a) => format!("actor:{a}"),
+        }
+    }
+
     /// Resolves against the target map.
     ///
     /// # Panics
@@ -84,7 +95,17 @@ pub struct EventSelector {
 }
 
 impl EventSelector {
+    /// A stable textual anchor for canonical-schedule fingerprints; every
+    /// field that changes which events match appears in it.
+    fn token(&self) -> String {
+        format!(
+            "key~{:?}/del:{:?}/dt:{:?}",
+            self.key_contains, self.deletes, self.with_deletion_timestamp
+        )
+    }
+
     /// Any event touching a key containing `key`.
+    #[must_use]
     pub fn key(key: impl Into<String>) -> EventSelector {
         EventSelector {
             key_contains: key.into(),
@@ -94,6 +115,7 @@ impl EventSelector {
     }
 
     /// Only deletions of matching keys.
+    #[must_use]
     pub fn deletes_of(key: impl Into<String>) -> EventSelector {
         EventSelector {
             key_contains: key.into(),
@@ -103,6 +125,7 @@ impl EventSelector {
     }
 
     /// Only the "marked for deletion" update of matching keys.
+    #[must_use]
     pub fn termination_mark_of(key: impl Into<String>) -> EventSelector {
         EventSelector {
             key_contains: key.into(),
@@ -139,6 +162,18 @@ pub struct DropMatching {
 impl Strategy for DropMatching {
     fn name(&self) -> String {
         format!("obs-gap(drop {:?})", self.selector.key_contains)
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(vec![PlannedOp::new(
+            Letter::DropNotification(self.dst.token()),
+            format!(
+                "{}@{}ns*{}",
+                self.selector.token(),
+                self.from.as_nanos(),
+                self.max
+            ),
+        )])
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -178,6 +213,7 @@ pub struct HoldMatching {
 
 impl HoldMatching {
     /// Creates the injector.
+    #[must_use]
     pub fn new(
         dst: TargetRef,
         selector: EventSelector,
@@ -197,6 +233,21 @@ impl HoldMatching {
 impl Strategy for HoldMatching {
     fn name(&self) -> String {
         format!("staleness(hold {:?})", self.selector.key_contains)
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(vec![PlannedOp::new(
+            Letter::DelayCache(self.dst.token()),
+            format!(
+                "{}@{}ns..{}",
+                self.selector.token(),
+                self.from.as_nanos(),
+                match self.release_at {
+                    Some(r) => format!("{}ns", r.as_nanos()),
+                    None => "teardown".to_string(),
+                }
+            ),
+        )])
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -253,6 +304,7 @@ pub struct CrashOnAnnotation {
 
 impl CrashOnAnnotation {
     /// Creates the injector.
+    #[must_use]
     pub fn new(
         label: impl Into<String>,
         actor: Option<ActorId>,
@@ -275,6 +327,20 @@ impl CrashOnAnnotation {
 impl Strategy for CrashOnAnnotation {
     fn name(&self) -> String {
         format!("time-travel(crash on {:?})", self.label)
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(vec![PlannedOp::new(
+            Letter::CrashRestartReplay,
+            format!(
+                "on:{:?}/actor:{:?}+{}ns/down{}ns*{}",
+                self.label,
+                self.actor,
+                self.delay.as_nanos(),
+                self.down.as_nanos(),
+                self.max
+            ),
+        )])
     }
 
     fn tick(&mut self, world: &mut World, _targets: &Targets) {
@@ -324,6 +390,7 @@ pub struct PartitionComponent {
 
 impl PartitionComponent {
     /// Creates the injector.
+    #[must_use]
     pub fn new(component: usize, from: Duration, until: Duration) -> PartitionComponent {
         PartitionComponent {
             component,
@@ -338,6 +405,17 @@ impl PartitionComponent {
 impl Strategy for PartitionComponent {
     fn name(&self) -> String {
         "partition(component↔apiservers)".into()
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        Some(vec![PlannedOp::new(
+            Letter::DropNotification(format!("component:{}", self.component)),
+            format!(
+                "partition@{}ns..{}ns",
+                self.from.as_nanos(),
+                self.until.as_nanos()
+            ),
+        )])
     }
 
     fn tick(&mut self, world: &mut World, targets: &Targets) {
@@ -378,6 +456,7 @@ pub struct Compose {
 
 impl Compose {
     /// Composes `parts` under a display `label`.
+    #[must_use]
     pub fn new(label: impl Into<String>, parts: Vec<Box<dyn Strategy>>) -> Compose {
         Compose {
             parts,
@@ -389,6 +468,16 @@ impl Compose {
 impl Strategy for Compose {
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    fn planned_schedule(&self) -> Option<Vec<PlannedOp>> {
+        // The composition's plan is its parts' plans in order; if any part
+        // is unplannable, so is the whole.
+        let mut ops = Vec::new();
+        for p in &self.parts {
+            ops.extend(p.planned_schedule()?);
+        }
+        Some(ops)
     }
 
     fn setup(&mut self, world: &mut World, targets: &Targets) {
@@ -443,5 +532,82 @@ mod tests {
         assert!(h.name().contains("staleness"));
         let c = CrashOnAnnotation::new("l", None, Duration::ZERO, Duration::ZERO, 1);
         assert!(c.name().contains("time-travel"));
+    }
+
+    #[test]
+    fn planned_schedules_carry_every_behavioral_parameter() {
+        let class = |s: &dyn Strategy| ph_core::plan_class(&s.planned_schedule().unwrap());
+        let d = |max: u64| DropMatching {
+            dst: TargetRef::Cache(0),
+            selector: EventSelector::deletes_of("nodes/"),
+            from: Duration::millis(100),
+            max,
+        };
+        assert_eq!(class(&d(1)), class(&d(1)));
+        assert_ne!(class(&d(1)), class(&d(2)), "max is behavioral");
+        let h = HoldMatching::new(
+            TargetRef::Cache(0),
+            EventSelector::key("pods/"),
+            Duration::millis(100),
+            None,
+        );
+        assert_ne!(class(&d(1)), class(&h));
+        assert_ne!(
+            class(&h),
+            class(&HoldMatching::new(
+                TargetRef::Cache(0),
+                EventSelector::key("pods/"),
+                Duration::millis(100),
+                Some(Duration::millis(900)),
+            )),
+            "release time is behavioral"
+        );
+
+        // Composition: a hold on cache:0 and a partition of component:1
+        // touch different views, so the two orders are one class…
+        let hold = || {
+            Box::new(HoldMatching::new(
+                TargetRef::Cache(0),
+                EventSelector::key("pods/"),
+                Duration::millis(100),
+                None,
+            )) as Box<dyn Strategy>
+        };
+        let cut = || {
+            Box::new(PartitionComponent::new(
+                1,
+                Duration::millis(200),
+                Duration::millis(400),
+            )) as Box<dyn Strategy>
+        };
+        let ab = Compose::new("ab", vec![hold(), cut()]);
+        let ba = Compose::new("ba", vec![cut(), hold()]);
+        assert_eq!(class(&ab), class(&ba));
+        // …while a crash composed either way is order-dependent (global).
+        let crash = || {
+            Box::new(CrashOnAnnotation::new(
+                "acted",
+                None,
+                Duration::ZERO,
+                Duration::millis(300),
+                1,
+            )) as Box<dyn Strategy>
+        };
+        let hc = Compose::new("hc", vec![hold(), crash()]);
+        let ch = Compose::new("ch", vec![crash(), hold()]);
+        assert_ne!(class(&hc), class(&ch));
+        // An unplannable part poisons the composition.
+        let with_random = Compose::new(
+            "r",
+            vec![
+                hold(),
+                Box::new(ph_core::RandomCrashes {
+                    seed: 7,
+                    count: 1,
+                    down: Duration::millis(300),
+                }),
+            ],
+        );
+        assert_eq!(with_random.planned_schedule(), None);
     }
 }

@@ -55,21 +55,20 @@ fn realize(scenario: &str, shape: &PriorShape) -> Vec<Box<dyn Strategy>> {
     match (scenario, shape) {
         // kubelet restarts onto the lagging apiserver-2 and acts on the
         // pre-rollout world: both the delay-cache and the switch letters
-        // concretize against cache 1 / kubelet-node-1.
-        ("k8s-59848", PriorShape::DelayCache { .. }) => vec![Box::new(StalenessInjector {
-            cache: 1,
-            delay: Duration::millis(900),
-            after: Duration::millis(1500),
-        })],
+        // concretize against cache 1 / kubelet-node-1 — the delay letter
+        // both as the pure staleness hold and as the stale landing zone
+        // the restart needs, so the switch letter's realization is a
+        // canonical duplicate of the delay letter's second one.
+        ("k8s-59848", PriorShape::DelayCache { .. }) => vec![
+            Box::new(StalenessInjector {
+                cache: 1,
+                delay: Duration::millis(900),
+                after: Duration::millis(1500),
+            }),
+            Box::new(k8s_59848_time_travel()),
+        ],
         ("k8s-59848", PriorShape::UpstreamSwitch | PriorShape::CrashRestartReplay) => {
-            vec![Box::new(TimeTravelInjector::new(
-                1,
-                0,
-                Duration::millis(1500),
-                Duration::millis(2200),
-                Duration::millis(2400),
-                Some(Duration::millis(3500)),
-            ))]
+            vec![Box::new(k8s_59848_time_travel())]
         }
 
         // The scheduler's stale `nodes` view is concretely a swallowed
@@ -142,26 +141,14 @@ fn realize(scenario: &str, shape: &PriorShape) -> Vec<Box<dyn Strategy>> {
         ))],
 
         // Hold the pod-created update away from the operator's cache while
-        // a restart makes it act on the held (stale) view.
+        // a restart makes it act on the held (stale) view. The switch and
+        // crash letters concretize to the very same hold+crash pair (the
+        // restart IS the switch onto the held view), so they dedup.
         ("cass-op-402", PriorShape::DelayCache { resource }) if resource == "pods" => {
-            vec![Box::new(Compose::new(
-                "witness[delay-cache(pods) ; crash-restart]",
-                vec![
-                    Box::new(HoldMatching::new(
-                        TargetRef::Cache(1),
-                        EventSelector::key("pods/dc1-2"),
-                        Duration::millis(2400),
-                        None,
-                    )),
-                    Box::new(CrashOnAnnotation::new(
-                        "operator.create_pod",
-                        None,
-                        Duration::millis(300),
-                        Duration::millis(300),
-                        1,
-                    )),
-                ],
-            ))]
+            vec![cass_402_hold_and_crash()]
+        }
+        ("cass-op-402", PriorShape::UpstreamSwitch | PriorShape::CrashRestartReplay) => {
+            vec![cass_402_hold_and_crash()]
         }
 
         // The region manager reads the lagging follower.
@@ -185,24 +172,108 @@ fn realize(scenario: &str, shape: &PriorShape) -> Vec<Box<dyn Strategy>> {
         // scheduler's watch feed below the churn workload's offered load
         // across the surge window. The strategy only reconfigures link
         // capacity — every late or lost message is the queue's own doing.
-        ("congestion", PriorShape::TrafficSurge { .. }) => vec![crate::congestion::guided(0)],
+        // The delay-cache letter concretizes to the same squeeze (this
+        // scenario has no direct hold injector: congestion *is* how the
+        // view ages), so the two letters collapse to one class.
+        (
+            "congestion",
+            PriorShape::TrafficSurge { .. } | PriorShape::DelayCache { resource: _ },
+        ) => vec![crate::congestion::guided(0)],
 
         _ => Vec::new(),
     }
 }
 
-/// The ordered witness-derived strategies for `entry`: each prior shape's
-/// realizations, deduplicated by strategy name, witness order preserved.
-pub fn witness_strategies(entry: &StaticEntry) -> Vec<Box<dyn Strategy>> {
+/// The kubelet's stale-landing realization, shared by the delay-cache and
+/// upstream-switch/crash letters.
+fn k8s_59848_time_travel() -> TimeTravelInjector {
+    TimeTravelInjector::new(
+        1,
+        0,
+        Duration::millis(1500),
+        Duration::millis(2200),
+        Duration::millis(2400),
+        Some(Duration::millis(3500)),
+    )
+}
+
+/// The operator's hold+crash realization, shared by the delay-cache and
+/// upstream-switch/crash letters.
+fn cass_402_hold_and_crash() -> Box<dyn Strategy> {
+    Box::new(Compose::new(
+        "witness[delay-cache(pods) ; crash-restart]",
+        vec![
+            Box::new(HoldMatching::new(
+                TargetRef::Cache(1),
+                EventSelector::key("pods/dc1-2"),
+                Duration::millis(2400),
+                None,
+            )),
+            Box::new(CrashOnAnnotation::new(
+                "operator.create_pod",
+                None,
+                Duration::millis(300),
+                Duration::millis(300),
+                1,
+            )),
+        ],
+    ))
+}
+
+/// Canonical-dedup census of one witness plan: how many distinct
+/// [`ph_core::plan_class`] fingerprints the realized strategies span, and
+/// how many realizations were dropped as duplicates of an already-planned
+/// class — trials the guided hunt does *not* have to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WitnessPlanStats {
+    /// Distinct canonical schedule classes among the kept strategies.
+    pub distinct_classes: u32,
+    /// Realizations dropped as canonical duplicates.
+    pub deduped_trials: u32,
+}
+
+/// The ordered witness-derived strategies for `entry`, one representative
+/// per canonical schedule class ([`ph_core::plan_class`] over each
+/// strategy's planned ops), witness order preserved — several abstract
+/// letters often concretize to the *same* injection (e.g. `delay-cache`
+/// and `upstream-switch` both land the operator on the lagging
+/// apiserver), and the fingerprint proves it instead of trusting display
+/// names. Unplannable strategies fall back to name dedup.
+pub fn witness_plan(entry: &StaticEntry) -> (Vec<Box<dyn Strategy>>, WitnessPlanStats) {
     let mut out: Vec<Box<dyn Strategy>> = Vec::new();
+    let mut classes = std::collections::BTreeSet::new();
+    let mut stats = WitnessPlanStats::default();
     for shape in scenario_prior_shapes(entry) {
         for s in realize(entry.name, &shape) {
-            if !out.iter().any(|have| have.name() == s.name()) {
+            let keep = match s.planned_schedule() {
+                Some(ops) => classes.insert(ph_core::plan_class(&ops)),
+                None => !out.iter().any(|have| have.name() == s.name()),
+            };
+            if keep {
+                stats.distinct_classes += 1;
                 out.push(s);
+            } else {
+                stats.deduped_trials += 1;
             }
         }
     }
-    out
+    (out, stats)
+}
+
+/// [`witness_plan`] without the census — the strategy list alone.
+pub fn witness_strategies(entry: &StaticEntry) -> Vec<Box<dyn Strategy>> {
+    witness_plan(entry).0
+}
+
+/// Every witness realization with **no** canonical dedup — the trial list
+/// a hunt would burn without [`witness_plan`]'s class fingerprinting.
+/// Exists for the E9 bench and the equivalence tests; hunts should use
+/// [`witness_plan`].
+pub fn witness_realizations(entry: &StaticEntry) -> Vec<Box<dyn Strategy>> {
+    scenario_prior_shapes(entry)
+        .iter()
+        .flat_map(|shape| realize(entry.name, shape))
+        .collect()
 }
 
 /// The unguided baseline: the generic strategy cycle every hunt falls
@@ -300,6 +371,39 @@ mod tests {
                     entry.name,
                     r.component
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_plans_dedup_convergent_realizations_by_class() {
+        // Several letters concretize to the same injection in these
+        // scenarios; the canonical fingerprint collapses them.
+        let expected = [
+            ("k8s-59848", 1),
+            ("cass-op-400", 1),
+            ("cass-op-402", 1),
+            ("congestion", 1),
+        ];
+        for (name, deduped) in expected {
+            let entry = entry_for(name).unwrap();
+            let (kept, stats) = witness_plan(&entry);
+            assert_eq!(
+                stats.deduped_trials, deduped,
+                "{name}: expected {deduped} deduped realizations"
+            );
+            assert_eq!(stats.distinct_classes as usize, kept.len(), "{name}");
+            // Every kept pair really is class-distinct.
+            let classes: Vec<Option<u64>> = kept
+                .iter()
+                .map(|s| s.planned_schedule().map(|ops| ph_core::plan_class(&ops)))
+                .collect();
+            for (i, a) in classes.iter().enumerate() {
+                for b in &classes[i + 1..] {
+                    if let (Some(a), Some(b)) = (a, b) {
+                        assert_ne!(a, b, "{name}: duplicate class survived");
+                    }
+                }
             }
         }
     }

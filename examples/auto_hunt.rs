@@ -29,10 +29,13 @@ fn hunt(
     budget: usize,
 ) {
     println!("=== hunting {name} (decisions: {decisions:?}) ===");
-    let (findings, total) = explore(run, targets_of, decisions, depth, budget);
+    let (findings, total, census) = explore(run, targets_of, decisions, depth, budget);
     println!(
-        "  {} candidates derived from the reference trace, {} tried:",
+        "  {} candidates derived from the reference trace ({} distinct classes, \
+         {} deduplicated), {} tried:",
         total,
+        census.distinct_classes,
+        census.deduped_trials,
         findings.len()
     );
     let mut found = 0;

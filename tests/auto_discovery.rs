@@ -37,7 +37,7 @@ fn auto_explorer_discovers_the_volume_controller_bug() {
         targets_for(&cluster, Duration::secs(5))
     };
 
-    let (findings, total) = explore(
+    let (findings, total, _census) = explore(
         run,
         targets_of,
         &["vc.release_pvc"], // the decision whose causes get perturbed
@@ -82,7 +82,7 @@ fn auto_explorer_discovers_the_scheduler_bug() {
         targets_for(&cluster, Duration::secs(6))
     };
 
-    let (findings, _total) = explore(
+    let (findings, _total, _census) = explore(
         run,
         targets_of,
         &["scheduler.bind"],

@@ -1,0 +1,218 @@
+//! Canonical-schedule equivalence, property-tested end to end.
+//!
+//! Three layers, all seeded and deterministic:
+//!
+//! 1. **Canon laws** (≥120 random schedules per scenario × variant ×
+//!    component): `canonicalize` is idempotent, preserves the letter
+//!    multiset, maps every commuting permutation of a schedule to the
+//!    same representative, and never changes what the schedule *does* to
+//!    the abstract model state (`apply_schedule`).
+//! 2. **Dynamic runs**: a pair of footprint-disjoint concrete injections
+//!    composed in both orders — one canonical class — produces
+//!    byte-identical `RunReport` JSON on every scenario, buggy and fixed.
+//! 3. **Matrix determinism**: `IndependenceMatrix` JSON is bit-stable
+//!    across repeated derivation and across `phtool lint --json
+//!    --threads 1/4` invocations.
+
+use ph_core::{canonicalize, plan_class, PlannedOp};
+use ph_lint::independence::IndependenceMatrix;
+use ph_lint::modelcheck::{apply_schedule, enabled_alphabet, Letter};
+use ph_scenarios::{scenario_statics, Variant};
+use ph_sim::Duration;
+
+const CASES_PER_COMPONENT: usize = 120;
+
+/// splitmix64 — the same generator the explorer uses for trial seeds.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_schedule(alphabet: &[Letter], rng: &mut u64) -> Vec<Letter> {
+    let len = (splitmix(rng) % 7) as usize;
+    (0..len)
+        .map(|_| alphabet[(splitmix(rng) % alphabet.len() as u64) as usize].clone())
+        .collect()
+}
+
+/// Applies `swaps` random adjacent transpositions of *independent* pairs —
+/// a walk through the schedule's commutation class.
+fn commuting_permutation(
+    schedule: &[Letter],
+    matrix: &IndependenceMatrix,
+    swaps: usize,
+    rng: &mut u64,
+) -> Vec<Letter> {
+    let mut out = schedule.to_vec();
+    if out.len() < 2 {
+        return out;
+    }
+    for _ in 0..swaps {
+        let i = 1 + (splitmix(rng) % (out.len() as u64 - 1)) as usize;
+        if matrix.independent(&out[i - 1], &out[i]) {
+            out.swap(i - 1, i);
+        }
+    }
+    out
+}
+
+fn sorted(mut letters: Vec<Letter>) -> Vec<Letter> {
+    letters.sort();
+    letters
+}
+
+#[test]
+fn canonicalization_laws_hold_on_every_scenario_alphabet() {
+    let mut rng = 0xE9u64;
+    for entry in scenario_statics() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            for summary in (entry.summaries)(variant) {
+                let alphabet = enabled_alphabet(&summary);
+                if alphabet.is_empty() {
+                    continue;
+                }
+                let matrix = IndependenceMatrix::derive(&summary);
+                for case in 0..CASES_PER_COMPONENT {
+                    let schedule = random_schedule(&alphabet, &mut rng);
+                    let canon = canonicalize(&schedule, &matrix);
+                    let ctx = || {
+                        format!(
+                            "{}/{} {variant} case {case}: {schedule:?} -> {canon:?}",
+                            entry.name, summary.component
+                        )
+                    };
+                    // Idempotent, multiset-preserving.
+                    assert_eq!(canonicalize(&canon, &matrix), canon, "{}", ctx());
+                    assert_eq!(sorted(schedule.clone()), sorted(canon.clone()), "{}", ctx());
+                    // Every commuting permutation lands on the same
+                    // representative (the class really is a class).
+                    let sibling = commuting_permutation(&schedule, &matrix, 8, &mut rng);
+                    assert_eq!(canonicalize(&sibling, &matrix), canon, "{}", ctx());
+                    // And the representative drives the abstract model to
+                    // the same state — swapping independent letters is
+                    // semantically invisible, which is exactly what lets
+                    // the explorer skip non-canonical duplicates.
+                    assert_eq!(
+                        apply_schedule(&summary, &schedule),
+                        apply_schedule(&summary, &canon),
+                        "{}",
+                        ctx()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_class_is_invariant_under_commuting_permutations() {
+    // Concrete planned ops with disjoint footprints: every interleaving
+    // of the cache-hold and the component-cut is one class; same-view
+    // reorderings and anchor changes split it.
+    let hold = PlannedOp::new(Letter::DelayCache("cache:0".into()), "w1");
+    let cut = PlannedOp::new(Letter::DropNotification("component:0".into()), "w2");
+    let surge = PlannedOp::new(Letter::TrafficSurge("cache:0".into()), "w3");
+    let ab = plan_class(&[hold.clone(), cut.clone()]);
+    assert_eq!(ab, plan_class(&[cut.clone(), hold.clone()]));
+    assert_ne!(
+        plan_class(&[hold.clone(), surge.clone()]),
+        plan_class(&[surge, hold])
+    );
+    let moved = PlannedOp::new(Letter::DelayCache("cache:0".into()), "other");
+    assert_ne!(ab, plan_class(&[moved, cut]));
+}
+
+#[test]
+fn commuting_injection_orders_produce_byte_identical_reports() {
+    use ph_core::perturb::Strategy;
+    use ph_scenarios::strategies::{
+        Compose, EventSelector, HoldMatching, PartitionComponent, TargetRef,
+    };
+
+    // A hold on cache 0 and a partition of component 0: disjoint views,
+    // so the two compositions are one canonical class — and must be one
+    // behavior, byte for byte, on every scenario and variant.
+    let hold = || {
+        Box::new(HoldMatching::new(
+            TargetRef::Cache(0),
+            EventSelector::key("zzz-untouched-key"),
+            Duration::millis(100),
+            None,
+        )) as Box<dyn Strategy>
+    };
+    let cut = || {
+        Box::new(PartitionComponent::new(
+            0,
+            Duration::millis(200),
+            Duration::millis(450),
+        )) as Box<dyn Strategy>
+    };
+    let mut rng = 0xCAFEu64;
+    for entry in scenario_statics() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            for _ in 0..2 {
+                let seed = splitmix(&mut rng);
+                let mut ab = Compose::new("pair", vec![hold(), cut()]);
+                let mut ba = Compose::new("pair", vec![cut(), hold()]);
+                assert_eq!(
+                    ab.planned_schedule().map(|ops| plan_class(&ops)),
+                    ba.planned_schedule().map(|ops| plan_class(&ops)),
+                    "{}: the pair must be one canonical class",
+                    entry.name
+                );
+                let ra = (entry.run)(seed, &mut ab, variant);
+                let rb = (entry.run)(seed, &mut ba, variant);
+                assert_eq!(
+                    ra.to_json(),
+                    rb.to_json(),
+                    "{} {variant} seed {seed}: commuting orders diverged",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn independence_matrix_json_is_deterministic() {
+    for entry in scenario_statics() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            for summary in (entry.summaries)(variant) {
+                let a = IndependenceMatrix::derive(&summary).to_json();
+                let b = IndependenceMatrix::derive(&summary).to_json();
+                assert_eq!(a, b, "{}/{}", entry.name, summary.component);
+            }
+        }
+    }
+}
+
+#[test]
+fn phtool_lint_json_is_thread_count_invariant() {
+    let bin = env!("CARGO_BIN_EXE_phtool");
+    let run = |threads: &str| {
+        let out = std::process::Command::new(bin)
+            .args(["lint", "--json", "--threads", threads])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("spawning phtool");
+        let code = out.status.code();
+        assert!(
+            code == Some(0) || code == Some(3),
+            "phtool lint exited {code:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let one = run("1");
+    assert!(!one.is_empty());
+    assert_eq!(one, run("1"), "same invocation diverged");
+    assert_eq!(one, run("4"), "--threads 1 vs 4 diverged");
+    // The independence section is present and carries per-pair
+    // justifications.
+    let text = String::from_utf8(one).unwrap();
+    assert!(text.contains("\"independence\":["));
+    assert!(text.contains("\"why\":"));
+}

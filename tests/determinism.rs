@@ -110,7 +110,7 @@ fn autoguide_candidates_are_identical_at_any_thread_count() {
     let runs: Vec<(Vec<String>, Vec<bool>, usize)> = [1usize, 2, 4]
         .iter()
         .map(|&threads| {
-            let (findings, total) = ph_core::autoguide::explore_parallel(
+            let (findings, total, _census) = ph_core::autoguide::explore_parallel(
                 run,
                 targets_of,
                 &["vc.release_pvc"],
@@ -129,7 +129,8 @@ fn autoguide_candidates_are_identical_at_any_thread_count() {
     assert_eq!(runs[1], runs[2], "2 vs 4 threads diverged");
     assert!(!runs[0].0.is_empty(), "no candidates derived");
     // And the pool matches the sequential loop.
-    let (seq, seq_total) = ph_core::autoguide::explore(run, targets_of, &["vc.release_pvc"], 2, 4);
+    let (seq, seq_total, _) =
+        ph_core::autoguide::explore(run, targets_of, &["vc.release_pvc"], 2, 4);
     assert_eq!(
         runs[0].0,
         seq.iter()

@@ -1,0 +1,83 @@
+//! Exhaustive-vs-reduced model-check equivalence over every scenario
+//! component — the acceptance pin for the partial-order reduction.
+//!
+//! For each of the 9 scenarios, buggy and fixed, every focal component's
+//! summary is checked under both expansions: verdicts, witness bytes and
+//! epoch-safety proofs must be identical, the reduced run must never do
+//! more expansion work, and across the buggy components the reduction
+//! must cut `states_expanded` by ≥2× on a healthy majority (the ratio
+//! per component is printed under `--nocapture`).
+
+use ph_lint::modelcheck::{model_check, model_check_exhaustive, ActionVerdict, ModelCheckReport};
+use ph_scenarios::{scenario_statics, Variant};
+
+/// The verdict-and-witness payload both expansions must agree on byte for
+/// byte (the report header legitimately differs in `states_*` and
+/// `reduction`).
+fn actions_payload(report: &ModelCheckReport) -> String {
+    let mut s = String::new();
+    for a in &report.actions {
+        s.push_str(&a.action);
+        match &a.verdict {
+            ActionVerdict::EpochSafe => s.push_str(":epoch-safe;"),
+            ActionVerdict::Hazardous(ws) => {
+                for w in ws {
+                    s.push_str(&w.to_json());
+                }
+                s.push(';');
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn reduced_model_check_is_equivalent_and_cheaper_on_every_scenario() {
+    let mut cells = 0usize;
+    let mut halved = 0usize;
+    for entry in scenario_statics() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            for summary in (entry.summaries)(variant) {
+                let reduced = model_check(&summary);
+                let full = model_check_exhaustive(&summary);
+                assert_eq!(
+                    actions_payload(&reduced),
+                    actions_payload(&full),
+                    "{} {:?} {}: witnesses diverge between expansions",
+                    entry.name,
+                    variant,
+                    summary.component
+                );
+                assert_eq!(reduced.is_epoch_safe(), full.is_epoch_safe());
+                assert!(
+                    reduced.states_expanded <= full.states_expanded,
+                    "{} {:?} {}: reduction did more work",
+                    entry.name,
+                    variant,
+                    summary.component
+                );
+                if variant == Variant::Buggy {
+                    cells += 1;
+                    if reduced.states_expanded * 2 <= full.states_expanded {
+                        halved += 1;
+                    }
+                    println!(
+                        "{:<14} {:<20} exhaustive={:>7} reduced={:>6} ratio={:.1}",
+                        entry.name,
+                        summary.component,
+                        full.states_expanded,
+                        reduced.states_expanded,
+                        full.states_expanded as f64 / reduced.states_expanded.max(1) as f64
+                    );
+                }
+            }
+        }
+    }
+    println!("{halved}/{cells} buggy components at >=2x reduction");
+    assert!(cells >= 9, "expected at least one component per scenario");
+    // The ISSUE 8 acceptance bar: >=2x fewer expansions on >=6 of 9.
+    assert!(
+        halved * 9 >= cells * 6,
+        "reduction halved work on only {halved}/{cells} buggy components"
+    );
+}
