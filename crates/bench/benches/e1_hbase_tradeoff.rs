@@ -43,9 +43,9 @@ fn run_manager(seed: u64, fixed: bool, lag: Duration) -> Outcome {
 
     let targets = Targets {
         store_nodes: cluster.nodes.clone(),
-        caches: vec![follower],
-        components: vec![manager],
-        notify_kinds: vec!["RaftWire".into()],
+        caches: [follower].into(),
+        components: [manager].into(),
+        notify_kinds: ["RaftWire".to_string()].into(),
         horizon: Duration::secs(5),
     };
     let mut strategy = StalenessInjector {

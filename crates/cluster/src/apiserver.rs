@@ -16,7 +16,7 @@
 //! * a restarted apiserver re-lists from the store and starts a fresh
 //!   window (old resume points may now be too old).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use ph_sim::{Actor, ActorId, AnyMsg, Ctx, Duration, TimerId};
 use std::rc::Rc;
@@ -30,6 +30,7 @@ use crate::api::{
     ApiWatchEvent, ApiWatchProgress, ObjEvent, Verb, WatchError,
 };
 use crate::objects::Object;
+use crate::slab::{ShardedCache, WindowRing};
 
 /// Apiserver tuning.
 #[derive(Debug, Clone)]
@@ -46,6 +47,12 @@ pub struct ApiServerConfig {
     /// Service time per cache read served by this apiserver (models finite
     /// apiserver capacity; zero = infinite).
     pub read_service: Duration,
+    /// Watch-cache shard count (key-hash partitioned). Purely an internal
+    /// layout knob: every run is byte-identical across shard counts.
+    pub shards: usize,
+    /// Emit scale gauges (`apiserver.objects`, `apiserver.window_peak`).
+    /// Off by default to keep existing scenario exports byte-identical.
+    pub scale_telemetry: bool,
 }
 
 impl ApiServerConfig {
@@ -57,6 +64,8 @@ impl ApiServerConfig {
             tick: Duration::millis(20),
             progress_interval: Duration::millis(200),
             read_service: Duration::ZERO,
+            shards: 1,
+            scale_telemetry: false,
         }
     }
 }
@@ -103,15 +112,19 @@ enum PendingApi {
 pub struct ApiServer {
     cfg: ApiServerConfig,
     store: StoreClient,
-    /// The watch cache: key → (bytes, resource version). This is this
-    /// apiserver's `S′`.
-    cache: BTreeMap<String, (Value, Revision)>,
+    /// The watch cache: interned-key slab shards holding (bytes, resource
+    /// version) per object. This is this apiserver's `S′`.
+    cache: ShardedCache,
     /// The cache's frontier (last revision reflected).
     cache_rev: Revision,
     /// `true` once the bootstrap list has been applied.
     ready: bool,
     /// Rolling window of recent events (dense in revision).
-    window: VecDeque<Rc<ObjEvent>>,
+    window: WindowRing,
+    /// High-water mark of live cache objects (scale telemetry).
+    objects_peak: usize,
+    /// High-water mark of buffered window events (scale telemetry).
+    window_peak: usize,
     /// Lowest resume point servable from the window (events ≤ floor are
     /// gone; a resume at exactly `floor` is fine).
     window_floor: Revision,
@@ -134,13 +147,17 @@ impl ApiServer {
     /// Creates an apiserver (spawn it into a world).
     pub fn new(cfg: ApiServerConfig) -> ApiServer {
         let store = StoreClient::new(cfg.store.clone());
+        let cache = ShardedCache::new(cfg.shards);
+        let window = WindowRing::new(cfg.window);
         ApiServer {
             cfg,
             store,
-            cache: BTreeMap::new(),
+            cache,
             cache_rev: Revision::ZERO,
             ready: false,
-            window: VecDeque::new(),
+            window,
+            objects_peak: 0,
+            window_peak: 0,
             window_floor: Revision::ZERO,
             watchers: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -217,8 +234,15 @@ impl ApiServer {
     }
 
     /// Cached bytes+revision of one key (this apiserver's view of it).
-    pub fn cached(&self, key: &str) -> Option<&(Value, Revision)> {
+    pub fn cached(&self, key: &str) -> Option<(&Value, Revision)> {
         self.cache.get(key)
+    }
+
+    /// Approximate bytes held by the watch cache (slab payloads + backing
+    /// arrays + key table): the deterministic peak-RSS proxy scale
+    /// benchmarks report.
+    pub fn cache_approx_bytes(&self) -> usize {
+        self.cache.approx_bytes()
     }
 
     /// Sends a cache-read reply, charging the configured service time and
@@ -256,10 +280,8 @@ impl ApiServer {
         for e in events {
             let oe = match e.as_ref() {
                 KvEvent::Put { kv, .. } => {
-                    self.cache.insert(
-                        kv.key.as_str().to_string(),
-                        (kv.value.clone(), kv.mod_revision),
-                    );
+                    self.cache
+                        .insert(kv.key.as_str(), kv.value.clone(), kv.mod_revision);
                     ObjEvent {
                         key: kv.key.as_str().to_string(),
                         revision: kv.mod_revision,
@@ -276,15 +298,22 @@ impl ApiServer {
                 }
             };
             // One allocation per object event, shared by the window and
-            // every watcher batch.
+            // every watcher batch. The ring evicts oldest-first as it
+            // fills, exactly like the push-all-then-trim deque it
+            // replaced (the window never exceeds capacity between
+            // deliveries, so per-push eviction drops the same events).
             let oe = Rc::new(oe);
-            self.window.push_back(Rc::clone(&oe));
+            if let Some(dropped) = self.window.push(Rc::clone(&oe)) {
+                self.window_floor = dropped.revision;
+                ctx.counter_inc("apiserver.window_evicted");
+            }
             out.push(oe);
         }
-        while self.window.len() > self.cfg.window {
-            let dropped = self.window.pop_front().expect("non-empty");
-            self.window_floor = dropped.revision;
-            ctx.counter_inc("apiserver.window_evicted");
+        if self.cfg.scale_telemetry {
+            self.objects_peak = self.objects_peak.max(self.cache.len());
+            self.window_peak = self.window_peak.max(self.window.len());
+            ctx.gauge_set("apiserver.objects", self.objects_peak as i64);
+            ctx.gauge_set("apiserver.window_peak", self.window_peak as i64);
         }
         if revision > self.cache_rev {
             self.cache_rev = revision;
@@ -354,7 +383,7 @@ impl ApiServer {
                     self.cache.clear();
                     for kv in kvs {
                         self.cache
-                            .insert(kv.key.as_str().to_string(), (kv.value, kv.mod_revision));
+                            .insert(kv.key.as_str(), kv.value, kv.mod_revision);
                     }
                     self.cache_rev = revision;
                     self.cache_advanced_at = ctx.now();
@@ -556,7 +585,7 @@ impl ApiServer {
                         },
                     );
                 } else {
-                    let obj = self.cache.get(&key).cloned();
+                    let obj = self.cache.get(&key).map(|(v, rv)| (v.clone(), rv));
                     self.reply_cached(
                         from,
                         ApiResponse {
@@ -586,11 +615,12 @@ impl ApiServer {
                         },
                     );
                 } else {
+                    // Merged across shards back into lexical key order —
+                    // identical to the single-map scan it replaced.
                     let items: Vec<(String, Value, Revision)> = self
                         .cache
-                        .range(prefix.clone()..)
-                        .take_while(|(k, _)| k.starts_with(&prefix))
-                        .map(|(k, (v, rv))| (k.clone(), v.clone(), *rv))
+                        .range_prefix(&prefix)
+                        .map(|(k, v, rv)| (k.as_str().to_string(), v.clone(), rv))
                         .collect();
                     self.reply_cached(
                         from,
@@ -731,6 +761,8 @@ impl Actor for ApiServer {
         self.cache_rev = Revision::ZERO;
         self.ready = false;
         self.window.clear();
+        self.objects_peak = 0;
+        self.window_peak = 0;
         self.window_floor = Revision::ZERO;
         self.watchers.clear();
         self.pending.clear();

@@ -30,6 +30,8 @@
 //!   a local object cache `(H′, S′)`;
 //! * [`kubelet`], [`scheduler`], [`controllers`], [`operator`] — the
 //!   services;
+//! * [`slab`] — the interned-key slab, sharded cache, and window ring the
+//!   apiserver's watch cache runs on at scale;
 //! * [`topology`] — helpers that assemble whole clusters.
 
 #![forbid(unsafe_code)]
@@ -44,6 +46,7 @@ pub mod kubelet;
 pub mod objects;
 pub mod operator;
 pub mod scheduler;
+pub mod slab;
 pub mod topology;
 
 pub use api::{ApiError, ApiOk, ApiRequest, ApiResponse, Verb};
@@ -53,4 +56,5 @@ pub use informer::{Informer, InformerConfig, InformerEvent};
 pub use kubelet::{Kubelet, KubeletConfig};
 pub use objects::{Object, ObjectKind, ObjectMeta, PodPhase};
 pub use scheduler::{Scheduler, SchedulerConfig};
+pub use slab::{ObjectSlab, ShardedCache, WindowRing};
 pub use topology::{spawn_cluster, ClusterConfig, ClusterHandle};

@@ -70,6 +70,14 @@ pub struct ClusterConfig {
     pub sync_interval: Duration,
     /// Kubelet termination grace period.
     pub termination_grace: Duration,
+    /// Apiserver watch-cache shard count (internal layout only; runs are
+    /// byte-identical across shard counts).
+    pub api_shards: usize,
+    /// Apiserver watch-event window length, in events.
+    pub api_window: usize,
+    /// Emit apiserver scale gauges (objects / peak window entries). Off by
+    /// default so existing scenario exports stay byte-identical.
+    pub api_scale_telemetry: bool,
 }
 
 impl Default for ClusterConfig {
@@ -90,6 +98,9 @@ impl Default for ClusterConfig {
             store: StoreNodeConfig::default(),
             sync_interval: Duration::millis(50),
             termination_grace: Duration::millis(200),
+            api_shards: 1,
+            api_window: 100,
+            api_scale_telemetry: false,
         }
     }
 }
@@ -265,10 +276,11 @@ pub fn spawn_cluster(world: &mut World, cfg: &ClusterConfig) -> ClusterHandle {
     for i in 0..cfg.apiservers {
         let mut scc = StoreClientConfig::new(store.nodes.clone());
         scc.affinity = Some(i % cfg.store_nodes);
-        let id = world.spawn(
-            &format!("apiserver-{}", i + 1),
-            ApiServer::new(ApiServerConfig::new(scc)),
-        );
+        let mut api_cfg = ApiServerConfig::new(scc);
+        api_cfg.window = cfg.api_window;
+        api_cfg.shards = cfg.api_shards;
+        api_cfg.scale_telemetry = cfg.api_scale_telemetry;
+        let id = world.spawn(&format!("apiserver-{}", i + 1), ApiServer::new(api_cfg));
         apiservers.push(id);
     }
 

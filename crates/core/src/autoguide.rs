@@ -206,7 +206,7 @@ pub fn candidates(
     let interesting: BTreeSet<ActorId> = targets
         .caches
         .iter()
-        .chain(&targets.components)
+        .chain(targets.components.iter())
         .copied()
         .collect();
     for e in trace.iter() {
@@ -542,10 +542,10 @@ mod tests {
         let d = w.spawn("decider", Decider);
         let _f = w.spawn("feeder", Feeder { peer: d, i: 0 });
         let targets = Targets {
-            store_nodes: vec![],
-            caches: vec![],
-            components: vec![d],
-            notify_kinds: vec!["View".into()],
+            store_nodes: [].into(),
+            caches: [].into(),
+            components: [d].into(),
+            notify_kinds: ["View".to_string()].into(),
             horizon: Duration::millis(200),
         };
         (w, targets, d)

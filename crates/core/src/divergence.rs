@@ -13,6 +13,26 @@
 //! All fields are integers; summaries compare with `==` across runs, which
 //! is what the determinism tests rely on (same seed ⇒ identical telemetry,
 //! bit for bit).
+//!
+//! ## Storage and the incremental fast path
+//!
+//! Internally the summary is a slot vector keyed by an interned view name:
+//! a harness registers each view once ([`DivergenceSummary::slot`]) and
+//! then folds samples in O(1) by dense id ([`DivergenceSummary::record_slot`])
+//! — no string hashing or tree descent per sample. The string-keyed
+//! [`DivergenceSummary::record`] survives as a thin wrapper. All exported
+//! orders (JSON, tables, iteration, equality) sort by view name at render
+//! time, so the output is byte-identical to the old name-keyed map
+//! regardless of registration order.
+//!
+//! [`LagSampler`] carries the companion dirty-set: it remembers each
+//! view's previous lag so a harness can skip re-publishing unchanged
+//! gauge values and touch only views whose frontier actually moved — the
+//! sampling cost scales with churn, not with how many objects the views
+//! hold (§"Scaling the world", DESIGN.md). Soundness: histograms are still
+//! fed every quantum (sample *counts* are part of the report), and a
+//! gauge records only its last value, so skipping an overwrite with an
+//! equal value is observationally free.
 
 use std::collections::BTreeMap;
 
@@ -61,10 +81,19 @@ impl ViewLag {
     }
 }
 
+/// A dense view id handed out by [`DivergenceSummary::slot`].
+pub type ViewSlot = u32;
+
 /// Per-view divergence over one run, keyed by component name.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// (Reports cross threads in the parallel trial pool, so the name table is
+/// plain `String`s rather than the sim-side `Rc`-backed interner.)
+#[derive(Debug, Clone, Default)]
 pub struct DivergenceSummary {
-    views: BTreeMap<String, ViewLag>,
+    /// Name → slot id (sorted — the canonical export order).
+    index: BTreeMap<String, ViewSlot>,
+    /// Stats by slot id.
+    slots: Vec<ViewLag>,
 }
 
 impl DivergenceSummary {
@@ -75,44 +104,68 @@ impl DivergenceSummary {
 
     /// `true` if nothing was sampled.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Folds one sampled lag for `component` in.
-    pub fn record(&mut self, component: &str, lag: u64) {
-        // Fast path first: after the opening sample of each view, recording
-        // never allocates (the keyed `entry` API would build a `String` per
-        // sample just to look it up).
-        if let Some(v) = self.views.get_mut(component) {
-            v.record(lag);
-        } else {
-            self.views
-                .entry(component.to_string())
-                .or_default()
-                .record(lag);
+    /// Registers (or finds) the slot for `component`. Call once per view,
+    /// then fold samples in by id with [`DivergenceSummary::record_slot`].
+    pub fn slot(&mut self, component: &str) -> ViewSlot {
+        if let Some(&slot) = self.index.get(component) {
+            return slot;
         }
+        let slot = self.slots.len() as ViewSlot;
+        self.index.insert(component.to_string(), slot);
+        self.slots.push(ViewLag::default());
+        slot
+    }
+
+    /// Folds one sampled lag into a registered slot — O(1), no hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from [`DivergenceSummary::slot`] on
+    /// this summary.
+    pub fn record_slot(&mut self, slot: ViewSlot, lag: u64) {
+        self.slots[slot as usize].record(lag);
+    }
+
+    /// Folds one sampled lag for `component` in (string-keyed wrapper
+    /// around [`DivergenceSummary::record_slot`]).
+    pub fn record(&mut self, component: &str, lag: u64) {
+        let slot = self.slot(component);
+        self.record_slot(slot, lag);
     }
 
     /// The stats for one component, if sampled.
     pub fn view(&self, component: &str) -> Option<&ViewLag> {
-        self.views.get(component)
+        self.index
+            .get(component)
+            .map(|&slot| &self.slots[slot as usize])
+    }
+
+    /// All `(component, stats)` pairs, sorted by component name — the
+    /// name-keyed index is already in that order.
+    fn sorted(&self) -> impl Iterator<Item = (&str, &ViewLag)> {
+        self.index
+            .iter()
+            .map(|(name, &slot)| (name.as_str(), &self.slots[slot as usize]))
     }
 
     /// All `(component, stats)` pairs, in component order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ViewLag)> {
-        self.views.iter().map(|(k, v)| (k.as_str(), v))
+        self.sorted()
     }
 
     /// Largest lag sampled anywhere.
     pub fn max_lag(&self) -> u64 {
-        self.views.values().map(|v| v.max).max().unwrap_or(0)
+        self.slots.iter().map(|v| v.max).max().unwrap_or(0)
     }
 
     /// Mean lag across all samples of all views.
     pub fn mean_lag(&self) -> f64 {
         let (sum, n) = self
-            .views
-            .values()
+            .slots
+            .iter()
             .fold((0u64, 0u64), |(s, n), v| (s + v.sum, n + v.samples));
         if n == 0 {
             0.0
@@ -125,7 +178,7 @@ impl DivergenceSummary {
     /// component, in component order.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        for (i, (name, v)) in self.views.iter().enumerate() {
+        for (i, (name, v)) in self.sorted().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -142,13 +195,13 @@ impl DivergenceSummary {
 
     /// Renders an aligned text table (deterministic: component order).
     pub fn render(&self) -> String {
-        if self.views.is_empty() {
+        if self.slots.is_empty() {
             return "(no divergence samples)\n".to_string();
         }
         let wide = self
-            .views
+            .index
             .keys()
-            .map(|k| k.len())
+            .map(|name| name.len())
             .max()
             .unwrap_or(4)
             .max("view".len());
@@ -156,7 +209,7 @@ impl DivergenceSummary {
             "{:<wide$}  {:>8}  {:>8}  {:>8}  {:>7}\n",
             "view", "samples", "max-lag", "mean", "gap"
         );
-        for (name, v) in &self.views {
+        for (name, v) in self.sorted() {
             out.push_str(&format!(
                 "{name:<wide$}  {:>8}  {:>8}  {:>8.2}  {:>6.1}%\n",
                 v.samples,
@@ -166,6 +219,62 @@ impl DivergenceSummary {
             ));
         }
         out
+    }
+}
+
+// Equality by (sorted name, stats) content: two summaries that recorded
+// the same views and samples compare equal even if the views were first
+// seen in different orders (slot ids are an internal layout detail).
+impl PartialEq for DivergenceSummary {
+    fn eq(&self, other: &DivergenceSummary) -> bool {
+        self.index.len() == other.index.len()
+            && self
+                .sorted()
+                .zip(other.sorted())
+                .all(|((an, av), (bn, bv))| an == bn && av == bv)
+    }
+}
+impl Eq for DivergenceSummary {}
+
+/// The dirty-set companion to [`DivergenceSummary`]: remembers each view's
+/// previously sampled lag so a harness can detect which views actually
+/// moved this quantum and skip republishing unchanged gauge values.
+///
+/// Indices are the harness's own dense view numbering (typically the order
+/// it walks its actors in), not [`ViewSlot`]s — keeping the sampler usable
+/// before any sample lands in the summary.
+#[derive(Debug, Clone, Default)]
+pub struct LagSampler {
+    last: Vec<Option<u64>>,
+}
+
+impl LagSampler {
+    /// A sampler pre-sized for `views` views (grows on demand).
+    pub fn with_views(views: usize) -> LagSampler {
+        LagSampler {
+            last: vec![None; views],
+        }
+    }
+
+    /// Records view `i`'s current lag. Returns `true` when the value
+    /// differs from the previous sample (the first sample is always a
+    /// change) — the signal that last-value outputs (gauges) need a write.
+    pub fn changed(&mut self, i: usize, lag: u64) -> bool {
+        if i >= self.last.len() {
+            self.last.resize(i + 1, None);
+        }
+        let dirty = self.last[i] != Some(lag);
+        self.last[i] = Some(lag);
+        dirty
+    }
+
+    /// Forgets all previous samples (every view reads as changed next
+    /// quantum). Use after events that invalidate the memory wholesale,
+    /// e.g. a harness-level restart.
+    pub fn reset(&mut self) {
+        for v in &mut self.last {
+            *v = None;
+        }
     }
 }
 
@@ -223,5 +332,49 @@ mod tests {
         let z = table.find("zeta").expect("zeta row");
         assert!(a < z, "rows must be name-ordered:\n{table}");
         assert!(table.contains("gap"));
+    }
+
+    #[test]
+    fn slot_api_matches_string_api() {
+        let mut by_name = DivergenceSummary::new();
+        let mut by_slot = DivergenceSummary::new();
+        // Register in reverse name order: slot ids then disagree with the
+        // exported (sorted) order, which must not matter.
+        let z = by_slot.slot("zeta");
+        let a = by_slot.slot("alpha");
+        for (name, slot, lag) in [("zeta", z, 3), ("alpha", a, 0), ("zeta", z, 1)] {
+            by_name.record(name, lag);
+            by_slot.record_slot(slot, lag);
+        }
+        assert_eq!(by_name, by_slot);
+        assert_eq!(by_name.to_json(), by_slot.to_json());
+        assert_eq!(by_name.render(), by_slot.render());
+        assert_eq!(by_slot.slot("zeta"), z, "slot is idempotent");
+    }
+
+    #[test]
+    fn equality_ignores_registration_order() {
+        let mut ab = DivergenceSummary::new();
+        ab.record("a", 1);
+        ab.record("b", 2);
+        let mut ba = DivergenceSummary::new();
+        ba.record("b", 2);
+        ba.record("a", 1);
+        assert_eq!(ab, ba);
+        ba.record("a", 9);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn sampler_reports_changes_only() {
+        let mut s = LagSampler::with_views(2);
+        assert!(s.changed(0, 5), "first sample is a change");
+        assert!(!s.changed(0, 5), "same value is clean");
+        assert!(s.changed(0, 6), "moved value is dirty");
+        assert!(s.changed(1, 0), "independent per view");
+        assert!(!s.changed(1, 0));
+        s.reset();
+        assert!(s.changed(0, 6), "reset forgets history");
+        assert!(s.changed(7, 1), "grows on demand");
     }
 }

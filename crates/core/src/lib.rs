@@ -93,7 +93,7 @@ pub use autoguide::{
 };
 pub use canon::{canonicalize, canonicalize_ops, plan_class, PlannedOp};
 pub use causality::CausalGraph;
-pub use divergence::{DivergenceSummary, ViewLag};
+pub use divergence::{DivergenceSummary, LagSampler, ViewLag, ViewSlot};
 pub use epoch::{EpochBuffer, EpochPartition};
 pub use harness::{DetectionMatrix, Explorer, RunReport, TrialOutcome};
 pub use history::{Change, ChangeOp, FrontierLog, History, PartialHistory, View};

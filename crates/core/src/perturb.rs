@@ -35,16 +35,20 @@ use ph_sim::{
 };
 
 /// The scenario-provided map of interesting actors and message kinds.
+///
+/// The lists are shared slices: the harness builds a `Targets` per trial
+/// (hunts run hundreds), so cloning the same actor lists into every trial
+/// is a refcount bump, not a per-trial allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Targets {
     /// Members of the central store.
-    pub store_nodes: Vec<ActorId>,
+    pub store_nodes: std::rc::Rc<[ActorId]>,
     /// Actors that maintain a cached view `(H′, S′)` (apiservers, informers).
-    pub caches: Vec<ActorId>,
+    pub caches: std::rc::Rc<[ActorId]>,
     /// Crash-eligible service components (kubelets, controllers, schedulers).
-    pub components: Vec<ActorId>,
+    pub components: std::rc::Rc<[ActorId]>,
     /// Short message-kind names that carry view updates (e.g. `WatchNotify`).
-    pub notify_kinds: Vec<String>,
+    pub notify_kinds: std::rc::Rc<[String]>,
     /// Nominal scenario length; random strategies scatter faults within it.
     pub horizon: Duration,
 }
@@ -381,7 +385,7 @@ impl TrafficSurge {
         let cache = targets.caches[self.cache];
         let victims: Vec<ActorId> = match self.only {
             Some(i) => vec![targets.components[i]],
-            None => targets.components.clone(),
+            None => targets.components.to_vec(),
         };
         for comp in victims {
             if comp == cache {
@@ -701,10 +705,10 @@ mod tests {
         let cache = w.spawn("cache", Cache { seen: vec![] });
         let _feeder = w.spawn("feeder", Feeder { peer: cache });
         let targets = Targets {
-            store_nodes: vec![],
-            caches: vec![cache],
-            components: vec![cache],
-            notify_kinds: vec!["ViewUpdate".into()],
+            store_nodes: [].into(),
+            caches: [cache].into(),
+            components: [cache].into(),
+            notify_kinds: ["ViewUpdate".to_string()].into(),
             horizon: Duration::millis(500),
         };
         (w, targets, cache)
@@ -852,10 +856,10 @@ mod tests {
         );
         let cache = view;
         let t = Targets {
-            store_nodes: vec![],
-            caches: vec![feeder],
-            components: vec![view],
-            notify_kinds: vec!["ViewUpdate".into()],
+            store_nodes: [].into(),
+            caches: [feeder].into(),
+            components: [view].into(),
+            notify_kinds: ["ViewUpdate".to_string()].into(),
             horizon: Duration::millis(500),
         };
         // 8 KB every 10 ms offered to a 10 KB/s link: ~80× over capacity

@@ -36,6 +36,12 @@
 //!        [--threads N]               causality-guided auto-discovery
 //!        [--witnesses]               model-checker witness priors first,
 //!                                     then the unguided strategy cycle
+//! phtool scale [--nodes N] [--pods N] [--shards N] [--seed N] [--json]
+//!                                     one mega-cluster scale point: churn
+//!                                     a synthetic demand curve through the
+//!                                     sharded watch cache and report the
+//!                                     deterministic scale telemetry
+//!                                     (objects, window peak, cache bytes)
 //! phtool lint [--json] [--root DIR]  static determinism lint + §4.2
 //!                                     partial-history hazard analysis
 //! phtool check [--json] [--root DIR] symbolic model check (minimal
@@ -230,6 +236,7 @@ fn usage() -> &'static str {
      [--threads N]\n  \
      phtool matrix [--trials N] [--seed N] [--threads N] [--prom <file>]\n  phtool hunt \
      --scenario <name> [--budget N] [--depth N] [--seed N] [--threads N] [--witnesses]\n  \
+     phtool scale [--nodes N] [--pods N] [--shards N] [--seed N] [--json]\n  \
      phtool lint [--json] [--root DIR]\n  phtool check [--json] [--root DIR]\n\
      exit codes: 0 clean, 1 error, 2 usage, 3 violation detected"
 }
@@ -485,7 +492,7 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
         .unwrap_or(8)
         .max("scenario".len());
     println!(
-        "{:<wide$}  {:>8}  {:>8}  {:>9}  {:>7}  {:>8}  {:>6}  {:>12}  {:>17}",
+        "{:<wide$}  {:>8}  {:>8}  {:>9}  {:>7}  {:>8}  {:>6}  {:>12}  {:>8}  {:>8}  {:>17}",
         "scenario",
         "verdict",
         "events",
@@ -494,6 +501,8 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
         "mean-lag",
         "gap%",
         "p95-stale-ms",
+        "objects",
+        "peak-win",
         "blame"
     );
     for r in &reports {
@@ -511,8 +520,17 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
             .map(|h| h.quantile(0.95))
             .max()
             .unwrap_or(0);
+        // Scale telemetry (live objects / window high-water marks) only
+        // exists for runs with `api_scale_telemetry` on (e.g. `phtool
+        // scale`); the legacy scenarios keep their exports untouched.
+        let scale_gauge = |name: &str| {
+            r.metrics
+                .gauge_max(name)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
         println!(
-            "{:<wide$}  {:>8}  {:>8}  {:>8.2}s  {:>7}  {:>8.2}  {:>5.1}%  {:>12.1}  {:>17}",
+            "{:<wide$}  {:>8}  {:>8}  {:>8.2}s  {:>7}  {:>8.2}  {:>5.1}%  {:>12.1}  {:>8}  {:>8}  {:>17}",
             r.scenario,
             if r.failed() { "VIOLATED" } else { "clean" },
             r.trace_events,
@@ -521,6 +539,8 @@ fn cmd_report(args: &Args) -> Result<i32, String> {
             r.divergence.mean_lag(),
             gap * 100.0,
             p95_stale_ns as f64 / 1e6,
+            scale_gauge("apiserver.objects"),
+            scale_gauge("apiserver.window_peak"),
             match &r.blame {
                 Some(b) => b.class.as_str(),
                 None => "-",
@@ -736,6 +756,78 @@ fn workspace_root(args: &Args) -> Result<std::path::PathBuf, String> {
 /// The static passes: the determinism lint over every workspace `.rs`
 /// file, and the §4.2 hazard analysis over every scenario's access
 /// summaries, cross-checked against each scenario's documented class.
+/// `phtool scale` — run one mega-cluster scale point (the E10 workload):
+/// a synthetic demand curve churns 10k–100k pods through the sharded slab
+/// watch cache while watch consumers follow along. Output is fully
+/// deterministic (no wall-clock numbers — throughput lives in
+/// `cargo bench -p ph-bench --bench e10_scale`), so two invocations with
+/// the same flags are byte-identical, shard count included.
+fn cmd_scale(args: &Args) -> Result<i32, String> {
+    let nodes = args.get_u64("nodes", 100)? as usize;
+    let shards = args.get_u64("shards", 1)? as usize;
+    let seed = args.get_u64("seed", 1)?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mut params = ph_scenarios::mega_cluster::ScaleParams::for_nodes(nodes, shards);
+    if let Some(pods) = args.get("pods") {
+        params.pods = pods
+            .parse()
+            .map_err(|_| "--pods wants a number".to_string())?;
+        if params.pods == 0 {
+            return Err("--pods must be at least 1".into());
+        }
+    }
+    let (report, probe) = ph_scenarios::mega_cluster::run_probed(seed, &params);
+    let exit = if report.failed() { EXIT_VIOLATION } else { 0 };
+    if args.has("json") {
+        // The memory probe is shard-layout-dependent, so it goes to stderr:
+        // stdout stays byte-identical across shard counts (CI diffs it).
+        eprintln!(
+            "cache probe: {} bytes over {} objects (shard-layout-dependent)",
+            probe.cache_bytes, probe.cache_objects
+        );
+        println!("{}", report.to_json());
+        return Ok(exit);
+    }
+    let gauge = |name: &str| {
+        report
+            .metrics
+            .gauge_max(name)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+    println!("scenario : {}", report.scenario);
+    println!("seed     : {}", report.seed);
+    println!("nodes    : {nodes}");
+    println!("pods     : {}", params.pods);
+    println!("shards   : {shards}");
+    println!("events   : {}", report.trace_events);
+    println!("digest   : {:#018x}", report.trace_digest);
+    println!(
+        "objects  : {} (peak live in the watch cache)",
+        gauge("apiserver.objects")
+    );
+    println!(
+        "peak-win : {} (window entries)",
+        gauge("apiserver.window_peak")
+    );
+    println!(
+        "bytes    : {} over {} objects (cache approx at churn end; shard-layout-dependent)",
+        probe.cache_bytes, probe.cache_objects
+    );
+    println!(
+        "churn    : {} creates, {} deletes, {} watch events delivered",
+        report.metrics.counter_total("demand.pod_creates"),
+        report.metrics.counter_total("demand.pod_deletes"),
+        report.metrics.counter_total("watcher.events"),
+    );
+    Ok(exit)
+}
+
 fn cmd_lint(args: &Args) -> Result<i32, String> {
     let root = workspace_root(args)?;
     let report =
@@ -980,6 +1072,7 @@ fn main() {
         "report" => Args::parse(rest).and_then(|a| cmd_report(&a)),
         "matrix" => Args::parse(rest).and_then(|a| cmd_matrix(&a)),
         "hunt" => Args::parse(rest).and_then(|a| cmd_hunt(&a)),
+        "scale" => Args::parse(rest).and_then(|a| cmd_scale(&a)),
         "lint" => Args::parse(rest).and_then(|a| cmd_lint(&a)),
         "check" => Args::parse(rest).and_then(|a| cmd_check(&a)),
         "help" | "--help" | "-h" => {

@@ -11,12 +11,12 @@ use ph_cluster::kubelet::Kubelet;
 use ph_cluster::operator::CassandraOperator;
 use ph_cluster::scheduler::Scheduler;
 use ph_cluster::topology::{ClusterConfig, ClusterHandle};
-use ph_core::divergence::DivergenceSummary;
+use ph_core::divergence::{DivergenceSummary, LagSampler, ViewSlot};
 use ph_core::harness::RunReport;
 use ph_core::oracle::{check_all, Oracle};
 use ph_core::perturb::{Strategy, Targets};
-use ph_sim::{Duration, Name, SimTime, World, WorldConfig};
-use ph_store::StoreNode;
+use ph_sim::{ActorId, Duration, Name, SimTime, Sym, World, WorldConfig};
+use ph_store::{Revision, StoreNode};
 
 /// Which implementation variant a trial runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,9 +59,24 @@ pub struct Runner {
     /// Sampled per-view lag, folded into the report by
     /// [`Runner::finish_with_trace`].
     pub divergence: DivergenceSummary,
-    /// Reused buffer for [`Runner::sample_divergence`] (capacity persists
+    /// Reused buffer for the full (legacy) sampling path (capacity persists
     /// across quanta so sampling stays allocation-free in steady state).
     lag_scratch: Vec<(Name, u64)>,
+    /// Per-view `(metrics component sym, divergence slot)` pairs, resolved
+    /// lazily the first time a view is sampled. Indexed by the dense view
+    /// walk order (apiservers, kubelets, then the optional singletons),
+    /// which is fixed for the lifetime of a run.
+    view_meta: Vec<Option<(Sym, ViewSlot)>>,
+    /// Dirty-set tracker: remembers each view's last sampled lag so the
+    /// `view_lag.last` gauge is only rewritten when the value moved.
+    sampler: LagSampler,
+    /// Interned metric-name syms for the two per-view lag series.
+    hist_sym: Sym,
+    gauge_sym: Sym,
+    /// `PH_DIVERGENCE_FULL=1` routes sampling through the legacy
+    /// string-keyed full diff (used by the regression test that pins the
+    /// incremental path to it).
+    full_sampling: bool,
 }
 
 impl Runner {
@@ -88,6 +103,12 @@ impl Runner {
         );
         world.run_until(t0);
         let targets = targets_for(&cluster, horizon);
+        // Pre-interning metric names is byte-invisible in exports (reports
+        // sort resolved keys), and keeps the per-sample hot path sym-only.
+        let metrics = world.metrics_mut();
+        let hist_sym = metrics.sym("view_lag.revisions");
+        let gauge_sym = metrics.sym("view_lag.last");
+        let full_sampling = std::env::var_os("PH_DIVERGENCE_FULL").is_some_and(|v| v != "0");
         Runner {
             world,
             cluster,
@@ -96,6 +117,11 @@ impl Runner {
             seed,
             divergence: DivergenceSummary::new(),
             lag_scratch: Vec::new(),
+            view_meta: Vec::new(),
+            sampler: LagSampler::default(),
+            hist_sym,
+            gauge_sym,
+            full_sampling,
         }
     }
 
@@ -133,6 +159,15 @@ impl Runner {
     /// `view_lag.revisions` histogram and `view_lag.last` gauge per view),
     /// so they surface in trace/metric exports too. Skipped while the store
     /// has no leader (the truth frontier is unknowable then).
+    ///
+    /// The default path is incremental: per view it folds the lag into a
+    /// pre-resolved [`ViewSlot`] and sym pair (O(1), no string hashing),
+    /// observes the histogram, and rewrites the gauge only when the lag
+    /// actually moved since the last quantum (gauges are last-value, so
+    /// skipping unchanged writes is report-invisible). Cost per quantum is
+    /// therefore O(views) with a constant far below the legacy string-keyed
+    /// full diff, which `PH_DIVERGENCE_FULL=1` still selects for the
+    /// equivalence regression test.
     pub fn sample_divergence(&mut self) {
         let Some(truth) = self
             .cluster
@@ -143,11 +178,131 @@ impl Runner {
         else {
             return;
         };
+        if self.full_sampling {
+            self.sample_divergence_full(truth);
+            return;
+        }
+        // The dense view index must be stable across quanta, so it advances
+        // for every *configured* view — crashed actors (actor_ref None)
+        // skip the record but still consume their index.
+        let mut idx = 0usize;
+        for i in 0..self.cluster.apiservers.len() {
+            let a = self.cluster.apiservers[i];
+            let rv = self
+                .world
+                .actor_ref::<ApiServer>(a)
+                .map(|s| s.cache_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, a, rv, truth);
+            }
+            idx += 1;
+        }
+        for i in 0..self.cluster.kubelets.len() {
+            let k = self.cluster.kubelets[i];
+            let rv = self
+                .world
+                .actor_ref::<Kubelet>(k)
+                .map(|s| s.view_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, k, rv, truth);
+            }
+            idx += 1;
+        }
+        if let Some(id) = self.cluster.scheduler {
+            let rv = self
+                .world
+                .actor_ref::<Scheduler>(id)
+                .map(|s| s.view_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, id, rv, truth);
+            }
+            idx += 1;
+        }
+        if let Some(id) = self.cluster.volume_controller {
+            let rv = self
+                .world
+                .actor_ref::<VolumeController>(id)
+                .map(|s| s.view_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, id, rv, truth);
+            }
+            idx += 1;
+        }
+        if let Some(id) = self.cluster.rs_controller {
+            let rv = self
+                .world
+                .actor_ref::<ReplicaSetController>(id)
+                .map(|s| s.view_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, id, rv, truth);
+            }
+            idx += 1;
+        }
+        if let Some(id) = self.cluster.operator {
+            let rv = self
+                .world
+                .actor_ref::<CassandraOperator>(id)
+                .map(|s| s.view_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, id, rv, truth);
+            }
+            idx += 1;
+        }
+        if let Some(id) = self.cluster.node_lifecycle {
+            let rv = self
+                .world
+                .actor_ref::<NodeLifecycleController>(id)
+                .map(|s| s.view_revision());
+            if let Some(rv) = rv {
+                self.record_view(idx, id, rv, truth);
+            }
+            idx += 1;
+        }
+        let _ = idx;
+    }
+
+    /// Folds one view's lag sample into the divergence summary and metrics.
+    /// Resolves the view's `(component sym, divergence slot)` pair on first
+    /// contact — lazily, so views that never get sampled (e.g. a run that
+    /// ends before its first quantum) leave no empty entries in exports.
+    fn record_view(&mut self, idx: usize, id: ActorId, frontier: Revision, truth: Revision) {
+        let lag = truth.0.saturating_sub(frontier.0);
+        let meta = match self.view_meta.get(idx).copied().flatten() {
+            Some(meta) => meta,
+            None => {
+                let name = self.world.name_handle(id);
+                let comp = self.world.metrics_mut().sym(name.as_str());
+                let slot = self.divergence.slot(name.as_str());
+                if idx >= self.view_meta.len() {
+                    self.view_meta.resize(idx + 1, None);
+                }
+                self.view_meta[idx] = Some((comp, slot));
+                (comp, slot)
+            }
+        };
+        let (comp, slot) = meta;
+        self.divergence.record_slot(slot, lag);
+        let dirty = self.sampler.changed(idx, lag);
+        let metrics = self.world.metrics_mut();
+        // Histograms count samples, so every quantum must observe; the
+        // gauge is last-value, so only dirty views need the write.
+        metrics.observe_sym(comp, self.hist_sym, lag);
+        if dirty {
+            metrics.gauge_set_sym(comp, self.gauge_sym, lag as i64);
+        }
+    }
+
+    /// The legacy full-diff sampling path: walks every view, collects
+    /// `(Name, lag)` pairs, and records them through the string-keyed
+    /// APIs. Kept (behind `PH_DIVERGENCE_FULL=1`) as the oracle the
+    /// incremental path is regression-tested against — both must produce
+    /// identical divergence summaries and metric reports.
+    fn sample_divergence_full(&mut self, truth: Revision) {
         let mut lags = std::mem::take(&mut self.lag_scratch);
         lags.clear();
         // Names are interned `Rc<str>` handles, so collecting them is a
         // refcount bump per view — no string copies on this path.
-        let push = |lags: &mut Vec<(Name, u64)>, name: Name, frontier: ph_store::Revision| {
+        let push = |lags: &mut Vec<(Name, u64)>, name: Name, frontier: Revision| {
             lags.push((name, truth.0.saturating_sub(frontier.0)));
         };
         for &a in &self.cluster.apiservers {
@@ -262,10 +417,12 @@ pub fn targets_for(cluster: &ClusterHandle, horizon: Duration) -> Targets {
     components.extend(cluster.operator);
     components.extend(cluster.node_lifecycle);
     Targets {
+        // Shared handle to the cluster's member list — a refcount bump per
+        // trial, not a copy (hunts build a fresh `Targets` every trial).
         store_nodes: cluster.store.nodes.clone(),
-        caches: cluster.apiservers.clone(),
-        components,
-        notify_kinds: vec!["WatchNotify".into(), "ApiWatchEvent".into()],
+        caches: cluster.apiservers.as_slice().into(),
+        components: components.into(),
+        notify_kinds: ["WatchNotify".to_string(), "ApiWatchEvent".to_string()].into(),
         horizon,
     }
 }

@@ -294,9 +294,9 @@ pub fn run_with_trace(
 
     let targets = Targets {
         store_nodes: cluster.nodes.clone(),
-        caches: vec![follower],
-        components: vec![manager],
-        notify_kinds: vec!["RaftWire".into()],
+        caches: [follower].into(),
+        components: [manager].into(),
+        notify_kinds: ["RaftWire".to_string()].into(),
         horizon: Duration::secs(5),
     };
 

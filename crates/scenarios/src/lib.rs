@@ -37,6 +37,7 @@ pub mod congestion;
 pub mod hbase_3136;
 pub mod k8s_56261;
 pub mod k8s_59848;
+pub mod mega_cluster;
 pub mod node_fencing;
 pub mod oracles;
 pub mod strategies;

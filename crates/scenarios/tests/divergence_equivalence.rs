@@ -1,0 +1,66 @@
+//! Regression gate for the incremental divergence sampler.
+//!
+//! `Runner::sample_divergence` has two paths: the default incremental one
+//! (pre-resolved slots and syms, gauge writes only on change) and the
+//! legacy full diff (string-keyed, rewrite everything each quantum) kept
+//! behind `PH_DIVERGENCE_FULL=1`. The two must be *report-identical* — not
+//! just statistically close — on every scenario and variant: identical
+//! divergence summaries (max/mean lag, per-view gap fractions) and
+//! identical full report JSON, metrics included.
+//!
+//! This lives in its own integration-test binary because the toggle is a
+//! process-global environment variable: a dedicated process keeps the
+//! flips from racing other tests.
+
+use ph_scenarios::{scenario_statics, Variant};
+
+#[test]
+fn incremental_sampling_matches_the_full_diff_everywhere() {
+    std::env::remove_var("PH_DIVERGENCE_FULL");
+    for e in scenario_statics() {
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            let mut guided = (e.guided)(7);
+            let fast = (e.run)(7, guided.as_mut(), variant);
+
+            std::env::set_var("PH_DIVERGENCE_FULL", "1");
+            let mut guided = (e.guided)(7);
+            let full = (e.run)(7, guided.as_mut(), variant);
+            std::env::remove_var("PH_DIVERGENCE_FULL");
+
+            // The headline statistics, named explicitly so a failure reads
+            // directly...
+            assert_eq!(
+                fast.divergence.max_lag(),
+                full.divergence.max_lag(),
+                "{} {variant}: max lag diverged",
+                e.name
+            );
+            assert_eq!(
+                fast.divergence.mean_lag().to_bits(),
+                full.divergence.mean_lag().to_bits(),
+                "{} {variant}: mean lag diverged",
+                e.name
+            );
+            let gaps = |r: &ph_core::harness::RunReport| -> Vec<(String, u64)> {
+                r.divergence
+                    .iter()
+                    .map(|(n, v)| (n.to_string(), v.gap_fraction().to_bits()))
+                    .collect()
+            };
+            assert_eq!(
+                gaps(&fast),
+                gaps(&full),
+                "{} {variant}: per-view gap fractions diverged",
+                e.name
+            );
+            // ...and the sledgehammer: the whole report, byte for byte
+            // (covers the histogram/gauge metrics both paths write).
+            assert_eq!(
+                fast.to_json(),
+                full.to_json(),
+                "{} {variant}: full report diverged",
+                e.name
+            );
+        }
+    }
+}

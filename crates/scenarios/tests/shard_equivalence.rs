@@ -1,0 +1,48 @@
+//! Shard-count invisibility, end to end.
+//!
+//! The slab-level model tests pin that a `ShardedCache` behaves like one
+//! `BTreeMap` for any shard count; this suite pins the whole-run claim: a
+//! mega-cluster trial at `shards ∈ {1, 2, 8}` produces byte-identical
+//! `RunReport` JSON and identical trace digests. Parameters are drawn as
+//! tuples from a fixed-seed [`SimRng`], so every trial is reproducible
+//! from the seed alone.
+
+use ph_scenarios::mega_cluster::{run, ScaleParams};
+use ph_sim::{Duration, SimRng};
+
+#[test]
+fn shard_count_never_changes_a_run_report() {
+    let mut rng = SimRng::from_seed(0xE10);
+    for trial in 0..3u64 {
+        // One tuple draw per trial: cluster shape first, then the run seed.
+        let (nodes, pods, watchers, seed) = (
+            1 + rng.below(12) as usize,
+            50 + rng.below(250) as usize,
+            1 + rng.below(3) as usize,
+            1 + rng.below(1 << 20),
+        );
+        let params = |shards: usize| ScaleParams {
+            nodes,
+            pods,
+            shards,
+            watchers,
+            churn: Duration::millis(400),
+        };
+        let reference = run(seed, &params(1));
+        let reference_json = reference.to_json();
+        for shards in [2usize, 8] {
+            let report = run(seed, &params(shards));
+            assert_eq!(
+                report.trace_digest, reference.trace_digest,
+                "trial {trial} (nodes {nodes}, pods {pods}, seed {seed}): \
+                 trace digest moved at shards={shards}"
+            );
+            assert_eq!(
+                report.to_json(),
+                reference_json,
+                "trial {trial} (nodes {nodes}, pods {pods}, seed {seed}): \
+                 report bytes moved at shards={shards}"
+            );
+        }
+    }
+}

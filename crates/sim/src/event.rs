@@ -37,13 +37,18 @@ pub enum Event {
     },
 }
 
-/// Queue entry: an [`Event`] with its scheduled time and a tie-breaking
-/// sequence number (insertion order), giving the run a total order.
+/// Queue entry: the scheduled time, a tie-breaking sequence number
+/// (insertion order, giving the run a total order) and the slab slot
+/// holding the payload [`Event`].
+///
+/// The payload lives out-of-line in the world's event slab so the binary
+/// heap sifts 24-byte keys instead of full envelopes — ordering is decided
+/// by `(at, seq)` alone, so the indirection cannot affect the schedule.
 #[derive(Debug)]
 pub(crate) struct Scheduled {
     pub at: SimTime,
     pub seq: u64,
-    pub ev: Event,
+    pub slot: u32,
 }
 
 impl PartialEq for Scheduled {
@@ -71,7 +76,7 @@ mod tests {
         Scheduled {
             at: SimTime(at),
             seq,
-            ev: Event::Crash { actor: ActorId(0) },
+            slot: 0,
         }
     }
 

@@ -145,7 +145,11 @@ impl Sym {
 
 const INITIAL_TABLE: usize = 64;
 
-fn fnv1a(s: &str) -> u64 {
+/// FNV-1a hash of `s`: the seed-independent, allocation-free string hash
+/// the interner's open-addressing table uses. Public so other layers can
+/// partition key spaces (e.g. the apiserver's sharded watch cache) with
+/// the exact same deterministic placement the interner uses.
+pub fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in s.as_bytes() {
         h ^= b as u64;

@@ -46,6 +46,8 @@ impl Default for WorldConfig {
 /// capacity instead of re-growing each buffer from empty.
 struct WorldBuffers {
     queue: BinaryHeap<Reverse<Scheduled>>,
+    event_slab: Vec<Option<Event>>,
+    free_slots: Vec<u32>,
     trace: Vec<TraceEvent>,
     effects: Vec<Effect>,
 }
@@ -91,6 +93,12 @@ pub struct World {
     actors: Vec<Slot>,
     names: BTreeMap<String, ActorId>,
     queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Payload storage for queued events: [`Scheduled`] keys carry a slot
+    /// index into this slab, keeping heap sifts small. Slots are recycled
+    /// through `free_slots` as events are processed.
+    event_slab: Vec<Option<Event>>,
+    /// Vacant `event_slab` slots, reused LIFO.
+    free_slots: Vec<u32>,
     /// Pending (armed, uncancelled) timers and their owners.
     timers: BTreeMap<TimerId, ActorId>,
     held: BTreeMap<MsgId, Envelope>,
@@ -120,11 +128,23 @@ impl World {
     pub fn new(config: WorldConfig, seed: u64) -> World {
         // Reuse pooled buffers from a previous world on this thread, if any.
         // Capacity is the only thing that survives the round trip.
-        let (queue, trace, effects_scratch) = match BUFFER_POOL.with(|pool| pool.borrow_mut().pop())
-        {
-            Some(b) => (b.queue, Trace::with_buffer(b.trace), b.effects),
-            None => (BinaryHeap::new(), Trace::new(), Vec::new()),
-        };
+        let (queue, event_slab, free_slots, trace, effects_scratch) =
+            match BUFFER_POOL.with(|pool| pool.borrow_mut().pop()) {
+                Some(b) => (
+                    b.queue,
+                    b.event_slab,
+                    b.free_slots,
+                    Trace::with_buffer(b.trace),
+                    b.effects,
+                ),
+                None => (
+                    BinaryHeap::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Trace::new(),
+                    Vec::new(),
+                ),
+            };
         World {
             now: SimTime::ZERO,
             seed,
@@ -136,6 +156,8 @@ impl World {
             actors: Vec::new(),
             names: BTreeMap::new(),
             queue,
+            event_slab,
+            free_slots,
             timers: BTreeMap::new(),
             held: BTreeMap::new(),
             net: Network::new(config.net),
@@ -441,7 +463,11 @@ impl World {
         );
         debug_assert!(scheduled.at >= self.now, "time went backwards");
         self.now = scheduled.at;
-        match scheduled.ev {
+        let ev = self.event_slab[scheduled.slot as usize]
+            .take()
+            .expect("scheduled slot vacant");
+        self.free_slots.push(scheduled.slot);
+        match ev {
             Event::Deliver {
                 env,
                 dst_incarnation,
@@ -532,7 +558,18 @@ impl World {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.event_slab[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.event_slab.len()).expect("event slab overflow");
+                self.event_slab.push(Some(ev));
+                s
+            }
+        };
+        self.queue.push(Reverse(Scheduled { at, seq, slot }));
     }
 
     fn deliver(&mut self, env: Envelope, dst_incarnation: u32) {
@@ -873,6 +910,10 @@ impl Drop for World {
         // destructors can never observe the pool mid-mutation.
         let mut queue = std::mem::take(&mut self.queue);
         queue.clear();
+        let mut event_slab = std::mem::take(&mut self.event_slab);
+        event_slab.clear();
+        let mut free_slots = std::mem::take(&mut self.free_slots);
+        free_slots.clear();
         let mut trace = self.trace.take_buffer();
         trace.clear();
         let mut effects = std::mem::take(&mut self.effects_scratch);
@@ -884,6 +925,8 @@ impl Drop for World {
             if pool.len() < BUFFER_POOL_MAX {
                 pool.push(WorldBuffers {
                     queue,
+                    event_slab,
+                    free_slots,
                     trace,
                     effects,
                 });

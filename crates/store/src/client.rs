@@ -26,8 +26,10 @@ use crate::msgs::{
 /// Client tuning.
 #[derive(Debug, Clone)]
 pub struct StoreClientConfig {
-    /// Actor ids of the store cluster members.
-    pub nodes: Vec<ActorId>,
+    /// Actor ids of the store cluster members (shared — every client and
+    /// per-trial config cloned from a cluster bumps a refcount instead of
+    /// copying the id list).
+    pub nodes: std::rc::Rc<[ActorId]>,
     /// Resend an unanswered request after this long.
     pub request_timeout: Duration,
     /// Declare a watch stream dead after this long without events or
@@ -40,10 +42,11 @@ pub struct StoreClientConfig {
 }
 
 impl StoreClientConfig {
-    /// Sensible defaults for a given member list.
-    pub fn new(nodes: Vec<ActorId>) -> StoreClientConfig {
+    /// Sensible defaults for a given member list (accepts a `Vec`, a
+    /// shared `Rc<[ActorId]>` handle, or anything else slice-convertible).
+    pub fn new(nodes: impl Into<std::rc::Rc<[ActorId]>>) -> StoreClientConfig {
         StoreClientConfig {
-            nodes,
+            nodes: nodes.into(),
             request_timeout: Duration::millis(500),
             watch_timeout: Duration::millis(1000),
             affinity: None,

@@ -1,14 +1,20 @@
 //! Topology helpers: spawning an n-node store cluster in a world.
 
+use std::rc::Rc;
+
 use ph_sim::{ActorId, SimTime, World};
 
 use crate::node::{StoreNode, StoreNodeConfig};
 
 /// Handle to a spawned store cluster.
+///
+/// The member list is a shared slice: cloning a handle (or lifting the
+/// list into per-trial [`crate::StoreClientConfig`]s and perturbation
+/// target sets) bumps a refcount instead of copying the ids.
 #[derive(Debug, Clone)]
 pub struct StoreCluster {
     /// Actor ids of the members, in node-index order.
-    pub nodes: Vec<ActorId>,
+    pub nodes: Rc<[ActorId]>,
 }
 
 impl StoreCluster {
@@ -70,7 +76,9 @@ pub fn spawn_store_cluster(world: &mut World, n: usize, cfg: StoreNodeConfig) ->
         assert_eq!(id, peers[idx], "spawn order must match precomputed ids");
         nodes.push(id);
     }
-    StoreCluster { nodes }
+    StoreCluster {
+        nodes: nodes.into(),
+    }
 }
 
 #[cfg(test)]

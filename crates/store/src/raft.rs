@@ -11,6 +11,8 @@
 //! the caller executes. This makes safety properties directly unit-testable
 //! and lets [`crate::node::StoreNode`] own all timing via `ph-sim`.
 
+use std::rc::Rc;
+
 use ph_sim::ActorId;
 
 use crate::msgs::Op;
@@ -87,8 +89,11 @@ pub enum RaftMsg {
         prev_index: LogIndex,
         /// Term of that entry.
         prev_term: Term,
-        /// New entries (empty for pure heartbeats).
-        entries: Vec<LogEntry>,
+        /// New entries (empty for pure heartbeats). Shared (`Rc`) with the
+        /// leader's log so re-sends to lagging followers — which are O(window)
+        /// per append under batched load — bump a refcount instead of deep
+        /// copying keys and values.
+        entries: Vec<Rc<LogEntry>>,
         /// Leader's commit index.
         commit: LogIndex,
     },
@@ -150,7 +155,7 @@ pub struct RaftCore {
     // Persistent state (survives restart).
     term: Term,
     voted_for: Option<NodeIdx>,
-    log: Vec<LogEntry>, // log[i] has index i+1
+    log: Vec<Rc<LogEntry>>, // log[i] has index i+1
 
     // Volatile state.
     role: Role,
@@ -228,7 +233,7 @@ impl RaftCore {
         if index == 0 {
             None
         } else {
-            self.log.get(index as usize - 1)
+            self.log.get(index as usize - 1).map(Rc::as_ref)
         }
     }
 
@@ -341,10 +346,10 @@ impl RaftCore {
     }
 
     fn append_local(&mut self, cmd: Command) -> LogIndex {
-        self.log.push(LogEntry {
+        self.log.push(Rc::new(LogEntry {
             term: self.term,
             cmd,
-        });
+        }));
         let idx = self.last_log_index();
         self.match_index[self.id] = idx;
         idx
@@ -381,7 +386,7 @@ impl RaftCore {
         let next = self.next_index[to];
         let prev_index = next - 1;
         let prev_term = self.term_at(prev_index);
-        let entries: Vec<LogEntry> = self.log[prev_index as usize..].to_vec();
+        let entries: Vec<Rc<LogEntry>> = self.log[prev_index as usize..].to_vec();
         effects.push(Effect::Send(
             to,
             RaftMsg::AppendEntries {
@@ -475,7 +480,7 @@ impl RaftCore {
         term: Term,
         prev_index: LogIndex,
         prev_term: Term,
-        entries: Vec<LogEntry>,
+        entries: Vec<Rc<LogEntry>>,
         commit: LogIndex,
         effects: &mut Vec<Effect>,
     ) {
@@ -582,7 +587,7 @@ impl RaftCore {
     fn emit_applies(&mut self, effects: &mut Vec<Effect>) {
         while self.applied < self.commit {
             self.applied += 1;
-            let entry = self.log[self.applied as usize - 1].clone();
+            let entry = LogEntry::clone(&self.log[self.applied as usize - 1]);
             effects.push(Effect::Apply {
                 index: self.applied,
                 entry,

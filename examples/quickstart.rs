@@ -76,9 +76,9 @@ fn main() {
     //    keep mutating. Its view (H′, S′) falls behind (H, S).
     let targets = Targets {
         store_nodes: cluster.store.nodes.clone(),
-        caches: cluster.apiservers.clone(),
-        components: cluster.kubelets.clone(),
-        notify_kinds: vec!["WatchNotify".into(), "ApiWatchEvent".into()],
+        caches: cluster.apiservers.as_slice().into(),
+        components: cluster.kubelets.as_slice().into(),
+        notify_kinds: ["WatchNotify".to_string(), "ApiWatchEvent".to_string()].into(),
         horizon: Duration::secs(10),
     };
     // (Delays preserve per-link FIFO order, like the TCP streams they
